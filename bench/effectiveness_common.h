@@ -1,0 +1,50 @@
+#ifndef GDIM_BENCH_EFFECTIVENESS_COMMON_H_
+#define GDIM_BENCH_EFFECTIVENESS_COMMON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace gdim {
+namespace bench {
+
+/// Shared driver for the Exp-1/Exp-2 effectiveness figures (Fig 4 and 5):
+/// runs every selection algorithm once, evaluates precision / Kendall tau /
+/// rank distance across the top-k sweep, and reports values relative to a
+/// benchmark (fingerprint rankings on the real dataset; per-measure best on
+/// synthetic). Also prints the per-algorithm indexing time panel (d).
+struct EffectivenessResult {
+  // measure -> algorithm -> value per k.
+  std::map<std::string, std::map<std::string, std::vector<double>>> absolute;
+  std::map<std::string, double> indexing_seconds;
+};
+
+/// Algorithms in the paper's Fig 4/5 legend order.
+std::vector<std::string> EffectivenessAlgorithms();
+
+/// Runs all algorithms over the k sweep.
+EffectivenessResult RunEffectiveness(const PreparedData& data, int p,
+                                     uint64_t seed,
+                                     const std::vector<int>& ks);
+
+/// Prints the three quality panels relative to `benchmark` (measure ->
+/// per-k values) and the indexing-time panel.
+void PrintEffectiveness(
+    const EffectivenessResult& result, const std::vector<int>& ks,
+    const std::map<std::string, std::vector<double>>& benchmark);
+
+/// Benchmark series from explicit rankings (fingerprint).
+std::map<std::string, std::vector<double>> BenchmarkFromRankings(
+    const PreparedData& data, const std::vector<Ranking>& rankings,
+    const std::vector<int>& ks);
+
+/// Benchmark series = per-measure, per-k max over all algorithms.
+std::map<std::string, std::vector<double>> BenchmarkFromBest(
+    const EffectivenessResult& result, const std::vector<int>& ks);
+
+}  // namespace bench
+}  // namespace gdim
+
+#endif  // GDIM_BENCH_EFFECTIVENESS_COMMON_H_

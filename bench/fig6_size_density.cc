@@ -1,0 +1,85 @@
+// Figure 6 (Exp-3): effectiveness and indexing time on synthetic datasets
+// when varying (a,c) the average graph size (edges 12..20) and (b,d) the
+// average density (0.1..0.3). Quality relative to the per-configuration
+// best algorithm, as in Fig 5.
+
+#include <cstdio>
+
+#include "bench/effectiveness_common.h"
+
+namespace gdim {
+namespace bench {
+namespace {
+
+void RunSweep(const char* title, const std::vector<double>& xs,
+              bool vary_size, const DataScale& scale, int p) {
+  std::printf("\n%s\n", title);
+  std::vector<std::string> algos = EffectivenessAlgorithms();
+  std::vector<std::string> x_cols;
+  for (double x : xs) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), vary_size ? "%.0f" : "%.2f", x);
+    x_cols.push_back(buf);
+  }
+  // precision[algo][xi], time[algo][xi]
+  std::map<std::string, std::vector<double>> precision, itime;
+  const int k = 20;
+  for (double x : xs) {
+    GraphGenOptions gen;
+    gen.num_vertex_labels = 20;
+    gen.avg_edges = vary_size ? x : 20.0;
+    gen.density = vary_size ? 0.2 : x;
+    PreparedData data = PrepareSynthetic(scale, gen);
+    std::printf("  config %s: m=%d (mining %.2fs delta %.2fs)\n",
+                vary_size ? "size" : "density", data.features.num_features(),
+                data.mining_seconds, data.delta_seconds);
+    EffectivenessResult r = RunEffectiveness(data, p, /*seed=*/1, {k});
+    auto benchmark = BenchmarkFromBest(r, {k});
+    for (const std::string& name : algos) {
+      double rel = r.absolute.at("precision").at(name)[0] /
+                   std::max(benchmark.at("precision")[0], 1e-12);
+      precision[name].push_back(rel);
+      itime[name].push_back(r.indexing_seconds.at(name));
+    }
+  }
+  std::printf("\nprecision (relative) vs %s\n", vary_size ? "size" : "density");
+  PrintHeader("algo", x_cols);
+  for (const std::string& name : algos) PrintRow(name, precision[name]);
+  std::printf("\nindexing time (s) vs %s\n", vary_size ? "size" : "density");
+  PrintHeader("algo", x_cols);
+  for (const std::string& name : algos) {
+    if (name == "Original" || name == "Sample") continue;
+    PrintRow(name, itime[name]);
+  }
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  DataScale scale;
+  scale.db_size = flags.GetInt("n", 100);
+  scale.num_queries = flags.GetInt("queries", 30);
+  const int p = flags.GetInt("p", 80);
+
+  std::printf("=== Fig 6 (Exp-3): vary graph size and density ===\n");
+  std::printf("n=%d queries=%d p=%d k=20\n", scale.db_size,
+              scale.num_queries, p);
+
+  RunSweep("(a,c) vary average graph size (edges)", {12, 14, 16, 18, 20},
+           /*vary_size=*/true, scale, p);
+  RunSweep("(b,d) vary average graph density", {0.1, 0.15, 0.2, 0.25, 0.3},
+           /*vary_size=*/false, scale, p);
+
+  std::printf(
+      "\nExpected shape (paper): DSPM stays best across both sweeps; other "
+      "algorithms' precision decays as graphs grow/densify (more frequent "
+      "subgraphs to pick from); indexing time rises with size and density, "
+      "DSPM/MCFS scaling linearly in m, MICI/UDFS/NDFS at least "
+      "quadratically, SFS slowest.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gdim
+
+int main(int argc, char** argv) { return gdim::bench::Main(argc, argv); }

@@ -1,0 +1,169 @@
+// Micro-benchmarks (google-benchmark) for the primitive operations behind
+// every experiment: subgraph isomorphism (VF2), exact MCS (both algorithms),
+// query mapping, the DSPM iteration kernels, and gSpan mining.
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "core/dspm.h"
+#include "core/mapper.h"
+#include "core/objective.h"
+#include "datasets/chemgen.h"
+#include "isomorphism/vf2.h"
+#include "mcs/dissimilarity.h"
+#include "mcs/mcs.h"
+#include "mining/gspan.h"
+
+namespace gdim {
+namespace {
+
+ChemGenOptions DefaultChem(int n) {
+  ChemGenOptions opts;
+  opts.num_graphs = n;
+  return opts;
+}
+
+const GraphDatabase& SharedDb() {
+  static const GraphDatabase* db =
+      new GraphDatabase(GenerateChemDatabase(DefaultChem(80)));
+  return *db;
+}
+
+const std::vector<FrequentPattern>& SharedPatterns() {
+  static const std::vector<FrequentPattern>* patterns = [] {
+    MiningOptions opts;
+    opts.min_support = 0.1;
+    opts.max_edges = 4;
+    auto mined = MineFrequentSubgraphs(SharedDb(), opts);
+    return new std::vector<FrequentPattern>(std::move(mined.value()));
+  }();
+  return *patterns;
+}
+
+void BM_Vf2SubgraphIso(benchmark::State& state) {
+  const GraphDatabase& db = SharedDb();
+  const auto& patterns = SharedPatterns();
+  size_t pi = 0, gi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IsSubgraphIsomorphic(patterns[pi].graph, db[gi]));
+    pi = (pi + 1) % patterns.size();
+    gi = (gi + 3) % db.size();
+  }
+}
+BENCHMARK(BM_Vf2SubgraphIso);
+
+void BM_McsAuto(benchmark::State& state) {
+  const GraphDatabase& db = SharedDb();
+  size_t i = 0;
+  McsOptions opts;
+  opts.algorithm = McsAlgorithm::kAuto;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MaxCommonEdgeSubgraph(db[i % db.size()], db[(i + 7) % db.size()],
+                              opts));
+    ++i;
+  }
+}
+BENCHMARK(BM_McsAuto);
+
+void BM_McsClique(benchmark::State& state) {
+  const GraphDatabase& db = SharedDb();
+  size_t i = 0;
+  McsOptions opts;
+  opts.algorithm = McsAlgorithm::kClique;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MaxCommonEdgeSubgraph(db[i % db.size()], db[(i + 7) % db.size()],
+                              opts));
+    ++i;
+  }
+}
+BENCHMARK(BM_McsClique);
+
+void BM_McsMcGregorBudget(benchmark::State& state) {
+  const GraphDatabase& db = SharedDb();
+  size_t i = 0;
+  McsOptions opts;
+  opts.algorithm = McsAlgorithm::kMcGregor;
+  opts.max_nodes = 100000;  // budgeted: the unbudgeted tail is unbounded
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MaxCommonEdgeSubgraph(db[i % db.size()], db[(i + 7) % db.size()],
+                              opts));
+    ++i;
+  }
+}
+BENCHMARK(BM_McsMcGregorBudget);
+
+void BM_QueryMapping(benchmark::State& state) {
+  const auto& patterns = SharedPatterns();
+  const int p = static_cast<int>(std::min<size_t>(patterns.size(), 100));
+  GraphDatabase dim;
+  for (int r = 0; r < p; ++r) dim.push_back(patterns[static_cast<size_t>(r)].graph);
+  FeatureMapper mapper(std::move(dim));
+  GraphDatabase queries = GenerateChemQueries(DefaultChem(80), 16);
+  size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.Map(queries[qi]));
+    qi = (qi + 1) % queries.size();
+  }
+  state.SetLabel("p=" + std::to_string(p));
+}
+BENCHMARK(BM_QueryMapping);
+
+void BM_StressObjective(benchmark::State& state) {
+  const GraphDatabase& db = SharedDb();
+  BinaryFeatureDb features = BinaryFeatureDb::FromPatterns(
+      static_cast<int>(db.size()), SharedPatterns());
+  DissimilarityMatrix delta = DissimilarityMatrix::Compute(db);
+  std::vector<double> c(static_cast<size_t>(features.num_features()),
+                        1.0 / std::sqrt(features.num_features()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StressObjective(features, c, delta, 1));
+  }
+}
+BENCHMARK(BM_StressObjective);
+
+void BM_DspmFullRun(benchmark::State& state) {
+  const GraphDatabase& db = SharedDb();
+  BinaryFeatureDb features = BinaryFeatureDb::FromPatterns(
+      static_cast<int>(db.size()), SharedPatterns());
+  DissimilarityMatrix delta = DissimilarityMatrix::Compute(db);
+  DspmOptions opts;
+  opts.p = 50;
+  opts.max_iters = static_cast<int>(state.range(0));
+  opts.epsilon = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunDspm(features, delta, opts));
+  }
+}
+BENCHMARK(BM_DspmFullRun)->Arg(5)->Arg(15);
+
+void BM_GSpanMining(benchmark::State& state) {
+  const GraphDatabase& db = SharedDb();
+  MiningOptions opts;
+  opts.min_support = 0.1;
+  opts.max_edges = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineFrequentSubgraphs(db, opts));
+  }
+}
+BENCHMARK(BM_GSpanMining)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_Delta2Pair(benchmark::State& state) {
+  const GraphDatabase& db = SharedDb();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GraphDissimilarity(
+        db[i % db.size()], db[(i + 11) % db.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Delta2Pair);
+
+}  // namespace
+}  // namespace gdim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Chemical similarity search: the paper's motivating PubChem scenario.
+// Builds a compound database, persists it in the gSpan text format, builds
+// both a DSPM index and a dictionary-fingerprint baseline, and compares
+// their top-k answers against the exact MCS ranking for a workload of
+// unseen query molecules.
+//
+//   $ ./build/examples/chemical_search [db_size] [num_queries]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/index.h"
+#include "core/measures.h"
+#include "datasets/chemgen.h"
+#include "datasets/fingerprint.h"
+#include "graph/graph_io.h"
+
+int main(int argc, char** argv) {
+  using namespace gdim;
+  const int db_size = argc > 1 ? std::atoi(argv[1]) : 150;
+  const int num_queries = argc > 2 ? std::atoi(argv[2]) : 20;
+  const int k = 10;
+
+  ChemGenOptions gen;
+  gen.num_graphs = db_size;
+  gen.num_families = std::max(10, db_size / 8);
+  GraphDatabase db = GenerateChemDatabase(gen);
+  GraphDatabase queries = GenerateChemQueries(gen, num_queries);
+
+  // Persist and re-load the database to show the storage format round-trip.
+  const std::string path = "/tmp/gdim_compounds.gdb";
+  Status io = WriteGraphFile(db, path);
+  if (!io.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", io.ToString().c_str());
+    return 1;
+  }
+  Result<GraphDatabase> reloaded = ReadGraphFile(path);
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "read failed: %s\n",
+                 reloaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("persisted %zu compounds to %s and reloaded %zu\n", db.size(),
+              path.c_str(), reloaded->size());
+
+  // DSPM index.
+  IndexOptions options;
+  options.selector = "DSPM";
+  options.p = 80;
+  Result<GraphSearchIndex> index = GraphSearchIndex::Build(*reloaded, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+
+  // Expert-dictionary fingerprint baseline (trained on a separate sample).
+  ChemGenOptions dict_gen = gen;
+  dict_gen.seed = gen.seed + 101;
+  GraphDatabase dict_sample = GenerateChemDatabase(dict_gen);
+  Result<FingerprintDictionary> dict =
+      FingerprintDictionary::Build(dict_sample, /*max_bits=*/300);
+  if (!dict.ok()) {
+    std::fprintf(stderr, "dictionary build failed: %s\n",
+                 dict.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::vector<uint8_t>> db_fp;
+  db_fp.reserve(db.size());
+  for (const Graph& g : db) db_fp.push_back(dict->Fingerprint(g));
+
+  // Evaluate both against the exact MCS ranking.
+  double dspm_precision = 0.0, fp_precision = 0.0;
+  for (const Graph& q : queries) {
+    Ranking exact = ExactRanking(q, db);
+    Ranking dspm = index->Query(q, db_size);
+    std::vector<uint8_t> qfp = dict->Fingerprint(q);
+    std::vector<double> scores(db.size());
+    for (size_t i = 0; i < db.size(); ++i) {
+      scores[i] = 1.0 - TanimotoSimilarity(qfp, db_fp[i]);
+    }
+    Ranking fp = RankByScores(scores);
+    dspm_precision += PrecisionAtK(exact, dspm, k);
+    fp_precision += PrecisionAtK(exact, fp, k);
+  }
+  dspm_precision /= num_queries;
+  fp_precision /= num_queries;
+
+  std::printf("\naverage precision@%d over %d unseen queries\n", k,
+              num_queries);
+  std::printf("  DSPM (%d dims)        %.3f\n",
+              index->build_stats().selected_features, dspm_precision);
+  std::printf("  fingerprint (%d bits) %.3f\n", dict->bits(), fp_precision);
+  std::printf("\nThe automatically identified dimension plays the role of "
+              "PubChem's hand-curated 881-bit fingerprint.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace gdim {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg.substr(2)] = "1";
+    } else {
+      values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+int Flags::GetInt(const std::string& key, int def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : std::atoi(it->second.c_str());
+}
+
+double Flags::GetDouble(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : std::atof(it->second.c_str());
+}
+
+bool Flags::GetBool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second != "0" && it->second != "false";
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+bool Flags::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+}  // namespace gdim

@@ -1,0 +1,33 @@
+#ifndef GDIM_COMMON_FLAGS_H_
+#define GDIM_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gdim {
+
+/// Minimal --key=value command-line parsing shared by the bench harnesses
+/// and the CLI tool. Bare "--flag" parses as "1"; non-flag arguments are
+/// collected as positionals.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  int GetInt(const std::string& key, int def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+  std::string GetString(const std::string& key, const std::string& def) const;
+  bool Has(const std::string& key) const;
+
+  /// Non-flag arguments in order (argv[0] excluded).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gdim
+
+#endif  // GDIM_COMMON_FLAGS_H_

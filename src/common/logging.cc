@@ -1,0 +1,15 @@
+#include "common/logging.h"
+
+namespace gdim {
+namespace internal_logging {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& extra) {
+  std::fprintf(stderr, "[gdim] CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, extra.empty() ? "" : " — ", extra.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace gdim

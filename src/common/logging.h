@@ -1,0 +1,55 @@
+#ifndef GDIM_COMMON_LOGGING_H_
+#define GDIM_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gdim {
+namespace internal_logging {
+
+/// Prints the failure message and aborts. Used by the CHECK macros; kept
+/// out-of-line so the fast path stays small.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+
+/// Stream sink that aggregates `<<`-ed context for CHECK failure messages.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace gdim
+
+/// Internal invariant check: always on (benchmark-safe: the conditions used on
+/// hot paths are cheap). Usage: GDIM_CHECK(x > 0) << "context " << x;
+#define GDIM_CHECK(cond)                                                   \
+  if (cond) {                                                              \
+  } else /* NOLINT */                                                      \
+    ::gdim::internal_logging::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+/// Debug-only check, compiled out in release builds.
+#ifdef NDEBUG
+#define GDIM_DCHECK(cond) GDIM_CHECK(true || (cond))
+#else
+#define GDIM_DCHECK(cond) GDIM_CHECK(cond)
+#endif
+
+#endif  // GDIM_COMMON_LOGGING_H_

@@ -1,0 +1,45 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace gdim {
+
+double Rng::Normal() {
+  // Box–Muller; discard the second variate for simplicity.
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  GDIM_CHECK(k >= 0 && k <= n) << "k=" << k << " n=" << n;
+  std::vector<int> pool(n);
+  for (int i = 0; i < n; ++i) pool[i] = i;
+  std::vector<int> out;
+  out.reserve(k);
+  for (int i = 0; i < k; ++i) {
+    int j = i + static_cast<int>(UniformU64(static_cast<uint64_t>(n - i)));
+    std::swap(pool[i], pool[j]);
+    out.push_back(pool[i]);
+  }
+  return out;
+}
+
+int Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    GDIM_DCHECK(w >= 0);
+    total += w;
+  }
+  GDIM_CHECK(total > 0) << "WeightedIndex needs a positive weight";
+  double r = UniformDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+}  // namespace gdim

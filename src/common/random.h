@@ -1,0 +1,80 @@
+#ifndef GDIM_COMMON_RANDOM_H_
+#define GDIM_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gdim {
+
+/// Deterministic, fast PRNG (splitmix64 core). Every randomized component in
+/// the library takes an explicit seed so experiments are reproducible; we do
+/// not use std::mt19937 because its stream differs across standard library
+/// implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t UniformU64(uint64_t bound) {
+    GDIM_DCHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int UniformInt(int lo, int hi) {
+    GDIM_DCHECK(lo <= hi);
+    return lo + static_cast<int>(
+                    UniformU64(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal via Box–Muller (one value per call; simple and
+  /// deterministic; speed is irrelevant here).
+  double Normal();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) in selection order.
+  /// Requires k <= n.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// Draws an index from a non-negative weight vector proportionally to
+  /// weight. Requires at least one positive weight.
+  int WeightedIndex(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace gdim
+
+#endif  // GDIM_COMMON_RANDOM_H_

@@ -1,0 +1,32 @@
+#ifndef GDIM_COMMON_TIMER_H_
+#define GDIM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace gdim {
+
+/// Monotonic wall-clock stopwatch for coarse phase timing in the bench
+/// harnesses (indexing time, query time).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gdim
+
+#endif  // GDIM_COMMON_TIMER_H_

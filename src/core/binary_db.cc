@@ -1,0 +1,90 @@
+#include "core/binary_db.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gdim {
+
+BinaryFeatureDb BinaryFeatureDb::FromPatterns(
+    int num_graphs, const std::vector<FrequentPattern>& patterns) {
+  BinaryFeatureDb db;
+  db.num_graphs_ = num_graphs;
+  const int m = static_cast<int>(patterns.size());
+  db.bits_.assign(static_cast<size_t>(num_graphs) * static_cast<size_t>(m),
+                  0);
+  db.supports_.resize(static_cast<size_t>(m));
+  db.feature_graphs_.reserve(static_cast<size_t>(m));
+  for (int r = 0; r < m; ++r) {
+    const FrequentPattern& p = patterns[static_cast<size_t>(r)];
+    db.feature_graphs_.push_back(p.graph);
+    db.supports_[static_cast<size_t>(r)] = p.support;
+    for (int gid : p.support) {
+      GDIM_CHECK(gid >= 0 && gid < num_graphs) << "support id out of range";
+      db.bits_[static_cast<size_t>(gid) * static_cast<size_t>(m) +
+               static_cast<size_t>(r)] = 1;
+    }
+  }
+  db.RebuildIndexes();
+  return db;
+}
+
+BinaryFeatureDb BinaryFeatureDb::FromBitMatrix(
+    const std::vector<std::vector<uint8_t>>& rows) {
+  BinaryFeatureDb db;
+  db.num_graphs_ = static_cast<int>(rows.size());
+  const int m = rows.empty() ? 0 : static_cast<int>(rows[0].size());
+  db.bits_.assign(
+      static_cast<size_t>(db.num_graphs_) * static_cast<size_t>(m), 0);
+  db.supports_.resize(static_cast<size_t>(m));
+  for (int i = 0; i < db.num_graphs_; ++i) {
+    GDIM_CHECK(static_cast<int>(rows[static_cast<size_t>(i)].size()) == m)
+        << "ragged bit matrix";
+    for (int r = 0; r < m; ++r) {
+      if (rows[static_cast<size_t>(i)][static_cast<size_t>(r)] != 0) {
+        db.bits_[static_cast<size_t>(i) * static_cast<size_t>(m) +
+                 static_cast<size_t>(r)] = 1;
+        db.supports_[static_cast<size_t>(r)].push_back(i);
+      }
+    }
+  }
+  db.RebuildIndexes();
+  return db;
+}
+
+BinaryFeatureDb BinaryFeatureDb::Subset(
+    const std::vector<int>& graph_ids) const {
+  const int m = num_features();
+  BinaryFeatureDb out;
+  out.num_graphs_ = static_cast<int>(graph_ids.size());
+  out.bits_.assign(
+      static_cast<size_t>(out.num_graphs_) * static_cast<size_t>(m), 0);
+  out.supports_.resize(static_cast<size_t>(m));
+  out.feature_graphs_ = feature_graphs_;
+  for (int new_id = 0; new_id < out.num_graphs_; ++new_id) {
+    int old_id = graph_ids[static_cast<size_t>(new_id)];
+    GDIM_CHECK(old_id >= 0 && old_id < num_graphs_) << "bad subset id";
+    for (int r : GraphFeatures(old_id)) {
+      out.bits_[static_cast<size_t>(new_id) * static_cast<size_t>(m) +
+                static_cast<size_t>(r)] = 1;
+      out.supports_[static_cast<size_t>(r)].push_back(new_id);
+    }
+  }
+  out.RebuildIndexes();
+  return out;
+}
+
+void BinaryFeatureDb::RebuildIndexes() {
+  graph_features_.assign(static_cast<size_t>(num_graphs_), {});
+  const int m = num_features();
+  for (int r = 0; r < m; ++r) {
+    GDIM_DCHECK(std::is_sorted(supports_[static_cast<size_t>(r)].begin(),
+                               supports_[static_cast<size_t>(r)].end()));
+    for (int gid : supports_[static_cast<size_t>(r)]) {
+      graph_features_[static_cast<size_t>(gid)].push_back(r);
+    }
+  }
+  // Feature ids are appended in increasing r, so each IG list is sorted.
+}
+
+}  // namespace gdim

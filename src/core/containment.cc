@@ -1,0 +1,78 @@
+#include "core/containment.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/logging.h"
+#include "isomorphism/vf2.h"
+
+namespace gdim {
+
+ContainmentIndex::ContainmentIndex(
+    GraphDatabase db, GraphDatabase features,
+    const std::vector<std::vector<uint8_t>>& bit_rows)
+    : db_(std::move(db)), mapper_(std::move(features)) {
+  GDIM_CHECK(bit_rows.size() == db_.size())
+      << "one bit row per database graph required";
+  const int m = mapper_.num_features();
+  supports_.resize(static_cast<size_t>(m));
+  for (int i = 0; i < static_cast<int>(db_.size()); ++i) {
+    GDIM_CHECK(static_cast<int>(bit_rows[static_cast<size_t>(i)].size()) == m)
+        << "bit row width mismatch at graph " << i;
+    for (int r = 0; r < m; ++r) {
+      if (bit_rows[static_cast<size_t>(i)][static_cast<size_t>(r)] != 0) {
+        supports_[static_cast<size_t>(r)].push_back(i);
+      }
+    }
+  }
+}
+
+std::vector<int> ContainmentIndex::FilterCandidates(const Graph& query,
+                                                    QueryStats* stats) const {
+  // Features contained in the query; every answer must contain them all.
+  std::vector<uint8_t> qbits = mapper_.Map(query);
+  std::vector<const std::vector<int>*> lists;
+  for (size_t r = 0; r < qbits.size(); ++r) {
+    if (qbits[r] != 0) lists.push_back(&supports_[r]);
+  }
+  std::vector<int> candidates;
+  if (lists.empty()) {
+    candidates.resize(db_.size());
+    std::iota(candidates.begin(), candidates.end(), 0);
+  } else {
+    // Intersect starting from the rarest list.
+    std::sort(lists.begin(), lists.end(),
+              [](const std::vector<int>* a, const std::vector<int>* b) {
+                return a->size() < b->size();
+              });
+    candidates = *lists[0];
+    for (size_t l = 1; l < lists.size() && !candidates.empty(); ++l) {
+      std::vector<int> next;
+      std::set_intersection(candidates.begin(), candidates.end(),
+                            lists[l]->begin(), lists[l]->end(),
+                            std::back_inserter(next));
+      candidates = std::move(next);
+    }
+  }
+  if (stats != nullptr) {
+    stats->features_used = static_cast<int>(lists.size());
+    stats->candidates = static_cast<int>(candidates.size());
+  }
+  return candidates;
+}
+
+std::vector<int> ContainmentIndex::Query(const Graph& query,
+                                         QueryStats* stats) const {
+  std::vector<int> candidates = FilterCandidates(query, stats);
+  std::vector<int> answers;
+  for (int id : candidates) {
+    if (IsSubgraphIsomorphic(query, db_[static_cast<size_t>(id)])) {
+      answers.push_back(id);
+    }
+  }
+  if (stats != nullptr) stats->answers = static_cast<int>(answers.size());
+  return answers;
+}
+
+}  // namespace gdim

@@ -1,0 +1,228 @@
+#include "core/dspm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "core/objective.h"
+
+namespace gdim {
+
+namespace {
+
+// The majorization matrix B(Z) of Eq. (8): b_ij = −δ_ij/d_ij for i≠j with
+// d_ij ≠ 0 (0 otherwise), b_ii = −Σ_{j≠i} b_ij. Row/column sums are zero.
+std::vector<double> ComputeB(const std::vector<double>& d,
+                             const DissimilarityMatrix& delta, int n,
+                             int threads) {
+  std::vector<double> b(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0);
+  ParallelFor(
+      0, n,
+      [&](int i) {
+        double diag = 0.0;
+        for (int j = 0; j < n; ++j) {
+          if (j == i) continue;
+          double dij = d[static_cast<size_t>(i) * static_cast<size_t>(n) +
+                         static_cast<size_t>(j)];
+          double v = dij != 0.0 ? -delta.at(i, j) / dij : 0.0;
+          b[static_cast<size_t>(i) * static_cast<size_t>(n) +
+            static_cast<size_t>(j)] = v;
+          diag -= v;
+        }
+        b[static_cast<size_t>(i) * static_cast<size_t>(n) +
+          static_cast<size_t>(i)] = diag;
+      },
+      threads);
+  return b;
+}
+
+// Optimized weight update. Combining the Guttman transform (Eq. 6, Alg. 3)
+// with the simplified Eq. (9) update (Alg. 2) and the zero-column-sum
+// property of B gives the closed form
+//   c_r ← c_r · A_r / (s_r (n − s_r)),   A_r = Σ_{i,k ∈ IF_r} b_ik,
+// which avoids materializing the n×m configuration x̄. Features supported by
+// none or all graphs carry no distance information and get weight 0.
+std::vector<double> UpdateWeightsOptimized(const BinaryFeatureDb& db,
+                                           const std::vector<double>& b,
+                                           const std::vector<double>& c,
+                                           int threads) {
+  const int n = db.num_graphs();
+  const int m = db.num_features();
+  std::vector<double> out(static_cast<size_t>(m), 0.0);
+  ParallelFor(
+      0, m,
+      [&](int r) {
+        const std::vector<int>& support = db.FeatureSupport(r);
+        const int s = static_cast<int>(support.size());
+        if (s == 0 || s == n) return;
+        double a_r = 0.0;
+        for (int i : support) {
+          const double* row =
+              &b[static_cast<size_t>(i) * static_cast<size_t>(n)];
+          for (int k : support) a_r += row[static_cast<size_t>(k)];
+        }
+        out[static_cast<size_t>(r)] =
+            c[static_cast<size_t>(r)] * a_r /
+            (static_cast<double>(s) * (n - s));
+      },
+      threads);
+  return out;
+}
+
+// Literal Eq. (6) + Eq. (7): dense B·Z Guttman transform and the direct
+// O(n²)-per-feature regression — the unoptimized baseline of Section 5.1.
+std::vector<double> UpdateWeightsNaive(const BinaryFeatureDb& db,
+                                       const std::vector<double>& b,
+                                       const std::vector<double>& c) {
+  const int n = db.num_graphs();
+  const int m = db.num_features();
+  // Eq. (6): x̄_ir = (1/n) Σ_k b_ik z_kr over *all* k.
+  std::vector<double> xbar(static_cast<size_t>(n) * static_cast<size_t>(m),
+                           0.0);
+  for (int i = 0; i < n; ++i) {
+    const double* row = &b[static_cast<size_t>(i) * static_cast<size_t>(n)];
+    for (int k = 0; k < n; ++k) {
+      double bik = row[static_cast<size_t>(k)];
+      if (bik == 0.0) continue;
+      for (int r = 0; r < m; ++r) {
+        double zkr = db.Contains(k, r) ? c[static_cast<size_t>(r)] : 0.0;
+        xbar[static_cast<size_t>(i) * static_cast<size_t>(m) +
+             static_cast<size_t>(r)] += bik * zkr;
+      }
+    }
+  }
+  for (double& v : xbar) v /= static_cast<double>(n);
+  // Eq. (7): both sums taken literally over all ordered pairs (i, j).
+  std::vector<double> out(static_cast<size_t>(m), 0.0);
+  for (int r = 0; r < m; ++r) {
+    double numer = 0.0, denom = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double xi = xbar[static_cast<size_t>(i) * static_cast<size_t>(m) +
+                       static_cast<size_t>(r)];
+      double yi = db.Contains(i, r) ? 1.0 : 0.0;
+      for (int j = 0; j < n; ++j) {
+        double xj = xbar[static_cast<size_t>(j) * static_cast<size_t>(m) +
+                         static_cast<size_t>(r)];
+        double yj = db.Contains(j, r) ? 1.0 : 0.0;
+        numer += (xi - xj) * (yi - yj);
+        denom += (yi - yj) * (yi - yj);
+      }
+    }
+    out[static_cast<size_t>(r)] = denom > 0.0 ? numer / denom : 0.0;
+  }
+  return out;
+}
+
+// The paper's optimized path: materializes x̄ via Eq. (6) restricted to IF
+// lists (Algorithm 3), then applies Eq. (9) via Algorithm 2's two-case loop.
+std::vector<double> UpdateWeightsReference(const BinaryFeatureDb& db,
+                                           const std::vector<double>& b,
+                                           const std::vector<double>& c) {
+  const int n = db.num_graphs();
+  const int m = db.num_features();
+  // Algorithm 3: x̄_ir = (1/n) Σ_{k ∈ IF_r} b_ik z_kr with z_kr = c_r.
+  std::vector<double> xbar(static_cast<size_t>(n) * static_cast<size_t>(m),
+                           0.0);
+  for (int i = 0; i < n; ++i) {
+    const double* row = &b[static_cast<size_t>(i) * static_cast<size_t>(n)];
+    for (int r = 0; r < m; ++r) {
+      double acc = 0.0;
+      for (int k : db.FeatureSupport(r)) acc += row[static_cast<size_t>(k)];
+      xbar[static_cast<size_t>(i) * static_cast<size_t>(m) +
+           static_cast<size_t>(r)] =
+          acc * c[static_cast<size_t>(r)] / static_cast<double>(n);
+    }
+  }
+  // Algorithm 2.
+  std::vector<double> out(static_cast<size_t>(m), 0.0);
+  for (int r = 0; r < m; ++r) {
+    const int s = db.SupportSize(r);
+    if (s == 0 || s == n) continue;
+    double cr = 0.0;
+    const double denom = static_cast<double>(s) * (n - s);
+    for (int i = 0; i < n; ++i) {
+      double x = xbar[static_cast<size_t>(i) * static_cast<size_t>(m) +
+                      static_cast<size_t>(r)];
+      if (db.Contains(i, r)) {
+        cr += x * (n - s) / denom;
+      } else {
+        cr += x * (0 - s) / denom;
+      }
+    }
+    out[static_cast<size_t>(r)] = cr;
+  }
+  return out;
+}
+
+}  // namespace
+
+DspmResult RunDspm(const BinaryFeatureDb& db, const DissimilarityMatrix& delta,
+                   const DspmOptions& options) {
+  const int n = db.num_graphs();
+  const int m = db.num_features();
+  GDIM_CHECK(delta.size() == n) << "dissimilarity matrix size mismatch";
+  GDIM_CHECK(options.p >= 1);
+
+  DspmResult result;
+  if (m == 0 || n == 0) {
+    result.weights.assign(static_cast<size_t>(m), 0.0);
+    return result;
+  }
+
+  // Algorithm 1 lines 2–8: initialize c_r = 1/√m, z = y·c, E_1.
+  std::vector<double> c(static_cast<size_t>(m),
+                        1.0 / std::sqrt(static_cast<double>(m)));
+  std::vector<double> d = WeightedDistanceMatrix(db, c, options.threads);
+  double energy = StressObjective(db, c, delta, options.threads);
+  result.objective_history.push_back(energy);
+  const double e1 = std::max(energy, 1e-30);
+
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    std::vector<double> b = ComputeB(d, delta, n, options.threads);
+    switch (options.update_path) {
+      case DspmUpdatePath::kClosedForm:
+        c = UpdateWeightsOptimized(db, b, c, options.threads);
+        break;
+      case DspmUpdatePath::kInvertedLists:
+        c = UpdateWeightsReference(db, b, c);
+        break;
+      case DspmUpdatePath::kNaive:
+        c = UpdateWeightsNaive(db, b, c);
+        break;
+    }
+    d = WeightedDistanceMatrix(db, c, options.threads);
+    double next = StressObjective(db, c, delta, options.threads);
+    result.objective_history.push_back(next);
+    ++result.iterations;
+    double drop = energy - next;
+    energy = next;
+    if (drop < options.epsilon * e1) break;
+  }
+
+  // Post-processing (Sec. 4.2): normalize so Σ c_r² = 1.
+  double norm2 = 0.0;
+  for (double v : c) norm2 += v * v;
+  if (norm2 > 0.0) {
+    double inv = 1.0 / std::sqrt(norm2);
+    for (double& v : c) v *= inv;
+  }
+  result.weights = c;
+
+  // Algorithm 1 line 15: the p features with largest weight. Distances only
+  // depend on |c_r|, so magnitude is the selection criterion; stable
+  // tie-break by feature id keeps the output deterministic.
+  std::vector<int> idx(static_cast<size_t>(m));
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&c](int a, int bb) {
+    return std::abs(c[static_cast<size_t>(a)]) >
+           std::abs(c[static_cast<size_t>(bb)]);
+  });
+  const int p = std::min(options.p, m);
+  result.selected.assign(idx.begin(), idx.begin() + p);
+  return result;
+}
+
+}  // namespace gdim

@@ -1,0 +1,68 @@
+#ifndef GDIM_CORE_DSPM_H_
+#define GDIM_CORE_DSPM_H_
+
+#include <vector>
+
+#include "core/binary_db.h"
+#include "mcs/dissimilarity.h"
+
+namespace gdim {
+
+/// Which implementation computes the per-iteration weight update. All three
+/// produce the same weights (property-tested); they differ only in cost.
+enum class DspmUpdatePath {
+  /// Closed form fused from Eq. (6) + Eq. (9) using the zero-column-sum
+  /// property of B: c_r ← c_r·A_r/(s_r(n−s_r)), A_r = Σ_{i,k∈IF_r} b_ik.
+  kClosedForm,
+  /// The paper's optimized Algorithms 2–3: materialize x̄ via the IF
+  /// inverted lists, then the two-case Eq. (9) update.
+  kInvertedLists,
+  /// Literal Eq. (6)/Eq. (7): full B·Z product and the O(n²) per-feature
+  /// regression. O(k·m·n²) overall — the cost the paper's Section 5.1
+  /// optimizations remove; for tests and the ablation bench only.
+  kNaive,
+};
+
+/// Parameters of the DSPM iterative majorization algorithm (Algorithm 1).
+struct DspmOptions {
+  /// Number of feature dimensions p to select.
+  int p = 300;
+
+  /// Convergence: stop when (E_{k-1} − E_k) < epsilon · E_1 (relative form
+  /// of Algorithm 1's threshold ε).
+  double epsilon = 1e-4;
+
+  /// Maximum majorization iterations.
+  int max_iters = 50;
+
+  /// Weight-update implementation.
+  DspmUpdatePath update_path = DspmUpdatePath::kClosedForm;
+
+  /// Threads for the per-iteration distance/objective computation.
+  int threads = 0;
+};
+
+/// Output of DSPM.
+struct DspmResult {
+  /// Selected feature ids (|selected| = min(p, m)), sorted by decreasing
+  /// weight magnitude.
+  std::vector<int> selected;
+
+  /// Final weight vector over all m features, normalized to Σ c_r² = 1.
+  std::vector<double> weights;
+
+  /// Objective value per iteration (E_1 ... E_k); non-increasing.
+  std::vector<double> objective_history;
+
+  int iterations = 0;
+};
+
+/// Runs DSPM on the binary feature database with the given pairwise graph
+/// dissimilarities. Deterministic. The majorization step never increases
+/// the stress (property-tested).
+DspmResult RunDspm(const BinaryFeatureDb& db, const DissimilarityMatrix& delta,
+                   const DspmOptions& options = {});
+
+}  // namespace gdim
+
+#endif  // GDIM_CORE_DSPM_H_

@@ -1,0 +1,266 @@
+#include "core/dspmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "la/solvers.h"
+
+namespace gdim {
+
+namespace {
+
+// Hamming-based binary vector distance between two graphs of db (the
+// normalization constant is irrelevant for comparisons).
+double BitDistance(const BinaryFeatureDb& db, int i, int j) {
+  const std::vector<int>& a = db.GraphFeatures(i);
+  const std::vector<int>& b = db.GraphFeatures(j);
+  size_t ia = 0, ib = 0;
+  int diff = 0;
+  while (ia < a.size() && ib < b.size()) {
+    if (a[ia] == b[ib]) {
+      ++ia;
+      ++ib;
+    } else if (a[ia] < b[ib]) {
+      ++diff;
+      ++ia;
+    } else {
+      ++diff;
+      ++ib;
+    }
+  }
+  diff += static_cast<int>((a.size() - ia) + (b.size() - ib));
+  return std::sqrt(static_cast<double>(diff));
+}
+
+// Average distance from graph g to a center set (Algorithm 7's d(g_i, O)).
+double CenterDistance(const BinaryFeatureDb& db, int g,
+                      const std::vector<int>& centers) {
+  if (centers.empty()) return 0.0;
+  double acc = 0.0;
+  for (int c : centers) acc += BitDistance(db, g, c);
+  return acc / static_cast<double>(centers.size());
+}
+
+class Partitioner {
+ public:
+  Partitioner(const BinaryFeatureDb& db, const DspmapOptions& options)
+      : db_(db), options_(options), rng_(options.seed) {}
+
+  std::vector<std::vector<int>> Run() {
+    std::vector<int> all(static_cast<size_t>(db_.num_graphs()));
+    std::iota(all.begin(), all.end(), 0);
+    Split(std::move(all));
+    return std::move(parts_);
+  }
+
+ private:
+  // Algorithm 7.
+  void Split(std::vector<int> ids) {
+    const int b = options_.partition_size;
+    if (static_cast<int>(ids.size()) <= b) {
+      if (!ids.empty()) parts_.push_back(std::move(ids));
+      return;
+    }
+    // Sample n_o graphs and 2-cluster them into center sets O_l, O_r.
+    int no = std::min<int>(std::max(2, options_.sample_size),
+                           static_cast<int>(ids.size()));
+    std::vector<int> sample_pos =
+        rng_.SampleWithoutReplacement(static_cast<int>(ids.size()), no);
+    std::vector<std::vector<double>> points;
+    points.reserve(static_cast<size_t>(no));
+    for (int pos : sample_pos) {
+      int gid = ids[static_cast<size_t>(pos)];
+      std::vector<double> v(static_cast<size_t>(db_.num_features()), 0.0);
+      for (int r : db_.GraphFeatures(gid)) v[static_cast<size_t>(r)] = 1.0;
+      points.push_back(std::move(v));
+    }
+    std::vector<int> assign = KMeans(points, 2, rng_.Next());
+    std::vector<int> ol, orr;
+    std::vector<bool> is_center(ids.size(), false);
+    for (int s = 0; s < no; ++s) {
+      int gid = ids[static_cast<size_t>(sample_pos[static_cast<size_t>(s)])];
+      is_center[static_cast<size_t>(sample_pos[static_cast<size_t>(s)])] =
+          true;
+      (assign[static_cast<size_t>(s)] == 0 ? ol : orr).push_back(gid);
+    }
+    // Degenerate clustering (all points identical): fall back to halves.
+    if (ol.empty() || orr.empty()) {
+      std::vector<int> left(ids.begin(),
+                            ids.begin() + static_cast<long>(ids.size() / 2));
+      std::vector<int> right(ids.begin() + static_cast<long>(ids.size() / 2),
+                             ids.end());
+      Split(std::move(left));
+      Split(std::move(right));
+      return;
+    }
+    // Assign the rest to the closer center set; centers join their own side.
+    std::vector<std::pair<double, int>> left, right;  // (margin, gid)
+    for (int gid : ol) left.push_back({-1e9, gid});
+    for (int gid : orr) right.push_back({-1e9, gid});
+    for (size_t k = 0; k < ids.size(); ++k) {
+      if (is_center[k]) continue;
+      int gid = ids[k];
+      double dl = CenterDistance(db_, gid, ol);
+      double dr = CenterDistance(db_, gid, orr);
+      if (dl <= dr) {
+        left.push_back({dl, gid});
+      } else {
+        right.push_back({dr, gid});
+      }
+    }
+    // Balance (line 10): left must hold n_l = floor(n_p/2)·b graphs. Move
+    // graphs farthest from their center set across.
+    const int np = static_cast<int>(
+        (ids.size() + static_cast<size_t>(b) - 1) / static_cast<size_t>(b));
+    const size_t nl = static_cast<size_t>(np / 2) * static_cast<size_t>(b);
+    auto farthest_first = [](const std::pair<double, int>& a,
+                             const std::pair<double, int>& b2) {
+      return a.first > b2.first;
+    };
+    if (left.size() > nl) {
+      std::sort(left.begin(), left.end(), farthest_first);
+      while (left.size() > nl) {
+        right.push_back(left.front());
+        left.erase(left.begin());
+      }
+    } else if (left.size() < nl) {
+      std::sort(right.begin(), right.end(), farthest_first);
+      while (left.size() < nl && !right.empty()) {
+        left.push_back(right.front());
+        right.erase(right.begin());
+      }
+    }
+    std::vector<int> left_ids, right_ids;
+    for (auto& [d, gid] : left) left_ids.push_back(gid);
+    for (auto& [d, gid] : right) right_ids.push_back(gid);
+    std::sort(left_ids.begin(), left_ids.end());
+    std::sort(right_ids.begin(), right_ids.end());
+    Split(std::move(left_ids));
+    Split(std::move(right_ids));
+  }
+
+  const BinaryFeatureDb& db_;
+  DspmapOptions options_;
+  Rng rng_;
+  std::vector<std::vector<int>> parts_;
+};
+
+// Runs DSPM on the given subset of graph ids; returns the m-dim weight
+// vector (zeros for features absent from the subset, which DSPM assigns no
+// weight — the paper's F' restriction).
+std::vector<double> DspmOnSubset(const BinaryFeatureDb& db,
+                                 const DissimilarityFn& delta,
+                                 const std::vector<int>& ids,
+                                 const DspmOptions& dspm_options,
+                                 DspmapResult* stats) {
+  BinaryFeatureDb sub = db.Subset(ids);
+  const int n = static_cast<int>(ids.size());
+  DspmOptions block_options = dspm_options;
+  // Blocks are tiny (≤ b graphs): thread-pool spin-up would dwarf the
+  // per-iteration work, so inner DSPM runs are serial.
+  block_options.threads = 1;
+  // Materialize the block's dissimilarity matrix through the oracle.
+  std::vector<double> dense(static_cast<size_t>(n) * static_cast<size_t>(n),
+                            0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double v =
+          delta(ids[static_cast<size_t>(i)], ids[static_cast<size_t>(j)]);
+      ++stats->delta_evaluations;
+      dense[static_cast<size_t>(i) * static_cast<size_t>(n) +
+            static_cast<size_t>(j)] = v;
+      dense[static_cast<size_t>(j) * static_cast<size_t>(n) +
+            static_cast<size_t>(i)] = v;
+    }
+  }
+  DissimilarityMatrix dm = DissimilarityMatrix::FromDense(n, std::move(dense));
+  DspmResult r = RunDspm(sub, dm, block_options);
+  ++stats->dspm_calls;
+  return r.weights;
+}
+
+}  // namespace
+
+DspmapResult RunDspmap(const BinaryFeatureDb& db, const DissimilarityFn& delta,
+                       const DspmapOptions& options) {
+  DspmapResult result;
+  const int m = db.num_features();
+  result.weights.assign(static_cast<size_t>(m), 0.0);
+  if (db.num_graphs() == 0 || m == 0) return result;
+
+  Partitioner partitioner(db, options);
+  result.partitions = partitioner.Run();
+
+  DspmOptions inner = options.dspm;
+  Rng rng(options.seed ^ 0x5EEDFULL);
+
+  // Algorithm 6, iterative over the recursion tree: process the partition
+  // list [lo, hi) recursively.
+  std::function<std::vector<double>(int, int)> computec =
+      [&](int lo, int hi) -> std::vector<double> {
+    if (hi - lo == 1) {
+      return DspmOnSubset(db, delta, result.partitions[static_cast<size_t>(lo)],
+                          inner, &result);
+    }
+    int mid = lo + (hi - lo + 1) / 2;  // ceil half goes left, as in the paper
+    std::vector<double> cl = computec(lo, mid);
+    std::vector<double> cr = computec(mid, hi);
+    // Overlap block: b random graphs from one random left part ∪ one random
+    // right part.
+    int li = lo + static_cast<int>(rng.UniformU64(
+                      static_cast<uint64_t>(mid - lo)));
+    int ri = mid + static_cast<int>(rng.UniformU64(
+                       static_cast<uint64_t>(hi - mid)));
+    std::vector<int> pool = result.partitions[static_cast<size_t>(li)];
+    pool.insert(pool.end(),
+                result.partitions[static_cast<size_t>(ri)].begin(),
+                result.partitions[static_cast<size_t>(ri)].end());
+    int take = std::min<int>(options.partition_size,
+                             static_cast<int>(pool.size()));
+    std::vector<int> chosen_pos = rng.SampleWithoutReplacement(
+        static_cast<int>(pool.size()), take);
+    std::vector<int> overlap;
+    overlap.reserve(static_cast<size_t>(take));
+    for (int pos : chosen_pos) overlap.push_back(pool[static_cast<size_t>(pos)]);
+    std::sort(overlap.begin(), overlap.end());
+    std::vector<double> co = DspmOnSubset(db, delta, overlap, inner, &result);
+    for (int r = 0; r < m; ++r) {
+      cl[static_cast<size_t>(r)] += cr[static_cast<size_t>(r)] +
+                                    co[static_cast<size_t>(r)];
+    }
+    return cl;
+  };
+  result.weights = computec(0, static_cast<int>(result.partitions.size()));
+
+  std::vector<int> idx(static_cast<size_t>(m));
+  std::iota(idx.begin(), idx.end(), 0);
+  const std::vector<double>& w = result.weights;
+  std::stable_sort(idx.begin(), idx.end(), [&w](int a, int b) {
+    return std::abs(w[static_cast<size_t>(a)]) >
+           std::abs(w[static_cast<size_t>(b)]);
+  });
+  const int p = std::min(options.p, m);
+  result.selected.assign(idx.begin(), idx.begin() + p);
+  return result;
+}
+
+DspmapResult RunDspmap(const BinaryFeatureDb& db, const GraphDatabase& graphs,
+                       DissimilarityKind kind, const DspmapOptions& options) {
+  GDIM_CHECK(static_cast<int>(graphs.size()) == db.num_graphs());
+  DissimilarityFn fn = [&graphs, kind](int i, int j) {
+    return GraphDissimilarity(graphs[static_cast<size_t>(i)],
+                              graphs[static_cast<size_t>(j)], kind);
+  };
+  return RunDspmap(db, fn, options);
+}
+
+std::vector<std::vector<int>> PartitionDatabase(const BinaryFeatureDb& db,
+                                                const DspmapOptions& options) {
+  Partitioner partitioner(db, options);
+  return partitioner.Run();
+}
+
+}  // namespace gdim

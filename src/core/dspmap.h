@@ -1,0 +1,73 @@
+#ifndef GDIM_CORE_DSPMAP_H_
+#define GDIM_CORE_DSPMAP_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/binary_db.h"
+#include "core/dspm.h"
+#include "graph/graph.h"
+#include "mcs/dissimilarity.h"
+
+namespace gdim {
+
+/// Pairwise graph dissimilarity oracle over database indices. DSPMap only
+/// evaluates it for pairs inside partitions and overlap blocks — O(n·b)
+/// pairs instead of O(n²) — which is where its indexing-time win comes from.
+using DissimilarityFn = std::function<double(int, int)>;
+
+/// Parameters of the approximate DSPMap algorithm (Algorithm 5).
+struct DspmapOptions {
+  /// Number of feature dimensions p to select at the end.
+  int p = 300;
+
+  /// Partition size b (Algorithm 7 stops splitting at |DG| ≤ b).
+  int partition_size = 100;
+
+  /// Number of graphs sampled to build the two center sets O_l / O_r.
+  int sample_size = 8;
+
+  /// Settings of the inner DSPM runs on partitions and overlap blocks.
+  DspmOptions dspm;
+
+  /// Seed for sampling (centers, overlap blocks).
+  uint64_t seed = 42;
+};
+
+/// Output of DSPMap.
+struct DspmapResult {
+  /// Selected feature ids, by decreasing accumulated weight magnitude.
+  std::vector<int> selected;
+
+  /// Accumulated weight vector c = Σ (c_l + c_r + c_o) over the recursion.
+  std::vector<double> weights;
+
+  /// Leaf partitions produced by Algorithm 7 (database indices).
+  std::vector<std::vector<int>> partitions;
+
+  /// Number of inner DSPM invocations (leaves + overlap blocks).
+  int dspm_calls = 0;
+
+  /// Number of dissimilarity-oracle evaluations (≈ pairs touched).
+  long long delta_evaluations = 0;
+};
+
+/// Runs DSPMap over the binary feature database, evaluating graph
+/// dissimilarities lazily through `delta`.
+DspmapResult RunDspmap(const BinaryFeatureDb& db, const DissimilarityFn& delta,
+                       const DspmapOptions& options = {});
+
+/// Convenience overload: dissimilarities computed from the graphs by MCS.
+DspmapResult RunDspmap(const BinaryFeatureDb& db, const GraphDatabase& graphs,
+                       DissimilarityKind kind = DissimilarityKind::kDelta2,
+                       const DspmapOptions& options = {});
+
+/// Algorithm 7 alone (exposed for tests): recursively partitions the graph
+/// ids of db into blocks of at most partition_size, clustering by binary-
+/// vector distance and balancing block sizes.
+std::vector<std::vector<int>> PartitionDatabase(const BinaryFeatureDb& db,
+                                                const DspmapOptions& options);
+
+}  // namespace gdim
+
+#endif  // GDIM_CORE_DSPMAP_H_

@@ -1,0 +1,90 @@
+#ifndef GDIM_CORE_INDEX_H_
+#define GDIM_CORE_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/binary_db.h"
+#include "core/mapper.h"
+#include "core/selector.h"
+#include "core/topk.h"
+#include "graph/graph.h"
+#include "mcs/dissimilarity.h"
+#include "mining/gspan.h"
+
+namespace gdim {
+
+/// End-to-end configuration for building a graph-dimension search index.
+struct IndexOptions {
+  /// Frequent subgraph mining (candidate features F).
+  MiningOptions mining;
+
+  /// Graph dissimilarity used for ground truth and DSPM fitting.
+  DissimilarityKind dissimilarity = DissimilarityKind::kDelta2;
+
+  /// Feature selection algorithm ("DSPM", "DSPMap", or a baseline name).
+  std::string selector = "DSPM";
+
+  /// Number of dimensions p.
+  int p = 300;
+
+  /// Selector-specific knobs.
+  SelectorParams params;
+  DspmOptions dspm;
+  DspmapOptions dspmap;
+
+  uint64_t seed = 1;
+  int threads = 0;
+};
+
+/// Phase timings of index construction, for the efficiency experiments.
+struct IndexBuildStats {
+  double mining_seconds = 0.0;
+  double dissimilarity_seconds = 0.0;  ///< pairwise δ matrix (0 for DSPMap)
+  double selection_seconds = 0.0;      ///< the paper's "indexing time"
+  int mined_features = 0;
+  int selected_features = 0;
+};
+
+/// The paper's end product: a graph database mapped onto a small structural
+/// dimension, answering top-k similarity queries by feature matching (VF2)
+/// plus a multidimensional scan — no MCS computation at query time.
+class GraphSearchIndex {
+ public:
+  /// Builds the index over db. db is copied into the index (graphs are tiny).
+  static Result<GraphSearchIndex> Build(const GraphDatabase& db,
+                                        const IndexOptions& options = {});
+
+  /// Top-k similar graphs for q: maps q onto the dimension, then scans the
+  /// mapped database vectors by normalized Euclidean distance.
+  Ranking Query(const Graph& q, int k) const;
+
+  /// Exact top-k by MCS dissimilarity (reference answers; slow).
+  Ranking QueryExact(const Graph& q, int k) const;
+
+  /// φ(q) over the selected dimension — exposed for experiments.
+  std::vector<uint8_t> MapQuery(const Graph& q) const;
+
+  const GraphDatabase& database() const { return db_; }
+  const GraphDatabase& dimension() const { return mapper_->features(); }
+  const std::vector<std::vector<uint8_t>>& mapped_database() const {
+    return db_bits_;
+  }
+  const IndexBuildStats& build_stats() const { return stats_; }
+  const IndexOptions& options() const { return options_; }
+
+ private:
+  GraphSearchIndex() = default;
+
+  GraphDatabase db_;
+  IndexOptions options_;
+  std::shared_ptr<const FeatureMapper> mapper_;
+  std::vector<std::vector<uint8_t>> db_bits_;
+  IndexBuildStats stats_;
+};
+
+}  // namespace gdim
+
+#endif  // GDIM_CORE_INDEX_H_

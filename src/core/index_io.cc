@@ -1,0 +1,87 @@
+#include "core/index_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_io.h"
+
+namespace gdim {
+
+Status WriteIndexFile(const PersistedIndex& index, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << "gdim-index v1\n";
+  out << "features " << index.features.size() << "\n";
+  WriteGraphStream(index.features, out);
+  const size_t p = index.features.size();
+  out << "vectors " << index.db_bits.size() << " " << p << "\n";
+  for (const auto& row : index.db_bits) {
+    if (row.size() != p) {
+      return Status::InvalidArgument("bit row width mismatch");
+    }
+    for (uint8_t b : row) out << (b ? '1' : '0');
+    out << "\n";
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<PersistedIndex> ReadIndexFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "gdim-index v1") {
+    return Status::ParseError("bad magic: expected 'gdim-index v1'");
+  }
+  std::string tag;
+  size_t p = 0;
+  in >> tag >> p;
+  if (!in || tag != "features") {
+    return Status::ParseError("expected 'features <p>'");
+  }
+  std::getline(in, line);  // consume EOL
+  // Read exactly p graphs: collect the lines until the 'vectors' header.
+  std::ostringstream graph_text;
+  std::streampos vectors_pos;
+  while (std::getline(in, line)) {
+    if (line.rfind("vectors ", 0) == 0) break;
+    graph_text << line << "\n";
+  }
+  std::istringstream graph_stream(graph_text.str());
+  Result<GraphDatabase> features = ReadGraphStream(graph_stream);
+  if (!features.ok()) return features.status();
+  if (features->size() != p) {
+    return Status::ParseError("feature count mismatch");
+  }
+  size_t n = 0, width = 0;
+  {
+    std::istringstream header(line);
+    header >> tag >> n >> width;
+    if (!header || tag != "vectors") {
+      return Status::ParseError("expected 'vectors <n> <p>'");
+    }
+  }
+  if (width != p) {
+    return Status::ParseError("vector width does not match feature count");
+  }
+  PersistedIndex out;
+  out.features = std::move(features).value();
+  out.db_bits.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::getline(in, line) || line.size() != p) {
+      return Status::ParseError("bad vector row " + std::to_string(i));
+    }
+    std::vector<uint8_t> row(p);
+    for (size_t r = 0; r < p; ++r) {
+      if (line[r] != '0' && line[r] != '1') {
+        return Status::ParseError("vector bits must be 0/1");
+      }
+      row[r] = line[r] == '1' ? 1 : 0;
+    }
+    out.db_bits.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace gdim

@@ -1,0 +1,35 @@
+#ifndef GDIM_CORE_INDEX_IO_H_
+#define GDIM_CORE_INDEX_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace gdim {
+
+/// On-disk form of a built graph dimension: the selected feature graphs plus
+/// the mapped binary database vectors. Lets an application build once
+/// (mining + MCS + selection are the expensive part) and serve queries from
+/// a cold start. Text format, versioned:
+///
+///   gdim-index v1
+///   features <p>
+///   <p feature graphs in gSpan format>
+///   vectors <n> <p>
+///   <n lines of 0/1 digits>
+struct PersistedIndex {
+  GraphDatabase features;
+  std::vector<std::vector<uint8_t>> db_bits;
+};
+
+/// Writes the dimension + mapped vectors to path.
+Status WriteIndexFile(const PersistedIndex& index, const std::string& path);
+
+/// Reads a persisted index; validates shape and bit values.
+Result<PersistedIndex> ReadIndexFile(const std::string& path);
+
+}  // namespace gdim
+
+#endif  // GDIM_CORE_INDEX_IO_H_

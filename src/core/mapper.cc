@@ -1,0 +1,31 @@
+#include "core/mapper.h"
+
+#include <utility>
+
+#include "common/parallel.h"
+#include "isomorphism/vf2.h"
+
+namespace gdim {
+
+FeatureMapper::FeatureMapper(GraphDatabase features)
+    : features_(std::move(features)) {}
+
+std::vector<uint8_t> FeatureMapper::Map(const Graph& g) const {
+  std::vector<uint8_t> bits(features_.size(), 0);
+  for (size_t r = 0; r < features_.size(); ++r) {
+    bits[r] = IsSubgraphIsomorphic(features_[r], g) ? 1 : 0;
+  }
+  return bits;
+}
+
+std::vector<std::vector<uint8_t>> FeatureMapper::MapAll(
+    const GraphDatabase& graphs, int threads) const {
+  std::vector<std::vector<uint8_t>> out(graphs.size());
+  ParallelFor(
+      0, static_cast<int>(graphs.size()),
+      [&](int i) { out[static_cast<size_t>(i)] = Map(graphs[static_cast<size_t>(i)]); },
+      threads);
+  return out;
+}
+
+}  // namespace gdim

@@ -1,0 +1,36 @@
+#ifndef GDIM_CORE_MAPPER_H_
+#define GDIM_CORE_MAPPER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gdim {
+
+/// Maps arbitrary (unseen) graphs onto a fixed feature dimension: bit r of
+/// φ(g) is 1 iff feature pattern r is subgraph-isomorphic to g. This is the
+/// query-time "feature matching" step of the paper (done with VF2), and the
+/// only graph-algorithmic work a query needs.
+class FeatureMapper {
+ public:
+  /// The mapper keeps a copy of the feature pattern graphs.
+  explicit FeatureMapper(GraphDatabase features);
+
+  int num_features() const { return static_cast<int>(features_.size()); }
+  const GraphDatabase& features() const { return features_; }
+
+  /// φ(g): binary vector of length num_features().
+  std::vector<uint8_t> Map(const Graph& g) const;
+
+  /// Maps a whole workload, parallelized over graphs.
+  std::vector<std::vector<uint8_t>> MapAll(const GraphDatabase& graphs,
+                                           int threads = 0) const;
+
+ private:
+  GraphDatabase features_;
+};
+
+}  // namespace gdim
+
+#endif  // GDIM_CORE_MAPPER_H_

@@ -1,0 +1,123 @@
+#include "core/measures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace gdim {
+
+namespace {
+
+// id -> 1-based true rank in the exact full ranking.
+std::unordered_map<int, int> TrueRanks(const Ranking& exact_full) {
+  std::unordered_map<int, int> rank;
+  rank.reserve(exact_full.size() * 2);
+  for (size_t i = 0; i < exact_full.size(); ++i) {
+    rank[exact_full[i].id] = static_cast<int>(i) + 1;
+  }
+  return rank;
+}
+
+}  // namespace
+
+double PrecisionAtK(const Ranking& exact_full, const Ranking& approx_full,
+                    int k) {
+  GDIM_CHECK(k > 0);
+  const int kk = std::min<int>(k, static_cast<int>(exact_full.size()));
+  std::unordered_set<int> exact_ids;
+  for (int i = 0; i < kk; ++i) {
+    exact_ids.insert(exact_full[static_cast<size_t>(i)].id);
+  }
+  int hits = 0;
+  for (int i = 0; i < kk && i < static_cast<int>(approx_full.size()); ++i) {
+    hits += exact_ids.count(approx_full[static_cast<size_t>(i)].id) ? 1 : 0;
+  }
+  return static_cast<double>(hits) / k;
+}
+
+double KendallTauAtK(const Ranking& exact_full, const Ranking& approx_full,
+                     int k) {
+  GDIM_CHECK(k > 0);
+  const int n = static_cast<int>(exact_full.size());
+  const int kk = std::min(k, n);
+  std::unordered_map<int, int> true_rank = TrueRanks(exact_full);
+  double concordant = 0.0;
+  for (int i = 0; i < kk && i < static_cast<int>(approx_full.size()); ++i) {
+    int ti = true_rank.at(approx_full[static_cast<size_t>(i)].id);
+    // |A_{i+1} ∩ T_{t(r_i)+1}|: later approximate answers whose true rank is
+    // also after t(r_i).
+    for (int j = i + 1; j < kk && j < static_cast<int>(approx_full.size());
+         ++j) {
+      int tj = true_rank.at(approx_full[static_cast<size_t>(j)].id);
+      if (tj > ti) concordant += 1.0;
+    }
+  }
+  double denom = static_cast<double>(k) * (2.0 * n - k - 1.0);
+  return denom > 0.0 ? concordant / denom : 0.0;
+}
+
+double InverseRankDistanceAtK(const Ranking& exact_full,
+                              const Ranking& approx_full, int k) {
+  GDIM_CHECK(k > 0);
+  const int kk = std::min<int>(k, static_cast<int>(approx_full.size()));
+  std::unordered_map<int, int> true_rank = TrueRanks(exact_full);
+  long long footrule = 0;
+  for (int i = 0; i < kk; ++i) {
+    int ti = true_rank.at(approx_full[static_cast<size_t>(i)].id);
+    footrule += std::llabs(static_cast<long long>(i + 1) - ti);
+  }
+  return static_cast<double>(k) /
+         static_cast<double>(std::max<long long>(footrule, 1));
+}
+
+double FeatureJaccard(const BinaryFeatureDb& db, int feature_a,
+                      int feature_b) {
+  const std::vector<int>& a = db.FeatureSupport(feature_a);
+  const std::vector<int>& b = db.FeatureSupport(feature_b);
+  if (a.empty() && b.empty()) return 0.0;
+  size_t ia = 0, ib = 0;
+  int inter = 0;
+  while (ia < a.size() && ib < b.size()) {
+    if (a[ia] == b[ib]) {
+      ++inter;
+      ++ia;
+      ++ib;
+    } else if (a[ia] < b[ib]) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  int uni = static_cast<int>(a.size() + b.size()) - inter;
+  return uni > 0 ? static_cast<double>(inter) / uni : 0.0;
+}
+
+double CorrelationScore(const BinaryFeatureDb& db,
+                        const std::vector<int>& selected) {
+  double total = 0.0;
+  for (size_t i = 0; i < selected.size(); ++i) {
+    for (size_t j = i + 1; j < selected.size(); ++j) {
+      total += FeatureJaccard(db, selected[i], selected[j]);
+    }
+  }
+  return total;
+}
+
+std::vector<double> HistogramFractions(const std::vector<double>& values,
+                                       int bins) {
+  GDIM_CHECK(bins > 0);
+  std::vector<double> fractions(static_cast<size_t>(bins), 0.0);
+  if (values.empty()) return fractions;
+  for (double v : values) {
+    int b = static_cast<int>(v * bins);
+    b = std::clamp(b, 0, bins - 1);
+    fractions[static_cast<size_t>(b)] += 1.0;
+  }
+  for (double& f : fractions) f /= static_cast<double>(values.size());
+  return fractions;
+}
+
+}  // namespace gdim

@@ -1,0 +1,50 @@
+#ifndef GDIM_CORE_MEASURES_H_
+#define GDIM_CORE_MEASURES_H_
+
+#include <vector>
+
+#include "core/binary_db.h"
+#include "core/topk.h"
+
+namespace gdim {
+
+/// Quality measures for approximate top-k answers (Sec. 6 "Measures").
+/// `exact_full` is the full exact ranking of all n database graphs (so every
+/// approximate answer has a true rank), `approx_full` the full approximate
+/// ranking; k is the result size.
+
+/// Precision p(k) = |A ∩ T| / k where A/T are the approximate/exact top-k.
+double PrecisionAtK(const Ranking& exact_full, const Ranking& approx_full,
+                    int k);
+
+/// Top-k Kendall's tau, the Fagin-style variant the paper uses:
+///   τ(k) = Σ_{r_i ∈ A} |A_{i+1} ∩ T_{t(r_i)+1}| / (k(2n − k − 1)),
+/// counting, for each approximate answer, the later approximate answers that
+/// the exact ranking also places after it.
+double KendallTauAtK(const Ranking& exact_full, const Ranking& approx_full,
+                     int k);
+
+/// Inverse rank distance γ(k)_inv = k / Σ_{r_i ∈ A} |i − t(r_i)| (larger is
+/// better). A perfect ranking has zero footrule; the denominator is clamped
+/// to 1 so the measure stays finite (documented deviation; relative values
+/// are unaffected because the benchmark is clamped the same way).
+double InverseRankDistanceAtK(const Ranking& exact_full,
+                              const Ranking& approx_full, int k);
+
+/// Jaccard correlation between two features: |sup_i ∩ sup_j|/|sup_i ∪ sup_j|
+/// (the redundancy measure behind Fig. 2; Cheng et al. ICDE'07).
+double FeatureJaccard(const BinaryFeatureDb& db, int feature_a, int feature_b);
+
+/// Sum of pairwise Jaccard correlation scores over a selected feature set —
+/// the y-axis of Fig. 2. O(p²·|sup|) — fine for p ≤ a few hundred.
+double CorrelationScore(const BinaryFeatureDb& db,
+                        const std::vector<int>& selected);
+
+/// Histogram of values in [0,1] with the given number of equal-width bins;
+/// returns per-bin fractions (used by the Fig. 1 distribution bench).
+std::vector<double> HistogramFractions(const std::vector<double>& values,
+                                       int bins);
+
+}  // namespace gdim
+
+#endif  // GDIM_CORE_MEASURES_H_

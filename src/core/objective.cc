@@ -1,0 +1,123 @@
+#include "core/objective.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace gdim {
+
+namespace {
+
+// Sum of c_r² over the symmetric difference of the two sorted lists.
+double SymmetricDiffWeight(const std::vector<int>& a,
+                           const std::vector<int>& b,
+                           const std::vector<double>& c) {
+  double acc = 0.0;
+  size_t ia = 0, ib = 0;
+  while (ia < a.size() && ib < b.size()) {
+    if (a[ia] == b[ib]) {
+      ++ia;
+      ++ib;
+    } else if (a[ia] < b[ib]) {
+      acc += c[static_cast<size_t>(a[ia])] * c[static_cast<size_t>(a[ia])];
+      ++ia;
+    } else {
+      acc += c[static_cast<size_t>(b[ib])] * c[static_cast<size_t>(b[ib])];
+      ++ib;
+    }
+  }
+  for (; ia < a.size(); ++ia) {
+    acc += c[static_cast<size_t>(a[ia])] * c[static_cast<size_t>(a[ia])];
+  }
+  for (; ib < b.size(); ++ib) {
+    acc += c[static_cast<size_t>(b[ib])] * c[static_cast<size_t>(b[ib])];
+  }
+  return acc;
+}
+
+}  // namespace
+
+double WeightedDistance(const BinaryFeatureDb& db,
+                        const std::vector<double>& c, int i, int j) {
+  return std::sqrt(
+      SymmetricDiffWeight(db.GraphFeatures(i), db.GraphFeatures(j), c));
+}
+
+std::vector<double> WeightedDistanceMatrix(const BinaryFeatureDb& db,
+                                           const std::vector<double>& c,
+                                           int threads) {
+  const int n = db.num_graphs();
+  std::vector<double> d(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0);
+  ParallelFor(
+      0, n,
+      [&](int i) {
+        for (int j = i + 1; j < n; ++j) {
+          double v = WeightedDistance(db, c, i, j);
+          d[static_cast<size_t>(i) * static_cast<size_t>(n) +
+            static_cast<size_t>(j)] = v;
+          d[static_cast<size_t>(j) * static_cast<size_t>(n) +
+            static_cast<size_t>(i)] = v;
+        }
+      },
+      threads);
+  return d;
+}
+
+double StressObjective(const BinaryFeatureDb& db, const std::vector<double>& c,
+                       const DissimilarityMatrix& delta, int threads) {
+  const int n = db.num_graphs();
+  GDIM_CHECK(delta.size() == n) << "dissimilarity matrix size mismatch";
+  std::vector<double> partial(static_cast<size_t>(n), 0.0);
+  ParallelFor(
+      0, n,
+      [&](int i) {
+        double acc = 0.0;
+        for (int j = i + 1; j < n; ++j) {
+          double diff = WeightedDistance(db, c, i, j) - delta.at(i, j);
+          acc += diff * diff;
+        }
+        partial[static_cast<size_t>(i)] = acc;
+      },
+      threads);
+  double total = 0.0;
+  for (double v : partial) total += v;
+  return 2.0 * total;  // Eq. (4) sums over ordered pairs
+}
+
+double StressObjectiveNaive(const BinaryFeatureDb& db,
+                            const std::vector<double>& c,
+                            const DissimilarityMatrix& delta) {
+  const int n = db.num_graphs();
+  const int m = db.num_features();
+  GDIM_CHECK(delta.size() == n);
+  GDIM_CHECK(static_cast<int>(c.size()) == m);
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double d2 = 0.0;
+      for (int r = 0; r < m; ++r) {
+        double yi = db.Contains(i, r) ? 1.0 : 0.0;
+        double yj = db.Contains(j, r) ? 1.0 : 0.0;
+        double diff = (yi - yj) * c[static_cast<size_t>(r)];
+        d2 += diff * diff;
+      }
+      double e = std::sqrt(d2) - delta.at(i, j);
+      total += e * e;
+    }
+  }
+  return total;
+}
+
+double BinaryMappedDistance(const std::vector<uint8_t>& a,
+                            const std::vector<uint8_t>& b) {
+  GDIM_CHECK(a.size() == b.size()) << "vector width mismatch";
+  if (a.empty()) return 0.0;
+  int diff = 0;
+  for (size_t r = 0; r < a.size(); ++r) {
+    diff += (a[r] != b[r]) ? 1 : 0;
+  }
+  return std::sqrt(static_cast<double>(diff) / static_cast<double>(a.size()));
+}
+
+}  // namespace gdim

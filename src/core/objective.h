@@ -1,0 +1,43 @@
+#ifndef GDIM_CORE_OBJECTIVE_H_
+#define GDIM_CORE_OBJECTIVE_H_
+
+#include <vector>
+
+#include "core/binary_db.h"
+#include "mcs/dissimilarity.h"
+
+namespace gdim {
+
+/// Weighted mapped distance d(z_i, z_j) = sqrt(Σ_r c_r²·(y_ir − y_jr)²)
+/// computed per Algorithm 4: only features in the symmetric difference of
+/// the two inverted lists IG_i, IG_j contribute.
+double WeightedDistance(const BinaryFeatureDb& db,
+                        const std::vector<double>& c, int i, int j);
+
+/// The full n×n weighted distance matrix (row-major upper+lower filled).
+/// Parallelized over pairs.
+std::vector<double> WeightedDistanceMatrix(const BinaryFeatureDb& db,
+                                           const std::vector<double>& c,
+                                           int threads = 0);
+
+/// Stress E(z1..zn) = Σ_{1≤i,j≤n} (d(z_i,z_j) − δ_ij)², Eq. (4): ordered
+/// pairs, i.e. twice the sum over unordered pairs. Uses Algorithm 4's
+/// inverted-list distances.
+double StressObjective(const BinaryFeatureDb& db, const std::vector<double>& c,
+                       const DissimilarityMatrix& delta, int threads = 0);
+
+/// Reference implementation of the stress that scans all m features per pair
+/// (no inverted lists). For tests and the optimization-ablation bench.
+double StressObjectiveNaive(const BinaryFeatureDb& db,
+                            const std::vector<double>& c,
+                            const DissimilarityMatrix& delta);
+
+/// Unweighted binary-space distance of the *final* mapping (Sec. 4):
+/// d(y_i,y_j) = sqrt(Σ_{r∈F}(y_ir−y_jr)² / p) over the selected features.
+/// `selected` must be sorted ascending.
+double BinaryMappedDistance(const std::vector<uint8_t>& a,
+                            const std::vector<uint8_t>& b);
+
+}  // namespace gdim
+
+#endif  // GDIM_CORE_OBJECTIVE_H_

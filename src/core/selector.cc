@@ -1,0 +1,117 @@
+#include "core/selector.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace gdim {
+
+namespace {
+
+// "Original": every frequent subgraph is a dimension (no selection).
+class OriginalSelector : public FeatureSelector {
+ public:
+  std::string name() const override { return "Original"; }
+  Result<SelectionOutput> Select(const SelectionInput& input) const override {
+    if (input.db == nullptr) {
+      return Status::InvalidArgument("Original: db is required");
+    }
+    SelectionOutput out;
+    out.selected.resize(static_cast<size_t>(input.db->num_features()));
+    std::iota(out.selected.begin(), out.selected.end(), 0);
+    return out;
+  }
+};
+
+// "Sample": p frequent subgraphs drawn uniformly at random.
+class SampleSelector : public FeatureSelector {
+ public:
+  std::string name() const override { return "Sample"; }
+  Result<SelectionOutput> Select(const SelectionInput& input) const override {
+    if (input.db == nullptr) {
+      return Status::InvalidArgument("Sample: db is required");
+    }
+    const int m = input.db->num_features();
+    const int p = std::min(input.p, m);
+    Rng rng(input.seed);
+    SelectionOutput out;
+    out.selected = rng.SampleWithoutReplacement(m, p);
+    std::sort(out.selected.begin(), out.selected.end());
+    return out;
+  }
+};
+
+// DSPM wrapper.
+class DspmSelector : public FeatureSelector {
+ public:
+  std::string name() const override { return "DSPM"; }
+  bool NeedsDissimilarity() const override { return true; }
+  Result<SelectionOutput> Select(const SelectionInput& input) const override {
+    if (input.db == nullptr || input.delta == nullptr) {
+      return Status::InvalidArgument("DSPM: db and delta are required");
+    }
+    DspmOptions options = input.dspm;
+    options.p = input.p;
+    options.threads = input.threads;
+    DspmResult r = RunDspm(*input.db, *input.delta, options);
+    SelectionOutput out;
+    out.selected = std::move(r.selected);
+    out.scores = std::move(r.weights);
+    return out;
+  }
+};
+
+// DSPMap wrapper; reads block dissimilarities from the precomputed matrix
+// when available (bench convenience), which still exercises the partition +
+// recursive-merge algorithm.
+class DspmapSelector : public FeatureSelector {
+ public:
+  std::string name() const override { return "DSPMap"; }
+  bool NeedsDissimilarity() const override { return true; }
+  Result<SelectionOutput> Select(const SelectionInput& input) const override {
+    if (input.db == nullptr || input.delta == nullptr) {
+      return Status::InvalidArgument("DSPMap: db and delta are required");
+    }
+    DspmapOptions options = input.dspmap;
+    options.p = input.p;
+    options.seed = input.seed;
+    options.dspm.threads = input.threads;
+    const DissimilarityMatrix* delta = input.delta;
+    DissimilarityFn fn = [delta](int i, int j) { return delta->at(i, j); };
+    DspmapResult r = RunDspmap(*input.db, fn, options);
+    SelectionOutput out;
+    out.selected = std::move(r.selected);
+    out.scores = std::move(r.weights);
+    return out;
+  }
+};
+
+}  // namespace
+
+// Implemented in selector_sfs.cc / selector_mici.cc / selector_spectral.cc.
+std::unique_ptr<FeatureSelector> MakeSfsSelector();
+std::unique_ptr<FeatureSelector> MakeMiciSelector();
+std::unique_ptr<FeatureSelector> MakeMcfsSelector();
+std::unique_ptr<FeatureSelector> MakeUdfsSelector();
+std::unique_ptr<FeatureSelector> MakeNdfsSelector();
+
+std::unique_ptr<FeatureSelector> MakeSelector(const std::string& name) {
+  if (name == "Original") return std::make_unique<OriginalSelector>();
+  if (name == "Sample") return std::make_unique<SampleSelector>();
+  if (name == "DSPM") return std::make_unique<DspmSelector>();
+  if (name == "DSPMap") return std::make_unique<DspmapSelector>();
+  if (name == "SFS") return MakeSfsSelector();
+  if (name == "MICI") return MakeMiciSelector();
+  if (name == "MCFS") return MakeMcfsSelector();
+  if (name == "UDFS") return MakeUdfsSelector();
+  if (name == "NDFS") return MakeNdfsSelector();
+  return nullptr;
+}
+
+std::vector<std::string> AllSelectorNames() {
+  return {"DSPM", "Original", "Sample", "SFS", "MICI",
+          "MCFS", "UDFS",     "NDFS",   "DSPMap"};
+}
+
+}  // namespace gdim

@@ -1,0 +1,179 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/measures.h"
+#include "core/selector.h"
+
+namespace gdim {
+
+namespace {
+
+// Unsupervised feature selection by feature similarity (Mitra, Murthy, Pal,
+// TPAMI 2002). Pairwise feature similarity is the Maximal Information
+// Compression Index: the smallest eigenvalue of the 2×2 covariance matrix of
+// the two features,
+//   λ2 = (vx + vy − sqrt((vx + vy)² − 4·vx·vy·(1 − ρ²))) / 2,
+// zero iff the features are linearly dependent. The algorithm repeatedly
+// keeps the feature whose k-th nearest neighbour is closest and discards
+// those k neighbours (redundancy removal). We pick k ≈ m/p so the clustering
+// yields about p representatives, then trim/pad to exactly p.
+class MiciSelector : public FeatureSelector {
+ public:
+  std::string name() const override { return "MICI"; }
+
+  Result<SelectionOutput> Select(const SelectionInput& input) const override {
+    if (input.db == nullptr) {
+      return Status::InvalidArgument("MICI: db is required");
+    }
+    const BinaryFeatureDb& db = *input.db;
+    const int n = db.num_graphs();
+    const int m = db.num_features();
+    const int p = std::min(input.p, m);
+    if (n == 0 || m == 0) return Status::InvalidArgument("MICI: empty input");
+
+    // Binary feature moments: mean s/n, var mean(1-mean); covariance from
+    // co-support sizes via the sorted inverted lists.
+    std::vector<double> mean(static_cast<size_t>(m)), var(static_cast<size_t>(m));
+    for (int r = 0; r < m; ++r) {
+      double mu = static_cast<double>(db.SupportSize(r)) / n;
+      mean[static_cast<size_t>(r)] = mu;
+      var[static_cast<size_t>(r)] = mu * (1.0 - mu);
+    }
+    auto mici_pair = [&](int a, int b) {
+      double vx = var[static_cast<size_t>(a)];
+      double vy = var[static_cast<size_t>(b)];
+      if (vx <= 0.0 || vy <= 0.0) return 0.0;  // constant => dependent
+      // E[xy] from co-support size via the sorted inverted lists.
+      const std::vector<int>& sa = db.FeatureSupport(a);
+      const std::vector<int>& sb = db.FeatureSupport(b);
+      size_t ia = 0, ib = 0;
+      int inter = 0;
+      while (ia < sa.size() && ib < sb.size()) {
+        if (sa[ia] == sb[ib]) {
+          ++inter;
+          ++ia;
+          ++ib;
+        } else if (sa[ia] < sb[ib]) {
+          ++ia;
+        } else {
+          ++ib;
+        }
+      }
+      double cov = static_cast<double>(inter) / n -
+                   mean[static_cast<size_t>(a)] * mean[static_cast<size_t>(b)];
+      double rho2 = cov * cov / (vx * vy);
+      rho2 = std::min(rho2, 1.0);
+      double tr = vx + vy;
+      double disc = tr * tr - 4.0 * vx * vy * (1.0 - rho2);
+      disc = std::max(disc, 0.0);
+      return (tr - std::sqrt(disc)) / 2.0;
+    };
+    // Precompute the pairwise MICI matrix once (float, m² entries): the
+    // representative-selection rounds below would otherwise recompute each
+    // similarity O(p) times.
+    std::vector<float> sim(static_cast<size_t>(m) * static_cast<size_t>(m),
+                           0.0f);
+    for (int a = 0; a < m; ++a) {
+      for (int b = a + 1; b < m; ++b) {
+        float v = static_cast<float>(mici_pair(a, b));
+        sim[static_cast<size_t>(a) * static_cast<size_t>(m) +
+            static_cast<size_t>(b)] = v;
+        sim[static_cast<size_t>(b) * static_cast<size_t>(m) +
+            static_cast<size_t>(a)] = v;
+      }
+    }
+    auto mici = [&sim, m](int a, int b) {
+      return static_cast<double>(
+          sim[static_cast<size_t>(a) * static_cast<size_t>(m) +
+              static_cast<size_t>(b)]);
+    };
+
+    // Cluster-and-discard with k ≈ m/p − 1 neighbours per representative.
+    int k = std::max(1, m / std::max(1, p) - 1);
+    std::vector<bool> alive(static_cast<size_t>(m), true);
+    std::vector<int> representatives;
+    int alive_count = m;
+    while (alive_count > 0) {
+      k = std::min(k, alive_count - 1);
+      if (k == 0) {
+        // Every remaining feature becomes its own representative.
+        for (int r = 0; r < m; ++r) {
+          if (alive[static_cast<size_t>(r)]) representatives.push_back(r);
+        }
+        break;
+      }
+      // Feature with the most compact k-neighbourhood.
+      int best = -1;
+      double best_radius = std::numeric_limits<double>::max();
+      std::vector<int> best_neighbors;
+      for (int r = 0; r < m; ++r) {
+        if (!alive[static_cast<size_t>(r)]) continue;
+        std::vector<std::pair<double, int>> dist;
+        for (int s = 0; s < m; ++s) {
+          if (s == r || !alive[static_cast<size_t>(s)]) continue;
+          dist.emplace_back(mici(r, s), s);
+        }
+        std::nth_element(dist.begin(), dist.begin() + (k - 1), dist.end());
+        double radius = dist[static_cast<size_t>(k - 1)].first;
+        if (radius < best_radius) {
+          best_radius = radius;
+          best = r;
+          std::sort(dist.begin(), dist.end());
+          best_neighbors.clear();
+          for (int t = 0; t < k; ++t) {
+            best_neighbors.push_back(dist[static_cast<size_t>(t)].second);
+          }
+        }
+      }
+      representatives.push_back(best);
+      alive[static_cast<size_t>(best)] = false;
+      --alive_count;
+      for (int nb : best_neighbors) {
+        if (alive[static_cast<size_t>(nb)]) {
+          alive[static_cast<size_t>(nb)] = false;
+          --alive_count;
+        }
+      }
+      if (static_cast<int>(representatives.size()) >= p && alive_count > 0) {
+        // Enough representatives; stop early (keeps runtime bounded).
+        break;
+      }
+    }
+    // Trim or pad to exactly p (pad with highest-variance leftovers —
+    // informative under MICI's framework).
+    SelectionOutput out;
+    if (static_cast<int>(representatives.size()) >= p) {
+      out.selected.assign(representatives.begin(),
+                          representatives.begin() + p);
+    } else {
+      out.selected = representatives;
+      std::vector<int> rest;
+      for (int r = 0; r < m; ++r) {
+        if (std::find(out.selected.begin(), out.selected.end(), r) ==
+            out.selected.end()) {
+          rest.push_back(r);
+        }
+      }
+      std::stable_sort(rest.begin(), rest.end(), [&](int a, int b) {
+        return var[static_cast<size_t>(a)] > var[static_cast<size_t>(b)];
+      });
+      for (int r : rest) {
+        if (static_cast<int>(out.selected.size()) >= p) break;
+        out.selected.push_back(r);
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<FeatureSelector> MakeMiciSelector() {
+  return std::make_unique<MiciSelector>();
+}
+
+}  // namespace gdim

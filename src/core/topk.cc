@@ -1,0 +1,53 @@
+#include "core/topk.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "core/objective.h"
+
+namespace gdim {
+
+Ranking RankByScores(const std::vector<double>& scores) {
+  Ranking r;
+  r.reserve(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    r.push_back(RankedResult{static_cast<int>(i), scores[i]});
+  }
+  std::sort(r.begin(), r.end(), [](const RankedResult& a,
+                                   const RankedResult& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.id < b.id;
+  });
+  return r;
+}
+
+Ranking ExactRanking(const Graph& query, const GraphDatabase& db,
+                     DissimilarityKind kind, int threads) {
+  std::vector<double> scores(db.size(), 0.0);
+  ParallelFor(
+      0, static_cast<int>(db.size()),
+      [&](int i) {
+        scores[static_cast<size_t>(i)] =
+            GraphDissimilarity(query, db[static_cast<size_t>(i)], kind);
+      },
+      threads);
+  return RankByScores(scores);
+}
+
+Ranking MappedRanking(const std::vector<uint8_t>& query_bits,
+                      const std::vector<std::vector<uint8_t>>& db_bits) {
+  std::vector<double> scores(db_bits.size(), 0.0);
+  for (size_t i = 0; i < db_bits.size(); ++i) {
+    scores[i] = BinaryMappedDistance(query_bits, db_bits[i]);
+  }
+  return RankByScores(scores);
+}
+
+Ranking TopK(const Ranking& ranking, int k) {
+  GDIM_CHECK(k >= 0);
+  if (k >= static_cast<int>(ranking.size())) return ranking;
+  return Ranking(ranking.begin(), ranking.begin() + k);
+}
+
+}  // namespace gdim

@@ -1,0 +1,47 @@
+#ifndef GDIM_CORE_TOPK_H_
+#define GDIM_CORE_TOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "mcs/dissimilarity.h"
+
+namespace gdim {
+
+/// One ranked answer: a database graph id and its score (dissimilarity or
+/// mapped distance — smaller is better; for Tanimoto rankings the score is
+/// 1 − similarity so that smaller stays better).
+struct RankedResult {
+  int id = 0;
+  double score = 0.0;
+
+  friend bool operator==(const RankedResult& a, const RankedResult& b) =
+      default;
+};
+
+/// Full ranking (ascending score, ties broken by id — a deterministic total
+/// order, applied identically to exact and approximate rankings so that ties
+/// do not bias the quality measures).
+using Ranking = std::vector<RankedResult>;
+
+/// Ranks all database graphs by a precomputed score vector; ascending.
+Ranking RankByScores(const std::vector<double>& scores);
+
+/// Exact ranking of db against query by MCS-based dissimilarity. This is the
+/// costly reference path (the "Exact" algorithm of Exp-4/Exp-6).
+Ranking ExactRanking(const Graph& query, const GraphDatabase& db,
+                     DissimilarityKind kind = DissimilarityKind::kDelta2,
+                     int threads = 0);
+
+/// Approximate ranking by normalized Euclidean distance between binary
+/// mapped vectors (sequential scan, as in the paper's query processing).
+Ranking MappedRanking(const std::vector<uint8_t>& query_bits,
+                      const std::vector<std::vector<uint8_t>>& db_bits);
+
+/// First k entries of a ranking (whole ranking if k >= size).
+Ranking TopK(const Ranking& ranking, int k);
+
+}  // namespace gdim
+
+#endif  // GDIM_CORE_TOPK_H_

@@ -1,0 +1,177 @@
+#include "datasets/chemgen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace gdim {
+
+namespace {
+
+// Atom distribution for substituent positions (scaffold cores are carbon).
+LabelId DrawHeteroAtom(Rng* rng) {
+  double r = rng->UniformDouble();
+  if (r < 0.55) return kCarbon;
+  if (r < 0.72) return kNitrogen;
+  if (r < 0.89) return kOxygen;
+  if (r < 0.93) return kSulfur;
+  if (r < 0.95) return kPhosphorus;
+  if (r < 0.98) return kFluorine;
+  return kChlorine;
+}
+
+// A scaffold family: a fixed ring system plus style parameters that shape
+// its members.
+struct Family {
+  Graph scaffold;
+  double chain_prob = 0.6;     // probability of growing a chain per site
+  double hetero_bias = 0.3;    // how often substituents are heteroatoms
+  double double_bond_prob = 0.2;
+  int preferred_chain_len = 2;
+};
+
+// Builds a ring of `size` carbons; aromatic for 6-rings (benzene-like),
+// single/double alternating flavor for 5-rings.
+Graph MakeRing(int size, bool aromatic, Rng* rng) {
+  Graph g;
+  for (int i = 0; i < size; ++i) {
+    // Occasionally a ring heteroatom (pyridine/furan-like).
+    LabelId label = rng->Bernoulli(0.15)
+                        ? (rng->Bernoulli(0.5) ? kNitrogen : kOxygen)
+                        : kCarbon;
+    g.AddVertex(label);
+  }
+  for (int i = 0; i < size; ++i) {
+    LabelId bond = aromatic ? kAromatic
+                            : (i % 2 == 0 && rng->Bernoulli(0.5) ? kDouble
+                                                                 : kSingle);
+    g.AddEdge(i, (i + 1) % size, bond);
+  }
+  return g;
+}
+
+Family MakeFamily(uint64_t family_seed) {
+  Rng rng(family_seed);
+  Family fam;
+  int ring_size = rng.Bernoulli(0.7) ? 6 : 5;
+  bool aromatic = ring_size == 6 && rng.Bernoulli(0.8);
+  fam.scaffold = MakeRing(ring_size, aromatic, &rng);
+  // Optionally fuse a second ring sharing one edge (naphthalene-like).
+  if (rng.Bernoulli(0.4)) {
+    int extra = rng.Bernoulli(0.7) ? 4 : 3;  // completes a 6- or 5-ring
+    int a = 0, b = 1;                        // fuse across edge {0,1}
+    int prev = a;
+    for (int i = 0; i < extra; ++i) {
+      int v = fam.scaffold.AddVertex(kCarbon);
+      fam.scaffold.AddEdge(prev, v, aromatic ? kAromatic : kSingle);
+      prev = v;
+    }
+    fam.scaffold.AddEdge(prev, b, aromatic ? kAromatic : kSingle);
+  }
+  fam.chain_prob = 0.3 + 0.5 * rng.UniformDouble();
+  fam.hetero_bias = 0.15 + 0.4 * rng.UniformDouble();
+  fam.double_bond_prob = 0.1 + 0.25 * rng.UniformDouble();
+  fam.preferred_chain_len = rng.UniformInt(1, 3);
+  return fam;
+}
+
+// Grows one molecule from its family scaffold up to the vertex budget.
+Graph MakeMolecule(const Family& fam, int min_vertices, int max_vertices,
+                   Rng* rng) {
+  Graph g = fam.scaffold;
+  int budget = rng->UniformInt(min_vertices, max_vertices);
+  // Attachment sites: scaffold vertices in random order.
+  std::vector<VertexId> sites;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) sites.push_back(v);
+  rng->Shuffle(&sites);
+
+  for (VertexId site : sites) {
+    if (g.NumVertices() >= budget) break;
+    if (!rng->Bernoulli(fam.chain_prob)) continue;
+    // Grow a chain from this site.
+    int len = std::max(1, fam.preferred_chain_len + rng->UniformInt(-1, 1));
+    VertexId prev = site;
+    for (int i = 0; i < len && g.NumVertices() < budget; ++i) {
+      LabelId atom = rng->Bernoulli(fam.hetero_bias) ? DrawHeteroAtom(rng)
+                                                     : kCarbon;
+      LabelId bond = rng->Bernoulli(fam.double_bond_prob) ? kDouble : kSingle;
+      VertexId v = g.AddVertex(atom);
+      g.AddEdge(prev, v, bond);
+      prev = v;
+    }
+    // Occasional branch at the chain end.
+    if (g.NumVertices() < budget && rng->Bernoulli(0.3)) {
+      VertexId v = g.AddVertex(DrawHeteroAtom(rng));
+      g.AddEdge(prev, v, kSingle);
+    }
+  }
+  // Top up with single pendant atoms if below the minimum.
+  while (g.NumVertices() < min_vertices) {
+    VertexId anchor = static_cast<VertexId>(
+        rng->UniformU64(static_cast<uint64_t>(g.NumVertices())));
+    VertexId v = g.AddVertex(DrawHeteroAtom(rng));
+    g.AddEdge(anchor, v, kSingle);
+  }
+  return g;
+}
+
+GraphDatabase Generate(const ChemGenOptions& options, uint64_t stream,
+                       int count) {
+  GDIM_CHECK(options.num_families >= 1);
+  GDIM_CHECK(options.min_vertices >= 3);
+  GDIM_CHECK(options.max_vertices >= options.min_vertices);
+  // Families are derived from the base seed only, so database and query
+  // streams share the same family pool.
+  std::vector<Family> families;
+  families.reserve(static_cast<size_t>(options.num_families));
+  for (int f = 0; f < options.num_families; ++f) {
+    families.push_back(
+        MakeFamily(options.seed * 1000003ULL + static_cast<uint64_t>(f)));
+  }
+  Rng rng(options.seed ^ (0xABCDEF1234567ULL + stream));
+  GraphDatabase db;
+  db.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const Family& fam = families[static_cast<size_t>(
+        rng.UniformU64(static_cast<uint64_t>(families.size())))];
+    Graph g = MakeMolecule(fam, options.min_vertices, options.max_vertices,
+                           &rng);
+    g.set_id(i);
+    db.push_back(std::move(g));
+  }
+  return db;
+}
+
+}  // namespace
+
+LabelMap ChemAtomNames() {
+  LabelMap m;
+  m.Intern("C");
+  m.Intern("N");
+  m.Intern("O");
+  m.Intern("S");
+  m.Intern("P");
+  m.Intern("F");
+  m.Intern("Cl");
+  return m;
+}
+
+LabelMap ChemBondNames() {
+  LabelMap m;
+  m.Intern("single");
+  m.Intern("double");
+  m.Intern("aromatic");
+  return m;
+}
+
+GraphDatabase GenerateChemDatabase(const ChemGenOptions& options) {
+  return Generate(options, /*stream=*/0, options.num_graphs);
+}
+
+GraphDatabase GenerateChemQueries(const ChemGenOptions& options,
+                                  int num_queries) {
+  return Generate(options, /*stream=*/1, num_queries);
+}
+
+}  // namespace gdim

@@ -1,0 +1,65 @@
+#ifndef GDIM_DATASETS_CHEMGEN_H_
+#define GDIM_DATASETS_CHEMGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/label_map.h"
+
+namespace gdim {
+
+/// Atom label ids used by the chemical generator (index = LabelId).
+/// Distribution roughly follows small-molecule statistics; carbon dominates.
+enum ChemAtom : LabelId {
+  kCarbon = 0,
+  kNitrogen = 1,
+  kOxygen = 2,
+  kSulfur = 3,
+  kPhosphorus = 4,
+  kFluorine = 5,
+  kChlorine = 6,
+};
+
+/// Bond label ids used by the chemical generator.
+enum ChemBond : LabelId {
+  kSingle = 0,
+  kDouble = 1,
+  kAromatic = 2,
+};
+
+/// Human-readable names for the chemical label alphabets, for examples and
+/// debug output.
+LabelMap ChemAtomNames();
+LabelMap ChemBondNames();
+
+/// Parameters of the PubChem-substitute molecule generator.
+///
+/// Molecules are drawn from `num_families` scaffold families: each family
+/// fixes a ring scaffold (5/6-ring, optionally fused) plus characteristic
+/// substituent style; members mutate chains and substitutions. Families give
+/// the database the natural cluster structure of real compound data, which
+/// the paper leans on when explaining NDFS vs MCFS behaviour.
+struct ChemGenOptions {
+  int num_graphs = 1000;
+  int num_families = 25;
+  int min_vertices = 10;
+  int max_vertices = 20;
+  uint64_t seed = 1;
+};
+
+/// Generates a molecule-like graph database (undirected, atom vertex labels,
+/// bond edge labels, connected, 10–20 vertices by default). Deterministic in
+/// the seed.
+GraphDatabase GenerateChemDatabase(const ChemGenOptions& options);
+
+/// Convenience: generates a query workload from the same family pool (same
+/// options but a different stream), so queries are unseen graphs that still
+/// resemble the database — the paper's query-set construction.
+GraphDatabase GenerateChemQueries(const ChemGenOptions& options,
+                                  int num_queries);
+
+}  // namespace gdim
+
+#endif  // GDIM_DATASETS_CHEMGEN_H_

@@ -1,0 +1,70 @@
+#include "datasets/fingerprint.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "isomorphism/vf2.h"
+#include "mining/gspan.h"
+
+namespace gdim {
+
+Result<FingerprintDictionary> FingerprintDictionary::Build(
+    const GraphDatabase& sample, int max_bits, double min_support,
+    int max_pattern_edges) {
+  if (max_bits <= 0) {
+    return Status::InvalidArgument("max_bits must be positive");
+  }
+  MiningOptions mining;
+  mining.min_support = min_support;
+  mining.max_edges = max_pattern_edges;
+  Result<std::vector<FrequentPattern>> mined =
+      MineFrequentSubgraphs(sample, mining);
+  if (!mined.ok()) return mined.status();
+
+  std::vector<FrequentPattern> patterns = std::move(mined).value();
+  if (patterns.empty()) {
+    return Status::NotFound("expert sample yields no dictionary patterns");
+  }
+  // Larger patterns are the informative ones (the tiny ones are contained in
+  // nearly everything); prefer them, break ties by rarity then DFS code.
+  std::stable_sort(patterns.begin(), patterns.end(),
+                   [](const FrequentPattern& a, const FrequentPattern& b) {
+                     if (a.graph.NumEdges() != b.graph.NumEdges()) {
+                       return a.graph.NumEdges() > b.graph.NumEdges();
+                     }
+                     return a.support.size() < b.support.size();
+                   });
+  if (static_cast<int>(patterns.size()) > max_bits) {
+    patterns.resize(static_cast<size_t>(max_bits));
+  }
+  FingerprintDictionary dict;
+  dict.patterns_.reserve(patterns.size());
+  for (FrequentPattern& p : patterns) {
+    dict.patterns_.push_back(std::move(p.graph));
+  }
+  return dict;
+}
+
+std::vector<uint8_t> FingerprintDictionary::Fingerprint(
+    const Graph& g) const {
+  std::vector<uint8_t> fp(patterns_.size(), 0);
+  for (size_t r = 0; r < patterns_.size(); ++r) {
+    fp[r] = IsSubgraphIsomorphic(patterns_[r], g) ? 1 : 0;
+  }
+  return fp;
+}
+
+double TanimotoSimilarity(const std::vector<uint8_t>& a,
+                          const std::vector<uint8_t>& b) {
+  GDIM_CHECK(a.size() == b.size()) << "fingerprint width mismatch";
+  int inter = 0, uni = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    bool ba = a[i] != 0, bb = b[i] != 0;
+    inter += (ba && bb) ? 1 : 0;
+    uni += (ba || bb) ? 1 : 0;
+  }
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / uni;
+}
+
+}  // namespace gdim

@@ -1,0 +1,82 @@
+#include "datasets/graphgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace gdim {
+
+namespace {
+
+// Vertex count matching the density target for the given edge count:
+// density = 2E / (V(V−1))  =>  V² − V − 2E/density = 0.
+int VertexCountFor(double edges, double density) {
+  double v = (1.0 + std::sqrt(1.0 + 8.0 * edges / density)) / 2.0;
+  return std::max(2, static_cast<int>(std::lround(v)));
+}
+
+// Cumulative Zipf(s) weights over k labels (uniform when s == 0).
+std::vector<double> ZipfWeights(int k, double s) {
+  std::vector<double> w(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    w[static_cast<size_t>(i)] = 1.0 / std::pow(i + 1.0, s);
+  }
+  return w;
+}
+
+}  // namespace
+
+GraphDatabase GenerateSyntheticDatabase(const GraphGenOptions& options) {
+  GDIM_CHECK(options.num_graphs >= 0);
+  GDIM_CHECK(options.avg_edges >= 1.0);
+  GDIM_CHECK(options.num_vertex_labels >= 1);
+  GDIM_CHECK(options.num_edge_labels >= 1);
+  GDIM_CHECK(options.density > 0.0 && options.density <= 1.0);
+
+  Rng rng(options.seed);
+  std::vector<double> vlabel_weights =
+      ZipfWeights(options.num_vertex_labels, options.label_zipf);
+  std::vector<double> elabel_weights =
+      ZipfWeights(options.num_edge_labels, options.label_zipf);
+  auto draw_vlabel = [&]() {
+    return static_cast<LabelId>(rng.WeightedIndex(vlabel_weights));
+  };
+  auto draw_elabel = [&]() {
+    return static_cast<LabelId>(rng.WeightedIndex(elabel_weights));
+  };
+  GraphDatabase db;
+  db.reserve(static_cast<size_t>(options.num_graphs));
+  for (int gi = 0; gi < options.num_graphs; ++gi) {
+    // Edge count jitter of ±20% around the average, at least a tree.
+    double jitter = 0.8 + 0.4 * rng.UniformDouble();
+    int target_edges =
+        std::max(1, static_cast<int>(std::lround(options.avg_edges * jitter)));
+    int n = VertexCountFor(target_edges, options.density);
+    int max_edges = n * (n - 1) / 2;
+    target_edges = std::clamp(target_edges, n - 1, max_edges);
+
+    Graph g;
+    g.set_id(gi);
+    for (int v = 0; v < n; ++v) g.AddVertex(draw_vlabel());
+    // Random spanning tree: connect each new vertex to a random earlier one.
+    for (int v = 1; v < n; ++v) {
+      int u = static_cast<int>(rng.UniformU64(static_cast<uint64_t>(v)));
+      g.AddEdge(u, v, draw_elabel());
+    }
+    // Extra random edges up to the target.
+    int guard = 0;
+    while (g.NumEdges() < target_edges && guard < 50 * target_edges) {
+      ++guard;
+      int u = static_cast<int>(rng.UniformU64(static_cast<uint64_t>(n)));
+      int v = static_cast<int>(rng.UniformU64(static_cast<uint64_t>(n)));
+      if (u == v || g.HasEdge(u, v)) continue;
+      g.AddEdge(u, v, draw_elabel());
+    }
+    db.push_back(std::move(g));
+  }
+  return db;
+}
+
+}  // namespace gdim

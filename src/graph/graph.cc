@@ -1,0 +1,52 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gdim {
+
+VertexId Graph::AddVertex(LabelId label) {
+  vertex_labels_.push_back(label);
+  adjacency_.emplace_back();
+  return NumVertices() - 1;
+}
+
+EdgeId Graph::AddEdge(VertexId u, VertexId v, LabelId label) {
+  GDIM_CHECK(u >= 0 && u < NumVertices()) << "bad endpoint u=" << u;
+  GDIM_CHECK(v >= 0 && v < NumVertices()) << "bad endpoint v=" << v;
+  GDIM_CHECK(u != v) << "self-loop at vertex " << u;
+  GDIM_CHECK(FindEdge(u, v) < 0) << "parallel edge {" << u << "," << v << "}";
+  if (u > v) std::swap(u, v);
+  EdgeId e = NumEdges();
+  edges_.push_back(Edge{u, v, label});
+  adjacency_[static_cast<size_t>(u)].push_back(AdjEntry{v, label, e});
+  adjacency_[static_cast<size_t>(v)].push_back(AdjEntry{u, label, e});
+  return e;
+}
+
+EdgeId Graph::FindEdge(VertexId u, VertexId v) const {
+  if (u < 0 || v < 0 || u >= NumVertices() || v >= NumVertices()) return -1;
+  // Scan the shorter adjacency list; graphs here are tiny so a linear scan
+  // beats any hash structure.
+  const auto& a = adjacency_[static_cast<size_t>(u)];
+  const auto& b = adjacency_[static_cast<size_t>(v)];
+  const auto& scan = a.size() <= b.size() ? a : b;
+  VertexId want = a.size() <= b.size() ? v : u;
+  for (const AdjEntry& entry : scan) {
+    if (entry.neighbor == want) return entry.edge;
+  }
+  return -1;
+}
+
+bool operator==(const Graph& a, const Graph& b) {
+  return a.vertex_labels_ == b.vertex_labels_ && a.edges_ == b.edges_;
+}
+
+std::string Graph::ToString() const {
+  std::ostringstream os;
+  os << "G(id=" << id_ << ", |V|=" << NumVertices() << ", |E|=" << NumEdges()
+     << ")";
+  return os.str();
+}
+
+}  // namespace gdim

@@ -1,0 +1,110 @@
+#ifndef GDIM_GRAPH_GRAPH_H_
+#define GDIM_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gdim {
+
+/// Integer label identifier. Vertex labels and edge labels live in separate
+/// alphabets (see LabelMap); a Graph only stores the integer ids.
+using LabelId = uint32_t;
+
+/// Vertex index within one Graph: 0..NumVertices()-1.
+using VertexId = int;
+
+/// Edge index within one Graph: 0..NumEdges()-1.
+using EdgeId = int;
+
+/// An undirected labeled edge. Stored with source() <= target() normalized
+/// order so edge identity is canonical.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+  LabelId label = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) = default;
+};
+
+/// One entry of a vertex adjacency list.
+struct AdjEntry {
+  VertexId neighbor = 0;
+  LabelId edge_label = 0;
+  EdgeId edge = 0;
+};
+
+/// A small undirected graph with labels on vertices and edges — the data
+/// model of the paper (chemical compounds, 10–20 vertices).
+///
+/// Invariants: no self-loops, no parallel edges; adjacency lists are kept in
+/// sync with the edge list. Mutation is append-only (AddVertex/AddEdge),
+/// which is all graph construction in this codebase needs.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Optional external identifier (e.g. position in the source file).
+  int id() const { return id_; }
+  void set_id(int id) { id_ = id; }
+
+  int NumVertices() const { return static_cast<int>(vertex_labels_.size()); }
+  int NumEdges() const { return static_cast<int>(edges_.size()); }
+  bool Empty() const { return vertex_labels_.empty(); }
+
+  /// Appends a vertex with the given label; returns its VertexId.
+  VertexId AddVertex(LabelId label);
+
+  /// Appends an undirected edge {u,v} with the given label; returns its
+  /// EdgeId. Requires valid distinct endpoints and no existing {u,v} edge.
+  EdgeId AddEdge(VertexId u, VertexId v, LabelId label);
+
+  LabelId VertexLabel(VertexId v) const {
+    GDIM_DCHECK(v >= 0 && v < NumVertices());
+    return vertex_labels_[static_cast<size_t>(v)];
+  }
+
+  const Edge& GetEdge(EdgeId e) const {
+    GDIM_DCHECK(e >= 0 && e < NumEdges());
+    return edges_[static_cast<size_t>(e)];
+  }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Neighbors of v with edge labels, in insertion order.
+  const std::vector<AdjEntry>& Neighbors(VertexId v) const {
+    GDIM_DCHECK(v >= 0 && v < NumVertices());
+    return adjacency_[static_cast<size_t>(v)];
+  }
+
+  int Degree(VertexId v) const {
+    return static_cast<int>(Neighbors(v).size());
+  }
+
+  /// Returns the edge id of {u,v}, or -1 if absent.
+  EdgeId FindEdge(VertexId u, VertexId v) const;
+
+  bool HasEdge(VertexId u, VertexId v) const { return FindEdge(u, v) >= 0; }
+
+  /// Structural + label equality under the identity vertex mapping (i.e.
+  /// same construction, not isomorphism).
+  friend bool operator==(const Graph& a, const Graph& b);
+
+  /// Debug rendering: "G(id=3, |V|=5, |E|=4)".
+  std::string ToString() const;
+
+ private:
+  int id_ = -1;
+  std::vector<LabelId> vertex_labels_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<AdjEntry>> adjacency_;
+};
+
+/// A graph database DG = {g1..gn}.
+using GraphDatabase = std::vector<Graph>;
+
+}  // namespace gdim
+
+#endif  // GDIM_GRAPH_GRAPH_H_

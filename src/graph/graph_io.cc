@@ -1,0 +1,108 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace gdim {
+
+namespace {
+
+Status MakeParseError(int line_no, const std::string& what) {
+  std::ostringstream os;
+  os << "line " << line_no << ": " << what;
+  return Status::ParseError(os.str());
+}
+
+}  // namespace
+
+Result<GraphDatabase> ReadGraphStream(std::istream& in) {
+  GraphDatabase db;
+  Graph current;
+  bool in_graph = false;
+  int line_no = 0;
+  std::string line;
+  auto flush = [&] {
+    if (in_graph) db.push_back(std::move(current));
+    current = Graph();
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) continue;  // blank line
+    if (tag == "t") {
+      std::string hash;
+      int id = 0;
+      if (!(ls >> hash >> id) || hash != "#") {
+        return MakeParseError(line_no, "malformed graph header, want 't # N'");
+      }
+      flush();
+      in_graph = true;
+      current.set_id(id);
+    } else if (tag == "v") {
+      if (!in_graph) return MakeParseError(line_no, "'v' before 't' header");
+      int vid = 0;
+      long long label = 0;
+      if (!(ls >> vid >> label) || label < 0) {
+        return MakeParseError(line_no, "malformed vertex line");
+      }
+      if (vid != current.NumVertices()) {
+        return MakeParseError(line_no, "vertex ids must be consecutive");
+      }
+      current.AddVertex(static_cast<LabelId>(label));
+    } else if (tag == "e") {
+      if (!in_graph) return MakeParseError(line_no, "'e' before 't' header");
+      int u = 0, v = 0;
+      long long label = 0;
+      if (!(ls >> u >> v >> label) || label < 0) {
+        return MakeParseError(line_no, "malformed edge line");
+      }
+      if (u < 0 || v < 0 || u >= current.NumVertices() ||
+          v >= current.NumVertices() || u == v) {
+        return MakeParseError(line_no, "edge endpoint out of range");
+      }
+      if (current.HasEdge(u, v)) {
+        return MakeParseError(line_no, "duplicate edge");
+      }
+      current.AddEdge(u, v, static_cast<LabelId>(label));
+    } else if (tag[0] == '#') {
+      continue;  // comment
+    } else {
+      return MakeParseError(line_no, "unknown record tag '" + tag + "'");
+    }
+  }
+  flush();
+  return db;
+}
+
+Result<GraphDatabase> ReadGraphFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return ReadGraphStream(in);
+}
+
+void WriteGraphStream(const GraphDatabase& db, std::ostream& out) {
+  for (size_t i = 0; i < db.size(); ++i) {
+    const Graph& g = db[i];
+    int id = g.id() >= 0 ? g.id() : static_cast<int>(i);
+    out << "t # " << id << "\n";
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      out << "v " << v << " " << g.VertexLabel(v) << "\n";
+    }
+    for (const Edge& e : g.edges()) {
+      out << "e " << e.u << " " << e.v << " " << e.label << "\n";
+    }
+  }
+}
+
+Status WriteGraphFile(const GraphDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  WriteGraphStream(db, out);
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace gdim

@@ -1,0 +1,35 @@
+#ifndef GDIM_GRAPH_GRAPH_IO_H_
+#define GDIM_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace gdim {
+
+/// Text serialization in the de-facto standard gSpan transaction format:
+///
+///   t # <graph-id>
+///   v <vertex-id> <vertex-label>
+///   e <u> <v> <edge-label>
+///
+/// Vertices must be declared 0..n-1 in order; '#'-prefixed lines outside a
+/// `t` header and blank lines are ignored.
+
+/// Parses a whole database from a stream.
+Result<GraphDatabase> ReadGraphStream(std::istream& in);
+
+/// Parses a whole database from a file path.
+Result<GraphDatabase> ReadGraphFile(const std::string& path);
+
+/// Writes db to a stream in the same format.
+void WriteGraphStream(const GraphDatabase& db, std::ostream& out);
+
+/// Writes db to a file; fails with IoError if the file cannot be opened.
+Status WriteGraphFile(const GraphDatabase& db, const std::string& path);
+
+}  // namespace gdim
+
+#endif  // GDIM_GRAPH_GRAPH_IO_H_

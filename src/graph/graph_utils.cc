@@ -1,0 +1,126 @@
+#include "graph/graph_utils.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace gdim {
+
+namespace {
+
+// Iterative DFS marking component ids; returns component count.
+int LabelComponents(const Graph& g, std::vector<int>* comp) {
+  comp->assign(static_cast<size_t>(g.NumVertices()), -1);
+  int count = 0;
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    if ((*comp)[static_cast<size_t>(s)] >= 0) continue;
+    stack.push_back(s);
+    (*comp)[static_cast<size_t>(s)] = count;
+    while (!stack.empty()) {
+      VertexId v = stack.back();
+      stack.pop_back();
+      for (const AdjEntry& e : g.Neighbors(v)) {
+        if ((*comp)[static_cast<size_t>(e.neighbor)] < 0) {
+          (*comp)[static_cast<size_t>(e.neighbor)] = count;
+          stack.push_back(e.neighbor);
+        }
+      }
+    }
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+bool IsConnected(const Graph& g) {
+  return NumConnectedComponents(g) <= 1;
+}
+
+int NumConnectedComponents(const Graph& g) {
+  std::vector<int> comp;
+  return LabelComponents(g, &comp);
+}
+
+Graph InducedSubgraph(const Graph& g, const std::vector<VertexId>& vertices) {
+  std::vector<int> remap(static_cast<size_t>(g.NumVertices()), -1);
+  Graph out;
+  for (VertexId v : vertices) {
+    GDIM_CHECK(v >= 0 && v < g.NumVertices()) << "bad vertex " << v;
+    GDIM_CHECK(remap[static_cast<size_t>(v)] < 0) << "duplicate vertex " << v;
+    remap[static_cast<size_t>(v)] = out.AddVertex(g.VertexLabel(v));
+  }
+  for (const Edge& e : g.edges()) {
+    int nu = remap[static_cast<size_t>(e.u)];
+    int nv = remap[static_cast<size_t>(e.v)];
+    if (nu >= 0 && nv >= 0) out.AddEdge(nu, nv, e.label);
+  }
+  return out;
+}
+
+Graph EdgeSubgraph(const Graph& g, const std::vector<EdgeId>& edge_ids) {
+  std::vector<bool> keep_vertex(static_cast<size_t>(g.NumVertices()), false);
+  for (EdgeId e : edge_ids) {
+    const Edge& edge = g.GetEdge(e);
+    keep_vertex[static_cast<size_t>(edge.u)] = true;
+    keep_vertex[static_cast<size_t>(edge.v)] = true;
+  }
+  std::vector<int> remap(static_cast<size_t>(g.NumVertices()), -1);
+  Graph out;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (keep_vertex[static_cast<size_t>(v)]) {
+      remap[static_cast<size_t>(v)] = out.AddVertex(g.VertexLabel(v));
+    }
+  }
+  for (EdgeId e : edge_ids) {
+    const Edge& edge = g.GetEdge(e);
+    out.AddEdge(remap[static_cast<size_t>(edge.u)],
+                remap[static_cast<size_t>(edge.v)], edge.label);
+  }
+  return out;
+}
+
+std::map<LabelId, int> VertexLabelHistogram(const Graph& g) {
+  std::map<LabelId, int> hist;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) ++hist[g.VertexLabel(v)];
+  return hist;
+}
+
+std::map<std::tuple<LabelId, LabelId, LabelId>, int> EdgeTripleHistogram(
+    const Graph& g) {
+  std::map<std::tuple<LabelId, LabelId, LabelId>, int> hist;
+  for (const Edge& e : g.edges()) {
+    LabelId lu = g.VertexLabel(e.u);
+    LabelId lv = g.VertexLabel(e.v);
+    if (lu > lv) std::swap(lu, lv);
+    ++hist[{lu, e.label, lv}];
+  }
+  return hist;
+}
+
+int EdgeLabelIntersectionBound(const Graph& a, const Graph& b) {
+  auto ha = EdgeTripleHistogram(a);
+  auto hb = EdgeTripleHistogram(b);
+  int bound = 0;
+  for (const auto& [triple, count] : ha) {
+    auto it = hb.find(triple);
+    if (it != hb.end()) bound += std::min(count, it->second);
+  }
+  return bound;
+}
+
+std::vector<int> DegreeSequence(const Graph& g) {
+  std::vector<int> deg;
+  deg.reserve(static_cast<size_t>(g.NumVertices()));
+  for (VertexId v = 0; v < g.NumVertices(); ++v) deg.push_back(g.Degree(v));
+  std::sort(deg.rbegin(), deg.rend());
+  return deg;
+}
+
+double GraphDensity(const Graph& g) {
+  int n = g.NumVertices();
+  if (n < 2) return 0.0;
+  return 2.0 * g.NumEdges() / (static_cast<double>(n) * (n - 1));
+}
+
+}  // namespace gdim

@@ -1,0 +1,46 @@
+#ifndef GDIM_GRAPH_GRAPH_UTILS_H_
+#define GDIM_GRAPH_GRAPH_UTILS_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gdim {
+
+/// True iff g is connected (the empty graph counts as connected).
+bool IsConnected(const Graph& g);
+
+/// Number of connected components.
+int NumConnectedComponents(const Graph& g);
+
+/// Subgraph induced by the given vertex set (kept in the given order; edges
+/// with both endpoints inside are retained). Duplicate ids are not allowed.
+Graph InducedSubgraph(const Graph& g, const std::vector<VertexId>& vertices);
+
+/// Subgraph formed by the given edges and their endpoints. Vertex ids are
+/// compacted; relative vertex order is preserved.
+Graph EdgeSubgraph(const Graph& g, const std::vector<EdgeId>& edge_ids);
+
+/// Multiset of vertex labels, as label -> count.
+std::map<LabelId, int> VertexLabelHistogram(const Graph& g);
+
+/// Multiset of (edge label, endpoint labels) triples, as canonical triple ->
+/// count. Used for cheap upper bounds on common subgraph size: an edge can
+/// only be matched to an edge with identical triple.
+std::map<std::tuple<LabelId, LabelId, LabelId>, int> EdgeTripleHistogram(
+    const Graph& g);
+
+/// Upper bound on |E(mcs(a, b))| from label triple multiset intersection.
+int EdgeLabelIntersectionBound(const Graph& a, const Graph& b);
+
+/// Non-increasing degree sequence.
+std::vector<int> DegreeSequence(const Graph& g);
+
+/// Total degree-weighted density 2|E| / (|V| (|V|-1)); 0 for |V| < 2.
+double GraphDensity(const Graph& g);
+
+}  // namespace gdim
+
+#endif  // GDIM_GRAPH_GRAPH_UTILS_H_

@@ -1,0 +1,28 @@
+#include "graph/label_map.h"
+
+#include "common/logging.h"
+
+namespace gdim {
+
+LabelId LabelMap::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(names_.size());
+  ids_.emplace(name, id);
+  names_.push_back(name);
+  return id;
+}
+
+bool LabelMap::Find(const std::string& name, LabelId* id) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+const std::string& LabelMap::Name(LabelId id) const {
+  GDIM_CHECK(id < names_.size()) << "unknown label id " << id;
+  return names_[id];
+}
+
+}  // namespace gdim

@@ -1,0 +1,37 @@
+#ifndef GDIM_GRAPH_LABEL_MAP_H_
+#define GDIM_GRAPH_LABEL_MAP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gdim {
+
+/// Bidirectional map between human-readable label strings ("C", "N",
+/// "single", "aromatic") and the dense LabelId integers stored in graphs.
+/// One instance per alphabet (vertex labels, edge labels).
+class LabelMap {
+ public:
+  LabelMap() = default;
+
+  /// Returns the id of name, interning it if new.
+  LabelId Intern(const std::string& name);
+
+  /// Returns true and sets *id if name is known; false otherwise.
+  bool Find(const std::string& name, LabelId* id) const;
+
+  /// Requires id < size().
+  const std::string& Name(LabelId id) const;
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::unordered_map<std::string, LabelId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace gdim
+
+#endif  // GDIM_GRAPH_LABEL_MAP_H_

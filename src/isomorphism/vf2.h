@@ -1,0 +1,56 @@
+#ifndef GDIM_ISOMORPHISM_VF2_H_
+#define GDIM_ISOMORPHISM_VF2_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gdim {
+
+/// Options for the subgraph isomorphism search.
+struct SubgraphIsoOptions {
+  /// If true, require an induced embedding (non-adjacent pattern vertices
+  /// must map to non-adjacent target vertices). The paper's containment
+  /// relation f ⊆ g is the standard non-induced monomorphism, the default.
+  bool induced = false;
+
+  /// Safety valve on backtracking nodes; 0 means unlimited. The graphs in
+  /// this problem domain are tiny, so the default is effectively unlimited.
+  uint64_t max_nodes = 0;
+};
+
+/// Statistics from one search, for benchmarking and tests.
+struct SubgraphIsoStats {
+  uint64_t nodes = 0;       ///< Backtracking tree nodes visited.
+  bool aborted = false;     ///< True if max_nodes was hit.
+};
+
+/// Decides whether pattern is (non-induced by default) subgraph isomorphic
+/// to target, matching vertex and edge labels exactly. Empty patterns embed
+/// trivially. Implements a VF2-flavoured backtracking with connectivity-
+/// aware variable ordering and label/degree pruning.
+bool IsSubgraphIsomorphic(const Graph& pattern, const Graph& target,
+                          const SubgraphIsoOptions& options = {},
+                          SubgraphIsoStats* stats = nullptr);
+
+/// Like IsSubgraphIsomorphic, and on success fills *mapping with the image
+/// of each pattern vertex in target. mapping is untouched on failure.
+bool FindSubgraphEmbedding(const Graph& pattern, const Graph& target,
+                           std::vector<VertexId>* mapping,
+                           const SubgraphIsoOptions& options = {},
+                           SubgraphIsoStats* stats = nullptr);
+
+/// Counts all embeddings (distinct vertex mappings). Exponential in the
+/// worst case; intended for tests on small graphs.
+uint64_t CountSubgraphEmbeddings(const Graph& pattern, const Graph& target,
+                                 const SubgraphIsoOptions& options = {});
+
+/// True iff a and b are isomorphic as labeled graphs (same vertex count and
+/// a bijective embedding both ways; implemented as size check + one-way
+/// embedding with induced semantics and equal edge counts).
+bool AreGraphsIsomorphic(const Graph& a, const Graph& b);
+
+}  // namespace gdim
+
+#endif  // GDIM_ISOMORPHISM_VF2_H_

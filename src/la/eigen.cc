@@ -1,0 +1,151 @@
+#include "la/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace gdim {
+
+namespace {
+
+// Removes from v its projections onto the given unit vectors.
+void DeflateAgainst(const std::vector<std::vector<double>>& basis,
+                    std::vector<double>* v) {
+  for (const auto& b : basis) {
+    double proj = Dot(b, *v);
+    Axpy(-proj, b, v);
+  }
+}
+
+std::vector<double> RandomUnit(int dim, Rng* rng) {
+  std::vector<double> v(static_cast<size_t>(dim));
+  for (double& x : v) x = rng->Normal();
+  Normalize(&v);
+  return v;
+}
+
+}  // namespace
+
+EigenResult TopEigenpairs(const SymmetricOperator& op, int dim, int k,
+                          int max_iters, double tol, uint64_t seed) {
+  EigenResult result;
+  Rng rng(seed);
+  k = std::min(k, dim);
+  for (int j = 0; j < k; ++j) {
+    std::vector<double> v = RandomUnit(dim, &rng);
+    DeflateAgainst(result.vectors, &v);
+    Normalize(&v);
+    double lambda = 0.0;
+    for (int it = 0; it < max_iters; ++it) {
+      std::vector<double> w = op(v);
+      DeflateAgainst(result.vectors, &w);
+      double n = Norm2(w);
+      if (n < 1e-14) {  // v is (numerically) in the span of earlier vectors
+        lambda = 0.0;
+        break;
+      }
+      for (double& x : w) x /= n;
+      double new_lambda = Dot(w, op(w));
+      bool converged = std::abs(new_lambda - lambda) <=
+                       tol * std::max(1.0, std::abs(new_lambda));
+      v = std::move(w);
+      lambda = new_lambda;
+      if (converged && it > 2) break;
+    }
+    result.values.push_back(lambda);
+    result.vectors.push_back(std::move(v));
+  }
+  return result;
+}
+
+EigenResult BottomEigenpairs(const SymmetricOperator& op, int dim, int k,
+                             double upper, int max_iters, double tol,
+                             uint64_t seed) {
+  SymmetricOperator shifted = [&op, upper](const std::vector<double>& x) {
+    std::vector<double> y = op(x);
+    for (size_t i = 0; i < y.size(); ++i) y[i] = upper * x[i] - y[i];
+    return y;
+  };
+  EigenResult top = TopEigenpairs(shifted, dim, k, max_iters, tol, seed);
+  EigenResult out;
+  out.vectors = std::move(top.vectors);
+  out.values.reserve(top.values.size());
+  for (double v : top.values) out.values.push_back(upper - v);
+  return out;  // ascending: largest shifted value = smallest original
+}
+
+double EstimateSpectralUpperBound(const SymmetricOperator& op, int dim,
+                                  int iters, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v = RandomUnit(dim, &rng);
+  double lambda = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    std::vector<double> w = op(v);
+    double n = Norm2(w);
+    if (n < 1e-14) break;
+    for (double& x : w) x /= n;
+    lambda = std::abs(Dot(w, op(w)));
+    v = std::move(w);
+  }
+  return lambda * 1.5 + 1e-6;  // safety margin
+}
+
+EigenResult JacobiEigen(const Matrix& a, int max_sweeps) {
+  GDIM_CHECK(a.rows() == a.cols()) << "JacobiEigen needs a square matrix";
+  const int n = a.rows();
+  Matrix m = a;
+  // Eigenvector accumulator, starts as identity.
+  Matrix v(n, n, 0.0);
+  for (int i = 0; i < n; ++i) v.at(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) off += m.at(p, q) * m.at(p, q);
+    }
+    if (off < 1e-22) break;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        double apq = m.at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        double app = m.at(p, p), aqq = m.at(q, q);
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        for (int i = 0; i < n; ++i) {
+          double mip = m.at(i, p), miq = m.at(i, q);
+          m.at(i, p) = c * mip - s * miq;
+          m.at(i, q) = s * mip + c * miq;
+        }
+        for (int i = 0; i < n; ++i) {
+          double mpi = m.at(p, i), mqi = m.at(q, i);
+          m.at(p, i) = c * mpi - s * mqi;
+          m.at(q, i) = s * mpi + c * mqi;
+        }
+        for (int i = 0; i < n; ++i) {
+          double vip = v.at(i, p), viq = v.at(i, q);
+          v.at(i, p) = c * vip - s * viq;
+          v.at(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  // Collect and sort ascending by eigenvalue.
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  std::sort(order.begin(), order.end(),
+            [&m](int x, int y) { return m.at(x, x) < m.at(y, y); });
+  EigenResult result;
+  for (int idx : order) {
+    result.values.push_back(m.at(idx, idx));
+    std::vector<double> col(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) col[static_cast<size_t>(i)] = v.at(i, idx);
+    result.vectors.push_back(std::move(col));
+  }
+  return result;
+}
+
+}  // namespace gdim

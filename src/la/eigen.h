@@ -1,0 +1,49 @@
+#ifndef GDIM_LA_EIGEN_H_
+#define GDIM_LA_EIGEN_H_
+
+#include <functional>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace gdim {
+
+/// A symmetric linear operator y = A x given implicitly; lets the spectral
+/// baselines (MCFS/UDFS/NDFS) run matrix-free when A = X G Xᵀ would be too
+/// large to materialize.
+using SymmetricOperator =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+/// Computes the k largest-eigenvalue eigenpairs of a symmetric operator of
+/// the given dimension by power iteration with Gram-Schmidt deflation.
+/// Deterministic (seeded start vectors). Returns eigenvalues (descending)
+/// and the corresponding unit eigenvectors.
+struct EigenResult {
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+};
+
+EigenResult TopEigenpairs(const SymmetricOperator& op, int dim, int k,
+                          int max_iters = 300, double tol = 1e-9,
+                          uint64_t seed = 7);
+
+/// Computes the k *smallest*-eigenvalue eigenpairs of a symmetric positive
+/// semidefinite operator with eigenvalues in [0, upper]: runs TopEigenpairs
+/// on (upper·I − A) and maps the spectrum back. Values ascending.
+EigenResult BottomEigenpairs(const SymmetricOperator& op, int dim, int k,
+                             double upper, int max_iters = 300,
+                             double tol = 1e-9, uint64_t seed = 7);
+
+/// Estimates an upper bound of the spectral radius of a symmetric operator
+/// via a few power iterations (result is scaled up by a safety factor).
+double EstimateSpectralUpperBound(const SymmetricOperator& op, int dim,
+                                  int iters = 30, uint64_t seed = 11);
+
+/// Full eigendecomposition of a small dense symmetric matrix via the cyclic
+/// Jacobi method. Intended for matrices up to a few hundred rows (used in
+/// tests and for MICI's 2x2 covariance analysis). Values ascending.
+EigenResult JacobiEigen(const Matrix& a, int max_sweeps = 64);
+
+}  // namespace gdim
+
+#endif  // GDIM_LA_EIGEN_H_

@@ -1,0 +1,52 @@
+#include "la/matrix.h"
+
+#include <cmath>
+
+namespace gdim {
+
+std::vector<double> Matrix::MatVec(const std::vector<double>& v) const {
+  GDIM_CHECK(static_cast<int>(v.size()) == cols_);
+  std::vector<double> out(static_cast<size_t>(rows_), 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    double acc = 0.0;
+    for (int c = 0; c < cols_; ++c) acc += row[c] * v[static_cast<size_t>(c)];
+    out[static_cast<size_t>(r)] = acc;
+  }
+  return out;
+}
+
+std::vector<double> Matrix::TransposeMatVec(
+    const std::vector<double>& v) const {
+  GDIM_CHECK(static_cast<int>(v.size()) == rows_);
+  std::vector<double> out(static_cast<size_t>(cols_), 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    double s = v[static_cast<size_t>(r)];
+    if (s == 0.0) continue;
+    for (int c = 0; c < cols_; ++c) out[static_cast<size_t>(c)] += s * row[c];
+  }
+  return out;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  GDIM_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+void Axpy(double s, const std::vector<double>& b, std::vector<double>* a) {
+  GDIM_CHECK(a->size() == b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += s * b[i];
+}
+
+void Normalize(std::vector<double>* v) {
+  double n = Norm2(*v);
+  if (n <= 0.0) return;
+  for (double& x : *v) x /= n;
+}
+
+}  // namespace gdim

@@ -1,0 +1,69 @@
+#ifndef GDIM_LA_MATRIX_H_
+#define GDIM_LA_MATRIX_H_
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gdim {
+
+/// Minimal dense row-major matrix of doubles. Only the operations the
+/// feature-selection baselines need; not a general linear algebra library.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
+    GDIM_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& at(int r, int c) {
+    GDIM_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(c)];
+  }
+  double at(int r, int c) const {
+    GDIM_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(c)];
+  }
+
+  /// Raw row pointer (row-major contiguous).
+  double* Row(int r) {
+    return &data_[static_cast<size_t>(r) * static_cast<size_t>(cols_)];
+  }
+  const double* Row(int r) const {
+    return &data_[static_cast<size_t>(r) * static_cast<size_t>(cols_)];
+  }
+
+  /// this * v (length cols() -> rows()).
+  std::vector<double> MatVec(const std::vector<double>& v) const;
+
+  /// this^T * v (length rows() -> cols()).
+  std::vector<double> TransposeMatVec(const std::vector<double>& v) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dot product; sizes must match.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& v);
+
+/// a += s * b.
+void Axpy(double s, const std::vector<double>& b, std::vector<double>* a);
+
+/// Scales v so that ||v||2 = 1 (no-op on the zero vector).
+void Normalize(std::vector<double>* v);
+
+}  // namespace gdim
+
+#endif  // GDIM_LA_MATRIX_H_

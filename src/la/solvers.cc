@@ -1,0 +1,157 @@
+#include "la/solvers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace gdim {
+
+std::vector<double> ConjugateGradient(const SymmetricOperator& op,
+                                      const std::vector<double>& b,
+                                      int max_iters, double tol) {
+  const size_t n = b.size();
+  std::vector<double> x(n, 0.0);
+  std::vector<double> r = b;  // r = b - A·0
+  std::vector<double> p = r;
+  double rs = Dot(r, r);
+  const double stop = tol * tol * std::max(rs, 1e-30);
+  for (int it = 0; it < max_iters && rs > stop; ++it) {
+    std::vector<double> ap = op(p);
+    double pap = Dot(p, ap);
+    if (pap <= 1e-300) break;  // numerically singular direction
+    double alpha = rs / pap;
+    Axpy(alpha, p, &x);
+    Axpy(-alpha, ap, &r);
+    double rs_new = Dot(r, r);
+    double beta = rs_new / rs;
+    for (size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rs = rs_new;
+  }
+  return x;
+}
+
+std::vector<double> LassoCoordinateDescent(
+    const std::vector<std::vector<double>>& columns,
+    const std::vector<double>& y, double lambda, int max_iters, double tol) {
+  const size_t m = columns.size();
+  const size_t n = y.size();
+  std::vector<double> w(m, 0.0);
+  std::vector<double> residual = y;  // y - Xw, with w = 0
+  std::vector<double> col_sq(m, 0.0);
+  for (size_t j = 0; j < m; ++j) {
+    GDIM_CHECK(columns[j].size() == n) << "column length mismatch";
+    col_sq[j] = Dot(columns[j], columns[j]);
+  }
+  for (int it = 0; it < max_iters; ++it) {
+    double max_delta = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      if (col_sq[j] <= 1e-300) continue;
+      // rho = x_jᵀ(residual + w_j x_j): correlation with w_j zeroed out.
+      double rho = Dot(columns[j], residual) + w[j] * col_sq[j];
+      double new_w;
+      if (rho > lambda) {
+        new_w = (rho - lambda) / col_sq[j];
+      } else if (rho < -lambda) {
+        new_w = (rho + lambda) / col_sq[j];
+      } else {
+        new_w = 0.0;
+      }
+      double delta = new_w - w[j];
+      if (delta != 0.0) {
+        Axpy(-delta, columns[j], &residual);
+        w[j] = new_w;
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+    }
+    if (max_delta < tol) break;
+  }
+  return w;
+}
+
+std::vector<int> KMeans(const std::vector<std::vector<double>>& points, int k,
+                        uint64_t seed, int max_iters) {
+  const int n = static_cast<int>(points.size());
+  GDIM_CHECK(n > 0 && k > 0);
+  k = std::min(k, n);
+  const size_t dim = points[0].size();
+  Rng rng(seed);
+
+  auto sq_dist = [dim](const std::vector<double>& a,
+                       const std::vector<double>& b) {
+    double acc = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      double d = a[i] - b[i];
+      acc += d * d;
+    }
+    return acc;
+  };
+
+  // k-means++ seeding.
+  std::vector<std::vector<double>> centers;
+  centers.push_back(points[static_cast<size_t>(
+      rng.UniformU64(static_cast<uint64_t>(n)))]);
+  std::vector<double> min_d(static_cast<size_t>(n),
+                            std::numeric_limits<double>::max());
+  while (static_cast<int>(centers.size()) < k) {
+    for (int i = 0; i < n; ++i) {
+      min_d[static_cast<size_t>(i)] =
+          std::min(min_d[static_cast<size_t>(i)],
+                   sq_dist(points[static_cast<size_t>(i)], centers.back()));
+    }
+    double total = 0.0;
+    for (double d : min_d) total += d;
+    if (total <= 0.0) {
+      // All points coincide with some center; pick arbitrarily.
+      centers.push_back(points[static_cast<size_t>(
+          rng.UniformU64(static_cast<uint64_t>(n)))]);
+      continue;
+    }
+    std::vector<double> weights(min_d.begin(), min_d.end());
+    centers.push_back(points[static_cast<size_t>(rng.WeightedIndex(weights))]);
+  }
+
+  std::vector<int> assign(static_cast<size_t>(n), 0);
+  for (int it = 0; it < max_iters; ++it) {
+    bool changed = false;
+    for (int i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        double d = sq_dist(points[static_cast<size_t>(i)],
+                           centers[static_cast<size_t>(c)]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assign[static_cast<size_t>(i)] != best) {
+        assign[static_cast<size_t>(i)] = best;
+        changed = true;
+      }
+    }
+    if (!changed && it > 0) break;
+    std::vector<std::vector<double>> sums(
+        static_cast<size_t>(k), std::vector<double>(dim, 0.0));
+    std::vector<int> counts(static_cast<size_t>(k), 0);
+    for (int i = 0; i < n; ++i) {
+      int c = assign[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(c)];
+      for (size_t d = 0; d < dim; ++d) {
+        sums[static_cast<size_t>(c)][d] += points[static_cast<size_t>(i)][d];
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;  // keep old center
+      for (size_t d = 0; d < dim; ++d) {
+        centers[static_cast<size_t>(c)][d] =
+            sums[static_cast<size_t>(c)][d] / counts[static_cast<size_t>(c)];
+      }
+    }
+  }
+  return assign;
+}
+
+}  // namespace gdim

@@ -1,0 +1,31 @@
+#ifndef GDIM_LA_SOLVERS_H_
+#define GDIM_LA_SOLVERS_H_
+
+#include <vector>
+
+#include "la/eigen.h"
+
+namespace gdim {
+
+/// Solves A x = b for a symmetric positive definite operator A by conjugate
+/// gradients. Returns the solution (best iterate on non-convergence).
+std::vector<double> ConjugateGradient(const SymmetricOperator& op,
+                                      const std::vector<double>& b,
+                                      int max_iters = 200, double tol = 1e-8);
+
+/// Coordinate-descent LASSO: minimizes 0.5·||y − Xw||² + λ·||w||₁ over w.
+/// X is given column-major as `columns` (each a length-n vector). Used by the
+/// MCFS baseline in place of LARS (same optimum family, simpler solver).
+std::vector<double> LassoCoordinateDescent(
+    const std::vector<std::vector<double>>& columns,
+    const std::vector<double>& y, double lambda, int max_iters = 100,
+    double tol = 1e-7);
+
+/// k-means on dense points with deterministic seeding (k-means++ style
+/// weighting driven by the given seed). Returns cluster assignment per point.
+std::vector<int> KMeans(const std::vector<std::vector<double>>& points, int k,
+                        uint64_t seed, int max_iters = 50);
+
+}  // namespace gdim
+
+#endif  // GDIM_LA_SOLVERS_H_

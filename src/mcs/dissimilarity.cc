@@ -1,0 +1,88 @@
+#include "mcs/dissimilarity.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+
+namespace gdim {
+
+double Delta1FromMcs(int mcs_edges, int edges_a, int edges_b) {
+  int denom = std::max(edges_a, edges_b);
+  if (denom == 0) return 0.0;  // two empty graphs are identical
+  return 1.0 - static_cast<double>(mcs_edges) / denom;
+}
+
+double Delta2FromMcs(int mcs_edges, int edges_a, int edges_b) {
+  int denom = edges_a + edges_b;
+  if (denom == 0) return 0.0;
+  return 1.0 - 2.0 * static_cast<double>(mcs_edges) / denom;
+}
+
+double GraphDissimilarity(const Graph& a, const Graph& b,
+                          DissimilarityKind kind,
+                          const McsOptions& mcs_options) {
+  int mcs = MaxCommonEdgeSubgraph(a, b, mcs_options).common_edges;
+  return kind == DissimilarityKind::kDelta1
+             ? Delta1FromMcs(mcs, a.NumEdges(), b.NumEdges())
+             : Delta2FromMcs(mcs, a.NumEdges(), b.NumEdges());
+}
+
+DissimilarityMatrix DissimilarityMatrix::FromDense(int n,
+                                                   std::vector<double> values) {
+  GDIM_CHECK(static_cast<size_t>(n) * static_cast<size_t>(n) == values.size())
+      << "dense buffer size mismatch";
+  DissimilarityMatrix m;
+  m.n_ = n;
+  m.values_ = std::move(values);
+  return m;
+}
+
+DissimilarityMatrix DissimilarityMatrix::Compute(const GraphDatabase& db,
+                                                 DissimilarityKind kind,
+                                                 const McsOptions& mcs_options,
+                                                 int threads) {
+  DissimilarityMatrix m;
+  m.n_ = static_cast<int>(db.size());
+  m.values_.assign(static_cast<size_t>(m.n_) * static_cast<size_t>(m.n_),
+                   0.0);
+  // Flatten the upper triangle into a work list for dynamic load balancing.
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<size_t>(m.n_) * (m.n_ - 1) / 2);
+  for (int i = 0; i < m.n_; ++i) {
+    for (int j = i + 1; j < m.n_; ++j) pairs.emplace_back(i, j);
+  }
+  ParallelFor(
+      0, static_cast<int>(pairs.size()),
+      [&](int k) {
+        auto [i, j] = pairs[static_cast<size_t>(k)];
+        double d = GraphDissimilarity(db[static_cast<size_t>(i)],
+                                      db[static_cast<size_t>(j)], kind,
+                                      mcs_options);
+        m.values_[static_cast<size_t>(i) * static_cast<size_t>(m.n_) +
+                  static_cast<size_t>(j)] = d;
+        m.values_[static_cast<size_t>(j) * static_cast<size_t>(m.n_) +
+                  static_cast<size_t>(i)] = d;
+      },
+      threads);
+  return m;
+}
+
+std::vector<std::vector<double>> QueryDissimilarities(
+    const GraphDatabase& queries, const GraphDatabase& db,
+    DissimilarityKind kind, const McsOptions& mcs_options, int threads) {
+  std::vector<std::vector<double>> out(
+      queries.size(), std::vector<double>(db.size(), 0.0));
+  ParallelFor(
+      0, static_cast<int>(queries.size()) * static_cast<int>(db.size()),
+      [&](int k) {
+        int qi = k / static_cast<int>(db.size());
+        int gi = k % static_cast<int>(db.size());
+        out[static_cast<size_t>(qi)][static_cast<size_t>(gi)] =
+            GraphDissimilarity(queries[static_cast<size_t>(qi)],
+                               db[static_cast<size_t>(gi)], kind, mcs_options);
+      },
+      threads);
+  return out;
+}
+
+}  // namespace gdim

@@ -1,0 +1,69 @@
+#ifndef GDIM_MCS_DISSIMILARITY_H_
+#define GDIM_MCS_DISSIMILARITY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "mcs/mcs.h"
+
+namespace gdim {
+
+/// Which MCS-based graph dissimilarity to use (Sec. 2 of the paper).
+enum class DissimilarityKind {
+  /// δ1(q,g) = 1 − |E(mcs)| / max(|E(q)|, |E(g)|)  [Bunke & Shearer].
+  kDelta1,
+  /// δ2(q,g) = 1 − 2|E(mcs)| / (|E(q)| + |E(g)|)  [Zhu et al., EDBT'12].
+  /// The paper's experiments use δ2; so do ours.
+  kDelta2,
+};
+
+/// δ1 with the given common edge count. Both-empty graphs have δ = 0.
+double Delta1FromMcs(int mcs_edges, int edges_a, int edges_b);
+
+/// δ2 with the given common edge count. Both-empty graphs have δ = 0.
+double Delta2FromMcs(int mcs_edges, int edges_a, int edges_b);
+
+/// Computes δ(a, b) including the MCS computation.
+double GraphDissimilarity(const Graph& a, const Graph& b,
+                          DissimilarityKind kind = DissimilarityKind::kDelta2,
+                          const McsOptions& mcs_options = {});
+
+/// Symmetric n×n matrix of pairwise dissimilarities, stored densely.
+/// Row-major, diag = 0. Pairwise MCS computations run in parallel.
+class DissimilarityMatrix {
+ public:
+  DissimilarityMatrix() = default;
+
+  /// Computes all pairwise dissimilarities of db.
+  static DissimilarityMatrix Compute(
+      const GraphDatabase& db,
+      DissimilarityKind kind = DissimilarityKind::kDelta2,
+      const McsOptions& mcs_options = {}, int threads = 0);
+
+  /// Wraps an existing dense row-major n×n buffer (must be symmetric with a
+  /// zero diagonal). Used when values come from an external oracle (DSPMap
+  /// blocks, synthetic tests).
+  static DissimilarityMatrix FromDense(int n, std::vector<double> values);
+
+  int size() const { return n_; }
+  double at(int i, int j) const {
+    GDIM_DCHECK(i >= 0 && i < n_ && j >= 0 && j < n_);
+    return values_[static_cast<size_t>(i) * static_cast<size_t>(n_) +
+                   static_cast<size_t>(j)];
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<double> values_;
+};
+
+/// Dissimilarities from each query to each database graph:
+/// result[qi][gi] = δ(queries[qi], db[gi]). Runs in parallel over queries.
+std::vector<std::vector<double>> QueryDissimilarities(
+    const GraphDatabase& queries, const GraphDatabase& db,
+    DissimilarityKind kind = DissimilarityKind::kDelta2,
+    const McsOptions& mcs_options = {}, int threads = 0);
+
+}  // namespace gdim
+
+#endif  // GDIM_MCS_DISSIMILARITY_H_

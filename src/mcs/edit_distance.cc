@@ -1,0 +1,188 @@
+#include "mcs/edit_distance.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gdim {
+
+namespace {
+
+class GedSearch {
+ public:
+  GedSearch(const Graph& a, const Graph& b, const EditCosts& costs,
+            uint64_t max_nodes)
+      : a_(a), b_(b), costs_(costs), max_nodes_(max_nodes) {}
+
+  GedResult Run() {
+    mapping_.assign(static_cast<size_t>(a_.NumVertices()), kUnassigned);
+    used_.assign(static_cast<size_t>(b_.NumVertices()), false);
+    best_ = UpperBoundTrivial();
+    Extend(0, 0.0);
+    GedResult result;
+    result.distance = best_;
+    result.optimal = !aborted_;
+    result.nodes = nodes_;
+    return result;
+  }
+
+ private:
+  static constexpr int kUnassigned = -2;
+  static constexpr int kEps = -1;
+
+  // Deleting everything in a and inserting everything in b is always a
+  // valid edit script — the initial incumbent.
+  double UpperBoundTrivial() const {
+    return (a_.NumVertices() + b_.NumVertices()) * costs_.vertex_indel +
+           (a_.NumEdges() + b_.NumEdges()) * costs_.edge_indel;
+  }
+
+  // Admissible bound on the remaining cost: vertices of a from `depth` on
+  // and unused vertices of b must be matched/substituted/indel'ed; edges are
+  // ignored (their cost is non-negative).
+  double RemainingLowerBound(int depth) const {
+    std::map<LabelId, int> need;  // label -> surplus in a(+) / b(-)
+    int remaining_a = 0, remaining_b = 0;
+    for (int v = depth; v < a_.NumVertices(); ++v) {
+      ++need[a_.VertexLabel(v)];
+      ++remaining_a;
+    }
+    for (int u = 0; u < b_.NumVertices(); ++u) {
+      if (used_[static_cast<size_t>(u)]) continue;
+      --need[b_.VertexLabel(u)];
+      ++remaining_b;
+    }
+    // Matched identical labels are free; the rest pay substitution (both
+    // sides present) or indel (size difference).
+    int mismatched = 0;
+    for (const auto& [label, surplus] : need) {
+      mismatched += std::abs(surplus);
+    }
+    int size_diff = std::abs(remaining_a - remaining_b);
+    int substitutions = (mismatched - size_diff) / 2;
+    return substitutions *
+               std::min(costs_.vertex_substitution, 2.0 * costs_.vertex_indel) +
+           size_diff * costs_.vertex_indel;
+  }
+
+  // Cost of the edges finalized by deciding vertex pv: edges from pv to
+  // already-decided vertices of a, compared with the image edges.
+  double EdgeCost(VertexId pv, int image) const {
+    double cost = 0.0;
+    for (const AdjEntry& e : a_.Neighbors(pv)) {
+      if (e.neighbor >= pv || mapping_[static_cast<size_t>(e.neighbor)] ==
+                                  kUnassigned) {
+        continue;  // scored when the later endpoint is decided
+      }
+      int other = mapping_[static_cast<size_t>(e.neighbor)];
+      if (image == kEps || other == kEps) {
+        cost += costs_.edge_indel;  // edge of a has no image
+        continue;
+      }
+      EdgeId te = b_.FindEdge(image, other);
+      if (te < 0) {
+        cost += costs_.edge_indel;
+      } else if (b_.GetEdge(te).label != e.edge_label) {
+        cost += costs_.edge_substitution;
+      }
+    }
+    if (image != kEps) {
+      // Edges of b between image and already-used vertices that have no
+      // pre-image edge: insertions.
+      for (const AdjEntry& e : b_.Neighbors(image)) {
+        if (!used_[static_cast<size_t>(e.neighbor)]) continue;
+        // Find the pre-image of e.neighbor among decided vertices of a.
+        int pre = -1;
+        for (int v = 0; v < pv; ++v) {
+          if (mapping_[static_cast<size_t>(v)] == e.neighbor) {
+            pre = v;
+            break;
+          }
+        }
+        if (pre < 0) continue;  // neighbor used by nothing before pv: skip
+        if (a_.FindEdge(pv, pre) < 0) cost += costs_.edge_indel;
+      }
+    }
+    return cost;
+  }
+
+  // Cost of inserting all edges of b among unused vertices once every vertex
+  // of a is decided.
+  double TailInsertionCost() const {
+    double cost = 0.0;
+    for (const Edge& e : b_.edges()) {
+      bool u_used = used_[static_cast<size_t>(e.u)];
+      bool v_used = used_[static_cast<size_t>(e.v)];
+      if (!u_used || !v_used) {
+        // At least one endpoint will be an inserted vertex; the edge must be
+        // inserted too — but only count it once, at the leaf.
+        cost += costs_.edge_indel;
+      }
+    }
+    return cost;
+  }
+
+  void Extend(int depth, double cost) {
+    if (max_nodes_ != 0 && nodes_ >= max_nodes_) {
+      aborted_ = true;
+      return;
+    }
+    ++nodes_;
+    if (cost + RemainingLowerBound(depth) >= best_) return;
+    if (depth == a_.NumVertices()) {
+      // Unused vertices of b are insertions; edges of b with an unused
+      // endpoint are insertions as well.
+      double leaf = cost + TailInsertionCost();
+      for (int u = 0; u < b_.NumVertices(); ++u) {
+        if (!used_[static_cast<size_t>(u)]) leaf += costs_.vertex_indel;
+      }
+      best_ = std::min(best_, leaf);
+      return;
+    }
+    VertexId pv = depth;
+    // Substitution / identity branches.
+    for (int u = 0; u < b_.NumVertices(); ++u) {
+      if (used_[static_cast<size_t>(u)]) continue;
+      double vc = a_.VertexLabel(pv) == b_.VertexLabel(u)
+                      ? 0.0
+                      : costs_.vertex_substitution;
+      mapping_[static_cast<size_t>(pv)] = u;
+      used_[static_cast<size_t>(u)] = true;
+      Extend(depth + 1, cost + vc + EdgeCost(pv, u));
+      used_[static_cast<size_t>(u)] = false;
+      mapping_[static_cast<size_t>(pv)] = kUnassigned;
+      if (aborted_) return;
+    }
+    // Deletion branch.
+    mapping_[static_cast<size_t>(pv)] = kEps;
+    Extend(depth + 1,
+           cost + costs_.vertex_indel + EdgeCost(pv, kEps));
+    mapping_[static_cast<size_t>(pv)] = kUnassigned;
+  }
+
+  const Graph& a_;
+  const Graph& b_;
+  EditCosts costs_;
+  uint64_t max_nodes_;
+  std::vector<int> mapping_;
+  std::vector<bool> used_;
+  double best_ = std::numeric_limits<double>::max();
+  uint64_t nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+GedResult GraphEditDistance(const Graph& a, const Graph& b,
+                            const EditCosts& costs, uint64_t max_nodes) {
+  GDIM_CHECK(costs.vertex_substitution >= 0 && costs.vertex_indel >= 0 &&
+             costs.edge_substitution >= 0 && costs.edge_indel >= 0)
+      << "edit costs must be non-negative";
+  GedSearch search(a, b, costs, max_nodes);
+  return search.Run();
+}
+
+}  // namespace gdim

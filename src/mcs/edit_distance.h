@@ -1,0 +1,38 @@
+#ifndef GDIM_MCS_EDIT_DISTANCE_H_
+#define GDIM_MCS_EDIT_DISTANCE_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace gdim {
+
+/// Edit operation costs for labeled graph edit distance. Defaults give the
+/// common uniform-cost model.
+struct EditCosts {
+  double vertex_substitution = 1.0;  ///< relabel a vertex
+  double vertex_indel = 1.0;         ///< insert or delete a vertex
+  double edge_substitution = 1.0;    ///< relabel an edge
+  double edge_indel = 1.0;           ///< insert or delete an edge
+};
+
+/// Result of a graph edit distance computation.
+struct GedResult {
+  double distance = 0.0;
+  bool optimal = true;   ///< false if the node budget was exhausted
+  uint64_t nodes = 0;    ///< branch-and-bound nodes visited
+};
+
+/// Exact graph edit distance between two undirected labeled graphs by
+/// branch and bound over vertex correspondences (vertices of `a` map to
+/// vertices of `b` or to ε), with an admissible label-multiset lower bound.
+/// GED is the second NP-hard similarity the paper names (besides MCS);
+/// exact computation is only feasible for small graphs — exactly this
+/// problem domain. max_nodes = 0 means unlimited.
+GedResult GraphEditDistance(const Graph& a, const Graph& b,
+                            const EditCosts& costs = {},
+                            uint64_t max_nodes = 0);
+
+}  // namespace gdim
+
+#endif  // GDIM_MCS_EDIT_DISTANCE_H_

@@ -1,0 +1,159 @@
+#include "mcs/max_clique.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace gdim {
+
+BitsetGraph::BitsetGraph(int n) : n_(n), words_((static_cast<size_t>(n) + 63) / 64) {
+  GDIM_CHECK(n >= 0);
+  rows_.assign(static_cast<size_t>(n) * words_, 0);
+}
+
+void BitsetGraph::AddEdge(int u, int v) {
+  GDIM_DCHECK(u >= 0 && u < n_ && v >= 0 && v < n_ && u != v);
+  rows_[static_cast<size_t>(u) * words_ + static_cast<size_t>(v >> 6)] |=
+      1ULL << (v & 63);
+  rows_[static_cast<size_t>(v) * words_ + static_cast<size_t>(u >> 6)] |=
+      1ULL << (u & 63);
+}
+
+int BitsetGraph::Degree(int v) const {
+  const uint64_t* row = Row(v);
+  int deg = 0;
+  for (size_t w = 0; w < words_; ++w) deg += __builtin_popcountll(row[w]);
+  return deg;
+}
+
+namespace {
+
+// Branch-and-bound state. Candidate sets are passed as explicit vertex
+// vectors (already intersected with the current clique's neighborhoods).
+class CliqueSearch {
+ public:
+  CliqueSearch(const BitsetGraph& g, int stop_at, uint64_t max_nodes)
+      : g_(g), stop_at_(stop_at), max_nodes_(max_nodes) {}
+
+  MaxCliqueResult Run() {
+    std::vector<int> all(static_cast<size_t>(g_.n()));
+    std::iota(all.begin(), all.end(), 0);
+    // Initial order: descending degree helps the first coloring.
+    std::sort(all.begin(), all.end(),
+              [this](int a, int b) { return g_.Degree(a) > g_.Degree(b); });
+    Expand(all);
+    MaxCliqueResult result;
+    result.size = best_;
+    result.vertices = best_clique_;
+    result.optimal = !aborted_;
+    result.nodes = nodes_;
+    return result;
+  }
+
+ private:
+  bool Done() const {
+    return aborted_ || (stop_at_ > 0 && best_ >= stop_at_);
+  }
+
+  // Greedy sequential coloring of candidates; returns them reordered by
+  // color (ascending) with matching color numbers. The classic bound: a
+  // clique within `cands` cannot exceed the number of colors.
+  void ColorSort(const std::vector<int>& cands, std::vector<int>* ordered,
+                 std::vector<int>* colors) const {
+    const size_t words = g_.words();
+    // color_classes[c] holds a bitmask of vertices already in color c.
+    std::vector<std::vector<uint64_t>> class_bits;
+    std::vector<std::vector<int>> class_members;
+    for (int v : cands) {
+      const uint64_t* row = g_.Row(v);
+      size_t c = 0;
+      for (; c < class_bits.size(); ++c) {
+        // v can join class c iff it conflicts with no member: row ∩ class = ∅.
+        bool conflict = false;
+        const uint64_t* bits = class_bits[c].data();
+        for (size_t w = 0; w < words; ++w) {
+          if (row[w] & bits[w]) {
+            conflict = true;
+            break;
+          }
+        }
+        if (!conflict) break;
+      }
+      if (c == class_bits.size()) {
+        class_bits.emplace_back(words, 0);
+        class_members.emplace_back();
+      }
+      class_bits[c][static_cast<size_t>(v >> 6)] |= 1ULL << (v & 63);
+      class_members[c].push_back(v);
+    }
+    ordered->clear();
+    colors->clear();
+    for (size_t c = 0; c < class_members.size(); ++c) {
+      for (int v : class_members[c]) {
+        ordered->push_back(v);
+        colors->push_back(static_cast<int>(c) + 1);
+      }
+    }
+  }
+
+  void Expand(const std::vector<int>& cands) {
+    if (max_nodes_ != 0 && nodes_ >= max_nodes_) {
+      aborted_ = true;
+      return;
+    }
+    ++nodes_;
+    if (cands.empty()) {
+      if (static_cast<int>(current_.size()) > best_) {
+        best_ = static_cast<int>(current_.size());
+        best_clique_ = current_;
+      }
+      return;
+    }
+    std::vector<int> ordered, colors;
+    ColorSort(cands, &ordered, &colors);
+    // Iterate from the highest color down (classic Tomita order).
+    for (int i = static_cast<int>(ordered.size()) - 1; i >= 0; --i) {
+      if (Done()) return;
+      if (static_cast<int>(current_.size()) + colors[static_cast<size_t>(i)] <=
+          best_) {
+        return;  // all remaining have smaller/equal color: prune branch
+      }
+      int v = ordered[static_cast<size_t>(i)];
+      current_.push_back(v);
+      // New candidates: earlier-ordered vertices adjacent to v.
+      std::vector<int> next;
+      next.reserve(static_cast<size_t>(i));
+      for (int j = 0; j < i; ++j) {
+        int u = ordered[static_cast<size_t>(j)];
+        if (g_.HasEdge(v, u)) next.push_back(u);
+      }
+      Expand(next);
+      current_.pop_back();
+      if (static_cast<int>(current_.size()) + colors[static_cast<size_t>(i)] <=
+              best_ ||
+          Done()) {
+        return;
+      }
+    }
+  }
+
+  const BitsetGraph& g_;
+  int stop_at_ = 0;
+  uint64_t max_nodes_ = 0;
+  std::vector<int> current_;
+  std::vector<int> best_clique_;
+  int best_ = 0;
+  uint64_t nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+MaxCliqueResult MaxClique(const BitsetGraph& g, int stop_at,
+                          uint64_t max_nodes) {
+  CliqueSearch search(g, stop_at, max_nodes);
+  return search.Run();
+}
+
+}  // namespace gdim

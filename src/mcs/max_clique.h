@@ -1,0 +1,55 @@
+#ifndef GDIM_MCS_MAX_CLIQUE_H_
+#define GDIM_MCS_MAX_CLIQUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gdim {
+
+/// A dense undirected graph over vertices 0..n-1 with bitset adjacency,
+/// built for the maximum-clique solver (product graphs are dense).
+class BitsetGraph {
+ public:
+  explicit BitsetGraph(int n);
+
+  int n() const { return n_; }
+  void AddEdge(int u, int v);
+  bool HasEdge(int u, int v) const {
+    return (rows_[static_cast<size_t>(u) * words_ +
+                  static_cast<size_t>(v >> 6)] >>
+            (v & 63)) &
+           1ULL;
+  }
+  int Degree(int v) const;
+
+  /// Row pointer for intersection operations (words() 64-bit words).
+  const uint64_t* Row(int v) const {
+    return &rows_[static_cast<size_t>(v) * words_];
+  }
+  size_t words() const { return words_; }
+
+ private:
+  int n_ = 0;
+  size_t words_ = 0;
+  std::vector<uint64_t> rows_;
+};
+
+/// Result of a maximum clique search.
+struct MaxCliqueResult {
+  int size = 0;                ///< best clique size found
+  std::vector<int> vertices;   ///< one maximum clique
+  bool optimal = true;         ///< false if the node budget was exhausted
+  uint64_t nodes = 0;          ///< branch-and-bound nodes visited
+};
+
+/// Tomita-style branch and bound (MCS/MCR family): candidates are greedily
+/// colored each expansion and pruned by size + color bound. `stop_at` allows
+/// early exit once a clique of that size is found (0 = run to optimality);
+/// `max_nodes` bounds the search (0 = unlimited).
+MaxCliqueResult MaxClique(const BitsetGraph& g, int stop_at = 0,
+                          uint64_t max_nodes = 0);
+
+}  // namespace gdim
+
+#endif  // GDIM_MCS_MAX_CLIQUE_H_

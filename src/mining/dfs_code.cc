@@ -1,0 +1,259 @@
+#include "mining/dfs_code.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace gdim {
+
+std::string DfsEdge::ToString() const {
+  std::ostringstream os;
+  os << "(" << from << "," << to << "," << from_label << "," << edge_label
+     << "," << to_label << ")";
+  return os.str();
+}
+
+bool ExtensionLess(const DfsEdge& a, const DfsEdge& b) {
+  const bool af = a.IsForward();
+  const bool bf = b.IsForward();
+  if (!af && !bf) {  // both backward: same `from` (the rightmost vertex)
+    if (a.to != b.to) return a.to < b.to;
+    return a.edge_label < b.edge_label;
+  }
+  if (af && bf) {  // both forward: same `to` (the next DFS id)
+    if (a.from != b.from) return a.from > b.from;
+    return std::tie(a.from_label, a.edge_label, a.to_label) <
+           std::tie(b.from_label, b.edge_label, b.to_label);
+  }
+  return !af;  // backward ≺ forward
+}
+
+Graph CodeToGraph(const DfsCode& code) {
+  Graph g;
+  // Collect labels first (ids appear in increasing order for forward edges).
+  int max_id = -1;
+  for (const DfsEdge& e : code) max_id = std::max({max_id, e.from, e.to});
+  std::vector<int> labels(static_cast<size_t>(max_id + 1), -1);
+  for (const DfsEdge& e : code) {
+    if (labels[static_cast<size_t>(e.from)] < 0) {
+      labels[static_cast<size_t>(e.from)] = e.from_label;
+    }
+    if (labels[static_cast<size_t>(e.to)] < 0) {
+      labels[static_cast<size_t>(e.to)] = e.to_label;
+    }
+  }
+  for (int i = 0; i <= max_id; ++i) {
+    GDIM_CHECK(labels[static_cast<size_t>(i)] >= 0)
+        << "DFS code never labels vertex " << i;
+    g.AddVertex(static_cast<LabelId>(labels[static_cast<size_t>(i)]));
+  }
+  for (const DfsEdge& e : code) {
+    g.AddEdge(e.from, e.to, static_cast<LabelId>(e.edge_label));
+  }
+  return g;
+}
+
+std::vector<int> RightmostPath(const DfsCode& code) {
+  std::vector<int> rmpath;
+  int target = -1;  // rightmost vertex; walk forward edges backwards
+  for (int i = static_cast<int>(code.size()) - 1; i >= 0; --i) {
+    const DfsEdge& e = code[static_cast<size_t>(i)];
+    if (!e.IsForward()) continue;
+    if (target < 0 || e.to == target) {
+      rmpath.push_back(i);
+      target = e.from;
+    }
+  }
+  std::reverse(rmpath.begin(), rmpath.end());
+  return rmpath;
+}
+
+namespace {
+
+// Embedding of a partial DFS code onto the pattern graph itself, used by the
+// minimality check. Each step stores the graph edge used and its orientation.
+struct SelfEmbedding {
+  int gu = 0;    // image of the code edge's `from`
+  int gv = 0;    // image of the code edge's `to`
+  int edge = 0;  // pattern edge id
+  int prev = -1;
+};
+
+struct SelfHistory {
+  std::vector<bool> edge_used;
+  std::vector<int> image;  // DFS id -> pattern vertex (-1 if none)
+  std::vector<int> preimage;  // pattern vertex -> DFS id (-1 if none)
+};
+
+// Rebuilds history by walking the prev chain. ids: number of DFS ids so far.
+SelfHistory BuildHistory(const Graph& g, const std::vector<std::vector<SelfEmbedding>>& arenas,
+                         const DfsCode& code, int last_step, int emb_index) {
+  SelfHistory h;
+  h.edge_used.assign(static_cast<size_t>(g.NumEdges()), false);
+  int max_id = 0;
+  for (const DfsEdge& e : code) max_id = std::max({max_id, e.from, e.to});
+  h.image.assign(static_cast<size_t>(max_id + 1), -1);
+  h.preimage.assign(static_cast<size_t>(g.NumVertices()), -1);
+  int step = last_step;
+  int idx = emb_index;
+  while (step >= 0) {
+    const SelfEmbedding& emb = arenas[static_cast<size_t>(step)][static_cast<size_t>(idx)];
+    h.edge_used[static_cast<size_t>(emb.edge)] = true;
+    const DfsEdge& ce = code[static_cast<size_t>(step)];
+    h.image[static_cast<size_t>(ce.from)] = emb.gu;
+    h.image[static_cast<size_t>(ce.to)] = emb.gv;
+    h.preimage[static_cast<size_t>(emb.gu)] = ce.from;
+    h.preimage[static_cast<size_t>(emb.gv)] = ce.to;
+    idx = emb.prev;
+    --step;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool IsMinimalDfsCode(const DfsCode& code) {
+  if (code.empty()) return true;
+  const Graph g = CodeToGraph(code);
+
+  // Step 0: the minimal single-edge tuple over all edges of g.
+  DfsEdge min0;
+  bool have0 = false;
+  for (const Edge& e : g.edges()) {
+    for (int dir = 0; dir < 2; ++dir) {
+      int a = dir == 0 ? e.u : e.v;
+      int b = dir == 0 ? e.v : e.u;
+      DfsEdge cand{0, 1, static_cast<int>(g.VertexLabel(a)),
+                   static_cast<int>(e.label),
+                   static_cast<int>(g.VertexLabel(b))};
+      if (!have0 || std::tie(cand.from_label, cand.edge_label, cand.to_label) <
+                        std::tie(min0.from_label, min0.edge_label,
+                                 min0.to_label)) {
+        min0 = cand;
+        have0 = true;
+      }
+    }
+  }
+  if (std::tie(min0.from_label, min0.edge_label, min0.to_label) !=
+      std::tie(code[0].from_label, code[0].edge_label, code[0].to_label)) {
+    return false;  // the minimal code starts with a strictly smaller tuple
+  }
+
+  // Arena of embeddings per step; grow the minimal code greedily.
+  std::vector<std::vector<SelfEmbedding>> arenas(code.size());
+  for (const Edge& e : g.edges()) {
+    for (int dir = 0; dir < 2; ++dir) {
+      int a = dir == 0 ? e.u : e.v;
+      int b = dir == 0 ? e.v : e.u;
+      if (static_cast<int>(g.VertexLabel(a)) == min0.from_label &&
+          static_cast<int>(e.label) == min0.edge_label &&
+          static_cast<int>(g.VertexLabel(b)) == min0.to_label) {
+        EdgeId eid = g.FindEdge(a, b);
+        arenas[0].push_back(SelfEmbedding{a, b, eid, -1});
+      }
+    }
+  }
+
+  DfsCode min_code{min0};
+  for (size_t step = 1; step < code.size(); ++step) {
+    std::vector<int> rmpath = RightmostPath(min_code);
+    int max_id = 0;
+    for (const DfsEdge& e : min_code) {
+      max_id = std::max({max_id, e.from, e.to});
+    }
+    const int rm_vertex =
+        min_code[static_cast<size_t>(rmpath.back())].to;  // rightmost DFS id
+
+    DfsEdge best;
+    bool have_best = false;
+    std::vector<SelfEmbedding> best_embs;
+
+    const auto& prev_arena = arenas[step - 1];
+    for (size_t idx = 0; idx < prev_arena.size(); ++idx) {
+      SelfHistory h =
+          BuildHistory(g, arenas, min_code, static_cast<int>(step) - 1,
+                       static_cast<int>(idx));
+      int rm_image = h.image[static_cast<size_t>(rm_vertex)];
+      // Backward extensions: rightmost vertex -> vertex on rmpath.
+      for (const AdjEntry& adj :
+           g.Neighbors(static_cast<VertexId>(rm_image))) {
+        if (h.edge_used[static_cast<size_t>(adj.edge)]) continue;
+        int pre = h.preimage[static_cast<size_t>(adj.neighbor)];
+        if (pre < 0) continue;  // forward handled below
+        // Only rmpath vertices produce valid backward growth.
+        bool on_rmpath = false;
+        for (int pos : rmpath) {
+          if (min_code[static_cast<size_t>(pos)].from == pre ||
+              min_code[static_cast<size_t>(pos)].to == pre) {
+            on_rmpath = true;
+            break;
+          }
+        }
+        if (!on_rmpath || pre == rm_vertex) continue;
+        DfsEdge cand{rm_vertex, pre,
+                     static_cast<int>(g.VertexLabel(
+                         static_cast<VertexId>(rm_image))),
+                     static_cast<int>(adj.edge_label),
+                     static_cast<int>(g.VertexLabel(adj.neighbor))};
+        if (!have_best || ExtensionLess(cand, best)) {
+          best = cand;
+          have_best = true;
+          best_embs.clear();
+        }
+        if (cand == best) {
+          best_embs.push_back(SelfEmbedding{rm_image, adj.neighbor,
+                                            adj.edge,
+                                            static_cast<int>(idx)});
+        }
+      }
+      // Forward extensions from every vertex on the rightmost path.
+      std::vector<int> rm_ids;
+      rm_ids.push_back(min_code[static_cast<size_t>(rmpath.front())].from);
+      for (int pos : rmpath) {
+        rm_ids.push_back(min_code[static_cast<size_t>(pos)].to);
+      }
+      for (auto it = rm_ids.rbegin(); it != rm_ids.rend(); ++it) {
+        int from_id = *it;
+        int from_image = h.image[static_cast<size_t>(from_id)];
+        for (const AdjEntry& adj :
+             g.Neighbors(static_cast<VertexId>(from_image))) {
+          if (h.preimage[static_cast<size_t>(adj.neighbor)] >= 0) continue;
+          DfsEdge cand{from_id, max_id + 1,
+                       static_cast<int>(g.VertexLabel(
+                           static_cast<VertexId>(from_image))),
+                       static_cast<int>(adj.edge_label),
+                       static_cast<int>(g.VertexLabel(adj.neighbor))};
+          if (!have_best || ExtensionLess(cand, best)) {
+            best = cand;
+            have_best = true;
+            best_embs.clear();
+          }
+          if (cand == best) {
+            best_embs.push_back(SelfEmbedding{from_image, adj.neighbor,
+                                              adj.edge,
+                                              static_cast<int>(idx)});
+          }
+        }
+      }
+    }
+    GDIM_CHECK(have_best) << "valid DFS code must admit an extension";
+    const DfsEdge& expected = code[step];
+    // Compare with the given code's edge at this position.
+    if (best.from != expected.from || best.to != expected.to ||
+        std::tie(best.from_label, best.edge_label, best.to_label) !=
+            std::tie(expected.from_label, expected.edge_label,
+                     expected.to_label)) {
+      // The greedy minimal code diverges; it is strictly smaller iff its
+      // edge is smaller, which must be the case since `code` is valid.
+      return false;
+    }
+    arenas[step] = std::move(best_embs);
+    min_code.push_back(best);
+  }
+  return true;
+}
+
+}  // namespace gdim

@@ -1,0 +1,58 @@
+#ifndef GDIM_MINING_DFS_CODE_H_
+#define GDIM_MINING_DFS_CODE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gdim {
+
+/// One entry of a gSpan DFS code: an edge (from, to) between DFS discovery
+/// ids, annotated with the vertex/edge labels. Forward edges have
+/// from < to (to is a newly discovered vertex); backward edges have
+/// from > to.
+struct DfsEdge {
+  int from = 0;
+  int to = 0;
+  int from_label = 0;
+  int edge_label = 0;
+  int to_label = 0;
+
+  bool IsForward() const { return from < to; }
+
+  friend bool operator==(const DfsEdge& a, const DfsEdge& b) = default;
+
+  /// "(0,1,2,0,3)" for debugging.
+  std::string ToString() const;
+};
+
+/// A DFS code: the sequence of edges in DFS discovery order.
+using DfsCode = std::vector<DfsEdge>;
+
+/// gSpan's DFS-lexicographic order on two *extension* edges of the same code
+/// (both grown from the same rightmost path). Returns true iff a ≺ b.
+///
+/// Rules (gSpan, Yan & Han ICDM'02):
+///  - both backward: smaller `to` first, then smaller edge label;
+///  - both forward: larger `from` first (deeper on the rightmost path), then
+///    smaller labels;
+///  - backward precedes forward.
+bool ExtensionLess(const DfsEdge& a, const DfsEdge& b);
+
+/// Reconstructs the pattern graph from a DFS code. Vertex i of the result is
+/// DFS id i.
+Graph CodeToGraph(const DfsCode& code);
+
+/// Positions (indices into code) of the forward edges forming the rightmost
+/// path, ordered from the root down to the rightmost vertex.
+std::vector<int> RightmostPath(const DfsCode& code);
+
+/// True iff code is the canonical (minimum) DFS code of its pattern graph.
+/// Implemented by greedily constructing the minimal code of CodeToGraph(code)
+/// and comparing step by step.
+bool IsMinimalDfsCode(const DfsCode& code);
+
+}  // namespace gdim
+
+#endif  // GDIM_MINING_DFS_CODE_H_

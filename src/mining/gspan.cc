@@ -1,0 +1,244 @@
+#include "mining/gspan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gdim {
+
+namespace {
+
+// One step of an embedding of the current DFS code into a database graph.
+// Steps form chains via prev (index into the previous step's arena).
+struct Emb {
+  int gid = 0;   // database graph index
+  int gu = 0;    // image of the code edge's `from`
+  int gv = 0;    // image of the code edge's `to`
+  int edge = 0;  // edge id within the database graph
+  int prev = -1;
+};
+
+// History of one embedding chain: used edges and the DFS-id <-> graph-vertex
+// correspondence, rebuilt by walking prev pointers.
+struct History {
+  std::vector<bool> edge_used;
+  std::vector<int> image;     // DFS id -> graph vertex, -1 if none
+  std::vector<int> preimage;  // graph vertex -> DFS id, -1 if none
+};
+
+// Comparator giving extensions a deterministic DFS-lexicographic order.
+struct ExtensionOrder {
+  bool operator()(const DfsEdge& a, const DfsEdge& b) const {
+    return ExtensionLess(a, b);
+  }
+};
+
+class GSpanMiner {
+ public:
+  GSpanMiner(const GraphDatabase& db, const MiningOptions& options)
+      : db_(db), options_(options) {
+    min_count_ =
+        options.min_support_count > 0
+            ? options.min_support_count
+            : std::max(1, static_cast<int>(std::ceil(
+                              options.min_support * db.size() - 1e-9)));
+  }
+
+  std::vector<FrequentPattern> Mine() {
+    // Frequent single-edge seeds, keyed by canonical (lu, le, lv) triple
+    // with lu <= lv.
+    std::map<std::tuple<int, int, int>, std::vector<Emb>> seeds;
+    std::map<std::tuple<int, int, int>, std::set<int>> seed_support;
+    for (int gid = 0; gid < static_cast<int>(db_.size()); ++gid) {
+      const Graph& g = db_[static_cast<size_t>(gid)];
+      for (const Edge& e : g.edges()) {
+        int lu = static_cast<int>(g.VertexLabel(e.u));
+        int lv = static_cast<int>(g.VertexLabel(e.v));
+        int le = static_cast<int>(e.label);
+        auto key = std::make_tuple(std::min(lu, lv), le, std::max(lu, lv));
+        seed_support[key].insert(gid);
+        // Both orientations when the tuple is used as code (0,1,a,e,b) with
+        // a = min label: the embedding fixes which endpoint plays DFS id 0.
+        EdgeId eid = g.FindEdge(e.u, e.v);
+        if (lu == std::min(lu, lv)) {
+          seeds[key].push_back(Emb{gid, e.u, e.v, eid, -1});
+        }
+        if (lv == std::min(lu, lv)) {
+          seeds[key].push_back(Emb{gid, e.v, e.u, eid, -1});
+        }
+      }
+    }
+    for (auto& [key, support] : seed_support) {
+      if (static_cast<int>(support.size()) < min_count_) continue;
+      auto [lu, le, lv] = key;
+      DfsCode code{DfsEdge{0, 1, lu, le, lv}};
+      arenas_.assign(1, std::move(seeds[key]));
+      Grow(code);
+      if (Full()) break;
+    }
+    return std::move(results_);
+  }
+
+ private:
+  bool Full() const {
+    return options_.max_patterns > 0 &&
+           static_cast<int>(results_.size()) >= options_.max_patterns;
+  }
+
+  History BuildHistory(const DfsCode& code, int step, int idx) const {
+    History h;
+    const int gid = arenas_[static_cast<size_t>(step)]
+                           [static_cast<size_t>(idx)].gid;
+    const Graph& g = db_[static_cast<size_t>(gid)];
+    h.edge_used.assign(static_cast<size_t>(g.NumEdges()), false);
+    int max_id = 0;
+    for (const DfsEdge& e : code) max_id = std::max({max_id, e.from, e.to});
+    h.image.assign(static_cast<size_t>(max_id + 1), -1);
+    h.preimage.assign(static_cast<size_t>(g.NumVertices()), -1);
+    int s = step, i = idx;
+    while (s >= 0) {
+      const Emb& emb = arenas_[static_cast<size_t>(s)][static_cast<size_t>(i)];
+      h.edge_used[static_cast<size_t>(emb.edge)] = true;
+      const DfsEdge& ce = code[static_cast<size_t>(s)];
+      h.image[static_cast<size_t>(ce.from)] = emb.gu;
+      h.image[static_cast<size_t>(ce.to)] = emb.gv;
+      h.preimage[static_cast<size_t>(emb.gu)] = ce.from;
+      h.preimage[static_cast<size_t>(emb.gv)] = ce.to;
+      i = emb.prev;
+      --s;
+    }
+    return h;
+  }
+
+  // Recursive gSpan growth. arenas_[k] holds all embeddings of code[0..k].
+  void Grow(DfsCode& code) {
+    if (!IsMinimalDfsCode(code)) return;
+    Record(code);
+    if (Full()) return;
+    if (static_cast<int>(code.size()) >= options_.max_edges) return;
+
+    const std::vector<int> rmpath = RightmostPath(code);
+    int max_id = 0;
+    for (const DfsEdge& e : code) max_id = std::max({max_id, e.from, e.to});
+    const int rm_vertex = code[static_cast<size_t>(rmpath.back())].to;
+    std::vector<int> rm_ids;  // DFS ids along the rightmost path, root first
+    rm_ids.push_back(code[static_cast<size_t>(rmpath.front())].from);
+    for (int pos : rmpath) {
+      rm_ids.push_back(code[static_cast<size_t>(pos)].to);
+    }
+
+    std::map<DfsEdge, std::vector<Emb>, ExtensionOrder> extensions;
+    const int step = static_cast<int>(code.size()) - 1;
+    const auto& arena = arenas_[static_cast<size_t>(step)];
+    for (int idx = 0; idx < static_cast<int>(arena.size()); ++idx) {
+      const int gid = arena[static_cast<size_t>(idx)].gid;
+      const Graph& g = db_[static_cast<size_t>(gid)];
+      History h = BuildHistory(code, step, idx);
+      const int rm_image = h.image[static_cast<size_t>(rm_vertex)];
+
+      // Backward extensions: rightmost vertex to a rightmost-path vertex.
+      for (const AdjEntry& adj :
+           g.Neighbors(static_cast<VertexId>(rm_image))) {
+        if (h.edge_used[static_cast<size_t>(adj.edge)]) continue;
+        int pre = h.preimage[static_cast<size_t>(adj.neighbor)];
+        if (pre < 0 || pre == rm_vertex) continue;
+        bool on_rmpath =
+            std::find(rm_ids.begin(), rm_ids.end(), pre) != rm_ids.end();
+        if (!on_rmpath) continue;
+        DfsEdge ext{rm_vertex, pre,
+                    static_cast<int>(g.VertexLabel(
+                        static_cast<VertexId>(rm_image))),
+                    static_cast<int>(adj.edge_label),
+                    static_cast<int>(g.VertexLabel(adj.neighbor))};
+        extensions[ext].push_back(
+            Emb{gid, rm_image, adj.neighbor, adj.edge, idx});
+      }
+      // Forward extensions from every rightmost-path vertex.
+      for (int from_id : rm_ids) {
+        int from_image = h.image[static_cast<size_t>(from_id)];
+        for (const AdjEntry& adj :
+             g.Neighbors(static_cast<VertexId>(from_image))) {
+          if (h.preimage[static_cast<size_t>(adj.neighbor)] >= 0) continue;
+          DfsEdge ext{from_id, max_id + 1,
+                      static_cast<int>(g.VertexLabel(
+                          static_cast<VertexId>(from_image))),
+                      static_cast<int>(adj.edge_label),
+                      static_cast<int>(g.VertexLabel(adj.neighbor))};
+          extensions[ext].push_back(
+              Emb{gid, from_image, adj.neighbor, adj.edge, idx});
+        }
+      }
+    }
+
+    for (auto& [ext, embs] : extensions) {
+      // Support = number of distinct database graphs in the embedding list.
+      int support = CountDistinctGraphs(embs);
+      if (support < min_count_) continue;
+      code.push_back(ext);
+      arenas_.push_back(std::move(embs));
+      Grow(code);
+      arenas_.pop_back();
+      code.pop_back();
+      if (Full()) return;
+    }
+  }
+
+  static int CountDistinctGraphs(const std::vector<Emb>& embs) {
+    int count = 0;
+    int last = -1;
+    // Embeddings are appended in gid order (the arena scan is gid-ordered),
+    // so distinct gids are consecutive runs.
+    for (const Emb& e : embs) {
+      if (e.gid != last) {
+        ++count;
+        last = e.gid;
+      }
+    }
+    return count;
+  }
+
+  void Record(const DfsCode& code) {
+    FrequentPattern p;
+    p.code = code;
+    p.graph = CodeToGraph(code);
+    const auto& arena = arenas_.back();
+    int last = -1;
+    for (const Emb& e : arena) {
+      if (e.gid != last) {
+        p.support.push_back(e.gid);
+        last = e.gid;
+      }
+    }
+    results_.push_back(std::move(p));
+  }
+
+  const GraphDatabase& db_;
+  MiningOptions options_;
+  int min_count_ = 1;
+  std::vector<std::vector<Emb>> arenas_;
+  std::vector<FrequentPattern> results_;
+};
+
+}  // namespace
+
+Result<std::vector<FrequentPattern>> MineFrequentSubgraphs(
+    const GraphDatabase& db, const MiningOptions& options) {
+  if (options.min_support <= 0.0 || options.min_support > 1.0) {
+    if (options.min_support_count <= 0) {
+      return Status::InvalidArgument(
+          "min_support must be in (0,1] or min_support_count > 0");
+    }
+  }
+  if (options.max_edges < 1) {
+    return Status::InvalidArgument("max_edges must be >= 1");
+  }
+  GSpanMiner miner(db, options);
+  return miner.Mine();
+}
+
+}  // namespace gdim

@@ -1,0 +1,57 @@
+#ifndef GDIM_MINING_GSPAN_H_
+#define GDIM_MINING_GSPAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "mining/dfs_code.h"
+
+namespace gdim {
+
+/// Parameters of frequent subgraph mining.
+struct MiningOptions {
+  /// Minimum support as a fraction τ of |DG| (paper default 5%). A pattern f
+  /// is frequent iff |sup(f)| >= ceil(τ · n). Ignored if
+  /// min_support_count > 0.
+  double min_support = 0.05;
+
+  /// Absolute minimum support count; overrides min_support when > 0.
+  int min_support_count = 0;
+
+  /// Maximum pattern size in edges (size-bounded mining, as in gIndex);
+  /// keeps the candidate feature set F moderate.
+  int max_edges = 7;
+
+  /// Safety cap on the number of reported patterns; 0 = unlimited.
+  int max_patterns = 0;
+};
+
+/// A mined frequent connected subgraph with its support set.
+struct FrequentPattern {
+  /// The pattern graph (vertex ids are DFS discovery ids).
+  Graph graph;
+  /// Canonical (minimum) DFS code.
+  DfsCode code;
+  /// Sorted ids (positions in DG) of the database graphs containing it.
+  std::vector<int> support;
+
+  double Frequency(int db_size) const {
+    return db_size == 0 ? 0.0
+                        : static_cast<double>(support.size()) / db_size;
+  }
+};
+
+/// Mines all frequent connected subgraphs of db (with at least one edge, at
+/// most options.max_edges edges) using gSpan: canonical DFS codes with
+/// minimality pruning and rightmost-path extension over projected embedding
+/// lists. Deterministic output order (DFS-lexicographic).
+///
+/// Fails with InvalidArgument for nonsensical options.
+Result<std::vector<FrequentPattern>> MineFrequentSubgraphs(
+    const GraphDatabase& db, const MiningOptions& options = {});
+
+}  // namespace gdim
+
+#endif  // GDIM_MINING_GSPAN_H_

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/binary_db.h"
+#include "datasets/chemgen.h"
+#include "isomorphism/vf2.h"
+#include "mining/gspan.h"
+
+namespace gdim {
+namespace {
+
+BinaryFeatureDb SmallBitDb() {
+  // 4 graphs × 3 features.
+  return BinaryFeatureDb::FromBitMatrix({
+      {1, 0, 1},
+      {1, 1, 0},
+      {0, 1, 0},
+      {0, 0, 0},
+  });
+}
+
+TEST(BinaryFeatureDbTest, FromBitMatrixShape) {
+  BinaryFeatureDb db = SmallBitDb();
+  EXPECT_EQ(db.num_graphs(), 4);
+  EXPECT_EQ(db.num_features(), 3);
+}
+
+TEST(BinaryFeatureDbTest, ContainsMatchesMatrix) {
+  BinaryFeatureDb db = SmallBitDb();
+  EXPECT_TRUE(db.Contains(0, 0));
+  EXPECT_FALSE(db.Contains(0, 1));
+  EXPECT_TRUE(db.Contains(2, 1));
+  EXPECT_FALSE(db.Contains(3, 2));
+}
+
+TEST(BinaryFeatureDbTest, InvertedListsConsistent) {
+  BinaryFeatureDb db = SmallBitDb();
+  EXPECT_EQ(db.FeatureSupport(0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(db.FeatureSupport(1), (std::vector<int>{1, 2}));
+  EXPECT_EQ(db.FeatureSupport(2), (std::vector<int>{0}));
+  EXPECT_EQ(db.GraphFeatures(0), (std::vector<int>{0, 2}));
+  EXPECT_EQ(db.GraphFeatures(3), (std::vector<int>{}));
+  EXPECT_EQ(db.SupportSize(1), 2);
+}
+
+TEST(BinaryFeatureDbTest, SubsetRemapsIds) {
+  BinaryFeatureDb db = SmallBitDb();
+  BinaryFeatureDb sub = db.Subset({1, 3});
+  EXPECT_EQ(sub.num_graphs(), 2);
+  EXPECT_EQ(sub.num_features(), 3);
+  EXPECT_TRUE(sub.Contains(0, 0));   // old graph 1
+  EXPECT_TRUE(sub.Contains(0, 1));
+  EXPECT_FALSE(sub.Contains(1, 0));  // old graph 3
+  EXPECT_EQ(sub.FeatureSupport(0), (std::vector<int>{0}));
+  EXPECT_EQ(sub.FeatureSupport(2), (std::vector<int>{}));
+}
+
+TEST(BinaryFeatureDbTest, FromPatternsMatchesVf2Containment) {
+  ChemGenOptions copts;
+  copts.num_graphs = 30;
+  GraphDatabase graphs = GenerateChemDatabase(copts);
+  MiningOptions mopts;
+  mopts.min_support = 0.3;
+  mopts.max_edges = 3;
+  auto mined = MineFrequentSubgraphs(graphs, mopts);
+  ASSERT_TRUE(mined.ok());
+  ASSERT_FALSE(mined->empty());
+  BinaryFeatureDb db = BinaryFeatureDb::FromPatterns(
+      static_cast<int>(graphs.size()), *mined);
+  ASSERT_EQ(db.num_features(), static_cast<int>(mined->size()));
+  // The bit matrix from support sets must agree with direct VF2 containment.
+  for (int r = 0; r < db.num_features(); ++r) {
+    for (int i = 0; i < db.num_graphs(); ++i) {
+      EXPECT_EQ(db.Contains(i, r),
+                IsSubgraphIsomorphic(db.feature_graphs()[static_cast<size_t>(r)],
+                                     graphs[static_cast<size_t>(i)]))
+          << "graph " << i << " feature " << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gdim

@@ -1,0 +1,190 @@
+// Property tests for the paper's theory (Sec. 4.1): Lemma 4.1, Theorems
+// 4.1–4.3. Each is checked on random graph triples (q, q' ⊆ q, g) with exact
+// MCS computations.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/objective.h"
+#include "core/mapper.h"
+#include "mcs/dissimilarity.h"
+#include "mcs/mcs.h"
+#include "mining/gspan.h"
+#include "test_util.h"
+
+namespace gdim {
+namespace {
+
+using testing_util::RandomConnectedGraph;
+using testing_util::RandomEdgeSubgraph;
+
+struct Triple {
+  Graph q, q_sub, g;
+};
+
+Triple RandomTriple(Rng* rng) {
+  Triple t;
+  t.q = RandomConnectedGraph(rng->UniformInt(4, 7), rng->UniformInt(1, 3), 2,
+                             2, rng);
+  int keep = rng->UniformInt(1, std::max(1, t.q.NumEdges() - 1));
+  t.q_sub = RandomEdgeSubgraph(t.q, keep, rng);
+  t.g = RandomConnectedGraph(rng->UniformInt(4, 7), rng->UniformInt(1, 3), 2,
+                             2, rng);
+  return t;
+}
+
+class BoundsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundsTest, Lemma41McsDifferenceBound) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 997);
+  for (int round = 0; round < 15; ++round) {
+    Triple t = RandomTriple(&rng);
+    int mcs_q = McsSize(t.q, t.g);
+    int mcs_sub = McsSize(t.q_sub, t.g);
+    int xi = mcs_q - mcs_sub;
+    EXPECT_GE(xi, 0) << "ξ must be non-negative, round " << round;
+    EXPECT_LE(xi, t.q.NumEdges() - t.q_sub.NumEdges())
+        << "ξ exceeds |E(q)|-|E(q')|, round " << round;
+  }
+}
+
+TEST_P(BoundsTest, Theorem41Delta1Bounds) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1013);
+  for (int round = 0; round < 15; ++round) {
+    Triple t = RandomTriple(&rng);
+    if (t.q_sub.NumEdges() == 0 || t.g.NumEdges() == 0) continue;
+    double alpha = GraphDissimilarity(t.q, t.g, DissimilarityKind::kDelta1);
+    double actual =
+        GraphDissimilarity(t.q_sub, t.g, DissimilarityKind::kDelta1);
+    int eq = t.q.NumEdges(), es = t.q_sub.NumEdges(), eg = t.g.NumEdges();
+    double eps_l = (eq - std::min(es, eg)) /
+                   static_cast<double>(std::min(es, eg)) * (1.0 - alpha);
+    double eps_r = (eq - es) / static_cast<double>(eg);
+    EXPECT_GE(actual, alpha - eps_l - 1e-9) << "round " << round;
+    EXPECT_LE(actual, alpha + eps_r + 1e-9) << "round " << round;
+  }
+}
+
+TEST_P(BoundsTest, Theorem42Delta2Bounds) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1031);
+  for (int round = 0; round < 15; ++round) {
+    Triple t = RandomTriple(&rng);
+    if (t.q_sub.NumEdges() == 0 || t.g.NumEdges() == 0) continue;
+    double alpha = GraphDissimilarity(t.q, t.g, DissimilarityKind::kDelta2);
+    double actual =
+        GraphDissimilarity(t.q_sub, t.g, DissimilarityKind::kDelta2);
+    double eps2 = (t.q.NumEdges() - t.q_sub.NumEdges()) /
+                  static_cast<double>(t.q_sub.NumEdges() + t.g.NumEdges());
+    EXPECT_GE(actual, alpha - (1.0 - alpha) * eps2 - 1e-9) << "round " << round;
+    EXPECT_LE(actual, alpha + (1.0 + alpha) * eps2 + 1e-9) << "round " << round;
+  }
+}
+
+TEST_P(BoundsTest, Theorem43MappedDistanceBounds) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1049);
+  // Feature dimension mined from a sample of random graphs.
+  GraphDatabase sample;
+  for (int i = 0; i < 20; ++i) {
+    sample.push_back(RandomConnectedGraph(6, 2, 2, 2, &rng));
+  }
+  MiningOptions mopts;
+  mopts.min_support = 0.2;
+  mopts.max_edges = 3;
+  auto mined = MineFrequentSubgraphs(sample, mopts);
+  ASSERT_TRUE(mined.ok());
+  GraphDatabase features;
+  for (const FrequentPattern& p : *mined) features.push_back(p.graph);
+  if (features.empty()) GTEST_SKIP() << "no features mined";
+  FeatureMapper mapper(features);
+  const double p = static_cast<double>(mapper.num_features());
+
+  for (int round = 0; round < 15; ++round) {
+    Triple t = RandomTriple(&rng);
+    std::vector<uint8_t> yq = mapper.Map(t.q);
+    std::vector<uint8_t> ysub = mapper.Map(t.q_sub);
+    std::vector<uint8_t> yg = mapper.Map(t.g);
+    // F(q') ⊆ F(q): subgraph containment is transitive.
+    int tq = 0, tsub = 0;
+    for (size_t r = 0; r < yq.size(); ++r) {
+      tq += yq[r];
+      tsub += ysub[r];
+      EXPECT_LE(ysub[r], yq[r]) << "feature " << r << " violates F(q')⊆F(q)";
+    }
+    double beta = BinaryMappedDistance(yq, yg);
+    double actual = BinaryMappedDistance(ysub, yg);
+    double bound = std::sqrt(static_cast<double>(tq - tsub) / p);
+    EXPECT_GE(actual, beta - bound - 1e-9) << "round " << round;
+    EXPECT_LE(actual, beta + bound + 1e-9) << "round " << round;
+  }
+}
+
+// Corollaries 4.1/4.2: the approximation ratio λ = δ/d of a sub- or
+// super-graph query is bracketed by the ratio bounds derived from Theorems
+// 4.1–4.3. Checked for δ2 (the paper's experimental choice) on mined
+// feature dimensions.
+TEST_P(BoundsTest, Corollary41And42RatioBounds) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1061);
+  GraphDatabase sample;
+  for (int i = 0; i < 20; ++i) {
+    sample.push_back(RandomConnectedGraph(6, 2, 2, 2, &rng));
+  }
+  MiningOptions mopts;
+  mopts.min_support = 0.2;
+  mopts.max_edges = 3;
+  auto mined = MineFrequentSubgraphs(sample, mopts);
+  ASSERT_TRUE(mined.ok());
+  GraphDatabase features;
+  for (const FrequentPattern& fp : *mined) features.push_back(fp.graph);
+  if (features.empty()) GTEST_SKIP() << "no features mined";
+  FeatureMapper mapper(features);
+  const double p = static_cast<double>(mapper.num_features());
+
+  for (int round = 0; round < 12; ++round) {
+    Triple t = RandomTriple(&rng);
+    if (t.q_sub.NumEdges() == 0 || t.g.NumEdges() == 0) continue;
+    std::vector<uint8_t> yq = mapper.Map(t.q);
+    std::vector<uint8_t> ysub = mapper.Map(t.q_sub);
+    std::vector<uint8_t> yg = mapper.Map(t.g);
+    int tq = 0, tsub = 0;
+    for (size_t r = 0; r < yq.size(); ++r) {
+      tq += yq[r];
+      tsub += ysub[r];
+    }
+    const double root = std::sqrt(static_cast<double>(tq - tsub) / p);
+
+    // Corollary 4.1 (q' ⊆ q, δ2 case): λ2 = δ2(q',g)/d(y_q',y_g) within
+    // [(α−(1−α)ε2)/(β+√(t/p)), (α+(1+α)ε2)/(β−√(t/p))].
+    double alpha = GraphDissimilarity(t.q, t.g, DissimilarityKind::kDelta2);
+    double beta = BinaryMappedDistance(yq, yg);
+    double eps2 = (t.q.NumEdges() - t.q_sub.NumEdges()) /
+                  static_cast<double>(t.q_sub.NumEdges() + t.g.NumEdges());
+    double actual_delta =
+        GraphDissimilarity(t.q_sub, t.g, DissimilarityKind::kDelta2);
+    double actual_d = BinaryMappedDistance(ysub, yg);
+    if (actual_d > 1e-12 && beta - root > 1e-12) {
+      double lambda = actual_delta / actual_d;
+      double lo = (alpha - (1.0 - alpha) * eps2) / (beta + root);
+      double hi = (alpha + (1.0 + alpha) * eps2) / (beta - root);
+      EXPECT_GE(lambda, lo - 1e-9) << "Cor 4.1 lower, round " << round;
+      EXPECT_LE(lambda, hi + 1e-9) << "Cor 4.1 upper, round " << round;
+    }
+
+    // Corollary 4.2 (q ⊇ q', δ2 case): λ2' = δ2(q,g)/d(y_q,y_g) within
+    // [(α'−ε2)/((β'+√(t/p))(1+ε2)), (α'+ε2)/((β'−√(t/p))(1+ε2))].
+    double alpha_p = actual_delta;  // δ(q', g)
+    double beta_p = actual_d;
+    if (beta > 1e-12 && beta_p - root > 1e-12) {
+      double lambda_p = alpha / beta;
+      double lo = (alpha_p - eps2) / ((beta_p + root) * (1.0 + eps2));
+      double hi = (alpha_p + eps2) / ((beta_p - root) * (1.0 + eps2));
+      EXPECT_GE(lambda_p, lo - 1e-9) << "Cor 4.2 lower, round " << round;
+      EXPECT_LE(lambda_p, hi + 1e-9) << "Cor 4.2 upper, round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace gdim

@@ -1,0 +1,163 @@
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace gdim {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad p");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad p");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad p");
+}
+
+TEST(StatusTest, FactoriesMapToCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nothing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(RngTest, DeterministicStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next()) ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.UniformInt(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformU64(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(5);
+  std::vector<int> s = rng.SampleWithoutReplacement(50, 20);
+  std::set<int> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (int v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+  }
+}
+
+TEST(RngTest, WeightedIndexRespectsZeroWeights) {
+  Rng rng(9);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.WeightedIndex(w), 1);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, NormalHasRoughlyZeroMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Normal();
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> counts(1000);
+  ParallelFor(0, 1000, [&](int i) { counts[static_cast<size_t>(i)]++; });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyAndSingleRanges) {
+  std::atomic<int> count{0};
+  ParallelFor(5, 5, [&](int) { count++; });
+  EXPECT_EQ(count.load(), 0);
+  ParallelFor(5, 6, [&](int) { count++; });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForTest, SerialFallbackMatches) {
+  std::vector<int> out(100, 0);
+  ParallelFor(0, 100, [&](int i) { out[static_cast<size_t>(i)] = i * i; },
+              /*threads=*/1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i * i);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  WallTimer t;
+  double first = t.Seconds();
+  EXPECT_GE(first, 0.0);
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.Seconds(), first);
+  t.Reset();
+  EXPECT_LT(t.Seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace gdim

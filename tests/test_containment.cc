@@ -1,0 +1,124 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/binary_db.h"
+#include "core/containment.h"
+#include "datasets/chemgen.h"
+#include "isomorphism/vf2.h"
+#include "mining/gspan.h"
+#include "test_util.h"
+
+namespace gdim {
+namespace {
+
+using testing_util::RandomConnectedGraph;
+using testing_util::RandomEdgeSubgraph;
+
+// Builds a containment index over a chem database with mined features.
+struct Fixture {
+  GraphDatabase db;
+  std::unique_ptr<ContainmentIndex> index;
+
+  explicit Fixture(int n, double minsup = 0.1) {
+    ChemGenOptions opts;
+    opts.num_graphs = n;
+    db = GenerateChemDatabase(opts);
+    MiningOptions mining;
+    mining.min_support = minsup;
+    mining.max_edges = 4;
+    auto mined = MineFrequentSubgraphs(db, mining);
+    BinaryFeatureDb features =
+        BinaryFeatureDb::FromPatterns(n, mined.value());
+    std::vector<std::vector<uint8_t>> rows(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      std::vector<uint8_t> row(
+          static_cast<size_t>(features.num_features()), 0);
+      for (int r : features.GraphFeatures(i)) {
+        row[static_cast<size_t>(r)] = 1;
+      }
+      rows[static_cast<size_t>(i)] = std::move(row);
+    }
+    GraphDatabase fgraphs = features.feature_graphs();
+    index = std::make_unique<ContainmentIndex>(db, std::move(fgraphs), rows);
+  }
+};
+
+TEST(ContainmentIndexTest, AnswersMatchBruteForce) {
+  Fixture fx(40);
+  Rng rng(5);
+  for (int round = 0; round < 10; ++round) {
+    // Query = a subgraph of some database graph (guaranteed answers) or a
+    // fresh random pattern.
+    Graph query;
+    if (rng.Bernoulli(0.7)) {
+      const Graph& host = fx.db[static_cast<size_t>(rng.UniformInt(0, 39))];
+      query = RandomEdgeSubgraph(host, rng.UniformInt(1, 5), &rng);
+    } else {
+      query = RandomConnectedGraph(4, 1, 3, 2, &rng);
+    }
+    std::vector<int> got = fx.index->Query(query);
+    std::vector<int> expect;
+    for (int i = 0; i < 40; ++i) {
+      if (IsSubgraphIsomorphic(query, fx.db[static_cast<size_t>(i)])) {
+        expect.push_back(i);
+      }
+    }
+    EXPECT_EQ(got, expect) << "round " << round;
+  }
+}
+
+TEST(ContainmentIndexTest, FilterIsSupersetOfAnswers) {
+  Fixture fx(40);
+  Rng rng(7);
+  for (int round = 0; round < 10; ++round) {
+    const Graph& host = fx.db[static_cast<size_t>(rng.UniformInt(0, 39))];
+    Graph query = RandomEdgeSubgraph(host, rng.UniformInt(2, 6), &rng);
+    ContainmentIndex::QueryStats stats;
+    std::vector<int> candidates = fx.index->FilterCandidates(query, &stats);
+    std::vector<int> answers = fx.index->Query(query);
+    EXPECT_TRUE(std::includes(candidates.begin(), candidates.end(),
+                              answers.begin(), answers.end()))
+        << "round " << round;
+    EXPECT_EQ(stats.candidates, static_cast<int>(candidates.size()));
+  }
+}
+
+TEST(ContainmentIndexTest, EmptyQueryMatchesEverything) {
+  Fixture fx(20);
+  Graph empty;
+  std::vector<int> got = fx.index->Query(empty);
+  EXPECT_EQ(got.size(), 20u);
+}
+
+TEST(ContainmentIndexTest, ImpossibleLabelFiltersToNothing) {
+  Fixture fx(20);
+  Graph query;
+  query.AddVertex(999);  // label that no molecule uses
+  query.AddVertex(999);
+  query.AddEdge(0, 1, 0);
+  EXPECT_TRUE(fx.index->Query(query).empty());
+}
+
+TEST(ContainmentIndexTest, StatsReportFeatureUse) {
+  Fixture fx(30);
+  // A database graph itself should contain several indexed features.
+  ContainmentIndex::QueryStats stats;
+  fx.index->Query(fx.db[0], &stats);
+  EXPECT_GT(stats.features_used, 0);
+  EXPECT_GE(stats.candidates, stats.answers);
+}
+
+TEST(ContainmentIndexTest, SelfQueryFindsSelf) {
+  Fixture fx(25);
+  for (int i = 0; i < 25; i += 5) {
+    std::vector<int> answers = fx.index->Query(fx.db[static_cast<size_t>(i)]);
+    EXPECT_TRUE(std::find(answers.begin(), answers.end(), i) !=
+                answers.end())
+        << "graph " << i << " does not contain itself";
+  }
+}
+
+}  // namespace
+}  // namespace gdim

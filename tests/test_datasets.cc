@@ -1,0 +1,161 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datasets/chemgen.h"
+#include "datasets/fingerprint.h"
+#include "datasets/graphgen.h"
+#include "graph/graph_utils.h"
+#include "isomorphism/vf2.h"
+
+namespace gdim {
+namespace {
+
+TEST(GraphGenTest, ProducesRequestedCount) {
+  GraphGenOptions opts;
+  opts.num_graphs = 50;
+  GraphDatabase db = GenerateSyntheticDatabase(opts);
+  EXPECT_EQ(db.size(), 50u);
+}
+
+TEST(GraphGenTest, GraphsAreConnectedAndLabeled) {
+  GraphGenOptions opts;
+  opts.num_graphs = 40;
+  opts.num_vertex_labels = 5;
+  opts.num_edge_labels = 2;
+  GraphDatabase db = GenerateSyntheticDatabase(opts);
+  for (const Graph& g : db) {
+    EXPECT_TRUE(IsConnected(g));
+    EXPECT_GE(g.NumEdges(), g.NumVertices() - 1);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_LT(g.VertexLabel(v), 5u);
+    }
+    for (const Edge& e : g.edges()) EXPECT_LT(e.label, 2u);
+  }
+}
+
+TEST(GraphGenTest, AverageEdgesNearTarget) {
+  GraphGenOptions opts;
+  opts.num_graphs = 200;
+  opts.avg_edges = 20;
+  GraphDatabase db = GenerateSyntheticDatabase(opts);
+  double total = 0;
+  for (const Graph& g : db) total += g.NumEdges();
+  EXPECT_NEAR(total / 200.0, 20.0, 2.0);
+}
+
+TEST(GraphGenTest, DensityNearTarget) {
+  GraphGenOptions opts;
+  opts.num_graphs = 200;
+  opts.avg_edges = 20;
+  opts.density = 0.2;
+  GraphDatabase db = GenerateSyntheticDatabase(opts);
+  double total = 0;
+  for (const Graph& g : db) total += GraphDensity(g);
+  EXPECT_NEAR(total / 200.0, 0.2, 0.05);
+}
+
+TEST(GraphGenTest, DeterministicInSeed) {
+  GraphGenOptions opts;
+  opts.num_graphs = 10;
+  GraphDatabase a = GenerateSyntheticDatabase(opts);
+  GraphDatabase b = GenerateSyntheticDatabase(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  opts.seed = 2;
+  GraphDatabase c = GenerateSyntheticDatabase(opts);
+  bool all_same = true;
+  for (size_t i = 0; i < a.size(); ++i) all_same &= (a[i] == c[i]);
+  EXPECT_FALSE(all_same);
+}
+
+TEST(ChemGenTest, SizesWithinBounds) {
+  ChemGenOptions opts;
+  opts.num_graphs = 100;
+  GraphDatabase db = GenerateChemDatabase(opts);
+  ASSERT_EQ(db.size(), 100u);
+  for (const Graph& g : db) {
+    EXPECT_GE(g.NumVertices(), opts.min_vertices);
+    // Fused-ring scaffolds may slightly exceed the budget before growth
+    // stops; allow the scaffold margin.
+    EXPECT_LE(g.NumVertices(), opts.max_vertices + 10);
+    EXPECT_TRUE(IsConnected(g));
+  }
+}
+
+TEST(ChemGenTest, UsesChemicalAlphabets) {
+  ChemGenOptions opts;
+  opts.num_graphs = 60;
+  GraphDatabase db = GenerateChemDatabase(opts);
+  LabelMap atoms = ChemAtomNames();
+  LabelMap bonds = ChemBondNames();
+  int carbon = 0, total = 0;
+  for (const Graph& g : db) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_LT(static_cast<int>(g.VertexLabel(v)), atoms.size());
+      carbon += g.VertexLabel(v) == kCarbon ? 1 : 0;
+      ++total;
+    }
+    for (const Edge& e : g.edges()) {
+      EXPECT_LT(static_cast<int>(e.label), bonds.size());
+    }
+  }
+  // Carbon dominates, as in real compound data.
+  EXPECT_GT(static_cast<double>(carbon) / total, 0.4);
+}
+
+TEST(ChemGenTest, QueriesDifferFromDatabaseButShareFamilies) {
+  ChemGenOptions opts;
+  opts.num_graphs = 30;
+  GraphDatabase db = GenerateChemDatabase(opts);
+  GraphDatabase queries = GenerateChemQueries(opts, 30);
+  ASSERT_EQ(queries.size(), 30u);
+  // Streams differ: the i-th graphs should not all coincide.
+  int same = 0;
+  for (size_t i = 0; i < db.size(); ++i) same += (db[i] == queries[i]) ? 1 : 0;
+  EXPECT_LT(same, 5);
+}
+
+TEST(ChemGenTest, Deterministic) {
+  ChemGenOptions opts;
+  opts.num_graphs = 20;
+  GraphDatabase a = GenerateChemDatabase(opts);
+  GraphDatabase b = GenerateChemDatabase(opts);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(FingerprintTest, BuildRejectsBadArgs) {
+  GraphDatabase sample = GenerateChemDatabase({.num_graphs = 20});
+  EXPECT_FALSE(FingerprintDictionary::Build(sample, 0).ok());
+}
+
+TEST(FingerprintTest, BuildAndMatch) {
+  ChemGenOptions opts;
+  opts.num_graphs = 40;
+  GraphDatabase sample = GenerateChemDatabase(opts);
+  auto dict = FingerprintDictionary::Build(sample, 64, 0.2, 3);
+  ASSERT_TRUE(dict.ok()) << dict.status().ToString();
+  EXPECT_GT(dict->bits(), 0);
+  EXPECT_LE(dict->bits(), 64);
+  // Fingerprint of a sample graph: bit r set iff pattern r embeds.
+  std::vector<uint8_t> fp = dict->Fingerprint(sample[0]);
+  ASSERT_EQ(static_cast<int>(fp.size()), dict->bits());
+  for (int r = 0; r < dict->bits(); ++r) {
+    EXPECT_EQ(fp[static_cast<size_t>(r)] != 0,
+              IsSubgraphIsomorphic(dict->patterns()[static_cast<size_t>(r)],
+                                   sample[0]));
+  }
+}
+
+TEST(TanimotoTest, KnownValues) {
+  std::vector<uint8_t> a = {1, 1, 0, 0};
+  std::vector<uint8_t> b = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(TanimotoSimilarity(a, b), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(TanimotoSimilarity(a, a), 1.0);
+  std::vector<uint8_t> zero = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(TanimotoSimilarity(zero, zero), 1.0);
+  EXPECT_DOUBLE_EQ(TanimotoSimilarity(a, zero), 0.0);
+}
+
+}  // namespace
+}  // namespace gdim

@@ -1,0 +1,195 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/dspm.h"
+#include "core/measures.h"
+#include "core/objective.h"
+
+namespace gdim {
+namespace {
+
+BinaryFeatureDb RandomBits(int n, int m, double density, Rng* rng) {
+  std::vector<std::vector<uint8_t>> rows(
+      static_cast<size_t>(n), std::vector<uint8_t>(static_cast<size_t>(m)));
+  for (auto& row : rows) {
+    for (auto& bit : row) bit = rng->Bernoulli(density) ? 1 : 0;
+  }
+  return BinaryFeatureDb::FromBitMatrix(rows);
+}
+
+DissimilarityMatrix RandomDelta(int n, Rng* rng) {
+  std::vector<double> vals(static_cast<size_t>(n) * static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double v = rng->UniformDouble();
+      vals[static_cast<size_t>(i) * static_cast<size_t>(n) +
+           static_cast<size_t>(j)] = v;
+      vals[static_cast<size_t>(j) * static_cast<size_t>(n) +
+           static_cast<size_t>(i)] = v;
+    }
+  }
+  return DissimilarityMatrix::FromDense(n, std::move(vals));
+}
+
+// Delta that matches the binary structure: graphs sharing features are close.
+// DSPM should be able to fit this well.
+DissimilarityMatrix StructuredDelta(const BinaryFeatureDb& db,
+                                    const std::vector<double>& true_c) {
+  const int n = db.num_graphs();
+  std::vector<double> vals(static_cast<size_t>(n) * static_cast<size_t>(n),
+                           0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double v = WeightedDistance(db, true_c, i, j);
+      vals[static_cast<size_t>(i) * static_cast<size_t>(n) +
+           static_cast<size_t>(j)] = v;
+      vals[static_cast<size_t>(j) * static_cast<size_t>(n) +
+           static_cast<size_t>(i)] = v;
+    }
+  }
+  return DissimilarityMatrix::FromDense(n, std::move(vals));
+}
+
+TEST(DspmTest, ObjectiveNeverIncreases) {
+  Rng rng(101);
+  for (int round = 0; round < 4; ++round) {
+    BinaryFeatureDb db = RandomBits(20, 30, 0.3, &rng);
+    DissimilarityMatrix delta = RandomDelta(20, &rng);
+    DspmOptions opts;
+    opts.p = 10;
+    opts.max_iters = 15;
+    opts.epsilon = 0.0;  // run all iterations
+    DspmResult r = RunDspm(db, delta, opts);
+    ASSERT_GE(r.objective_history.size(), 2u);
+    for (size_t k = 1; k < r.objective_history.size(); ++k) {
+      EXPECT_LE(r.objective_history[k],
+                r.objective_history[k - 1] + 1e-9 * r.objective_history[0])
+          << "iteration " << k << " round " << round;
+    }
+  }
+}
+
+TEST(DspmTest, AllUpdatePathsAgree) {
+  Rng rng(102);
+  BinaryFeatureDb db = RandomBits(15, 25, 0.35, &rng);
+  DissimilarityMatrix delta = RandomDelta(15, &rng);
+  DspmOptions base;
+  base.p = 8;
+  base.max_iters = 6;
+  base.epsilon = 0.0;
+  DspmOptions closed = base;
+  closed.update_path = DspmUpdatePath::kClosedForm;
+  DspmOptions inverted = base;
+  inverted.update_path = DspmUpdatePath::kInvertedLists;
+  DspmOptions naive = base;
+  naive.update_path = DspmUpdatePath::kNaive;
+  DspmResult a = RunDspm(db, delta, closed);
+  DspmResult b = RunDspm(db, delta, inverted);
+  DspmResult cres = RunDspm(db, delta, naive);
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  ASSERT_EQ(a.weights.size(), cres.weights.size());
+  for (size_t r = 0; r < a.weights.size(); ++r) {
+    EXPECT_NEAR(a.weights[r], b.weights[r], 1e-8) << "feature " << r;
+    EXPECT_NEAR(a.weights[r], cres.weights[r], 1e-8) << "feature " << r;
+  }
+  EXPECT_EQ(a.selected, b.selected);
+  EXPECT_EQ(a.selected, cres.selected);
+  ASSERT_EQ(a.objective_history.size(), b.objective_history.size());
+  for (size_t k = 0; k < a.objective_history.size(); ++k) {
+    EXPECT_NEAR(a.objective_history[k], b.objective_history[k],
+                1e-7 * std::max(1.0, a.objective_history[0]));
+    EXPECT_NEAR(a.objective_history[k], cres.objective_history[k],
+                1e-7 * std::max(1.0, a.objective_history[0]));
+  }
+}
+
+TEST(DspmTest, WeightsAreNormalized) {
+  Rng rng(103);
+  BinaryFeatureDb db = RandomBits(15, 20, 0.3, &rng);
+  DissimilarityMatrix delta = RandomDelta(15, &rng);
+  DspmOptions opts;
+  opts.p = 5;
+  DspmResult r = RunDspm(db, delta, opts);
+  double norm2 = 0;
+  for (double w : r.weights) norm2 += w * w;
+  EXPECT_NEAR(norm2, 1.0, 1e-9);
+}
+
+TEST(DspmTest, UninformativeFeaturesGetZeroWeight) {
+  // Feature 0: in all graphs; feature 1: in none; both carry no distance
+  // information and must receive zero weight.
+  std::vector<std::vector<uint8_t>> rows = {
+      {1, 0, 1, 0}, {1, 0, 0, 1}, {1, 0, 1, 1}, {1, 0, 0, 0}};
+  BinaryFeatureDb db = BinaryFeatureDb::FromBitMatrix(rows);
+  Rng rng(104);
+  DissimilarityMatrix delta = RandomDelta(4, &rng);
+  DspmOptions opts;
+  opts.p = 2;
+  DspmResult r = RunDspm(db, delta, opts);
+  EXPECT_DOUBLE_EQ(r.weights[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.weights[1], 0.0);
+  // Selected features are the informative ones.
+  std::set<int> sel(r.selected.begin(), r.selected.end());
+  EXPECT_TRUE(sel.count(2));
+  EXPECT_TRUE(sel.count(3));
+}
+
+TEST(DspmTest, RecoversPlantedWeights) {
+  // Distances generated from a known sparse weight vector: DSPM should put
+  // its largest weights on the planted features.
+  Rng rng(105);
+  BinaryFeatureDb db = RandomBits(30, 20, 0.4, &rng);
+  std::vector<double> true_c(20, 0.0);
+  true_c[3] = 0.7;
+  true_c[11] = 0.5;
+  true_c[17] = 0.5;
+  DissimilarityMatrix delta = StructuredDelta(db, true_c);
+  DspmOptions opts;
+  opts.p = 3;
+  opts.max_iters = 60;
+  opts.epsilon = 1e-9;
+  DspmResult r = RunDspm(db, delta, opts);
+  std::set<int> sel(r.selected.begin(), r.selected.end());
+  int recovered = static_cast<int>(sel.count(3)) +
+                  static_cast<int>(sel.count(11)) +
+                  static_cast<int>(sel.count(17));
+  EXPECT_GE(recovered, 2) << "selected features missed the planted ones";
+  // Final stress must be tiny relative to the starting stress.
+  EXPECT_LT(r.objective_history.back(), 0.2 * r.objective_history.front());
+}
+
+TEST(DspmTest, SelectionSizeClamped) {
+  Rng rng(106);
+  BinaryFeatureDb db = RandomBits(10, 5, 0.4, &rng);
+  DissimilarityMatrix delta = RandomDelta(10, &rng);
+  DspmOptions opts;
+  opts.p = 50;  // more than m
+  DspmResult r = RunDspm(db, delta, opts);
+  EXPECT_EQ(r.selected.size(), 5u);
+}
+
+TEST(DspmTest, Deterministic) {
+  Rng rng(107);
+  BinaryFeatureDb db = RandomBits(12, 18, 0.3, &rng);
+  DissimilarityMatrix delta = RandomDelta(12, &rng);
+  DspmOptions opts;
+  opts.p = 6;
+  DspmResult a = RunDspm(db, delta, opts);
+  DspmResult b = RunDspm(db, delta, opts);
+  EXPECT_EQ(a.selected, b.selected);
+  EXPECT_EQ(a.weights, b.weights);
+}
+
+TEST(DspmTest, EmptyInputs) {
+  BinaryFeatureDb db = BinaryFeatureDb::FromBitMatrix({});
+  DissimilarityMatrix delta = DissimilarityMatrix::FromDense(0, {});
+  DspmOptions opts;
+  DspmResult r = RunDspm(db, delta, opts);
+  EXPECT_TRUE(r.selected.empty());
+}
+
+}  // namespace
+}  // namespace gdim

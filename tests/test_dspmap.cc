@@ -1,0 +1,159 @@
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/dspm.h"
+#include "core/dspmap.h"
+#include "core/objective.h"
+
+namespace gdim {
+namespace {
+
+BinaryFeatureDb RandomBits(int n, int m, double density, Rng* rng) {
+  std::vector<std::vector<uint8_t>> rows(
+      static_cast<size_t>(n), std::vector<uint8_t>(static_cast<size_t>(m)));
+  for (auto& row : rows) {
+    for (auto& bit : row) bit = rng->Bernoulli(density) ? 1 : 0;
+  }
+  return BinaryFeatureDb::FromBitMatrix(rows);
+}
+
+DissimilarityFn StructuredDeltaFn(const BinaryFeatureDb& db,
+                                  const std::vector<double>& true_c) {
+  return [&db, true_c](int i, int j) {
+    return WeightedDistance(db, true_c, i, j);
+  };
+}
+
+TEST(PartitionTest, CoversAllGraphsExactlyOnce) {
+  Rng rng(201);
+  BinaryFeatureDb db = RandomBits(57, 20, 0.3, &rng);
+  DspmapOptions opts;
+  opts.partition_size = 10;
+  auto parts = PartitionDatabase(db, opts);
+  std::set<int> seen;
+  for (const auto& part : parts) {
+    EXPECT_LE(static_cast<int>(part.size()), opts.partition_size);
+    EXPECT_FALSE(part.empty());
+    for (int id : part) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), 57);
+}
+
+TEST(PartitionTest, SmallDatabaseSinglePartition) {
+  Rng rng(202);
+  BinaryFeatureDb db = RandomBits(8, 10, 0.3, &rng);
+  DspmapOptions opts;
+  opts.partition_size = 20;
+  auto parts = PartitionDatabase(db, opts);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), 8u);
+}
+
+TEST(PartitionTest, BalancedBlockCount) {
+  Rng rng(203);
+  BinaryFeatureDb db = RandomBits(100, 20, 0.3, &rng);
+  DspmapOptions opts;
+  opts.partition_size = 20;
+  auto parts = PartitionDatabase(db, opts);
+  // ceil(100/20) = 5 blocks expected from the balancing rule.
+  EXPECT_EQ(parts.size(), 5u);
+}
+
+TEST(PartitionTest, DeterministicInSeed) {
+  Rng rng(204);
+  BinaryFeatureDb db = RandomBits(40, 15, 0.3, &rng);
+  DspmapOptions opts;
+  opts.partition_size = 10;
+  auto a = PartitionDatabase(db, opts);
+  auto b = PartitionDatabase(db, opts);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DspmapTest, ProducesRequestedDimensions) {
+  Rng rng(205);
+  BinaryFeatureDb db = RandomBits(40, 25, 0.35, &rng);
+  std::vector<double> true_c(25, 0.0);
+  true_c[5] = 1.0;
+  DspmapOptions opts;
+  opts.p = 7;
+  opts.partition_size = 10;
+  DspmapResult r = RunDspmap(db, StructuredDeltaFn(db, true_c), opts);
+  EXPECT_EQ(r.selected.size(), 7u);
+  std::set<int> uniq(r.selected.begin(), r.selected.end());
+  EXPECT_EQ(uniq.size(), 7u);
+  EXPECT_GT(r.dspm_calls, 1);
+}
+
+TEST(DspmapTest, TouchesFarFewerPairsThanFullMatrix) {
+  Rng rng(206);
+  const int n = 80;
+  BinaryFeatureDb db = RandomBits(n, 20, 0.3, &rng);
+  std::vector<double> true_c(20, 0.0);
+  true_c[2] = 1.0;
+  DspmapOptions opts;
+  opts.p = 5;
+  opts.partition_size = 10;
+  DspmapResult r = RunDspmap(db, StructuredDeltaFn(db, true_c), opts);
+  long long full_pairs = static_cast<long long>(n) * (n - 1) / 2;
+  EXPECT_LT(r.delta_evaluations, full_pairs / 2)
+      << "DSPMap should evaluate O(n·b) pairs, not O(n²)";
+}
+
+TEST(DspmapTest, RecoversPlantedFeatureApproximately) {
+  Rng rng(207);
+  BinaryFeatureDb db = RandomBits(60, 20, 0.4, &rng);
+  std::vector<double> true_c(20, 0.0);
+  true_c[4] = 0.8;
+  true_c[13] = 0.6;
+  DspmapOptions opts;
+  opts.p = 4;
+  opts.partition_size = 15;
+  opts.dspm.max_iters = 40;
+  DspmapResult r = RunDspmap(db, StructuredDeltaFn(db, true_c), opts);
+  std::set<int> sel(r.selected.begin(), r.selected.end());
+  EXPECT_TRUE(sel.count(4) || sel.count(13))
+      << "DSPMap missed both planted features";
+}
+
+TEST(DspmapTest, AgreesWithDspmOnSinglePartition) {
+  // With b >= n there is exactly one partition and DSPMap degenerates to
+  // DSPM (same weights up to normalization of the single call).
+  Rng rng(208);
+  BinaryFeatureDb db = RandomBits(20, 15, 0.35, &rng);
+  std::vector<double> true_c(15, 0.0);
+  true_c[3] = 1.0;
+  DissimilarityFn fn = StructuredDeltaFn(db, true_c);
+  DspmapOptions opts;
+  opts.p = 5;
+  opts.partition_size = 50;
+  DspmapResult approx = RunDspmap(db, fn, opts);
+  EXPECT_EQ(approx.dspm_calls, 1);
+  std::vector<double> dense(400, 0.0);
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      dense[static_cast<size_t>(i) * 20 + static_cast<size_t>(j)] =
+          i == j ? 0.0 : fn(i, j);
+    }
+  }
+  DspmOptions dopts = opts.dspm;
+  dopts.p = 5;
+  DspmResult exact = RunDspm(
+      db, DissimilarityMatrix::FromDense(20, std::move(dense)), dopts);
+  EXPECT_EQ(approx.selected, exact.selected);
+}
+
+TEST(DspmapTest, EmptyDatabase) {
+  BinaryFeatureDb db = BinaryFeatureDb::FromBitMatrix({});
+  DspmapOptions opts;
+  DspmapResult r = RunDspmap(db, [](int, int) { return 0.0; }, opts);
+  EXPECT_TRUE(r.selected.empty());
+  EXPECT_EQ(r.dspm_calls, 0);
+}
+
+}  // namespace
+}  // namespace gdim

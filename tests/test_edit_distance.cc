@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "mcs/edit_distance.h"
+#include "test_util.h"
+
+namespace gdim {
+namespace {
+
+using testing_util::RandomConnectedGraph;
+
+Graph LabeledPath(std::initializer_list<LabelId> vlabels, LabelId elabel) {
+  Graph g;
+  for (LabelId l : vlabels) g.AddVertex(l);
+  for (int i = 0; i + 1 < g.NumVertices(); ++i) g.AddEdge(i, i + 1, elabel);
+  return g;
+}
+
+TEST(GedTest, IdenticalGraphsZero) {
+  Graph g = LabeledPath({1, 2, 3}, 0);
+  EXPECT_DOUBLE_EQ(GraphEditDistance(g, g).distance, 0.0);
+}
+
+TEST(GedTest, EmptyToGraphCostsAllInsertions) {
+  Graph empty;
+  Graph g = LabeledPath({1, 2, 3}, 0);  // 3 vertices, 2 edges
+  GedResult r = GraphEditDistance(empty, g);
+  EXPECT_DOUBLE_EQ(r.distance, 3.0 + 2.0);
+  GedResult rev = GraphEditDistance(g, empty);
+  EXPECT_DOUBLE_EQ(rev.distance, 5.0);
+}
+
+TEST(GedTest, SingleVertexRelabel) {
+  Graph a = LabeledPath({1, 2, 3}, 0);
+  Graph b = LabeledPath({1, 2, 9}, 0);
+  EXPECT_DOUBLE_EQ(GraphEditDistance(a, b).distance, 1.0);
+}
+
+TEST(GedTest, SingleEdgeRelabel) {
+  Graph a = LabeledPath({1, 2}, 0);
+  Graph b = LabeledPath({1, 2}, 7);
+  EXPECT_DOUBLE_EQ(GraphEditDistance(a, b).distance, 1.0);
+}
+
+TEST(GedTest, EdgeInsertion) {
+  Graph a = LabeledPath({1, 1, 1}, 0);  // path
+  Graph b = a;
+  b.AddEdge(0, 2, 0);  // triangle
+  EXPECT_DOUBLE_EQ(GraphEditDistance(a, b).distance, 1.0);
+}
+
+TEST(GedTest, VertexPlusEdgeInsertion) {
+  Graph a = LabeledPath({1, 2}, 0);
+  Graph b = LabeledPath({1, 2, 3}, 0);
+  EXPECT_DOUBLE_EQ(GraphEditDistance(a, b).distance, 2.0);
+}
+
+TEST(GedTest, CustomCostsRespected) {
+  Graph a = LabeledPath({1, 2, 3}, 0);
+  Graph b = LabeledPath({1, 2, 9}, 0);
+  EditCosts costs;
+  costs.vertex_substitution = 0.25;
+  EXPECT_DOUBLE_EQ(GraphEditDistance(a, b, costs).distance, 0.25);
+  // With substitution costlier than delete+insert, the optimum switches.
+  costs.vertex_substitution = 10.0;
+  costs.vertex_indel = 1.0;
+  costs.edge_indel = 1.0;
+  // delete vertex 3's vertex (1) + its edge (1), insert vertex 9 (1) + edge
+  // (1) = 4 instead of 10.
+  EXPECT_DOUBLE_EQ(GraphEditDistance(a, b, costs).distance, 4.0);
+}
+
+TEST(GedTest, NodeBudgetFlagsNonOptimal) {
+  Rng rng(3);
+  Graph a = RandomConnectedGraph(7, 3, 2, 2, &rng);
+  Graph b = RandomConnectedGraph(7, 3, 2, 2, &rng);
+  GedResult r = GraphEditDistance(a, b, {}, /*max_nodes=*/2);
+  EXPECT_FALSE(r.optimal);
+  // Still returns the trivial upper bound or better.
+  EXPECT_LE(r.distance,
+            (a.NumVertices() + b.NumVertices()) + (a.NumEdges() + b.NumEdges()));
+}
+
+class GedPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GedPropertyTest, SymmetricAndNonNegative) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 71);
+  for (int round = 0; round < 6; ++round) {
+    Graph a = RandomConnectedGraph(rng.UniformInt(2, 5),
+                                   rng.UniformInt(0, 2), 2, 2, &rng);
+    Graph b = RandomConnectedGraph(rng.UniformInt(2, 5),
+                                   rng.UniformInt(0, 2), 2, 2, &rng);
+    double ab = GraphEditDistance(a, b).distance;
+    double ba = GraphEditDistance(b, a).distance;
+    EXPECT_GE(ab, 0.0);
+    EXPECT_DOUBLE_EQ(ab, ba) << "round " << round;
+  }
+}
+
+TEST_P(GedPropertyTest, TriangleInequality) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 73);
+  for (int round = 0; round < 4; ++round) {
+    Graph a = RandomConnectedGraph(3, 1, 2, 1, &rng);
+    Graph b = RandomConnectedGraph(4, 1, 2, 1, &rng);
+    Graph c = RandomConnectedGraph(3, 2, 2, 1, &rng);
+    double ab = GraphEditDistance(a, b).distance;
+    double bc = GraphEditDistance(b, c).distance;
+    double ac = GraphEditDistance(a, c).distance;
+    EXPECT_LE(ac, ab + bc + 1e-9) << "round " << round;
+  }
+}
+
+TEST_P(GedPropertyTest, ZeroIffIsomorphic) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 79);
+  for (int round = 0; round < 6; ++round) {
+    Graph a = RandomConnectedGraph(rng.UniformInt(3, 5),
+                                   rng.UniformInt(0, 1), 2, 2, &rng);
+    // Relabel-permute a into b (isomorphic copy).
+    std::vector<VertexId> perm(static_cast<size_t>(a.NumVertices()));
+    for (int i = 0; i < a.NumVertices(); ++i) {
+      perm[static_cast<size_t>(i)] = i;
+    }
+    rng.Shuffle(&perm);
+    Graph b;
+    std::vector<VertexId> inverse(perm.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      inverse[static_cast<size_t>(perm[i])] = static_cast<VertexId>(i);
+    }
+    for (size_t i = 0; i < perm.size(); ++i) {
+      b.AddVertex(a.VertexLabel(perm[i]));
+    }
+    for (const Edge& e : a.edges()) {
+      b.AddEdge(inverse[static_cast<size_t>(e.u)],
+                inverse[static_cast<size_t>(e.v)], e.label);
+    }
+    EXPECT_DOUBLE_EQ(GraphEditDistance(a, b).distance, 0.0)
+        << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GedPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace gdim

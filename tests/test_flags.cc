@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace gdim {
+namespace {
+
+Flags Make(std::initializer_list<const char*> args) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("prog"));
+  for (const char* a : args) argv.push_back(const_cast<char*>(a));
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesKeyValue) {
+  Flags f = Make({"--n=42", "--rate=0.5", "--name=DSPM"});
+  EXPECT_EQ(f.GetInt("n", 0), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("rate", 0.0), 0.5);
+  EXPECT_EQ(f.GetString("name", ""), "DSPM");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags f = Make({});
+  EXPECT_EQ(f.GetInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("rate", 1.5), 1.5);
+  EXPECT_EQ(f.GetString("name", "x"), "x");
+  EXPECT_FALSE(f.Has("n"));
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  Flags f = Make({"--full"});
+  EXPECT_TRUE(f.GetBool("full", false));
+  EXPECT_TRUE(f.Has("full"));
+}
+
+TEST(FlagsTest, FalseSpellings) {
+  Flags f = Make({"--a=0", "--b=false", "--c=1"});
+  EXPECT_FALSE(f.GetBool("a", true));
+  EXPECT_FALSE(f.GetBool("b", true));
+  EXPECT_TRUE(f.GetBool("c", false));
+}
+
+TEST(FlagsTest, PositionalsCollected) {
+  Flags f = Make({"build", "--n=3", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "build");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(FlagsTest, LastValueWins) {
+  Flags f = Make({"--n=1", "--n=2"});
+  EXPECT_EQ(f.GetInt("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace gdim

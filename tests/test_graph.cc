@@ -1,0 +1,237 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+#include "graph/graph_utils.h"
+#include "graph/label_map.h"
+
+namespace gdim {
+namespace {
+
+Graph Triangle() {
+  Graph g;
+  g.AddVertex(0);
+  g.AddVertex(1);
+  g.AddVertex(2);
+  g.AddEdge(0, 1, 5);
+  g.AddEdge(1, 2, 6);
+  g.AddEdge(0, 2, 7);
+  return g;
+}
+
+TEST(GraphTest, AddVertexAndEdge) {
+  Graph g;
+  EXPECT_EQ(g.AddVertex(3), 0);
+  EXPECT_EQ(g.AddVertex(4), 1);
+  EXPECT_EQ(g.NumVertices(), 2);
+  EXPECT_EQ(g.AddEdge(0, 1, 9), 0);
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(g.VertexLabel(0), 3u);
+  EXPECT_EQ(g.VertexLabel(1), 4u);
+}
+
+TEST(GraphTest, EdgesAreNormalized) {
+  Graph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  g.AddEdge(1, 0, 2);  // reversed endpoints
+  EXPECT_EQ(g.GetEdge(0).u, 0);
+  EXPECT_EQ(g.GetEdge(0).v, 1);
+  EXPECT_EQ(g.GetEdge(0).label, 2u);
+}
+
+TEST(GraphTest, FindEdgeBothDirections) {
+  Graph g = Triangle();
+  EXPECT_GE(g.FindEdge(0, 1), 0);
+  EXPECT_GE(g.FindEdge(1, 0), 0);
+  EXPECT_EQ(g.FindEdge(0, 1), g.FindEdge(1, 0));
+}
+
+TEST(GraphTest, FindEdgeMissingAndOutOfRange) {
+  Graph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  EXPECT_EQ(g.FindEdge(0, 1), -1);
+  EXPECT_EQ(g.FindEdge(0, 7), -1);
+  EXPECT_EQ(g.FindEdge(-1, 0), -1);
+}
+
+TEST(GraphTest, NeighborsAndDegree) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_EQ(g.Degree(1), 2);
+  EXPECT_EQ(g.Neighbors(0).size(), 2u);
+}
+
+TEST(GraphTest, EqualityIsStructural) {
+  EXPECT_EQ(Triangle(), Triangle());
+  Graph h = Triangle();
+  h.AddVertex(9);
+  EXPECT_FALSE(Triangle() == h);
+}
+
+TEST(GraphTest, ToStringMentionsSizes) {
+  Graph g = Triangle();
+  g.set_id(42);
+  std::string s = g.ToString();
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3"), std::string::npos);
+}
+
+TEST(GraphUtilsTest, Connectivity) {
+  Graph g = Triangle();
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(NumConnectedComponents(g), 1);
+  g.AddVertex(0);  // isolated
+  EXPECT_FALSE(IsConnected(g));
+  EXPECT_EQ(NumConnectedComponents(g), 2);
+}
+
+TEST(GraphUtilsTest, EmptyGraphIsConnected) {
+  Graph g;
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(NumConnectedComponents(g), 0);
+}
+
+TEST(GraphUtilsTest, InducedSubgraph) {
+  Graph g = Triangle();
+  Graph sub = InducedSubgraph(g, {0, 2});
+  EXPECT_EQ(sub.NumVertices(), 2);
+  EXPECT_EQ(sub.NumEdges(), 1);
+  EXPECT_EQ(sub.GetEdge(0).label, 7u);
+}
+
+TEST(GraphUtilsTest, EdgeSubgraphCompactsVertices) {
+  Graph g = Triangle();
+  Graph sub = EdgeSubgraph(g, {1});  // edge {1,2}
+  EXPECT_EQ(sub.NumVertices(), 2);
+  EXPECT_EQ(sub.NumEdges(), 1);
+  EXPECT_EQ(sub.VertexLabel(0), 1u);
+  EXPECT_EQ(sub.VertexLabel(1), 2u);
+}
+
+TEST(GraphUtilsTest, Histograms) {
+  Graph g = Triangle();
+  auto vh = VertexLabelHistogram(g);
+  EXPECT_EQ(vh.size(), 3u);
+  EXPECT_EQ(vh[0], 1);
+  auto eh = EdgeTripleHistogram(g);
+  EXPECT_EQ(eh.size(), 3u);
+}
+
+TEST(GraphUtilsTest, EdgeLabelIntersectionBound) {
+  Graph a = Triangle();
+  Graph b = Triangle();
+  EXPECT_EQ(EdgeLabelIntersectionBound(a, b), 3);
+  Graph c;
+  c.AddVertex(9);
+  c.AddVertex(9);
+  c.AddEdge(0, 1, 1);
+  EXPECT_EQ(EdgeLabelIntersectionBound(a, c), 0);
+}
+
+TEST(GraphUtilsTest, DegreeSequenceSortedDescending) {
+  Graph g = Triangle();
+  g.AddVertex(5);
+  g.AddEdge(0, 3, 1);
+  std::vector<int> deg = DegreeSequence(g);
+  EXPECT_EQ(deg, (std::vector<int>{3, 2, 2, 1}));
+}
+
+TEST(GraphUtilsTest, Density) {
+  EXPECT_DOUBLE_EQ(GraphDensity(Triangle()), 1.0);
+  Graph g;
+  g.AddVertex(0);
+  EXPECT_DOUBLE_EQ(GraphDensity(g), 0.0);
+}
+
+TEST(LabelMapTest, InternAndLookup) {
+  LabelMap m;
+  LabelId c = m.Intern("C");
+  LabelId n = m.Intern("N");
+  EXPECT_NE(c, n);
+  EXPECT_EQ(m.Intern("C"), c);  // idempotent
+  EXPECT_EQ(m.size(), 2);
+  EXPECT_EQ(m.Name(c), "C");
+  LabelId found = 99;
+  EXPECT_TRUE(m.Find("N", &found));
+  EXPECT_EQ(found, n);
+  EXPECT_FALSE(m.Find("Zr", &found));
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  GraphDatabase db;
+  db.push_back(Triangle());
+  Graph g2;
+  g2.AddVertex(7);
+  db.push_back(g2);
+  std::ostringstream out;
+  WriteGraphStream(db, out);
+  std::istringstream in(out.str());
+  Result<GraphDatabase> back = ReadGraphStream(in);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0], db[0]);
+  EXPECT_EQ((*back)[1], db[1]);
+}
+
+TEST(GraphIoTest, ParsesCommentsAndBlankLines) {
+  std::istringstream in("# header\n\nt # 0\nv 0 1\nv 1 2\ne 0 1 3\n");
+  Result<GraphDatabase> db = ReadGraphStream(in);
+  ASSERT_TRUE(db.ok());
+  ASSERT_EQ(db->size(), 1u);
+  EXPECT_EQ((*db)[0].NumEdges(), 1);
+  EXPECT_EQ((*db)[0].id(), 0);
+}
+
+TEST(GraphIoTest, RejectsMalformedHeader) {
+  std::istringstream in("t 0\n");
+  EXPECT_FALSE(ReadGraphStream(in).ok());
+}
+
+TEST(GraphIoTest, RejectsVertexBeforeHeader) {
+  std::istringstream in("v 0 1\n");
+  EXPECT_FALSE(ReadGraphStream(in).ok());
+}
+
+TEST(GraphIoTest, RejectsNonConsecutiveVertexIds) {
+  std::istringstream in("t # 0\nv 1 1\n");
+  EXPECT_FALSE(ReadGraphStream(in).ok());
+}
+
+TEST(GraphIoTest, RejectsBadEdgeEndpoint) {
+  std::istringstream in("t # 0\nv 0 1\ne 0 5 1\n");
+  EXPECT_FALSE(ReadGraphStream(in).ok());
+}
+
+TEST(GraphIoTest, RejectsDuplicateEdge) {
+  std::istringstream in("t # 0\nv 0 1\nv 1 1\ne 0 1 1\ne 1 0 2\n");
+  EXPECT_FALSE(ReadGraphStream(in).ok());
+}
+
+TEST(GraphIoTest, RejectsUnknownTag) {
+  std::istringstream in("t # 0\nq 1 2\n");
+  Result<GraphDatabase> r = ReadGraphStream(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(GraphIoTest, FileIoErrors) {
+  EXPECT_FALSE(ReadGraphFile("/nonexistent/dir/file.gdb").ok());
+  GraphDatabase db;
+  EXPECT_FALSE(WriteGraphFile(db, "/nonexistent/dir/file.gdb").ok());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  GraphDatabase db{Triangle()};
+  std::string path = ::testing::TempDir() + "/gdim_io_test.gdb";
+  ASSERT_TRUE(WriteGraphFile(db, path).ok());
+  Result<GraphDatabase> back = ReadGraphFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[0], db[0]);
+}
+
+}  // namespace
+}  // namespace gdim

@@ -1,0 +1,198 @@
+// Cross-module integration properties that no single-module suite covers:
+// generator → miner → mapper → measure chains, and the substitution claims
+// DESIGN.md makes about the generators.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/dspmap.h"
+#include "core/measures.h"
+#include "core/objective.h"
+#include "datasets/chemgen.h"
+#include "datasets/graphgen.h"
+#include "graph/graph_utils.h"
+#include "mcs/dissimilarity.h"
+#include "mining/gspan.h"
+
+namespace gdim {
+namespace {
+
+TEST(GeneratorMiningTest, ZipfSkewYieldsMoreFrequentPatterns) {
+  // The DESIGN.md substitution claim: with 20 uniform labels almost nothing
+  // is frequent at τ=5%, while the Zipf-skewed distribution (the default)
+  // yields a rich pool.
+  GraphGenOptions uniform;
+  uniform.num_graphs = 120;
+  uniform.label_zipf = 0.0;
+  GraphGenOptions skewed = uniform;
+  skewed.label_zipf = 1.0;
+  MiningOptions mining;
+  mining.min_support = 0.05;
+  mining.max_edges = 4;
+  auto m_uniform =
+      MineFrequentSubgraphs(GenerateSyntheticDatabase(uniform), mining);
+  auto m_skewed =
+      MineFrequentSubgraphs(GenerateSyntheticDatabase(skewed), mining);
+  ASSERT_TRUE(m_uniform.ok() && m_skewed.ok());
+  EXPECT_GT(static_cast<double>(m_skewed->size()),
+            1.3 * static_cast<double>(m_uniform->size()))
+      << "zipf=" << m_skewed->size() << " uniform=" << m_uniform->size();
+}
+
+TEST(GeneratorMiningTest, ChemFamiliesShareScaffoldPatterns) {
+  // Graphs of one family should share more mined features than graphs of
+  // different families — the "natural clusters" property.
+  ChemGenOptions opts;
+  opts.num_graphs = 60;
+  opts.num_families = 4;
+  GraphDatabase db = GenerateChemDatabase(opts);
+  MiningOptions mining;
+  mining.min_support = 0.1;
+  mining.max_edges = 4;
+  auto mined = MineFrequentSubgraphs(db, mining);
+  ASSERT_TRUE(mined.ok());
+  BinaryFeatureDb features = BinaryFeatureDb::FromPatterns(60, *mined);
+  // Pairs with small δ2 should share more features than pairs with large
+  // δ2 (coarse correlation check across 200 sampled pairs).
+  DissimilarityMatrix delta = DissimilarityMatrix::Compute(db);
+  std::vector<std::pair<double, int>> samples;  // (delta, shared features)
+  for (int i = 0; i < 60; i += 3) {
+    for (int j = i + 1; j < 60; j += 3) {
+      const auto& a = features.GraphFeatures(i);
+      const auto& b = features.GraphFeatures(j);
+      std::vector<int> shared;
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(shared));
+      samples.push_back({delta.at(i, j), static_cast<int>(shared.size())});
+    }
+  }
+  double low_shared = 0, high_shared = 0;
+  int low_n = 0, high_n = 0;
+  for (const auto& [d, s] : samples) {
+    if (d < 0.5) {
+      low_shared += s;
+      ++low_n;
+    } else {
+      high_shared += s;
+      ++high_n;
+    }
+  }
+  ASSERT_GT(low_n, 0);
+  ASSERT_GT(high_n, 0);
+  EXPECT_GT(low_shared / low_n, high_shared / high_n)
+      << "similar graphs should share more features";
+}
+
+TEST(PipelinePropertyTest, MappedDistanceCorrelatesWithDelta) {
+  // Spearman-style sanity: across random pairs, DSPM-space distances and δ2
+  // must rank pairs concordantly far more often than discordantly.
+  ChemGenOptions opts;
+  opts.num_graphs = 50;
+  GraphDatabase db = GenerateChemDatabase(opts);
+  MiningOptions mining;
+  mining.min_support = 0.08;
+  mining.max_edges = 5;
+  auto mined = MineFrequentSubgraphs(db, mining);
+  ASSERT_TRUE(mined.ok());
+  BinaryFeatureDb features = BinaryFeatureDb::FromPatterns(50, *mined);
+  DissimilarityMatrix delta = DissimilarityMatrix::Compute(db);
+  DspmOptions dspm;
+  dspm.p = std::min(40, features.num_features());
+  dspm.max_iters = 60;
+  dspm.epsilon = 1e-8;
+  DspmResult r = RunDspm(features, delta, dspm);
+
+  auto mapped_distance = [&](int i, int j) {
+    int diff = 0;
+    for (int f : r.selected) {
+      diff += features.Contains(i, f) != features.Contains(j, f) ? 1 : 0;
+    }
+    return std::sqrt(static_cast<double>(diff) /
+                     static_cast<double>(r.selected.size()));
+  };
+  Rng rng(17);
+  int concordant = 0, discordant = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    int a = rng.UniformInt(0, 49), b = rng.UniformInt(0, 49);
+    int c = rng.UniformInt(0, 49), d = rng.UniformInt(0, 49);
+    if (a == b || c == d) continue;
+    double dd = delta.at(a, b) - delta.at(c, d);
+    double dm = mapped_distance(a, b) - mapped_distance(c, d);
+    if (std::abs(dd) < 0.05 || std::abs(dm) < 1e-12) continue;
+    if ((dd > 0) == (dm > 0)) {
+      ++concordant;
+    } else {
+      ++discordant;
+    }
+  }
+  ASSERT_GT(concordant + discordant, 50);
+  EXPECT_GT(concordant, 2 * discordant)
+      << "concordant=" << concordant << " discordant=" << discordant;
+}
+
+TEST(DspmapStructureTest, CallCountMatchesRecursionTree) {
+  // Algorithm 6 runs DSPM once per leaf and once per internal node:
+  // 2·np − 1 calls for np partitions.
+  Rng rng(23);
+  std::vector<std::vector<uint8_t>> rows(60, std::vector<uint8_t>(20));
+  for (auto& row : rows) {
+    for (auto& bit : row) bit = rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  BinaryFeatureDb db = BinaryFeatureDb::FromBitMatrix(rows);
+  DspmapOptions opts;
+  opts.p = 5;
+  opts.partition_size = 10;
+  DspmapResult r = RunDspmap(
+      db, [](int i, int j) { return i == j ? 0.0 : 0.5; }, opts);
+  const int np = static_cast<int>(r.partitions.size());
+  EXPECT_GT(np, 1);
+  EXPECT_EQ(r.dspm_calls, 2 * np - 1);
+}
+
+TEST(MeasureConsistencyTest, BetterRankingNeverScoresWorseOnAllThree) {
+  // Degrading an approximate ranking by swapping a correct top answer with
+  // the true worst answer must not improve any quality measure.
+  Ranking exact;
+  for (int i = 0; i < 30; ++i) exact.push_back({i, i * 0.01});
+  Ranking good = exact;
+  Ranking bad = exact;
+  std::swap(bad[0], bad[29]);
+  const int k = 10;
+  EXPECT_GE(PrecisionAtK(exact, good, k), PrecisionAtK(exact, bad, k));
+  EXPECT_GE(KendallTauAtK(exact, good, k), KendallTauAtK(exact, bad, k));
+  EXPECT_GE(InverseRankDistanceAtK(exact, good, k),
+            InverseRankDistanceAtK(exact, bad, k));
+}
+
+TEST(ConnectedComponentsVsMcsTest, DisconnectedDbStillWorks) {
+  // The pipeline must not assume connected graphs even though generators
+  // produce them: hand-build a db with disconnected members.
+  GraphDatabase db;
+  for (int i = 0; i < 6; ++i) {
+    Graph g;
+    g.AddVertex(0);
+    g.AddVertex(1);
+    g.AddVertex(0);
+    g.AddVertex(1);
+    g.AddEdge(0, 1, 0);
+    g.AddEdge(2, 3, i % 2 == 0 ? 0u : 1u);  // second component varies
+    db.push_back(g);
+  }
+  DissimilarityMatrix delta = DissimilarityMatrix::Compute(db);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      if (i % 2 == j % 2) {
+        EXPECT_DOUBLE_EQ(delta.at(i, j), 0.0) << i << "," << j;
+      } else {
+        EXPECT_NEAR(delta.at(i, j), 0.5, 1e-12) << i << "," << j;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gdim

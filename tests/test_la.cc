@@ -1,0 +1,161 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "la/eigen.h"
+#include "la/matrix.h"
+#include "la/solvers.h"
+
+namespace gdim {
+namespace {
+
+TEST(MatrixTest, MatVec) {
+  Matrix m(2, 3);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(0, 2) = 3;
+  m.at(1, 0) = 4;
+  m.at(1, 1) = 5;
+  m.at(1, 2) = 6;
+  std::vector<double> v = {1, 0, -1};
+  std::vector<double> out = m.MatVec(v);
+  EXPECT_DOUBLE_EQ(out[0], -2);
+  EXPECT_DOUBLE_EQ(out[1], -2);
+  std::vector<double> u = {1, 1};
+  std::vector<double> tout = m.TransposeMatVec(u);
+  EXPECT_DOUBLE_EQ(tout[0], 5);
+  EXPECT_DOUBLE_EQ(tout[1], 7);
+  EXPECT_DOUBLE_EQ(tout[2], 9);
+}
+
+TEST(MatrixTest, VectorHelpers) {
+  std::vector<double> a = {3, 4};
+  EXPECT_DOUBLE_EQ(Norm2(a), 5.0);
+  std::vector<double> b = {1, 2};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 11.0);
+  Axpy(2.0, b, &a);
+  EXPECT_DOUBLE_EQ(a[0], 5.0);
+  EXPECT_DOUBLE_EQ(a[1], 8.0);
+  Normalize(&a);
+  EXPECT_NEAR(Norm2(a), 1.0, 1e-12);
+  std::vector<double> zero = {0, 0};
+  Normalize(&zero);  // no-op, no NaN
+  EXPECT_DOUBLE_EQ(zero[0], 0.0);
+}
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  Matrix m(3, 3);
+  m.at(0, 0) = 3;
+  m.at(1, 1) = 1;
+  m.at(2, 2) = 2;
+  EigenResult r = JacobiEigen(m);
+  ASSERT_EQ(r.values.size(), 3u);
+  EXPECT_NEAR(r.values[0], 1, 1e-10);
+  EXPECT_NEAR(r.values[1], 2, 1e-10);
+  EXPECT_NEAR(r.values[2], 3, 1e-10);
+}
+
+TEST(JacobiEigenTest, SymmetricTwoByTwo) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 2;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 2;
+  EigenResult r = JacobiEigen(m);
+  EXPECT_NEAR(r.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(r.values[1], 3.0, 1e-10);
+  // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+  EXPECT_NEAR(std::abs(r.vectors[1][0]), std::sqrt(0.5), 1e-8);
+}
+
+TEST(PowerIterationTest, TopEigenpairsOfKnownMatrix) {
+  // A = diag(5, 2, 1) as an operator.
+  SymmetricOperator op = [](const std::vector<double>& v) {
+    return std::vector<double>{5 * v[0], 2 * v[1], 1 * v[2]};
+  };
+  EigenResult r = TopEigenpairs(op, 3, 2);
+  ASSERT_EQ(r.values.size(), 2u);
+  EXPECT_NEAR(r.values[0], 5.0, 1e-6);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-5);
+  EXPECT_NEAR(std::abs(r.vectors[0][0]), 1.0, 1e-5);
+}
+
+TEST(PowerIterationTest, BottomEigenpairs) {
+  SymmetricOperator op = [](const std::vector<double>& v) {
+    return std::vector<double>{5 * v[0], 2 * v[1], 1 * v[2]};
+  };
+  EigenResult r = BottomEigenpairs(op, 3, 2, /*upper=*/6.0);
+  EXPECT_NEAR(r.values[0], 1.0, 1e-5);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-5);
+}
+
+TEST(PowerIterationTest, SpectralUpperBoundIsUpper) {
+  SymmetricOperator op = [](const std::vector<double>& v) {
+    return std::vector<double>{5 * v[0], 2 * v[1], 1 * v[2]};
+  };
+  double ub = EstimateSpectralUpperBound(op, 3);
+  EXPECT_GE(ub, 5.0);
+}
+
+TEST(ConjugateGradientTest, SolvesSpdSystem) {
+  // A = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11].
+  SymmetricOperator op = [](const std::vector<double>& v) {
+    return std::vector<double>{4 * v[0] + v[1], v[0] + 3 * v[1]};
+  };
+  std::vector<double> x = ConjugateGradient(op, {1, 2});
+  EXPECT_NEAR(x[0], 1.0 / 11, 1e-8);
+  EXPECT_NEAR(x[1], 7.0 / 11, 1e-8);
+}
+
+TEST(LassoTest, ZeroPenaltyRecoversLeastSquares) {
+  // y = 2*x with x = (1,2,3): w -> 2.
+  std::vector<std::vector<double>> cols = {{1, 2, 3}};
+  std::vector<double> y = {2, 4, 6};
+  std::vector<double> w = LassoCoordinateDescent(cols, y, 0.0);
+  EXPECT_NEAR(w[0], 2.0, 1e-8);
+}
+
+TEST(LassoTest, LargePenaltyZeroesOut) {
+  std::vector<std::vector<double>> cols = {{1, 2, 3}};
+  std::vector<double> y = {2, 4, 6};
+  std::vector<double> w = LassoCoordinateDescent(cols, y, 1e6);
+  EXPECT_DOUBLE_EQ(w[0], 0.0);
+}
+
+TEST(LassoTest, SelectsInformativeColumn) {
+  // Column 0 explains y; column 1 is junk.
+  std::vector<std::vector<double>> cols = {{1, 2, 3, 4}, {1, -1, 1, -1}};
+  std::vector<double> y = {1, 2, 3, 4};
+  std::vector<double> w = LassoCoordinateDescent(cols, y, 0.5);
+  EXPECT_GT(std::abs(w[0]), std::abs(w[1]));
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  std::vector<std::vector<double>> pts = {
+      {0, 0}, {0.1, 0}, {0, 0.1}, {5, 5}, {5.1, 5}, {5, 5.1}};
+  std::vector<int> assign = KMeans(pts, 2, 7);
+  EXPECT_EQ(assign[0], assign[1]);
+  EXPECT_EQ(assign[1], assign[2]);
+  EXPECT_EQ(assign[3], assign[4]);
+  EXPECT_EQ(assign[4], assign[5]);
+  EXPECT_NE(assign[0], assign[3]);
+}
+
+TEST(KMeansTest, MoreClustersThanPointsClamps) {
+  std::vector<std::vector<double>> pts = {{0, 0}, {1, 1}};
+  std::vector<int> assign = KMeans(pts, 5, 3);
+  EXPECT_EQ(assign.size(), 2u);
+}
+
+TEST(KMeansTest, Deterministic) {
+  std::vector<std::vector<double>> pts;
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.UniformDouble(), rng.UniformDouble()});
+  }
+  EXPECT_EQ(KMeans(pts, 3, 11), KMeans(pts, 3, 11));
+}
+
+}  // namespace
+}  // namespace gdim

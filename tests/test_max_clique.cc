@@ -1,0 +1,128 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mcs/max_clique.h"
+
+namespace gdim {
+namespace {
+
+// Brute-force maximum clique by subset enumeration (n <= 20).
+int BruteForceClique(const BitsetGraph& g) {
+  const int n = g.n();
+  int best = 0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    int bits = __builtin_popcount(mask);
+    if (bits <= best) continue;
+    bool is_clique = true;
+    for (int u = 0; u < n && is_clique; ++u) {
+      if (!(mask & (1u << u))) continue;
+      for (int v = u + 1; v < n && is_clique; ++v) {
+        if (!(mask & (1u << v))) continue;
+        if (!g.HasEdge(u, v)) is_clique = false;
+      }
+    }
+    if (is_clique) best = bits;
+  }
+  return best;
+}
+
+bool IsClique(const BitsetGraph& g, const std::vector<int>& vs) {
+  for (size_t i = 0; i < vs.size(); ++i) {
+    for (size_t j = i + 1; j < vs.size(); ++j) {
+      if (!g.HasEdge(vs[i], vs[j])) return false;
+    }
+  }
+  return true;
+}
+
+TEST(BitsetGraphTest, EdgesAndDegrees) {
+  BitsetGraph g(70);  // spans two 64-bit words
+  g.AddEdge(0, 69);
+  g.AddEdge(0, 1);
+  EXPECT_TRUE(g.HasEdge(0, 69));
+  EXPECT_TRUE(g.HasEdge(69, 0));
+  EXPECT_FALSE(g.HasEdge(1, 69));
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_EQ(g.Degree(69), 1);
+}
+
+TEST(MaxCliqueTest, EmptyAndSingleton) {
+  BitsetGraph empty(0);
+  EXPECT_EQ(MaxClique(empty).size, 0);
+  BitsetGraph one(1);
+  MaxCliqueResult r = MaxClique(one);
+  EXPECT_EQ(r.size, 1);
+  EXPECT_EQ(r.vertices, (std::vector<int>{0}));
+}
+
+TEST(MaxCliqueTest, TriangleWithTail) {
+  BitsetGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);
+  MaxCliqueResult r = MaxClique(g);
+  EXPECT_EQ(r.size, 3);
+  EXPECT_TRUE(IsClique(g, r.vertices));
+  std::set<int> vs(r.vertices.begin(), r.vertices.end());
+  EXPECT_EQ(vs, (std::set<int>{0, 1, 2}));
+}
+
+TEST(MaxCliqueTest, CompleteGraph) {
+  BitsetGraph g(8);
+  for (int u = 0; u < 8; ++u) {
+    for (int v = u + 1; v < 8; ++v) g.AddEdge(u, v);
+  }
+  EXPECT_EQ(MaxClique(g).size, 8);
+}
+
+TEST(MaxCliqueTest, StopAtShortCircuits) {
+  BitsetGraph g(8);
+  for (int u = 0; u < 8; ++u) {
+    for (int v = u + 1; v < 8; ++v) g.AddEdge(u, v);
+  }
+  MaxCliqueResult r = MaxClique(g, /*stop_at=*/3);
+  EXPECT_GE(r.size, 3);
+}
+
+TEST(MaxCliqueTest, NodeBudgetFlagsNonOptimal) {
+  Rng rng(5);
+  BitsetGraph g(30);
+  for (int u = 0; u < 30; ++u) {
+    for (int v = u + 1; v < 30; ++v) {
+      if (rng.Bernoulli(0.6)) g.AddEdge(u, v);
+    }
+  }
+  MaxCliqueResult r = MaxClique(g, 0, /*max_nodes=*/2);
+  EXPECT_FALSE(r.optimal);
+}
+
+class MaxCliqueRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxCliqueRandomTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 37);
+  for (int round = 0; round < 10; ++round) {
+    int n = rng.UniformInt(5, 14);
+    double density = 0.2 + 0.6 * rng.UniformDouble();
+    BitsetGraph g(n);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.Bernoulli(density)) g.AddEdge(u, v);
+      }
+    }
+    MaxCliqueResult r = MaxClique(g);
+    EXPECT_TRUE(r.optimal);
+    EXPECT_EQ(r.size, BruteForceClique(g)) << "n=" << n << " round " << round;
+    EXPECT_EQ(static_cast<int>(r.vertices.size()), r.size);
+    EXPECT_TRUE(IsClique(g, r.vertices));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxCliqueRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace gdim

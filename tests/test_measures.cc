@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "core/measures.h"
+
+namespace gdim {
+namespace {
+
+Ranking MakeRanking(std::initializer_list<int> ids) {
+  Ranking r;
+  double score = 0.0;
+  for (int id : ids) {
+    r.push_back(RankedResult{id, score});
+    score += 0.1;
+  }
+  return r;
+}
+
+TEST(PrecisionTest, PerfectAgreement) {
+  Ranking exact = MakeRanking({0, 1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(PrecisionAtK(exact, exact, 3), 1.0);
+}
+
+TEST(PrecisionTest, PartialOverlap) {
+  Ranking exact = MakeRanking({0, 1, 2, 3, 4});
+  Ranking approx = MakeRanking({0, 9, 2, 8, 7});
+  // top-3 overlap: {0, 2} of {0,1,2} -> 2/3.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(exact, approx, 3), 2.0 / 3.0);
+}
+
+TEST(PrecisionTest, OrderWithinTopKIrrelevant) {
+  Ranking exact = MakeRanking({0, 1, 2, 3});
+  Ranking approx = MakeRanking({2, 1, 0, 3});
+  EXPECT_DOUBLE_EQ(PrecisionAtK(exact, approx, 3), 1.0);
+}
+
+TEST(KendallTest, PerfectRankingGetsMaximalConcordance) {
+  const int n = 10;
+  Ranking exact = MakeRanking({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const int k = 4;
+  // Concordant pairs = k(k-1)/2 = 6; denominator k(2n-k-1) = 4*15 = 60.
+  EXPECT_DOUBLE_EQ(KendallTauAtK(exact, exact, k), 6.0 / 60.0);
+}
+
+TEST(KendallTest, ReversedTopKHasZeroConcordance) {
+  Ranking exact = MakeRanking({0, 1, 2, 3, 4, 5});
+  Ranking approx = MakeRanking({3, 2, 1, 0, 4, 5});
+  EXPECT_DOUBLE_EQ(KendallTauAtK(exact, approx, 4), 0.0);
+}
+
+TEST(KendallTest, BetterRankingScoresHigher) {
+  Ranking exact = MakeRanking({0, 1, 2, 3, 4, 5, 6, 7});
+  Ranking good = MakeRanking({0, 1, 3, 2, 4, 5, 6, 7});
+  Ranking bad = MakeRanking({7, 6, 5, 4, 3, 2, 1, 0});
+  EXPECT_GT(KendallTauAtK(exact, good, 4), KendallTauAtK(exact, bad, 4));
+}
+
+TEST(RankDistanceTest, PerfectRankingClampsToK) {
+  Ranking exact = MakeRanking({0, 1, 2, 3, 4});
+  // Zero footrule clamps denominator to 1 -> k.
+  EXPECT_DOUBLE_EQ(InverseRankDistanceAtK(exact, exact, 3), 3.0);
+}
+
+TEST(RankDistanceTest, KnownFootrule) {
+  Ranking exact = MakeRanking({0, 1, 2, 3, 4});
+  Ranking approx = MakeRanking({1, 0, 2, 3, 4});
+  // |1-2| + |2-1| + |3-3| = 2 for k=3 -> 3/2.
+  EXPECT_DOUBLE_EQ(InverseRankDistanceAtK(exact, approx, 3), 1.5);
+}
+
+TEST(RankDistanceTest, WorseRankingScoresLower) {
+  Ranking exact = MakeRanking({0, 1, 2, 3, 4, 5});
+  Ranking good = MakeRanking({1, 0, 2, 3, 4, 5});
+  Ranking bad = MakeRanking({5, 4, 3, 2, 1, 0});
+  EXPECT_GT(InverseRankDistanceAtK(exact, good, 4),
+            InverseRankDistanceAtK(exact, bad, 4));
+}
+
+TEST(FeatureJaccardTest, KnownSupports) {
+  BinaryFeatureDb db = BinaryFeatureDb::FromBitMatrix({
+      {1, 1, 0},
+      {1, 0, 0},
+      {0, 1, 1},
+      {1, 1, 0},
+  });
+  // sup(0)={0,1,3}, sup(1)={0,2,3}: inter=2, union=4.
+  EXPECT_DOUBLE_EQ(FeatureJaccard(db, 0, 1), 0.5);
+  // sup(2)={2}: inter with sup(0) = 0.
+  EXPECT_DOUBLE_EQ(FeatureJaccard(db, 0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(FeatureJaccard(db, 0, 0), 1.0);
+}
+
+TEST(CorrelationScoreTest, SumsOverPairs) {
+  BinaryFeatureDb db = BinaryFeatureDb::FromBitMatrix({
+      {1, 1, 0},
+      {1, 0, 0},
+      {0, 1, 1},
+      {1, 1, 0},
+  });
+  double expected = FeatureJaccard(db, 0, 1) + FeatureJaccard(db, 0, 2) +
+                    FeatureJaccard(db, 1, 2);
+  EXPECT_DOUBLE_EQ(CorrelationScore(db, {0, 1, 2}), expected);
+  EXPECT_DOUBLE_EQ(CorrelationScore(db, {0}), 0.0);
+  EXPECT_DOUBLE_EQ(CorrelationScore(db, {}), 0.0);
+}
+
+TEST(HistogramTest, FractionsSumToOne) {
+  std::vector<double> values = {0.05, 0.15, 0.15, 0.95, 1.0};
+  std::vector<double> h = HistogramFractions(values, 10);
+  ASSERT_EQ(h.size(), 10u);
+  double total = 0;
+  for (double f : h) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h[0], 0.2);
+  EXPECT_DOUBLE_EQ(h[1], 0.4);
+  EXPECT_DOUBLE_EQ(h[9], 0.4);  // 0.95 and the clamped 1.0
+}
+
+TEST(HistogramTest, EmptyInput) {
+  std::vector<double> h = HistogramFractions({}, 5);
+  for (double f : h) EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+}  // namespace
+}  // namespace gdim

@@ -1,0 +1,107 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/binary_db.h"
+#include "core/objective.h"
+
+namespace gdim {
+namespace {
+
+// Random bit matrix db + random delta matrix for objective tests.
+BinaryFeatureDb RandomBits(int n, int m, double density, Rng* rng) {
+  std::vector<std::vector<uint8_t>> rows(
+      static_cast<size_t>(n), std::vector<uint8_t>(static_cast<size_t>(m)));
+  for (auto& row : rows) {
+    for (auto& bit : row) bit = rng->Bernoulli(density) ? 1 : 0;
+  }
+  return BinaryFeatureDb::FromBitMatrix(rows);
+}
+
+DissimilarityMatrix RandomDelta(int n, Rng* rng) {
+  std::vector<double> vals(static_cast<size_t>(n) * static_cast<size_t>(n),
+                           0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double v = rng->UniformDouble();
+      vals[static_cast<size_t>(i) * static_cast<size_t>(n) +
+           static_cast<size_t>(j)] = v;
+      vals[static_cast<size_t>(j) * static_cast<size_t>(n) +
+           static_cast<size_t>(i)] = v;
+    }
+  }
+  return DissimilarityMatrix::FromDense(n, std::move(vals));
+}
+
+TEST(ObjectiveTest, WeightedDistanceHandComputed) {
+  BinaryFeatureDb db = BinaryFeatureDb::FromBitMatrix({
+      {1, 0, 1},
+      {0, 1, 1},
+  });
+  std::vector<double> c = {0.5, 2.0, 7.0};
+  // Symmetric difference = features 0 and 1: sqrt(0.25 + 4).
+  EXPECT_DOUBLE_EQ(WeightedDistance(db, c, 0, 1), std::sqrt(4.25));
+  EXPECT_DOUBLE_EQ(WeightedDistance(db, c, 0, 0), 0.0);
+}
+
+TEST(ObjectiveTest, OptimizedMatchesNaive) {
+  Rng rng(77);
+  for (int round = 0; round < 5; ++round) {
+    BinaryFeatureDb db = RandomBits(12, 20, 0.3, &rng);
+    DissimilarityMatrix delta = RandomDelta(12, &rng);
+    std::vector<double> c(20);
+    for (double& v : c) v = rng.UniformDouble();
+    double fast = StressObjective(db, c, delta);
+    double naive = StressObjectiveNaive(db, c, delta);
+    EXPECT_NEAR(fast, naive, 1e-9 * std::max(1.0, naive)) << "round " << round;
+  }
+}
+
+TEST(ObjectiveTest, ZeroWeightsGiveDeltaNormSquared) {
+  Rng rng(78);
+  BinaryFeatureDb db = RandomBits(8, 10, 0.4, &rng);
+  DissimilarityMatrix delta = RandomDelta(8, &rng);
+  std::vector<double> c(10, 0.0);
+  double expect = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      expect += delta.at(i, j) * delta.at(i, j);
+    }
+  }
+  EXPECT_NEAR(StressObjective(db, c, delta), expect, 1e-9);
+}
+
+TEST(ObjectiveTest, DistanceMatrixSymmetric) {
+  Rng rng(79);
+  BinaryFeatureDb db = RandomBits(10, 15, 0.3, &rng);
+  std::vector<double> c(15, 0.1);
+  std::vector<double> d = WeightedDistanceMatrix(db, c);
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(d[static_cast<size_t>(i) * 10 + static_cast<size_t>(j)],
+                       d[static_cast<size_t>(j) * 10 + static_cast<size_t>(i)]);
+    }
+    EXPECT_DOUBLE_EQ(d[static_cast<size_t>(i) * 10 + static_cast<size_t>(i)],
+                     0.0);
+  }
+}
+
+TEST(ObjectiveTest, BinaryMappedDistance) {
+  std::vector<uint8_t> a = {1, 0, 1, 0};
+  std::vector<uint8_t> b = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(BinaryMappedDistance(a, b), std::sqrt(2.0 / 4.0));
+  EXPECT_DOUBLE_EQ(BinaryMappedDistance(a, a), 0.0);
+  std::vector<uint8_t> empty_a, empty_b;
+  EXPECT_DOUBLE_EQ(BinaryMappedDistance(empty_a, empty_b), 0.0);
+}
+
+TEST(ObjectiveTest, BinaryMappedDistanceBounds) {
+  // Normalized to [0, 1]: all-different vectors hit exactly 1.
+  std::vector<uint8_t> a = {1, 1, 1};
+  std::vector<uint8_t> b = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(BinaryMappedDistance(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace gdim

@@ -1,0 +1,142 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/selector.h"
+
+namespace gdim {
+namespace {
+
+BinaryFeatureDb RandomBits(int n, int m, double density, Rng* rng) {
+  std::vector<std::vector<uint8_t>> rows(
+      static_cast<size_t>(n), std::vector<uint8_t>(static_cast<size_t>(m)));
+  for (auto& row : rows) {
+    for (auto& bit : row) bit = rng->Bernoulli(density) ? 1 : 0;
+  }
+  return BinaryFeatureDb::FromBitMatrix(rows);
+}
+
+DissimilarityMatrix RandomDelta(int n, Rng* rng) {
+  std::vector<double> vals(static_cast<size_t>(n) * static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double v = rng->UniformDouble();
+      vals[static_cast<size_t>(i) * static_cast<size_t>(n) +
+           static_cast<size_t>(j)] = v;
+      vals[static_cast<size_t>(j) * static_cast<size_t>(n) +
+           static_cast<size_t>(i)] = v;
+    }
+  }
+  return DissimilarityMatrix::FromDense(n, std::move(vals));
+}
+
+class SelectorContractTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SelectorContractTest, ReturnsValidDistinctFeatures) {
+  const std::string name = GetParam();
+  auto selector = MakeSelector(name);
+  ASSERT_NE(selector, nullptr) << name;
+  EXPECT_EQ(selector->name(), name);
+
+  Rng rng(911);
+  BinaryFeatureDb db = RandomBits(24, 30, 0.35, &rng);
+  DissimilarityMatrix delta = RandomDelta(24, &rng);
+  SelectionInput input;
+  input.db = &db;
+  input.delta = &delta;
+  input.p = 10;
+  input.seed = 5;
+  input.params.eigen_iters = 40;  // keep spectral baselines quick in tests
+  input.params.outer_iters = 2;
+  input.dspm.max_iters = 10;
+  input.dspmap.partition_size = 12;
+
+  Result<SelectionOutput> out = selector->Select(input);
+  ASSERT_TRUE(out.ok()) << name << ": " << out.status().ToString();
+  const int expect =
+      name == "Original" ? db.num_features() : input.p;
+  EXPECT_EQ(static_cast<int>(out->selected.size()), expect) << name;
+  std::set<int> uniq(out->selected.begin(), out->selected.end());
+  EXPECT_EQ(uniq.size(), out->selected.size()) << name << ": duplicates";
+  for (int r : out->selected) {
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, db.num_features());
+  }
+}
+
+TEST_P(SelectorContractTest, DeterministicInSeed) {
+  const std::string name = GetParam();
+  auto selector = MakeSelector(name);
+  ASSERT_NE(selector, nullptr);
+  Rng rng(913);
+  BinaryFeatureDb db = RandomBits(20, 25, 0.35, &rng);
+  DissimilarityMatrix delta = RandomDelta(20, &rng);
+  SelectionInput input;
+  input.db = &db;
+  input.delta = &delta;
+  input.p = 8;
+  input.seed = 77;
+  input.params.eigen_iters = 30;
+  input.params.outer_iters = 2;
+  input.dspm.max_iters = 8;
+  input.dspmap.partition_size = 10;
+  auto a = selector->Select(input);
+  auto b = selector->Select(input);
+  ASSERT_TRUE(a.ok() && b.ok()) << name;
+  EXPECT_EQ(a->selected, b->selected) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSelectors, SelectorContractTest,
+                         ::testing::Values("DSPM", "Original", "Sample",
+                                           "SFS", "MICI", "MCFS", "UDFS",
+                                           "NDFS", "DSPMap"));
+
+TEST(SelectorRegistryTest, UnknownNameIsNull) {
+  EXPECT_EQ(MakeSelector("NoSuchMethod"), nullptr);
+}
+
+TEST(SelectorRegistryTest, AllNamesConstructible) {
+  for (const std::string& name : AllSelectorNames()) {
+    EXPECT_NE(MakeSelector(name), nullptr) << name;
+  }
+}
+
+TEST(SelectorErrorsTest, MissingInputsRejected) {
+  SelectionInput empty;
+  for (const std::string& name : AllSelectorNames()) {
+    auto selector = MakeSelector(name);
+    EXPECT_FALSE(selector->Select(empty).ok()) << name;
+  }
+}
+
+TEST(SelectorErrorsTest, DissimilarityRequiredWhereDeclared) {
+  Rng rng(917);
+  BinaryFeatureDb db = RandomBits(10, 12, 0.3, &rng);
+  SelectionInput input;
+  input.db = &db;
+  input.p = 4;
+  for (const std::string& name : {"DSPM", "DSPMap", "SFS"}) {
+    auto selector = MakeSelector(name);
+    EXPECT_TRUE(selector->NeedsDissimilarity()) << name;
+    EXPECT_FALSE(selector->Select(input).ok()) << name;
+  }
+}
+
+TEST(SampleSelectorTest, DifferentSeedsDiffer) {
+  Rng rng(919);
+  BinaryFeatureDb db = RandomBits(10, 40, 0.3, &rng);
+  auto selector = MakeSelector("Sample");
+  SelectionInput input;
+  input.db = &db;
+  input.p = 10;
+  input.seed = 1;
+  auto a = selector->Select(input);
+  input.seed = 2;
+  auto b = selector->Select(input);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->selected, b->selected);
+}
+
+}  // namespace
+}  // namespace gdim

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/mapper.h"
+#include "core/topk.h"
+#include "test_util.h"
+
+namespace gdim {
+namespace {
+
+using testing_util::RandomConnectedGraph;
+
+TEST(RankByScoresTest, SortsAscendingWithIdTieBreak) {
+  Ranking r = RankByScores({0.5, 0.1, 0.5, 0.0});
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r[0].id, 3);
+  EXPECT_EQ(r[1].id, 1);
+  EXPECT_EQ(r[2].id, 0);  // ties broken by id
+  EXPECT_EQ(r[3].id, 2);
+}
+
+TEST(TopKTest, TruncatesAndClamps) {
+  Ranking r = RankByScores({0.3, 0.2, 0.1});
+  EXPECT_EQ(TopK(r, 2).size(), 2u);
+  EXPECT_EQ(TopK(r, 10).size(), 3u);
+  EXPECT_EQ(TopK(r, 0).size(), 0u);
+}
+
+TEST(ExactRankingTest, SelfIsClosest) {
+  Rng rng(55);
+  GraphDatabase db;
+  for (int i = 0; i < 6; ++i) {
+    db.push_back(RandomConnectedGraph(6, 2, 3, 2, &rng));
+  }
+  // Query with db[2] itself: it must rank first with distance 0.
+  Ranking r = ExactRanking(db[2], db);
+  EXPECT_EQ(r[0].id, 2);
+  EXPECT_DOUBLE_EQ(r[0].score, 0.0);
+}
+
+TEST(MappedRankingTest, HammingOrder) {
+  std::vector<uint8_t> q = {1, 1, 0, 0};
+  std::vector<std::vector<uint8_t>> db = {
+      {1, 1, 0, 0},  // distance 0
+      {1, 0, 0, 0},  // 1 bit
+      {0, 0, 1, 1},  // 4 bits
+      {1, 1, 1, 0},  // 1 bit
+  };
+  Ranking r = MappedRanking(q, db);
+  EXPECT_EQ(r[0].id, 0);
+  EXPECT_EQ(r[1].id, 1);  // ties (1 vs 3) broken by id
+  EXPECT_EQ(r[2].id, 3);
+  EXPECT_EQ(r[3].id, 2);
+}
+
+TEST(FeatureMapperTest, MapsAgainstFeatures) {
+  // Features: single edge (0)-(0), single edge (0)-(1).
+  Graph f0;
+  f0.AddVertex(0);
+  f0.AddVertex(0);
+  f0.AddEdge(0, 1, 0);
+  Graph f1;
+  f1.AddVertex(0);
+  f1.AddVertex(1);
+  f1.AddEdge(0, 1, 0);
+  FeatureMapper mapper({f0, f1});
+  EXPECT_EQ(mapper.num_features(), 2);
+
+  Graph g;  // path (0)-(0)-(1): contains both features
+  g.AddVertex(0);
+  g.AddVertex(0);
+  g.AddVertex(1);
+  g.AddEdge(0, 1, 0);
+  g.AddEdge(1, 2, 0);
+  std::vector<uint8_t> bits = mapper.Map(g);
+  EXPECT_EQ(bits, (std::vector<uint8_t>{1, 1}));
+
+  Graph h;  // single (0)-(1) edge: only f1
+  h.AddVertex(0);
+  h.AddVertex(1);
+  h.AddEdge(0, 1, 0);
+  EXPECT_EQ(mapper.Map(h), (std::vector<uint8_t>{0, 1}));
+}
+
+TEST(FeatureMapperTest, MapAllMatchesMap) {
+  Rng rng(66);
+  GraphDatabase features;
+  for (int i = 0; i < 3; ++i) {
+    features.push_back(RandomConnectedGraph(3, 0, 2, 2, &rng));
+  }
+  FeatureMapper mapper(features);
+  GraphDatabase graphs;
+  for (int i = 0; i < 5; ++i) {
+    graphs.push_back(RandomConnectedGraph(6, 2, 2, 2, &rng));
+  }
+  auto all = mapper.MapAll(graphs);
+  ASSERT_EQ(all.size(), 5u);
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    EXPECT_EQ(all[i], mapper.Map(graphs[i]));
+  }
+}
+
+}  // namespace
+}  // namespace gdim

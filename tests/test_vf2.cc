@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "isomorphism/vf2.h"
+#include "test_util.h"
+
+namespace gdim {
+namespace {
+
+using testing_util::BruteForceSubgraphIso;
+using testing_util::RandomConnectedGraph;
+using testing_util::RandomEdgeSubgraph;
+
+Graph PathGraph(std::initializer_list<LabelId> vlabels, LabelId elabel) {
+  Graph g;
+  for (LabelId l : vlabels) g.AddVertex(l);
+  for (int i = 0; i + 1 < g.NumVertices(); ++i) g.AddEdge(i, i + 1, elabel);
+  return g;
+}
+
+TEST(Vf2Test, EmptyPatternAlwaysEmbeds) {
+  Graph empty;
+  Graph target = PathGraph({1, 2, 3}, 0);
+  EXPECT_TRUE(IsSubgraphIsomorphic(empty, target));
+  EXPECT_TRUE(IsSubgraphIsomorphic(empty, empty));
+}
+
+TEST(Vf2Test, SingleVertexLabelMatch) {
+  Graph p;
+  p.AddVertex(2);
+  Graph t = PathGraph({1, 2, 3}, 0);
+  EXPECT_TRUE(IsSubgraphIsomorphic(p, t));
+  Graph p2;
+  p2.AddVertex(9);
+  EXPECT_FALSE(IsSubgraphIsomorphic(p2, t));
+}
+
+TEST(Vf2Test, EdgeLabelMustMatch) {
+  Graph p = PathGraph({1, 2}, 5);
+  Graph t = PathGraph({1, 2}, 6);
+  EXPECT_FALSE(IsSubgraphIsomorphic(p, t));
+  Graph t2 = PathGraph({1, 2}, 5);
+  EXPECT_TRUE(IsSubgraphIsomorphic(p, t2));
+}
+
+TEST(Vf2Test, PathIntoTriangleNonInduced) {
+  Graph p = PathGraph({1, 1, 1}, 0);
+  Graph t;
+  t.AddVertex(1);
+  t.AddVertex(1);
+  t.AddVertex(1);
+  t.AddEdge(0, 1, 0);
+  t.AddEdge(1, 2, 0);
+  t.AddEdge(0, 2, 0);
+  EXPECT_TRUE(IsSubgraphIsomorphic(p, t));  // non-induced: allowed
+  SubgraphIsoOptions induced;
+  induced.induced = true;
+  EXPECT_FALSE(IsSubgraphIsomorphic(p, t, induced));  // induced: forbidden
+}
+
+TEST(Vf2Test, TriangleNotInPath) {
+  Graph t = PathGraph({1, 1, 1}, 0);
+  Graph p;
+  p.AddVertex(1);
+  p.AddVertex(1);
+  p.AddVertex(1);
+  p.AddEdge(0, 1, 0);
+  p.AddEdge(1, 2, 0);
+  p.AddEdge(0, 2, 0);
+  EXPECT_FALSE(IsSubgraphIsomorphic(p, t));
+}
+
+TEST(Vf2Test, DisconnectedPattern) {
+  Graph p;
+  p.AddVertex(1);
+  p.AddVertex(2);  // two isolated labeled vertices
+  Graph t = PathGraph({1, 3, 2}, 0);
+  EXPECT_TRUE(IsSubgraphIsomorphic(p, t));
+  Graph t2 = PathGraph({1, 3, 3}, 0);
+  EXPECT_FALSE(IsSubgraphIsomorphic(p, t2));
+}
+
+TEST(Vf2Test, FindEmbeddingReturnsValidMapping) {
+  Graph p = PathGraph({1, 2}, 4);
+  Graph t;
+  t.AddVertex(2);
+  t.AddVertex(1);
+  t.AddVertex(3);
+  t.AddEdge(0, 1, 4);
+  t.AddEdge(1, 2, 9);
+  std::vector<VertexId> mapping;
+  ASSERT_TRUE(FindSubgraphEmbedding(p, t, &mapping));
+  ASSERT_EQ(mapping.size(), 2u);
+  EXPECT_EQ(t.VertexLabel(mapping[0]), 1u);
+  EXPECT_EQ(t.VertexLabel(mapping[1]), 2u);
+  EXPECT_TRUE(t.HasEdge(mapping[0], mapping[1]));
+}
+
+TEST(Vf2Test, CountEmbeddingsOnSymmetricTarget) {
+  // Single edge (1)-(1) into a triangle of label-1 vertices: 6 ordered
+  // embeddings.
+  Graph p = PathGraph({1, 1}, 0);
+  Graph t;
+  t.AddVertex(1);
+  t.AddVertex(1);
+  t.AddVertex(1);
+  t.AddEdge(0, 1, 0);
+  t.AddEdge(1, 2, 0);
+  t.AddEdge(0, 2, 0);
+  EXPECT_EQ(CountSubgraphEmbeddings(p, t), 6u);
+}
+
+TEST(Vf2Test, NodeBudgetAborts) {
+  Rng rng(3);
+  Graph t = RandomConnectedGraph(12, 10, 1, 1, &rng);
+  Graph p = RandomConnectedGraph(8, 4, 1, 1, &rng);
+  SubgraphIsoOptions opts;
+  opts.max_nodes = 1;
+  SubgraphIsoStats stats;
+  IsSubgraphIsomorphic(p, t, opts, &stats);
+  EXPECT_LE(stats.nodes, 2u);
+}
+
+TEST(Vf2Test, GraphIsomorphismBasics) {
+  Graph a = PathGraph({1, 2, 3}, 0);
+  // Same path built in reverse vertex order.
+  Graph b;
+  b.AddVertex(3);
+  b.AddVertex(2);
+  b.AddVertex(1);
+  b.AddEdge(0, 1, 0);
+  b.AddEdge(1, 2, 0);
+  EXPECT_TRUE(AreGraphsIsomorphic(a, b));
+  Graph c = PathGraph({1, 2, 4}, 0);
+  EXPECT_FALSE(AreGraphsIsomorphic(a, c));
+  EXPECT_FALSE(AreGraphsIsomorphic(a, PathGraph({1, 2}, 0)));
+}
+
+// Property: VF2 agrees with brute force on random graph pairs.
+class Vf2RandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Vf2RandomTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int round = 0; round < 25; ++round) {
+    Graph target = RandomConnectedGraph(rng.UniformInt(3, 7),
+                                        rng.UniformInt(0, 3), 2, 2, &rng);
+    Graph pattern;
+    if (rng.Bernoulli(0.5)) {
+      // True subgraph: must embed.
+      pattern = RandomEdgeSubgraph(target, rng.UniformInt(1, 4), &rng);
+      EXPECT_TRUE(IsSubgraphIsomorphic(pattern, target))
+          << "round " << round;
+    } else {
+      pattern = RandomConnectedGraph(rng.UniformInt(2, 5),
+                                     rng.UniformInt(0, 2), 2, 2, &rng);
+    }
+    EXPECT_EQ(IsSubgraphIsomorphic(pattern, target),
+              BruteForceSubgraphIso(pattern, target))
+        << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Vf2RandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace gdim

@@ -1,0 +1,222 @@
+// gdim_tool — command-line front end for the graphdim library.
+//
+//   gdim_tool generate --kind=chem --n=500 --out=db.gdb [--queries=...]
+//   gdim_tool mine     --db=db.gdb --minsup=0.05 --maxedges=7 --out=patterns.gdb
+//   gdim_tool build    --db=db.gdb --selector=DSPM --p=100 --out=index.idx
+//   gdim_tool query    --index=index.idx --db=db.gdb --queries=q.gdb --k=10
+//   gdim_tool stats    --db=db.gdb
+//
+// All subcommands read/write the gSpan text format (`t # id / v / e` lines)
+// and the gdim-index format (see core/index_io.h).
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "common/timer.h"
+#include "core/index.h"
+#include "core/index_io.h"
+#include "core/topk.h"
+#include "datasets/chemgen.h"
+#include "datasets/graphgen.h"
+#include "graph/graph_io.h"
+#include "graph/graph_utils.h"
+#include "mining/gspan.h"
+
+namespace gdim {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: gdim_tool <generate|mine|build|query|stats> [--flags]\n"
+               "  generate --kind=chem|synthetic --n=N --out=FILE "
+               "[--queries=M --queries-out=FILE --seed=S]\n"
+               "  mine     --db=FILE --out=FILE [--minsup=0.05 --maxedges=7]\n"
+               "  build    --db=FILE --out=FILE [--selector=DSPM --p=100 "
+               "--minsup=0.05 --maxedges=7 --seed=S]\n"
+               "  query    --index=FILE --db=FILE --queries=FILE [--k=10]\n"
+               "  stats    --db=FILE\n");
+  return 2;
+}
+
+int RunGenerate(const Flags& flags) {
+  const std::string kind = flags.GetString("kind", "chem");
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) return Usage();
+  const int n = flags.GetInt("n", 500);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  GraphDatabase db, queries;
+  const int num_queries = flags.GetInt("queries", 0);
+  if (kind == "chem") {
+    ChemGenOptions opts;
+    opts.num_graphs = n;
+    opts.num_families = flags.GetInt("families", std::max(10, n / 8));
+    opts.seed = seed;
+    db = GenerateChemDatabase(opts);
+    if (num_queries > 0) queries = GenerateChemQueries(opts, num_queries);
+  } else if (kind == "synthetic") {
+    GraphGenOptions opts;
+    opts.num_graphs = n;
+    opts.avg_edges = flags.GetDouble("edges", 20.0);
+    opts.density = flags.GetDouble("density", 0.2);
+    opts.num_vertex_labels = flags.GetInt("labels", 20);
+    opts.seed = seed;
+    db = GenerateSyntheticDatabase(opts);
+    if (num_queries > 0) {
+      opts.seed = seed ^ 0x9E3779B9ULL;
+      opts.num_graphs = num_queries;
+      queries = GenerateSyntheticDatabase(opts);
+    }
+  } else {
+    return Usage();
+  }
+  Status s = WriteGraphFile(db, out);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %zu graphs to %s\n", db.size(), out.c_str());
+  if (num_queries > 0) {
+    const std::string qout = flags.GetString("queries-out", out + ".queries");
+    s = WriteGraphFile(queries, qout);
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote %zu queries to %s\n", queries.size(), qout.c_str());
+  }
+  return 0;
+}
+
+int RunMine(const Flags& flags) {
+  const std::string db_path = flags.GetString("db", "");
+  const std::string out = flags.GetString("out", "");
+  if (db_path.empty() || out.empty()) return Usage();
+  Result<GraphDatabase> db = ReadGraphFile(db_path);
+  if (!db.ok()) return Fail(db.status());
+  MiningOptions opts;
+  opts.min_support = flags.GetDouble("minsup", 0.05);
+  opts.max_edges = flags.GetInt("maxedges", 7);
+  opts.max_patterns = flags.GetInt("maxpatterns", 0);
+  WallTimer timer;
+  Result<std::vector<FrequentPattern>> mined =
+      MineFrequentSubgraphs(*db, opts);
+  if (!mined.ok()) return Fail(mined.status());
+  GraphDatabase patterns;
+  for (const FrequentPattern& p : *mined) patterns.push_back(p.graph);
+  Status s = WriteGraphFile(patterns, out);
+  if (!s.ok()) return Fail(s);
+  std::printf("mined %zu frequent subgraphs from %zu graphs in %.2fs -> %s\n",
+              patterns.size(), db->size(), timer.Seconds(), out.c_str());
+  return 0;
+}
+
+int RunBuild(const Flags& flags) {
+  const std::string db_path = flags.GetString("db", "");
+  const std::string out = flags.GetString("out", "");
+  if (db_path.empty() || out.empty()) return Usage();
+  Result<GraphDatabase> db = ReadGraphFile(db_path);
+  if (!db.ok()) return Fail(db.status());
+  IndexOptions opts;
+  opts.selector = flags.GetString("selector", "DSPM");
+  opts.p = flags.GetInt("p", 100);
+  opts.mining.min_support = flags.GetDouble("minsup", 0.05);
+  opts.mining.max_edges = flags.GetInt("maxedges", 7);
+  opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  WallTimer timer;
+  Result<GraphSearchIndex> index = GraphSearchIndex::Build(*db, opts);
+  if (!index.ok()) return Fail(index.status());
+  PersistedIndex persisted;
+  persisted.features = index->dimension();
+  persisted.db_bits = index->mapped_database();
+  Status s = WriteIndexFile(persisted, out);
+  if (!s.ok()) return Fail(s);
+  const IndexBuildStats& st = index->build_stats();
+  std::printf("built %s index over %zu graphs in %.2fs "
+              "(mine %.2fs + delta %.2fs + select %.2fs): %d of %d features "
+              "-> %s\n",
+              opts.selector.c_str(), db->size(), timer.Seconds(),
+              st.mining_seconds, st.dissimilarity_seconds,
+              st.selection_seconds, st.selected_features, st.mined_features,
+              out.c_str());
+  return 0;
+}
+
+int RunQuery(const Flags& flags) {
+  const std::string index_path = flags.GetString("index", "");
+  const std::string db_path = flags.GetString("db", "");
+  const std::string queries_path = flags.GetString("queries", "");
+  if (index_path.empty() || db_path.empty() || queries_path.empty()) {
+    return Usage();
+  }
+  const int k = flags.GetInt("k", 10);
+  Result<PersistedIndex> index = ReadIndexFile(index_path);
+  if (!index.ok()) return Fail(index.status());
+  Result<GraphDatabase> db = ReadGraphFile(db_path);
+  if (!db.ok()) return Fail(db.status());
+  Result<GraphDatabase> queries = ReadGraphFile(queries_path);
+  if (!queries.ok()) return Fail(queries.status());
+  if (index->db_bits.size() != db->size()) {
+    return Fail(Status::InvalidArgument(
+        "index vector count does not match database size"));
+  }
+  FeatureMapper mapper(index->features);
+  WallTimer timer;
+  for (size_t qi = 0; qi < queries->size(); ++qi) {
+    Ranking top =
+        TopK(MappedRanking(mapper.Map((*queries)[qi]), index->db_bits), k);
+    std::printf("query %zu:", qi);
+    for (const RankedResult& r : top) {
+      std::printf(" %d:%.4f", r.id, r.score);
+    }
+    std::printf("\n");
+  }
+  double secs = timer.Seconds();
+  std::printf("# %zu queries in %.3fs (%.2f ms/query, p=%d, k=%d)\n",
+              queries->size(), secs,
+              secs / static_cast<double>(queries->size()) * 1e3,
+              static_cast<int>(index->features.size()), k);
+  return 0;
+}
+
+int RunStats(const Flags& flags) {
+  const std::string db_path = flags.GetString("db", "");
+  if (db_path.empty()) return Usage();
+  Result<GraphDatabase> db = ReadGraphFile(db_path);
+  if (!db.ok()) return Fail(db.status());
+  long long vertices = 0, edges = 0;
+  int min_v = 1 << 30, max_v = 0, disconnected = 0;
+  double density = 0;
+  for (const Graph& g : *db) {
+    vertices += g.NumVertices();
+    edges += g.NumEdges();
+    min_v = std::min(min_v, g.NumVertices());
+    max_v = std::max(max_v, g.NumVertices());
+    density += GraphDensity(g);
+    disconnected += IsConnected(g) ? 0 : 1;
+  }
+  const double n = std::max<size_t>(db->size(), 1);
+  std::printf("graphs:        %zu\n", db->size());
+  std::printf("avg vertices:  %.2f (min %d, max %d)\n", vertices / n, min_v,
+              max_v);
+  std::printf("avg edges:     %.2f\n", edges / n);
+  std::printf("avg density:   %.3f\n", density / n);
+  std::printf("disconnected:  %d\n", disconnected);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags(argc, argv);
+  if (command == "generate") return RunGenerate(flags);
+  if (command == "mine") return RunMine(flags);
+  if (command == "build") return RunBuild(flags);
+  if (command == "query") return RunQuery(flags);
+  if (command == "stats") return RunStats(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace gdim
+
+int main(int argc, char** argv) { return gdim::Main(argc, argv); }
