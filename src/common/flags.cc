@@ -13,7 +13,9 @@ Flags::Flags(int argc, char** argv) {
     }
     size_t eq = arg.find('=');
     if (eq == std::string::npos) {
-      values_[arg.substr(2)] = "1";
+      // Assign a string temporary: GCC 12's -Wrestrict false-positives on
+      // the const char* replace path at -O3.
+      values_[arg.substr(2)] = std::string("1");
     } else {
       values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
     }

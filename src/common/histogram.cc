@@ -1,0 +1,47 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace gdim {
+
+namespace {
+
+double NearestRank(const std::vector<double>& sorted, double q) {
+  // Nearest-rank percentile: smallest sample with cumulative frequency >= q.
+  const size_t n = sorted.size();
+  size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+LatencySummary SummarizeLatencies(std::vector<double> samples) {
+  LatencySummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  s.p50 = NearestRank(samples, 0.50);
+  s.p95 = NearestRank(samples, 0.95);
+  s.p99 = NearestRank(samples, 0.99);
+  s.max = samples.back();
+  return s;
+}
+
+std::string FormatLatencySummaryMs(const LatencySummary& summary) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms "
+                "max=%.3fms",
+                summary.count, summary.mean, summary.p50, summary.p95,
+                summary.p99, summary.max);
+  return std::string(buf);
+}
+
+}  // namespace gdim

@@ -1,0 +1,32 @@
+#ifndef GDIM_COMMON_HISTOGRAM_H_
+#define GDIM_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gdim {
+
+/// Order statistics of a latency sample set, the per-batch serving report.
+/// All values carry whatever unit the samples were recorded in (the serving
+/// layer records milliseconds).
+struct LatencySummary {
+  size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarizes samples (copied; unordered input is fine). Percentiles use the
+/// nearest-rank method; empty input yields an all-zero summary.
+LatencySummary SummarizeLatencies(std::vector<double> samples);
+
+/// "n=... mean=... p50=... p95=... p99=... max=..." with millisecond units,
+/// for CLI/bench output.
+std::string FormatLatencySummaryMs(const LatencySummary& summary);
+
+}  // namespace gdim
+
+#endif  // GDIM_COMMON_HISTOGRAM_H_

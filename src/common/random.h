@@ -75,6 +75,19 @@ class Rng {
   uint64_t state_;
 };
 
+/// n random 0/1 byte rows of width p with independent Bernoulli(density)
+/// bits — a synthetic mapped database for scan tests and benches.
+inline std::vector<std::vector<uint8_t>> RandomBitRows(int n, int p,
+                                                       double density,
+                                                       Rng* rng) {
+  std::vector<std::vector<uint8_t>> rows(static_cast<size_t>(n));
+  for (auto& row : rows) {
+    row.resize(static_cast<size_t>(p));
+    for (auto& bit : row) bit = rng->Bernoulli(density) ? 1 : 0;
+  }
+  return rows;
+}
+
 }  // namespace gdim
 
 #endif  // GDIM_COMMON_RANDOM_H_

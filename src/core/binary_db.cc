@@ -1,6 +1,7 @@
 #include "core/binary_db.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/logging.h"
 
@@ -85,6 +86,39 @@ void BinaryFeatureDb::RebuildIndexes() {
     }
   }
   // Feature ids are appended in increasing r, so each IG list is sorted.
+}
+
+std::vector<std::vector<int>> SupportsFromBitRows(
+    const std::vector<std::vector<uint8_t>>& rows) {
+  std::vector<std::vector<int>> supports(rows.empty() ? 0 : rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    GDIM_CHECK(rows[i].size() == supports.size())
+        << "ragged bit rows: row " << i;
+    for (size_t r = 0; r < rows[i].size(); ++r) {
+      if (rows[i][r] != 0) supports[r].push_back(static_cast<int>(i));
+    }
+  }
+  return supports;
+}
+
+std::vector<int> IntersectSupports(
+    std::vector<const std::vector<int>*> lists) {
+  if (lists.empty()) return {};
+  // Intersect starting from the rarest list.
+  std::sort(lists.begin(), lists.end(),
+            [](const std::vector<int>* a, const std::vector<int>* b) {
+              return a->size() < b->size();
+            });
+  std::vector<int> candidates = *lists[0];
+  std::vector<int> next;
+  for (size_t l = 1; l < lists.size() && !candidates.empty(); ++l) {
+    next.clear();
+    std::set_intersection(candidates.begin(), candidates.end(),
+                          lists[l]->begin(), lists[l]->end(),
+                          std::back_inserter(next));
+    candidates.swap(next);
+  }
+  return candidates;
 }
 
 }  // namespace gdim

@@ -75,6 +75,18 @@ class BinaryFeatureDb {
   GraphDatabase feature_graphs_;
 };
 
+/// supports[r] = sorted ids of rows with bit r set — the IF inverted lists
+/// of an explicit 0/1 matrix (rows must all have the same width). Shared by
+/// ContainmentIndex and the serving prefilter.
+std::vector<std::vector<int>> SupportsFromBitRows(
+    const std::vector<std::vector<uint8_t>>& rows);
+
+/// Intersection of the given sorted id lists, intersecting rarest-first so
+/// the running set shrinks as fast as possible. Empty `lists` → empty
+/// result (callers decide whether no constraints means "all" or "none").
+std::vector<int> IntersectSupports(
+    std::vector<const std::vector<int>*> lists);
+
 }  // namespace gdim
 
 #endif  // GDIM_CORE_BINARY_DB_H_

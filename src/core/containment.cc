@@ -16,16 +16,12 @@ ContainmentIndex::ContainmentIndex(
   GDIM_CHECK(bit_rows.size() == db_.size())
       << "one bit row per database graph required";
   const int m = mapper_.num_features();
-  supports_.resize(static_cast<size_t>(m));
-  for (int i = 0; i < static_cast<int>(db_.size()); ++i) {
-    GDIM_CHECK(static_cast<int>(bit_rows[static_cast<size_t>(i)].size()) == m)
-        << "bit row width mismatch at graph " << i;
-    for (int r = 0; r < m; ++r) {
-      if (bit_rows[static_cast<size_t>(i)][static_cast<size_t>(r)] != 0) {
-        supports_[static_cast<size_t>(r)].push_back(i);
-      }
-    }
+  if (!bit_rows.empty()) {
+    GDIM_CHECK(static_cast<int>(bit_rows[0].size()) == m)
+        << "bit row width mismatch";
   }
+  supports_ = SupportsFromBitRows(bit_rows);
+  supports_.resize(static_cast<size_t>(m));
 }
 
 std::vector<int> ContainmentIndex::FilterCandidates(const Graph& query,
@@ -36,27 +32,16 @@ std::vector<int> ContainmentIndex::FilterCandidates(const Graph& query,
   for (size_t r = 0; r < qbits.size(); ++r) {
     if (qbits[r] != 0) lists.push_back(&supports_[r]);
   }
+  const int features_used = static_cast<int>(lists.size());
   std::vector<int> candidates;
   if (lists.empty()) {
     candidates.resize(db_.size());
     std::iota(candidates.begin(), candidates.end(), 0);
   } else {
-    // Intersect starting from the rarest list.
-    std::sort(lists.begin(), lists.end(),
-              [](const std::vector<int>* a, const std::vector<int>* b) {
-                return a->size() < b->size();
-              });
-    candidates = *lists[0];
-    for (size_t l = 1; l < lists.size() && !candidates.empty(); ++l) {
-      std::vector<int> next;
-      std::set_intersection(candidates.begin(), candidates.end(),
-                            lists[l]->begin(), lists[l]->end(),
-                            std::back_inserter(next));
-      candidates = std::move(next);
-    }
+    candidates = IntersectSupports(std::move(lists));
   }
   if (stats != nullptr) {
-    stats->features_used = static_cast<int>(lists.size());
+    stats->features_used = features_used;
     stats->candidates = static_cast<int>(candidates.size());
   }
   return candidates;

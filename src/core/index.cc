@@ -86,11 +86,16 @@ Result<GraphSearchIndex> GraphSearchIndex::Build(const GraphDatabase& db,
     }
     index.db_bits_[i] = std::move(bits);
   }
+  index.packed_bits_ = PackedBitMatrix::FromRows(index.db_bits_);
   return index;
 }
 
 Ranking GraphSearchIndex::Query(const Graph& q, int k) const {
-  return TopK(MappedRanking(MapQuery(q), db_bits_), k);
+  // Packed scan + partial top-k selection; identical output order to
+  // TopK(MappedRanking(...), k) without the full n·log n sort.
+  std::vector<double> scores;
+  packed_bits_.ScoreAll(packed_bits_.PackQuery(MapQuery(q)), &scores);
+  return TopKByScores(scores, k);
 }
 
 Ranking GraphSearchIndex::QueryExact(const Graph& q, int k) const {

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "core/binary_db.h"
 #include "core/mapper.h"
+#include "core/packed_bits.h"
 #include "core/selector.h"
 #include "core/topk.h"
 #include "graph/graph.h"
@@ -72,6 +73,8 @@ class GraphSearchIndex {
   const std::vector<std::vector<uint8_t>>& mapped_database() const {
     return db_bits_;
   }
+  /// Word-packed form of mapped_database(); the scan layout Query() uses.
+  const PackedBitMatrix& packed_database() const { return packed_bits_; }
   const IndexBuildStats& build_stats() const { return stats_; }
   const IndexOptions& options() const { return options_; }
 
@@ -82,6 +85,7 @@ class GraphSearchIndex {
   IndexOptions options_;
   std::shared_ptr<const FeatureMapper> mapper_;
   std::vector<std::vector<uint8_t>> db_bits_;
+  PackedBitMatrix packed_bits_;
   IndexBuildStats stats_;
 };
 

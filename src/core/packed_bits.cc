@@ -1,0 +1,102 @@
+#include "core/packed_bits.h"
+
+#include <bit>
+#include <cmath>
+
+namespace gdim {
+
+namespace {
+
+inline int PopcountXor(const uint64_t* a, const uint64_t* b, size_t words) {
+  int diff = 0;
+  for (size_t w = 0; w < words; ++w) {
+    diff += std::popcount(a[w] ^ b[w]);
+  }
+  return diff;
+}
+
+}  // namespace
+
+PackedBitMatrix PackedBitMatrix::FromRows(
+    const std::vector<std::vector<uint8_t>>& rows) {
+  PackedBitMatrix m;
+  m.num_rows_ = static_cast<int>(rows.size());
+  if (rows.empty()) return m;
+  m.num_bits_ = static_cast<int>(rows[0].size());
+  m.words_per_row_ = (static_cast<size_t>(m.num_bits_) + 63) / 64;
+  m.words_.assign(static_cast<size_t>(m.num_rows_) * m.words_per_row_, 0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    GDIM_CHECK(rows[i].size() == static_cast<size_t>(m.num_bits_))
+        << "ragged bit rows: row " << i << " has " << rows[i].size()
+        << " bits, expected " << m.num_bits_;
+    uint64_t* out = m.words_.data() + i * m.words_per_row_;
+    for (size_t r = 0; r < rows[i].size(); ++r) {
+      if (rows[i][r] != 0) out[r >> 6] |= uint64_t{1} << (r & 63);
+    }
+  }
+  return m;
+}
+
+std::vector<uint64_t> PackedBitMatrix::PackBits(
+    const std::vector<uint8_t>& bits) {
+  std::vector<uint64_t> words((bits.size() + 63) / 64, 0);
+  for (size_t r = 0; r < bits.size(); ++r) {
+    if (bits[r] != 0) words[r >> 6] |= uint64_t{1} << (r & 63);
+  }
+  return words;
+}
+
+bool PackedBitMatrix::GetBit(int row_id, int bit) const {
+  GDIM_DCHECK(bit >= 0 && bit < num_bits_);
+  return (row(row_id)[bit >> 6] >> (bit & 63)) & 1;
+}
+
+int PackedBitMatrix::HammingDistance(const std::vector<uint64_t>& query,
+                                     int row_id) const {
+  GDIM_CHECK(query.size() == words_per_row_) << "query width mismatch";
+  return PopcountXor(query.data(), row(row_id), words_per_row_);
+}
+
+double PackedBitMatrix::NormalizedDistance(const std::vector<uint64_t>& query,
+                                           int row_id) const {
+  if (num_bits_ == 0) return 0.0;
+  return std::sqrt(static_cast<double>(HammingDistance(query, row_id)) /
+                   static_cast<double>(num_bits_));
+}
+
+void PackedBitMatrix::ScoreAll(const std::vector<uint64_t>& query,
+                               std::vector<double>* scores) const {
+  GDIM_CHECK(query.size() == words_per_row_) << "query width mismatch";
+  scores->resize(static_cast<size_t>(num_rows_));
+  if (num_bits_ == 0) {
+    for (double& s : *scores) s = 0.0;
+    return;
+  }
+  const double p = static_cast<double>(num_bits_);
+  const uint64_t* q = query.data();
+  const uint64_t* db_row = words_.data();
+  for (int i = 0; i < num_rows_; ++i, db_row += words_per_row_) {
+    const int diff = PopcountXor(q, db_row, words_per_row_);
+    (*scores)[static_cast<size_t>(i)] =
+        std::sqrt(static_cast<double>(diff) / p);
+  }
+}
+
+void PackedBitMatrix::ScoreSubset(const std::vector<uint64_t>& query,
+                                  const std::vector<int>& candidates,
+                                  std::vector<double>* scores) const {
+  GDIM_CHECK(query.size() == words_per_row_) << "query width mismatch";
+  scores->resize(candidates.size());
+  if (num_bits_ == 0) {
+    for (double& s : *scores) s = 0.0;
+    return;
+  }
+  const double p = static_cast<double>(num_bits_);
+  for (size_t j = 0; j < candidates.size(); ++j) {
+    const int diff = PopcountXor(query.data(), row(candidates[j]),
+                                 words_per_row_);
+    (*scores)[j] = std::sqrt(static_cast<double>(diff) / p);
+  }
+}
+
+}  // namespace gdim

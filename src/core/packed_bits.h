@@ -1,0 +1,83 @@
+#ifndef GDIM_CORE_PACKED_BITS_H_
+#define GDIM_CORE_PACKED_BITS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gdim {
+
+/// A binary n×p matrix packed row-major into 64-bit words, the scan layout of
+/// the online query path: one database graph's mapped vector per row, rows
+/// padded to a whole number of words so every row scan is an aligned
+/// word-popcount loop instead of a byte-at-a-time compare.
+///
+/// Distances computed here are bit-identical to the byte-vector reference
+/// (BinaryMappedDistance): the Hamming count is exact and the normalized form
+/// evaluates the same sqrt(diff / p) expression.
+class PackedBitMatrix {
+ public:
+  PackedBitMatrix() = default;
+
+  /// Packs 0/1 byte rows (all the same length) into the word layout.
+  static PackedBitMatrix FromRows(const std::vector<std::vector<uint8_t>>& rows);
+
+  /// Packs one 0/1 byte vector into words (query-side fingerprint packing).
+  static std::vector<uint64_t> PackBits(const std::vector<uint8_t>& bits);
+
+  /// PackBits padded to words_per_row() — the query-side form every scan
+  /// kernel expects. The width must match the matrix (any width collapses
+  /// to the empty query when the matrix itself is empty).
+  std::vector<uint64_t> PackQuery(const std::vector<uint8_t>& bits) const {
+    GDIM_CHECK(num_rows_ == 0 ||
+               bits.size() == static_cast<size_t>(num_bits_))
+        << "query width does not match packed database";
+    std::vector<uint64_t> words = PackBits(bits);
+    words.resize(words_per_row_, 0);
+    return words;
+  }
+
+  int num_rows() const { return num_rows_; }
+  int num_bits() const { return num_bits_; }
+  size_t words_per_row() const { return words_per_row_; }
+
+  /// Word pointer of row i (words_per_row() words).
+  const uint64_t* row(int i) const {
+    GDIM_DCHECK(i >= 0 && i < num_rows_);
+    return words_.data() + static_cast<size_t>(i) * words_per_row_;
+  }
+
+  /// Bit (row, bit) as stored; for tests and bit-exact comparisons.
+  bool GetBit(int row_id, int bit) const;
+
+  /// Hamming distance between a packed query (from PackBits, same width) and
+  /// row i.
+  int HammingDistance(const std::vector<uint64_t>& query, int row_id) const;
+
+  /// Normalized Euclidean distance sqrt(hamming / p) to row i; equals
+  /// BinaryMappedDistance on the unpacked vectors bit for bit.
+  double NormalizedDistance(const std::vector<uint64_t>& query,
+                            int row_id) const;
+
+  /// Scores every row against the packed query into *scores (resized to
+  /// num_rows()). The full-scan kernel of the serving hot path.
+  void ScoreAll(const std::vector<uint64_t>& query,
+                std::vector<double>* scores) const;
+
+  /// Scores only the given rows, writing scores[j] for candidates[j]
+  /// (*scores resized to candidates.size()). The post-prefilter kernel.
+  void ScoreSubset(const std::vector<uint64_t>& query,
+                   const std::vector<int>& candidates,
+                   std::vector<double>* scores) const;
+
+ private:
+  int num_rows_ = 0;
+  int num_bits_ = 0;
+  size_t words_per_row_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace gdim
+
+#endif  // GDIM_CORE_PACKED_BITS_H_

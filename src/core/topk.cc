@@ -8,18 +8,75 @@
 
 namespace gdim {
 
-Ranking RankByScores(const std::vector<double>& scores) {
+namespace {
+
+/// The one total order every ranking path uses: ascending score, id
+/// tie-break. Shared so exact, byte-scan, packed-scan, and partial top-k
+/// outputs stay mutually consistent.
+inline bool RankedBefore(const RankedResult& a, const RankedResult& b) {
+  if (a.score != b.score) return a.score < b.score;
+  return a.id < b.id;
+}
+
+/// Unsorted ranking over ids 0..n-1.
+Ranking MakeRanking(const std::vector<double>& scores) {
   Ranking r;
   r.reserve(scores.size());
   for (size_t i = 0; i < scores.size(); ++i) {
     r.push_back(RankedResult{static_cast<int>(i), scores[i]});
   }
-  std::sort(r.begin(), r.end(), [](const RankedResult& a,
-                                   const RankedResult& b) {
-    if (a.score != b.score) return a.score < b.score;
-    return a.id < b.id;
-  });
   return r;
+}
+
+/// Unsorted ranking over an explicit candidate id set.
+Ranking MakeRanking(const std::vector<int>& ids,
+                    const std::vector<double>& scores) {
+  GDIM_CHECK(ids.size() == scores.size()) << "candidate/score size mismatch";
+  Ranking r;
+  r.reserve(ids.size());
+  for (size_t j = 0; j < ids.size(); ++j) {
+    r.push_back(RankedResult{ids[j], scores[j]});
+  }
+  return r;
+}
+
+}  // namespace
+
+Ranking RankByScores(const std::vector<double>& scores) {
+  Ranking r = MakeRanking(scores);
+  std::sort(r.begin(), r.end(), RankedBefore);
+  return r;
+}
+
+Ranking RankCandidates(const std::vector<int>& ids,
+                       const std::vector<double>& scores) {
+  Ranking r = MakeRanking(ids, scores);
+  std::sort(r.begin(), r.end(), RankedBefore);
+  return r;
+}
+
+namespace {
+
+/// nth_element partial selection + sort of the k survivors; consumes r.
+Ranking SelectTopK(Ranking r, int k) {
+  GDIM_CHECK(k >= 0);
+  if (k < static_cast<int>(r.size())) {
+    std::nth_element(r.begin(), r.begin() + k, r.end(), RankedBefore);
+    r.resize(static_cast<size_t>(k));
+  }
+  std::sort(r.begin(), r.end(), RankedBefore);
+  return r;
+}
+
+}  // namespace
+
+Ranking TopKByScores(const std::vector<double>& scores, int k) {
+  return SelectTopK(MakeRanking(scores), k);
+}
+
+Ranking TopKCandidates(const std::vector<int>& ids,
+                       const std::vector<double>& scores, int k) {
+  return SelectTopK(MakeRanking(ids, scores), k);
 }
 
 Ranking ExactRanking(const Graph& query, const GraphDatabase& db,
@@ -41,6 +98,13 @@ Ranking MappedRanking(const std::vector<uint8_t>& query_bits,
   for (size_t i = 0; i < db_bits.size(); ++i) {
     scores[i] = BinaryMappedDistance(query_bits, db_bits[i]);
   }
+  return RankByScores(scores);
+}
+
+Ranking MappedRanking(const std::vector<uint8_t>& query_bits,
+                      const PackedBitMatrix& db_bits) {
+  std::vector<double> scores;
+  db_bits.ScoreAll(db_bits.PackQuery(query_bits), &scores);
   return RankByScores(scores);
 }
 

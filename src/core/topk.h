@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/packed_bits.h"
 #include "graph/graph.h"
 #include "mcs/dissimilarity.h"
 
@@ -28,6 +29,23 @@ using Ranking = std::vector<RankedResult>;
 /// Ranks all database graphs by a precomputed score vector; ascending.
 Ranking RankByScores(const std::vector<double>& scores);
 
+/// Ranks an explicit candidate id set by its score vector (scores[j] scores
+/// ids[j]); same ascending score-then-id total order as RankByScores. Used
+/// after a prefilter has narrowed the scan set.
+Ranking RankCandidates(const std::vector<int>& ids,
+                       const std::vector<double>& scores);
+
+/// First k of RankByScores(scores) without sorting the whole database:
+/// nth_element partial selection plus a sort of the k survivors, with the
+/// identical score-then-id tie-break, so the output equals
+/// TopK(RankByScores(scores), k) entry for entry.
+Ranking TopKByScores(const std::vector<double>& scores, int k);
+
+/// Partial-selection counterpart for explicit candidate sets: equals
+/// TopK(RankCandidates(ids, scores), k) without sorting all candidates.
+Ranking TopKCandidates(const std::vector<int>& ids,
+                       const std::vector<double>& scores, int k);
+
 /// Exact ranking of db against query by MCS-based dissimilarity. This is the
 /// costly reference path (the "Exact" algorithm of Exp-4/Exp-6).
 Ranking ExactRanking(const Graph& query, const GraphDatabase& db,
@@ -38,6 +56,11 @@ Ranking ExactRanking(const Graph& query, const GraphDatabase& db,
 /// mapped vectors (sequential scan, as in the paper's query processing).
 Ranking MappedRanking(const std::vector<uint8_t>& query_bits,
                       const std::vector<std::vector<uint8_t>>& db_bits);
+
+/// Same ranking over the packed word layout: popcount Hamming scan instead
+/// of a byte-compare loop. Bit-identical results to the byte overload.
+Ranking MappedRanking(const std::vector<uint8_t>& query_bits,
+                      const PackedBitMatrix& db_bits);
 
 /// First k entries of a ranking (whole ranking if k >= size).
 Ranking TopK(const Ranking& ranking, int k);

@@ -1,0 +1,136 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "core/binary_db.h"
+
+namespace gdim {
+
+Result<QueryEngine> QueryEngine::FromIndex(PersistedIndex index,
+                                           ServeOptions options) {
+  const size_t p = index.features.size();
+  for (size_t i = 0; i < index.db_bits.size(); ++i) {
+    if (index.db_bits[i].size() != p) {
+      return Status::InvalidArgument(
+          "index row " + std::to_string(i) + " has " +
+          std::to_string(index.db_bits[i].size()) + " bits, expected " +
+          std::to_string(p));
+    }
+  }
+  QueryEngine engine;
+  engine.options_ = options;
+  engine.packed_ = PackedBitMatrix::FromRows(index.db_bits);
+  // The inverted lists only serve the prefilter; skip the O(n·p) pass and
+  // their memory when it is disabled.
+  if (options.containment_prefilter) {
+    engine.supports_ = SupportsFromBitRows(index.db_bits);
+    engine.supports_.resize(p);
+  }
+  engine.mapper_ = FeatureMapper(std::move(index.features));
+  return engine;
+}
+
+Result<QueryEngine> QueryEngine::Open(const std::string& index_path,
+                                      ServeOptions options) {
+  Result<PersistedIndex> index = ReadIndexFile(index_path);
+  if (!index.ok()) return index.status();
+  return FromIndex(std::move(index).value(), options);
+}
+
+std::vector<int> QueryEngine::PrefilterCandidates(
+    const std::vector<uint8_t>& fingerprint) const {
+  // Collect the inverted lists of the set bits, smallest support first so
+  // the running intersection shrinks as fast as possible.
+  std::vector<const std::vector<int>*> lists;
+  for (size_t r = 0; r < fingerprint.size(); ++r) {
+    if (fingerprint[r] != 0) lists.push_back(&supports_[r]);
+  }
+  return IntersectSupports(std::move(lists));
+}
+
+Ranking QueryEngine::Query(const Graph& query, int k,
+                           ServeQueryStats* stats) const {
+  GDIM_CHECK(k >= 0);
+  WallTimer timer;
+
+  // Stage 1: fingerprint the query onto the selected dimension.
+  const std::vector<uint8_t> fingerprint = mapper_.Map(query);
+  int features_on = 0;
+  for (uint8_t b : fingerprint) features_on += b != 0 ? 1 : 0;
+  const std::vector<uint64_t> packed_query = packed_.PackQuery(fingerprint);
+
+  // Stage 2: optional containment prefilter over the inverted lists.
+  bool prefiltered = false;
+  std::vector<int> candidates;
+  if (options_.containment_prefilter && features_on > 0) {
+    candidates = PrefilterCandidates(fingerprint);
+    // Take the narrowed path only when it actually narrows: enough
+    // candidates to answer, and fewer than a full scan would touch.
+    prefiltered = static_cast<int>(candidates.size()) >= k &&
+                  static_cast<int>(candidates.size()) < packed_.num_rows();
+  }
+
+  // Stage 3: popcount distance scan (narrowed or full) + deterministic rank.
+  Ranking top;
+  int scanned;
+  std::vector<double> scores;
+  if (prefiltered) {
+    packed_.ScoreSubset(packed_query, candidates, &scores);
+    top = TopKCandidates(candidates, scores, k);
+    scanned = static_cast<int>(candidates.size());
+  } else {
+    packed_.ScoreAll(packed_query, &scores);
+    top = TopKByScores(scores, k);
+    scanned = packed_.num_rows();
+  }
+
+  if (stats != nullptr) {
+    stats->latency_ms = timer.Millis();
+    stats->features_on = features_on;
+    stats->scanned = scanned;
+    stats->prefiltered = prefiltered;
+  }
+  return top;
+}
+
+std::vector<Ranking> QueryEngine::QueryBatch(
+    const GraphDatabase& queries, int k, ServeBatchReport* report,
+    std::vector<ServeQueryStats>* per_query) const {
+  WallTimer batch_timer;
+  std::vector<Ranking> results(queries.size());
+  std::vector<ServeQueryStats> stats(queries.size());
+  ParallelFor(
+      0, static_cast<int>(queries.size()),
+      [&](int i) {
+        results[static_cast<size_t>(i)] =
+            Query(queries[static_cast<size_t>(i)], k,
+                  &stats[static_cast<size_t>(i)]);
+      },
+      options_.threads);
+  const double wall_ms = batch_timer.Millis();
+
+  if (report != nullptr) {
+    report->wall_ms = wall_ms;
+    report->qps = wall_ms > 0.0
+                      ? static_cast<double>(queries.size()) / (wall_ms * 1e-3)
+                      : 0.0;
+    std::vector<double> latencies;
+    latencies.reserve(stats.size());
+    report->scanned_rows = 0;
+    report->prefiltered_queries = 0;
+    for (const ServeQueryStats& s : stats) {
+      latencies.push_back(s.latency_ms);
+      report->scanned_rows += s.scanned;
+      report->prefiltered_queries += s.prefiltered ? 1 : 0;
+    }
+    report->latency_ms = SummarizeLatencies(std::move(latencies));
+  }
+  if (per_query != nullptr) *per_query = std::move(stats);
+  return results;
+}
+
+}  // namespace gdim

@@ -1,0 +1,105 @@
+#ifndef GDIM_SERVE_QUERY_ENGINE_H_
+#define GDIM_SERVE_QUERY_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "core/index_io.h"
+#include "core/mapper.h"
+#include "core/packed_bits.h"
+#include "core/topk.h"
+#include "graph/graph.h"
+
+namespace gdim {
+
+/// Engine-wide serving knobs, fixed at load time.
+struct ServeOptions {
+  /// Worker threads for QueryBatch; 0 = DefaultThreadCount(). Results are
+  /// identical for every thread count (queries are independent and the
+  /// per-query ranking uses the deterministic RankByScores order).
+  int threads = 0;
+
+  /// Stage-2 prefilter: restrict the distance scan to database graphs that
+  /// contain *every* feature of the query fingerprint (the candidate set
+  /// ∩_{r ∈ φ(q)} sup(f_r) of containment search). A lossy-for-similarity
+  /// heuristic — graphs missing one query feature are skipped even though
+  /// they could rank in the exact top-k — so it is off by default and meant
+  /// for supergraph-biased workloads. Falls back to a full scan when the
+  /// filter does not actually narrow anything: fewer than k candidates
+  /// survive, every graph survives, or the fingerprint is empty.
+  bool containment_prefilter = false;
+};
+
+/// Per-query observability counters from one hot-path execution.
+struct ServeQueryStats {
+  double latency_ms = 0.0;
+  int features_on = 0;     ///< set bits in the query fingerprint
+  int scanned = 0;         ///< rows scored in stage 3
+  bool prefiltered = false;  ///< stage 2 narrowed the scan (no fallback)
+};
+
+/// Aggregate report for one QueryBatch call.
+struct ServeBatchReport {
+  double wall_ms = 0.0;          ///< end-to-end batch wall time
+  double qps = 0.0;              ///< queries / wall second
+  LatencySummary latency_ms;     ///< per-query latency distribution
+  long long scanned_rows = 0;    ///< total rows scored across the batch
+  size_t prefiltered_queries = 0;  ///< queries served from a narrowed scan
+};
+
+/// The online query-serving engine: loads a built index once (feature
+/// dimension + mapped database vectors), converts the vectors into the
+/// packed word layout, and answers batched top-k queries through a
+/// three-stage hot path —
+///   1. fingerprint the query onto the selected dimension (VF2 matching),
+///   2. optionally prefilter candidates via the feature inverted lists,
+///   3. popcount-Hamming distance scan over the packed bit matrix.
+/// No MCS computation and no graph algorithm other than stage 1 runs at
+/// query time, which is the paper's whole online-search proposition.
+class QueryEngine {
+ public:
+  /// Builds the serving structures from an in-memory persisted index.
+  /// Validates vector shape; the index is consumed.
+  static Result<QueryEngine> FromIndex(PersistedIndex index,
+                                       ServeOptions options = {});
+
+  /// Loads the index file at path (core/index_io format) and builds.
+  static Result<QueryEngine> Open(const std::string& index_path,
+                                  ServeOptions options = {});
+
+  int num_graphs() const { return packed_.num_rows(); }
+  int num_features() const { return mapper_.num_features(); }
+  const ServeOptions& options() const { return options_; }
+  const PackedBitMatrix& packed_database() const { return packed_; }
+
+  /// Top-k ids + normalized mapped distances for one query, ascending
+  /// score with id tie-break (identical order to TopK(MappedRanking(...))).
+  Ranking Query(const Graph& query, int k,
+                ServeQueryStats* stats = nullptr) const;
+
+  /// Answers a whole batch across the thread pool. results[i] corresponds
+  /// to queries[i]; output is deterministic for any thread count. Optional
+  /// per-query stats (resized to the batch) and an aggregate report.
+  std::vector<Ranking> QueryBatch(
+      const GraphDatabase& queries, int k, ServeBatchReport* report = nullptr,
+      std::vector<ServeQueryStats>* per_query = nullptr) const;
+
+ private:
+  QueryEngine() = default;
+
+  /// Stage 2: ∩ sup(f_r) over the fingerprint's set bits (ascending ids).
+  std::vector<int> PrefilterCandidates(
+      const std::vector<uint8_t>& fingerprint) const;
+
+  ServeOptions options_;
+  FeatureMapper mapper_{GraphDatabase{}};
+  PackedBitMatrix packed_;
+  /// supports_[r] = sorted ids of database graphs containing feature r.
+  std::vector<std::vector<int>> supports_;
+};
+
+}  // namespace gdim
+
+#endif  // GDIM_SERVE_QUERY_ENGINE_H_

@@ -90,7 +90,7 @@ TEST(IndexTest, DspmapBuildWorks) {
 
 TEST(IndexTest, BaselineSelectorsBuild) {
   GraphDatabase db = GenerateChemDatabase(SmallChem());
-  for (const std::string& name :
+  for (const char* name :
        {"Original", "Sample", "SFS", "MICI", "MCFS", "UDFS", "NDFS"}) {
     IndexOptions opts = FastIndex(name);
     opts.params.eigen_iters = 30;  // keep the spectral baselines quick

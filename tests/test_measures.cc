@@ -34,7 +34,6 @@ TEST(PrecisionTest, OrderWithinTopKIrrelevant) {
 }
 
 TEST(KendallTest, PerfectRankingGetsMaximalConcordance) {
-  const int n = 10;
   Ranking exact = MakeRanking({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
   const int k = 4;
   // Concordant pairs = k(k-1)/2 = 6; denominator k(2n-k-1) = 4*15 = 60.

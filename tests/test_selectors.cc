@@ -116,7 +116,7 @@ TEST(SelectorErrorsTest, DissimilarityRequiredWhereDeclared) {
   SelectionInput input;
   input.db = &db;
   input.p = 4;
-  for (const std::string& name : {"DSPM", "DSPMap", "SFS"}) {
+  for (const char* name : {"DSPM", "DSPMap", "SFS"}) {
     auto selector = MakeSelector(name);
     EXPECT_TRUE(selector->NeedsDissimilarity()) << name;
     EXPECT_FALSE(selector->Select(input).ok()) << name;

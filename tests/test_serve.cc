@@ -1,0 +1,300 @@
+// Serving hot-path tests: the packed bit-matrix scan must agree bit for bit
+// with the byte-vector reference, and the QueryEngine must be deterministic
+// across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "core/index.h"
+#include "core/index_io.h"
+#include "core/objective.h"
+#include "core/packed_bits.h"
+#include "core/topk.h"
+#include "datasets/chemgen.h"
+#include "serve/query_engine.h"
+
+namespace gdim {
+namespace {
+
+TEST(PackedBitMatrixTest, RoundTripsBitsAcrossWordBoundaries) {
+  Rng rng(3);
+  for (int p : {1, 7, 63, 64, 65, 128, 300}) {
+    const auto rows = RandomBitRows(17, p, 0.4, &rng);
+    const PackedBitMatrix m = PackedBitMatrix::FromRows(rows);
+    ASSERT_EQ(m.num_rows(), 17);
+    ASSERT_EQ(m.num_bits(), p);
+    ASSERT_EQ(m.words_per_row(), (static_cast<size_t>(p) + 63) / 64);
+    for (int i = 0; i < m.num_rows(); ++i) {
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(m.GetBit(i, r),
+                  rows[static_cast<size_t>(i)][static_cast<size_t>(r)] != 0)
+            << "p=" << p << " row=" << i << " bit=" << r;
+      }
+    }
+  }
+}
+
+TEST(PackedBitMatrixTest, HammingAndNormalizedDistanceMatchReference) {
+  Rng rng(11);
+  const int p = 130;  // straddles a word boundary with a partial last word
+  const auto rows = RandomBitRows(25, p, 0.3, &rng);
+  const PackedBitMatrix m = PackedBitMatrix::FromRows(rows);
+  const auto queries = RandomBitRows(6, p, 0.3, &rng);
+  for (const auto& q : queries) {
+    const std::vector<uint64_t> packed = PackedBitMatrix::PackBits(q);
+    for (int i = 0; i < m.num_rows(); ++i) {
+      int diff = 0;
+      for (int r = 0; r < p; ++r) {
+        diff += q[static_cast<size_t>(r)] !=
+                rows[static_cast<size_t>(i)][static_cast<size_t>(r)];
+      }
+      EXPECT_EQ(m.HammingDistance(packed, i), diff);
+      EXPECT_DOUBLE_EQ(m.NormalizedDistance(packed, i),
+                       BinaryMappedDistance(q, rows[static_cast<size_t>(i)]));
+    }
+  }
+}
+
+TEST(PackedBitMatrixTest, PackedMappedRankingEqualsByteMappedRanking) {
+  Rng rng(19);
+  for (int p : {5, 64, 100, 256, 300}) {
+    const auto rows = RandomBitRows(200, p, 0.25, &rng);
+    const PackedBitMatrix m = PackedBitMatrix::FromRows(rows);
+    const auto queries = RandomBitRows(5, p, 0.25, &rng);
+    for (const auto& q : queries) {
+      const Ranking byte_ranking = MappedRanking(q, rows);
+      const Ranking packed_ranking = MappedRanking(q, m);
+      // Bit-for-bit: same ids and identical floating-point scores.
+      EXPECT_EQ(byte_ranking, packed_ranking) << "p=" << p;
+    }
+  }
+}
+
+TEST(PackedBitMatrixTest, SubsetScoresMatchFullScan) {
+  Rng rng(23);
+  const auto rows = RandomBitRows(60, 90, 0.35, &rng);
+  const PackedBitMatrix m = PackedBitMatrix::FromRows(rows);
+  std::vector<uint64_t> q =
+      PackedBitMatrix::PackBits(RandomBitRows(1, 90, 0.35, &rng)[0]);
+  std::vector<double> all, subset;
+  m.ScoreAll(q, &all);
+  const std::vector<int> candidates = {0, 3, 17, 41, 59};
+  m.ScoreSubset(q, candidates, &subset);
+  ASSERT_EQ(subset.size(), candidates.size());
+  for (size_t j = 0; j < candidates.size(); ++j) {
+    EXPECT_DOUBLE_EQ(subset[j], all[static_cast<size_t>(candidates[j])]);
+  }
+}
+
+TEST(TopKByScoresTest, EqualsFullSortThenTruncate) {
+  Rng rng(29);
+  std::vector<double> scores(500);
+  for (auto& s : scores) {
+    s = static_cast<double>(rng.UniformU64(40)) / 40.0;  // many ties
+  }
+  for (int k : {0, 1, 10, 499, 500, 600}) {
+    EXPECT_EQ(TopKByScores(scores, k), TopK(RankByScores(scores), k))
+        << "k=" << k;
+  }
+
+  // Candidate-set counterpart, non-contiguous ids with the same ties.
+  std::vector<int> ids;
+  std::vector<double> sub_scores;
+  for (int i = 0; i < 500; i += 3) {
+    ids.push_back(i);
+    sub_scores.push_back(scores[static_cast<size_t>(i)]);
+  }
+  for (int k : {0, 1, 10, 200}) {
+    EXPECT_EQ(TopKCandidates(ids, sub_scores, k),
+              TopK(RankCandidates(ids, sub_scores), k))
+        << "k=" << k;
+  }
+}
+
+TEST(LatencySummaryTest, PercentilesUseNearestRank) {
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) samples.push_back(static_cast<double>(i));
+  const LatencySummary s = SummarizeLatencies(samples);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_EQ(SummarizeLatencies({}).count, 0u);
+
+  // Nearest rank = smallest sample with cumulative frequency >= q: for 13
+  // samples, rank(0.95) = ceil(12.35) = 13, not a round-to-nearest 12.
+  std::vector<double> thirteen;
+  for (int i = 1; i <= 13; ++i) thirteen.push_back(static_cast<double>(i));
+  const LatencySummary t = SummarizeLatencies(thirteen);
+  EXPECT_DOUBLE_EQ(t.p50, 7.0);
+  EXPECT_DOUBLE_EQ(t.p95, 13.0);
+  EXPECT_DOUBLE_EQ(t.p99, 13.0);
+}
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ChemGenOptions gen;
+    gen.num_graphs = 40;
+    gen.num_families = 6;
+    gen.min_vertices = 8;
+    gen.max_vertices = 14;
+    db_ = new GraphDatabase(GenerateChemDatabase(gen));
+    // >= 64 queries so QueryBatch actually crosses ParallelFor's serial
+    // fallback threshold and the thread-determinism test spawns workers.
+    queries_ = new GraphDatabase(GenerateChemQueries(gen, 70));
+    IndexOptions opts;
+    opts.mining.min_support = 0.15;
+    opts.mining.max_edges = 4;
+    opts.selector = "DSPM";
+    opts.p = 30;
+    opts.dspm.max_iters = 10;
+    auto built = GraphSearchIndex::Build(*db_, opts);
+    GDIM_CHECK(built.ok()) << built.status().ToString();
+    index_ = new PersistedIndex();
+    index_->features = built->dimension();
+    index_->db_bits = built->mapped_database();
+  }
+
+  static void TearDownTestSuite() {
+    delete db_;
+    delete queries_;
+    delete index_;
+    db_ = nullptr;
+    queries_ = nullptr;
+    index_ = nullptr;
+  }
+
+  static GraphDatabase* db_;
+  static GraphDatabase* queries_;
+  static PersistedIndex* index_;
+};
+
+GraphDatabase* QueryEngineTest::db_ = nullptr;
+GraphDatabase* QueryEngineTest::queries_ = nullptr;
+PersistedIndex* QueryEngineTest::index_ = nullptr;
+
+TEST_F(QueryEngineTest, MatchesOfflineMappedRanking) {
+  auto engine = QueryEngine::FromIndex(*index_);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  FeatureMapper mapper(index_->features);
+  for (const Graph& q : *queries_) {
+    const Ranking expected =
+        TopK(MappedRanking(mapper.Map(q), index_->db_bits), 5);
+    ServeQueryStats stats;
+    const Ranking got = engine->Query(q, 5, &stats);
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(stats.scanned, engine->num_graphs());
+    EXPECT_FALSE(stats.prefiltered);
+  }
+}
+
+TEST_F(QueryEngineTest, BatchIsDeterministicAcrossThreadCounts) {
+  ServeOptions one;
+  one.threads = 1;
+  ServeOptions eight;
+  eight.threads = 8;
+  auto engine1 = QueryEngine::FromIndex(*index_, one);
+  auto engine8 = QueryEngine::FromIndex(*index_, eight);
+  ASSERT_TRUE(engine1.ok());
+  ASSERT_TRUE(engine8.ok());
+  ServeBatchReport report1, report8;
+  std::vector<ServeQueryStats> stats1, stats8;
+  const auto results1 = engine1->QueryBatch(*queries_, 4, &report1, &stats1);
+  const auto results8 = engine8->QueryBatch(*queries_, 4, &report8, &stats8);
+  EXPECT_EQ(results1, results8);
+  ASSERT_EQ(results1.size(), queries_->size());
+  EXPECT_EQ(report1.latency_ms.count, queries_->size());
+  EXPECT_EQ(stats1.size(), stats8.size());
+  for (size_t i = 0; i < stats1.size(); ++i) {
+    EXPECT_EQ(stats1[i].scanned, stats8[i].scanned);
+    EXPECT_EQ(stats1[i].features_on, stats8[i].features_on);
+  }
+}
+
+TEST_F(QueryEngineTest, PrefilterNeverWidensAndKeepsOrder) {
+  ServeOptions opts;
+  opts.containment_prefilter = true;
+  auto engine = QueryEngine::FromIndex(*index_, opts);
+  ASSERT_TRUE(engine.ok());
+  auto plain = QueryEngine::FromIndex(*index_);
+  ASSERT_TRUE(plain.ok());
+  for (const Graph& q : *queries_) {
+    ServeQueryStats stats;
+    const Ranking got = engine->Query(q, 3, &stats);
+    EXPECT_LE(stats.scanned, engine->num_graphs());
+    for (size_t i = 1; i < got.size(); ++i) {
+      EXPECT_LE(got[i - 1].score, got[i].score);
+    }
+    if (!stats.prefiltered) {
+      // Fallback path must equal the unfiltered engine exactly.
+      EXPECT_EQ(got, plain->Query(q, 3));
+    }
+  }
+}
+
+// A fully controllable index: feature r is the single vertex labeled r, so a
+// graph's fingerprint is exactly its vertex-label set. Lets us pick the
+// candidate sets the prefilter must produce and assert the narrowed scan is
+// exact, not merely ordered.
+TEST(QueryEnginePrefilterTest, NarrowedScanEqualsRestrictedFullRanking) {
+  const int kLabels = 4;
+  PersistedIndex index;
+  for (LabelId r = 0; r < kLabels; ++r) {
+    Graph f;
+    f.AddVertex(r);
+    index.features.push_back(f);
+  }
+  // Label sets per database graph (as paths); bits = label membership.
+  const std::vector<std::vector<LabelId>> label_sets = {
+      {0, 1}, {0, 1, 2}, {0, 1, 2, 3}, {2, 3}, {0, 2}, {1, 3}, {0, 1, 3},
+  };
+  for (const auto& labels : label_sets) {
+    std::vector<uint8_t> bits(kLabels, 0);
+    for (LabelId l : labels) bits[static_cast<size_t>(l)] = 1;
+    index.db_bits.push_back(bits);
+  }
+  ServeOptions opts;
+  opts.containment_prefilter = true;
+  auto engine = QueryEngine::FromIndex(index, opts);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  // Query with labels {0, 1}: candidates = graphs 0, 1, 2, 6.
+  Graph q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  q.AddEdge(0, 1, 0);
+  ServeQueryStats stats;
+  const Ranking got = engine->Query(q, 3, &stats);
+  EXPECT_TRUE(stats.prefiltered);
+  EXPECT_EQ(stats.scanned, 4);
+  EXPECT_EQ(stats.features_on, 2);
+
+  // Expected: the full byte-vector ranking restricted to the candidates.
+  FeatureMapper mapper(index.features);
+  Ranking expected;
+  for (const RankedResult& r : MappedRanking(mapper.Map(q), index.db_bits)) {
+    if (r.id == 0 || r.id == 1 || r.id == 2 || r.id == 6) {
+      expected.push_back(r);
+    }
+  }
+  expected.resize(3);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(QueryEngineTest, RejectsRaggedIndexRows) {
+  PersistedIndex bad = *index_;
+  ASSERT_FALSE(bad.db_bits.empty());
+  bad.db_bits[0].pop_back();
+  auto engine = QueryEngine::FromIndex(std::move(bad));
+  EXPECT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace gdim

@@ -4,15 +4,20 @@
 //   gdim_tool mine     --db=db.gdb --minsup=0.05 --maxedges=7 --out=patterns.gdb
 //   gdim_tool build    --db=db.gdb --selector=DSPM --p=100 --out=index.idx
 //   gdim_tool query    --index=index.idx --db=db.gdb --queries=q.gdb --k=10
+//   gdim_tool serve    --index=index.idx --queries=q.gdb --k=10 [--threads=N]
+//   gdim_tool bench-query --index=index.idx --queries=q.gdb [--repeat=R]
 //   gdim_tool stats    --db=db.gdb
 //
 // All subcommands read/write the gSpan text format (`t # id / v / e` lines)
 // and the gdim-index format (see core/index_io.h).
 
+#include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "core/index.h"
 #include "core/index_io.h"
@@ -22,6 +27,7 @@
 #include "graph/graph_io.h"
 #include "graph/graph_utils.h"
 #include "mining/gspan.h"
+#include "serve/query_engine.h"
 
 namespace gdim {
 namespace {
@@ -32,15 +38,21 @@ int Fail(const Status& status) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: gdim_tool <generate|mine|build|query|stats> [--flags]\n"
-               "  generate --kind=chem|synthetic --n=N --out=FILE "
-               "[--queries=M --queries-out=FILE --seed=S]\n"
-               "  mine     --db=FILE --out=FILE [--minsup=0.05 --maxedges=7]\n"
-               "  build    --db=FILE --out=FILE [--selector=DSPM --p=100 "
-               "--minsup=0.05 --maxedges=7 --seed=S]\n"
-               "  query    --index=FILE --db=FILE --queries=FILE [--k=10]\n"
-               "  stats    --db=FILE\n");
+  std::fprintf(
+      stderr,
+      "usage: gdim_tool <generate|mine|build|query|serve|bench-query|stats>"
+      " [--flags]\n"
+      "  generate --kind=chem|synthetic --n=N --out=FILE "
+      "[--queries=M --queries-out=FILE --seed=S]\n"
+      "  mine     --db=FILE --out=FILE [--minsup=0.05 --maxedges=7]\n"
+      "  build    --db=FILE --out=FILE [--selector=DSPM --p=100 "
+      "--minsup=0.05 --maxedges=7 --seed=S]\n"
+      "  query    --index=FILE --db=FILE --queries=FILE [--k=10]\n"
+      "  serve    --index=FILE --queries=FILE [--k=10 --threads=N "
+      "--prefilter --quiet]\n"
+      "  bench-query --index=FILE --queries=FILE [--k=10 --threads=N "
+      "--prefilter --repeat=5]\n"
+      "  stats    --db=FILE\n");
   return 2;
 }
 
@@ -178,6 +190,99 @@ int RunQuery(const Flags& flags) {
   return 0;
 }
 
+ServeOptions ServeOptionsFromFlags(const Flags& flags) {
+  ServeOptions opts;
+  opts.threads = flags.GetInt("threads", 0);
+  opts.containment_prefilter = flags.GetBool("prefilter", false);
+  return opts;
+}
+
+/// Shared serve/bench-query setup: flag validation, engine load, query load.
+/// Returns 0 to proceed, otherwise the exit code to return.
+int LoadServeInputs(const Flags& flags, std::optional<QueryEngine>* engine,
+                    GraphDatabase* queries) {
+  const std::string index_path = flags.GetString("index", "");
+  const std::string queries_path = flags.GetString("queries", "");
+  if (index_path.empty() || queries_path.empty()) return Usage();
+  Result<QueryEngine> opened =
+      QueryEngine::Open(index_path, ServeOptionsFromFlags(flags));
+  if (!opened.ok()) return Fail(opened.status());
+  Result<GraphDatabase> loaded = ReadGraphFile(queries_path);
+  if (!loaded.ok()) return Fail(loaded.status());
+  engine->emplace(std::move(opened).value());
+  *queries = std::move(loaded).value();
+  return 0;
+}
+
+int RunServe(const Flags& flags) {
+  std::optional<QueryEngine> engine;
+  GraphDatabase queries;
+  if (int rc = LoadServeInputs(flags, &engine, &queries); rc != 0) return rc;
+  const int k = flags.GetInt("k", 10);
+  const bool quiet = flags.GetBool("quiet", false);
+
+  ServeBatchReport report;
+  std::vector<ServeQueryStats> per_query;
+  std::vector<Ranking> results =
+      engine->QueryBatch(queries, k, &report, &per_query);
+  if (!quiet) {
+    for (size_t qi = 0; qi < results.size(); ++qi) {
+      std::printf("query %zu:", qi);
+      for (const RankedResult& r : results[qi]) {
+        std::printf(" %d:%.4f", r.id, r.score);
+      }
+      std::printf("  [%.3fms, scanned %d/%d%s]\n", per_query[qi].latency_ms,
+                  per_query[qi].scanned, engine->num_graphs(),
+                  per_query[qi].prefiltered ? ", prefiltered" : "");
+    }
+  }
+  std::printf(
+      "# served %zu queries over %d graphs x %d dims in %.1fms "
+      "(%.0f qps, %s)\n",
+      results.size(), engine->num_graphs(), engine->num_features(),
+      report.wall_ms, report.qps,
+      FormatLatencySummaryMs(report.latency_ms).c_str());
+  if (report.prefiltered_queries > 0) {
+    std::printf("# prefilter narrowed %zu/%zu queries (%.1f%% rows scanned)\n",
+                report.prefiltered_queries, results.size(),
+                100.0 * static_cast<double>(report.scanned_rows) /
+                    (static_cast<double>(engine->num_graphs()) *
+                     static_cast<double>(results.size())));
+  }
+  return 0;
+}
+
+int RunBenchQuery(const Flags& flags) {
+  std::optional<QueryEngine> engine;
+  GraphDatabase queries;
+  if (int rc = LoadServeInputs(flags, &engine, &queries); rc != 0) return rc;
+  const int k = flags.GetInt("k", 10);
+  const int repeat = flags.GetInt("repeat", 5);
+
+  // Warm-up pass, then timed repeats; report the aggregate distribution.
+  engine->QueryBatch(queries, k);
+  std::vector<double> batch_ms;
+  double best_qps = 0.0;
+  for (int rep = 0; rep < repeat; ++rep) {
+    ServeBatchReport report;
+    engine->QueryBatch(queries, k, &report);
+    batch_ms.push_back(report.wall_ms);
+    best_qps = std::max(best_qps, report.qps);
+    std::printf("batch %d: %.1fms (%.0f qps, %s)\n", rep, report.wall_ms,
+                report.qps, FormatLatencySummaryMs(report.latency_ms).c_str());
+  }
+  LatencySummary batches = SummarizeLatencies(std::move(batch_ms));
+  std::printf(
+      "# %d x %zu queries, %d graphs x %d dims, k=%d, threads=%d: "
+      "best %.0f qps, batch %s\n",
+      repeat, queries.size(), engine->num_graphs(), engine->num_features(),
+      k,
+      engine->options().threads > 0 ? engine->options().threads
+                                    : DefaultThreadCount(),
+      best_qps, FormatLatencySummaryMs(batches).c_str());
+  return 0;
+}
+
 int RunStats(const Flags& flags) {
   const std::string db_path = flags.GetString("db", "");
   if (db_path.empty()) return Usage();
@@ -212,6 +317,8 @@ int Main(int argc, char** argv) {
   if (command == "mine") return RunMine(flags);
   if (command == "build") return RunBuild(flags);
   if (command == "query") return RunQuery(flags);
+  if (command == "serve") return RunServe(flags);
+  if (command == "bench-query") return RunBenchQuery(flags);
   if (command == "stats") return RunStats(flags);
   return Usage();
 }
