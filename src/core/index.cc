@@ -86,7 +86,8 @@ Result<GraphSearchIndex> GraphSearchIndex::Build(const GraphDatabase& db,
     }
     index.db_bits_[i] = std::move(bits);
   }
-  index.packed_bits_ = PackedBitMatrix::FromRows(index.db_bits_);
+  index.packed_bits_ = PackedBitMatrix::FromRows(
+      index.db_bits_, index.mapper_->num_features());
   return index;
 }
 

@@ -1,16 +1,40 @@
 #include "core/index_io.h"
 
+#include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <limits>
+#include <new>
 #include <sstream>
+#include <stdexcept>
 
+#include "core/packed_bits.h"
 #include "graph/graph_io.h"
 
 namespace gdim {
 
-Status WriteIndexFile(const PersistedIndex& index, const std::string& path) {
+namespace {
+
+constexpr char kV1Magic[] = "gdim-index v1";
+constexpr char kV2Magic[8] = {'G', 'D', 'I', 'M', 'I', 'D', 'X', '2'};
+constexpr uint32_t kV2HeaderVersion = 2;
+constexpr uint32_t kV2EndianTag = 0x01020304;
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  return static_cast<bool>(
+      in.read(reinterpret_cast<char*>(value), sizeof(*value)));
+}
+
+Status WriteIndexFileV1(const PersistedIndex& index, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for writing: " + path);
-  out << "gdim-index v1\n";
+  out << kV1Magic << "\n";
   out << "features " << index.features.size() << "\n";
   WriteGraphStream(index.features, out);
   const size_t p = index.features.size();
@@ -27,11 +51,32 @@ Status WriteIndexFile(const PersistedIndex& index, const std::string& path) {
   return Status::OK();
 }
 
-Result<PersistedIndex> ReadIndexFile(const std::string& path) {
+Status WriteIndexFileV2(const PersistedIndex& index, const std::string& path) {
+  const size_t p = index.features.size();
+  for (const auto& row : index.db_bits) {
+    if (row.size() != p) {
+      return Status::InvalidArgument("bit row width mismatch");
+    }
+  }
+  // Pack once through the canonical layout code and stream the row words.
+  const PackedBitMatrix packed =
+      PackedBitMatrix::FromRows(index.db_bits, static_cast<int>(p));
+  return WriteIndexFileV2Words(
+      index.features, index.db_bits.size(),
+      static_cast<uint64_t>(packed.words_per_row()),
+      [&](uint64_t i) { return packed.row(static_cast<int>(i)); }, index.ids,
+      index.next_id, path);
+}
+
+Result<PersistedIndex> ReadIndexFileV1(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for reading: " + path);
   std::string line;
-  if (!std::getline(in, line) || line != "gdim-index v1") {
+  if (!std::getline(in, line)) {
+    return Status::ParseError("bad magic: expected 'gdim-index v1'");
+  }
+  StripTrailingCarriageReturn(&line);
+  if (line != kV1Magic) {
     return Status::ParseError("bad magic: expected 'gdim-index v1'");
   }
   std::string tag;
@@ -43,8 +88,8 @@ Result<PersistedIndex> ReadIndexFile(const std::string& path) {
   std::getline(in, line);  // consume EOL
   // Read exactly p graphs: collect the lines until the 'vectors' header.
   std::ostringstream graph_text;
-  std::streampos vectors_pos;
   while (std::getline(in, line)) {
+    StripTrailingCarriageReturn(&line);
     if (line.rfind("vectors ", 0) == 0) break;
     graph_text << line << "\n";
   }
@@ -69,7 +114,11 @@ Result<PersistedIndex> ReadIndexFile(const std::string& path) {
   out.features = std::move(features).value();
   out.db_bits.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    if (!std::getline(in, line) || line.size() != p) {
+    if (!std::getline(in, line)) {
+      return Status::ParseError("bad vector row " + std::to_string(i));
+    }
+    StripTrailingCarriageReturn(&line);
+    if (line.size() != p) {
       return Status::ParseError("bad vector row " + std::to_string(i));
     }
     std::vector<uint8_t> row(p);
@@ -82,6 +131,228 @@ Result<PersistedIndex> ReadIndexFile(const std::string& path) {
     out.db_bits.push_back(std::move(row));
   }
   return out;
+}
+
+Result<PersistedIndex> ReadIndexFileV2(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  char magic[sizeof(kV2Magic)];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kV2Magic, sizeof(magic)) != 0) {
+    return Status::ParseError("bad v2 magic");
+  }
+  uint32_t header_version = 0, endian_tag = 0;
+  if (!ReadPod(in, &header_version) || header_version != kV2HeaderVersion) {
+    return Status::ParseError("unsupported v2 header version");
+  }
+  if (!ReadPod(in, &endian_tag) || endian_tag != kV2EndianTag) {
+    return Status::ParseError("index written with foreign byte order");
+  }
+  uint64_t p = 0, feature_bytes = 0;
+  if (!ReadPod(in, &p) || !ReadPod(in, &feature_bytes)) {
+    return Status::ParseError("truncated v2 header");
+  }
+  // Bound every untrusted header field before allocating from it: a corrupt
+  // file must come back as a Status, never as std::terminate.
+  const std::streampos features_begin = in.tellg();
+  in.seekg(0, std::ios::end);
+  const uint64_t bytes_after_header =
+      static_cast<uint64_t>(in.tellg() - features_begin);
+  in.seekg(features_begin);
+  if (p > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    return Status::ParseError("feature count out of range");
+  }
+  if (feature_bytes > bytes_after_header) {
+    return Status::ParseError("feature section larger than file");
+  }
+  std::string feature_text(feature_bytes, '\0');
+  if (feature_bytes > 0 &&
+      !in.read(feature_text.data(),
+               static_cast<std::streamsize>(feature_bytes))) {
+    return Status::ParseError("truncated feature section");
+  }
+  std::istringstream feature_stream(feature_text);
+  Result<GraphDatabase> features = ReadGraphStream(feature_stream);
+  if (!features.ok()) return features.status();
+  if (features->size() != p) {
+    return Status::ParseError("feature count mismatch");
+  }
+
+  uint64_t n = 0, words_per_row = 0, next_id = 0;
+  if (!ReadPod(in, &n) || !ReadPod(in, &words_per_row) ||
+      !ReadPod(in, &next_id)) {
+    return Status::ParseError("truncated vector header");
+  }
+  if (n > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    return Status::ParseError("vector count out of range");
+  }
+  if (next_id > static_cast<uint64_t>(std::numeric_limits<int>::max()) ||
+      next_id < n) {
+    return Status::ParseError("next_id out of range");
+  }
+  if (words_per_row != (p + 63) / 64) {
+    return Status::ParseError("vector word stride does not match width");
+  }
+  // The word block plus the id block must be exactly the rest of the file:
+  // rejects truncation, trailing garbage, and adversarial row counts before
+  // any allocation (every row costs 8 id bytes even at p == 0).
+  const std::streampos words_begin = in.tellg();
+  in.seekg(0, std::ios::end);
+  const uint64_t avail =
+      static_cast<uint64_t>(in.tellg() - words_begin);
+  if (words_per_row != 0 &&
+      n > std::numeric_limits<uint64_t>::max() / words_per_row / 8) {
+    return Status::ParseError("vector count overflows");
+  }
+  const uint64_t need = n * words_per_row * 8 + n * 8;
+  if (need != avail) {
+    return Status::ParseError("vector block size mismatch: expected " +
+                              std::to_string(need) + " bytes, got " +
+                              std::to_string(avail));
+  }
+  in.seekg(words_begin);
+
+  PersistedIndex out;
+  out.features = std::move(features).value();
+  out.db_bits.reserve(n);
+  std::vector<uint64_t> words(words_per_row);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (words_per_row > 0 &&
+        !in.read(reinterpret_cast<char*>(words.data()),
+                 static_cast<std::streamsize>(words_per_row *
+                                              sizeof(uint64_t)))) {
+      return Status::ParseError("truncated vector row " + std::to_string(i));
+    }
+    std::vector<uint8_t> row(p);
+    for (uint64_t r = 0; r < p; ++r) {
+      row[r] = static_cast<uint8_t>((words[r >> 6] >> (r & 63)) & 1);
+    }
+    out.db_bits.push_back(std::move(row));
+  }
+  out.ids.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t id = 0;
+    if (!ReadPod(in, &id)) {
+      return Status::ParseError("truncated id block");
+    }
+    // Cap at INT_MAX - 1 so the engine's next_id = last id + 1 cannot
+    // overflow int.
+    if (id >= static_cast<uint64_t>(std::numeric_limits<int>::max()) ||
+        (i > 0 && static_cast<int>(id) <= out.ids.back())) {
+      return Status::ParseError("ids must be strictly ascending and in range");
+    }
+    out.ids.push_back(static_cast<int>(id));
+  }
+  if (!out.ids.empty() &&
+      static_cast<int64_t>(next_id) <= int64_t{out.ids.back()}) {
+    return Status::ParseError("next_id out of range");
+  }
+  out.next_id = static_cast<int>(next_id);
+  return out;
+}
+
+}  // namespace
+
+Status WriteIndexFileV2Words(
+    const GraphDatabase& features, uint64_t n, uint64_t words_per_row,
+    const std::function<const uint64_t*(uint64_t)>& row_words,
+    const std::vector<int>& ids, int next_id, const std::string& path) {
+  const size_t p = features.size();
+  if (words_per_row != (p + 63) / 64) {
+    return Status::InvalidArgument("word stride does not match width");
+  }
+  if (!ids.empty()) {
+    if (ids.size() != n) {
+      return Status::InvalidArgument("id count does not match row count");
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+      // Mirror the reader's cap (INT_MAX is reserved so next_id can't
+      // overflow): never emit a file our own reader refuses.
+      if (ids[i] < 0 || ids[i] == std::numeric_limits<int>::max() ||
+          (i > 0 && ids[i] <= ids[i - 1])) {
+        return Status::InvalidArgument(
+            "ids must be strictly ascending and in range");
+      }
+    }
+  }
+  const int64_t min_next_id =
+      ids.empty() ? static_cast<int64_t>(n) : int64_t{ids.back()} + 1;
+  if (next_id < 0) {
+    next_id = static_cast<int>(min_next_id);
+  } else if (next_id < min_next_id) {
+    return Status::InvalidArgument("next_id must exceed every persisted id");
+  }
+  std::ostringstream feature_text;
+  WriteGraphStream(features, feature_text);
+  const std::string feature_str = feature_text.str();
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(kV2Magic, sizeof(kV2Magic));
+  WritePod(out, kV2HeaderVersion);
+  WritePod(out, kV2EndianTag);
+  WritePod(out, static_cast<uint64_t>(p));
+  WritePod(out, static_cast<uint64_t>(feature_str.size()));
+  out.write(feature_str.data(),
+            static_cast<std::streamsize>(feature_str.size()));
+  WritePod(out, n);
+  WritePod(out, words_per_row);
+  WritePod(out, static_cast<uint64_t>(next_id));
+  if (words_per_row > 0) {  // zero-width rows occupy no bytes
+    for (uint64_t i = 0; i < n; ++i) {
+      out.write(
+          reinterpret_cast<const char*>(row_words(i)),
+          static_cast<std::streamsize>(words_per_row * sizeof(uint64_t)));
+    }
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    WritePod(out, ids.empty() ? i : static_cast<uint64_t>(ids[i]));
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<IndexFormat> ParseIndexFormat(const std::string& name) {
+  if (name == "v1") return IndexFormat::kV1Text;
+  if (name == "v2") return IndexFormat::kV2Binary;
+  return Status::InvalidArgument("unknown index format '" + name +
+                                 "' (want v1 or v2)");
+}
+
+Status WriteIndexFile(const PersistedIndex& index, const std::string& path,
+                      IndexFormat format) {
+  switch (format) {
+    case IndexFormat::kV1Text:
+      return WriteIndexFileV1(index, path);
+    case IndexFormat::kV2Binary:
+      return WriteIndexFileV2(index, path);
+  }
+  return Status::InvalidArgument("unknown index format");
+}
+
+Result<PersistedIndex> ReadIndexFile(const std::string& path) {
+  char magic[sizeof(kV2Magic)] = {};
+  {
+    std::ifstream sniff(path, std::ios::binary);
+    if (!sniff) return Status::IoError("cannot open for reading: " + path);
+    sniff.read(magic, sizeof(magic));
+    // Short files simply fail the memcmp and fall through to the v1 parser.
+  }
+  // Backstop for header fields the size checks cannot bound (e.g. a v1
+  // 'vectors <n>' count or a v2 row count at p == 0, where rows occupy no
+  // file bytes): a hostile count must surface as a Status, not terminate
+  // the process through an uncaught allocation failure.
+  try {
+    if (std::memcmp(magic, kV2Magic, sizeof(kV2Magic)) == 0) {
+      return ReadIndexFileV2(path);
+    }
+    return ReadIndexFileV1(path);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("index too large to load: " + path);
+  } catch (const std::length_error&) {
+    return Status::ResourceExhausted("index too large to load: " + path);
+  }
 }
 
 }  // namespace gdim

@@ -1,6 +1,8 @@
 #ifndef GDIM_CORE_INDEX_IO_H_
 #define GDIM_CORE_INDEX_IO_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -12,22 +14,78 @@ namespace gdim {
 /// On-disk form of a built graph dimension: the selected feature graphs plus
 /// the mapped binary database vectors. Lets an application build once
 /// (mining + MCS + selection are the expensive part) and serve queries from
-/// a cold start. Text format, versioned:
+/// a cold start. Two versioned formats share one reader (ReadIndexFile
+/// sniffs the magic):
+///
+/// v1 — human-readable text, parsed digit by digit:
 ///
 ///   gdim-index v1
 ///   features <p>
 ///   <p feature graphs in gSpan format>
 ///   vectors <n> <p>
 ///   <n lines of 0/1 digits>
+///
+/// v2 — binary snapshot, loaded in O(read) (no per-bit text parsing):
+///
+///   bytes 0..7   magic "GDIMIDX2"
+///   u32          header version (2)
+///   u32          endianness tag 0x01020304 (readers reject foreign order)
+///   u64          p  (feature count)
+///   u64          feature text length in bytes
+///   ...          feature graphs in gSpan text (p graphs; small)
+///   u64          n  (vector count)
+///   u64          words_per_row = ceil(p / 64)
+///   u64          next_id (> every persisted id; the id counter survives
+///                reloads so removed graphs' ids are never re-issued)
+///   ...          n * words_per_row u64 packed bit words in host byte order
+///                (the endianness tag rejects foreign files), row-major,
+///                bit r of a row at word r/64, bit r%64
+///   ...          n u64 external graph ids, strictly ascending
+///
+/// The vectors — the part that scales with database size — are the raw
+/// packed words of the serving scan layout, so a snapshot load is a block
+/// read instead of an O(n·p) character parse. The id block is what keeps
+/// external ids stable across a snapshot/reload cycle of a mutated engine
+/// (v1 cannot carry ids and renumbers rows positionally on save).
 struct PersistedIndex {
   GraphDatabase features;
   std::vector<std::vector<uint8_t>> db_bits;
+  /// External graph id per row, strictly ascending. Empty means positional
+  /// (row i has id i): the v1 reader and fresh builds leave it empty; the
+  /// v2 reader always fills it.
+  std::vector<int> ids;
+  /// The id the next inserted graph gets. -1 (v1 files, fresh builds) means
+  /// "derive": one past the largest persisted id. v2 persists the counter
+  /// so a snapshot/reload cycle never re-issues a removed graph's id.
+  int next_id = -1;
 };
 
-/// Writes the dimension + mapped vectors to path.
-Status WriteIndexFile(const PersistedIndex& index, const std::string& path);
+/// On-disk format selector for WriteIndexFile.
+enum class IndexFormat {
+  kV1Text,
+  kV2Binary,
+};
 
-/// Reads a persisted index; validates shape and bit values.
+/// Parses "v1"/"v2" (case-sensitive) into an IndexFormat.
+Result<IndexFormat> ParseIndexFormat(const std::string& name);
+
+/// Writes the dimension + mapped vectors to path in the given format.
+Status WriteIndexFile(const PersistedIndex& index, const std::string& path,
+                      IndexFormat format = IndexFormat::kV1Text);
+
+/// Streaming v2 writer: emits n rows of words_per_row packed words obtained
+/// from row_words(i) — already in the scan layout — without materializing
+/// byte vectors. words_per_row must equal ceil(features.size() / 64); ids
+/// must be strictly ascending with n entries, or empty for positional
+/// (0..n-1); next_id must exceed every id (-1 = derive). Used by
+/// QueryEngine::Snapshot to dump packed segments directly.
+Status WriteIndexFileV2Words(
+    const GraphDatabase& features, uint64_t n, uint64_t words_per_row,
+    const std::function<const uint64_t*(uint64_t)>& row_words,
+    const std::vector<int>& ids, int next_id, const std::string& path);
+
+/// Reads a persisted index of either format (sniffed from the magic);
+/// validates shape and bit values.
 Result<PersistedIndex> ReadIndexFile(const std::string& path);
 
 }  // namespace gdim

@@ -1,5 +1,6 @@
 #include "core/packed_bits.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -17,13 +18,23 @@ inline int PopcountXor(const uint64_t* a, const uint64_t* b, size_t words) {
 
 }  // namespace
 
+PackedBitMatrix PackedBitMatrix::WithWidth(int num_bits) {
+  GDIM_CHECK(num_bits >= 0);
+  PackedBitMatrix m;
+  m.num_bits_ = num_bits;
+  m.words_per_row_ = (static_cast<size_t>(num_bits) + 63) / 64;
+  return m;
+}
+
 PackedBitMatrix PackedBitMatrix::FromRows(
     const std::vector<std::vector<uint8_t>>& rows) {
-  PackedBitMatrix m;
+  return FromRows(rows, rows.empty() ? 0 : static_cast<int>(rows[0].size()));
+}
+
+PackedBitMatrix PackedBitMatrix::FromRows(
+    const std::vector<std::vector<uint8_t>>& rows, int num_bits) {
+  PackedBitMatrix m = WithWidth(num_bits);
   m.num_rows_ = static_cast<int>(rows.size());
-  if (rows.empty()) return m;
-  m.num_bits_ = static_cast<int>(rows[0].size());
-  m.words_per_row_ = (static_cast<size_t>(m.num_bits_) + 63) / 64;
   m.words_.assign(static_cast<size_t>(m.num_rows_) * m.words_per_row_, 0);
   for (size_t i = 0; i < rows.size(); ++i) {
     GDIM_CHECK(rows[i].size() == static_cast<size_t>(m.num_bits_))
@@ -46,9 +57,51 @@ std::vector<uint64_t> PackedBitMatrix::PackBits(
   return words;
 }
 
+void PackedBitMatrix::Reserve(int rows) {
+  GDIM_CHECK(rows >= 0);
+  words_.reserve(static_cast<size_t>(rows) * words_per_row_);
+}
+
+int PackedBitMatrix::AppendRow(const std::vector<uint8_t>& bits) {
+  GDIM_CHECK(bits.size() == static_cast<size_t>(num_bits_))
+      << "appended row has " << bits.size() << " bits, expected " << num_bits_;
+  words_.resize(words_.size() + words_per_row_, 0);
+  uint64_t* out =
+      words_.data() + static_cast<size_t>(num_rows_) * words_per_row_;
+  for (size_t r = 0; r < bits.size(); ++r) {
+    if (bits[r] != 0) out[r >> 6] |= uint64_t{1} << (r & 63);
+  }
+  return num_rows_++;
+}
+
+int PackedBitMatrix::AppendRowFrom(const PackedBitMatrix& src, int src_row) {
+  GDIM_CHECK(src.num_bits_ == num_bits_)
+      << "cannot append a " << src.num_bits_ << "-bit row to a " << num_bits_
+      << "-bit matrix";
+  GDIM_DCHECK(src_row >= 0 && src_row < src.num_rows_);
+  // Resize before taking the source pointer so self-appends survive the
+  // reallocation.
+  words_.resize(words_.size() + words_per_row_);
+  const uint64_t* from =
+      src.words_.data() + static_cast<size_t>(src_row) * src.words_per_row_;
+  std::copy(from, from + words_per_row_,
+            words_.end() - static_cast<std::ptrdiff_t>(words_per_row_));
+  return num_rows_++;
+}
+
 bool PackedBitMatrix::GetBit(int row_id, int bit) const {
   GDIM_DCHECK(bit >= 0 && bit < num_bits_);
   return (row(row_id)[bit >> 6] >> (bit & 63)) & 1;
+}
+
+std::vector<uint8_t> PackedBitMatrix::UnpackRow(int row_id) const {
+  const uint64_t* words = row(row_id);
+  std::vector<uint8_t> bits(static_cast<size_t>(num_bits_), 0);
+  for (int r = 0; r < num_bits_; ++r) {
+    bits[static_cast<size_t>(r)] =
+        static_cast<uint8_t>((words[r >> 6] >> (r & 63)) & 1);
+  }
+  return bits;
 }
 
 int PackedBitMatrix::HammingDistance(const std::vector<uint64_t>& query,
@@ -66,10 +119,15 @@ double PackedBitMatrix::NormalizedDistance(const std::vector<uint64_t>& query,
 
 void PackedBitMatrix::ScoreAll(const std::vector<uint64_t>& query,
                                std::vector<double>* scores) const {
-  GDIM_CHECK(query.size() == words_per_row_) << "query width mismatch";
   scores->resize(static_cast<size_t>(num_rows_));
+  ScoreAllInto(query, scores->data());
+}
+
+void PackedBitMatrix::ScoreAllInto(const std::vector<uint64_t>& query,
+                                   double* out) const {
+  GDIM_CHECK(query.size() == words_per_row_) << "query width mismatch";
   if (num_bits_ == 0) {
-    for (double& s : *scores) s = 0.0;
+    for (int i = 0; i < num_rows_; ++i) out[i] = 0.0;
     return;
   }
   const double p = static_cast<double>(num_bits_);
@@ -77,8 +135,7 @@ void PackedBitMatrix::ScoreAll(const std::vector<uint64_t>& query,
   const uint64_t* db_row = words_.data();
   for (int i = 0; i < num_rows_; ++i, db_row += words_per_row_) {
     const int diff = PopcountXor(q, db_row, words_per_row_);
-    (*scores)[static_cast<size_t>(i)] =
-        std::sqrt(static_cast<double>(diff) / p);
+    out[i] = std::sqrt(static_cast<double>(diff) / p);
   }
 }
 

@@ -13,6 +13,10 @@ namespace gdim {
 /// padded to a whole number of words so every row scan is an aligned
 /// word-popcount loop instead of a byte-at-a-time compare.
 ///
+/// The matrix carries its bit width even when it holds no rows, so query
+/// validation works for empty databases, and it supports append-only growth
+/// (the delta segment of a mutable QueryEngine).
+///
 /// Distances computed here are bit-identical to the byte-vector reference
 /// (BinaryMappedDistance): the Hamming count is exact and the normalized form
 /// evaluates the same sqrt(diff / p) expression.
@@ -20,19 +24,32 @@ class PackedBitMatrix {
  public:
   PackedBitMatrix() = default;
 
-  /// Packs 0/1 byte rows (all the same length) into the word layout.
+  /// An empty matrix of known width: AppendRow and PackQuery validate
+  /// against num_bits from the start. The delta-segment constructor.
+  static PackedBitMatrix WithWidth(int num_bits);
+
+  /// Packs 0/1 byte rows (all the same length) into the word layout. The
+  /// width is taken from the first row; an empty `rows` yields width 0 —
+  /// pass the width explicitly via the two-argument overload when the
+  /// matrix may be empty.
   static PackedBitMatrix FromRows(const std::vector<std::vector<uint8_t>>& rows);
+
+  /// FromRows with an explicit width; every row must have exactly num_bits
+  /// bits, and an empty `rows` still produces a width-num_bits matrix.
+  static PackedBitMatrix FromRows(const std::vector<std::vector<uint8_t>>& rows,
+                                  int num_bits);
 
   /// Packs one 0/1 byte vector into words (query-side fingerprint packing).
   static std::vector<uint64_t> PackBits(const std::vector<uint8_t>& bits);
 
   /// PackBits padded to words_per_row() — the query-side form every scan
-  /// kernel expects. The width must match the matrix (any width collapses
-  /// to the empty query when the matrix itself is empty).
+  /// kernel expects. The width must match the matrix width exactly; an
+  /// empty database no longer accepts queries of arbitrary width (build
+  /// the matrix with an explicit width for that check to bite).
   std::vector<uint64_t> PackQuery(const std::vector<uint8_t>& bits) const {
-    GDIM_CHECK(num_rows_ == 0 ||
-               bits.size() == static_cast<size_t>(num_bits_))
-        << "query width does not match packed database";
+    GDIM_CHECK(bits.size() == static_cast<size_t>(num_bits_))
+        << "query width " << bits.size()
+        << " does not match packed database width " << num_bits_;
     std::vector<uint64_t> words = PackBits(bits);
     words.resize(words_per_row_, 0);
     return words;
@@ -42,6 +59,17 @@ class PackedBitMatrix {
   int num_bits() const { return num_bits_; }
   size_t words_per_row() const { return words_per_row_; }
 
+  /// Reserves storage for `rows` total rows (no-op if already larger).
+  void Reserve(int rows);
+
+  /// Appends one 0/1 byte row (width must equal num_bits()); returns the
+  /// new row's index. Amortized O(p/64) via vector growth.
+  int AppendRow(const std::vector<uint8_t>& bits);
+
+  /// Appends a copy of src's row src_row as a word-level copy — no
+  /// unpack/repack round trip. Widths must match. The compaction kernel.
+  int AppendRowFrom(const PackedBitMatrix& src, int src_row);
+
   /// Word pointer of row i (words_per_row() words).
   const uint64_t* row(int i) const {
     GDIM_DCHECK(i >= 0 && i < num_rows_);
@@ -50,6 +78,10 @@ class PackedBitMatrix {
 
   /// Bit (row, bit) as stored; for tests and bit-exact comparisons.
   bool GetBit(int row_id, int bit) const;
+
+  /// Row i back as a 0/1 byte vector of num_bits() entries (snapshots,
+  /// compaction, and round-trip tests).
+  std::vector<uint8_t> UnpackRow(int row_id) const;
 
   /// Hamming distance between a packed query (from PackBits, same width) and
   /// row i.
@@ -64,6 +96,11 @@ class PackedBitMatrix {
   /// num_rows()). The full-scan kernel of the serving hot path.
   void ScoreAll(const std::vector<uint64_t>& query,
                 std::vector<double>* scores) const;
+
+  /// ScoreAll into a caller-owned buffer of num_rows() doubles, so a
+  /// multi-segment engine can scan base + delta into one score vector
+  /// without a concatenating copy.
+  void ScoreAllInto(const std::vector<uint64_t>& query, double* out) const;
 
   /// Scores only the given rows, writing scores[j] for candidates[j]
   /// (*scores resized to candidates.size()). The post-prefilter kernel.

@@ -28,6 +28,9 @@ Result<GraphDatabase> ReadGraphStream(std::istream& in) {
   };
   while (std::getline(in, line)) {
     ++line_no;
+    // Tolerate CRLF inputs: a trailing '\r' would otherwise ride along on
+    // the last token of every line.
+    StripTrailingCarriageReturn(&line);
     std::istringstream ls(line);
     std::string tag;
     if (!(ls >> tag)) continue;  // blank line

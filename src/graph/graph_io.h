@@ -18,6 +18,13 @@ namespace gdim {
 /// Vertices must be declared 0..n-1 in order; '#'-prefixed lines outside a
 /// `t` header and blank lines are ignored.
 
+/// Strips one trailing '\r' from a getline'd line — CRLF tolerance for
+/// every text parser (graph streams, v1 index files), so exact-match
+/// compares and width checks hold on Windows-translated inputs.
+inline void StripTrailingCarriageReturn(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
 /// Parses a whole database from a stream.
 Result<GraphDatabase> ReadGraphStream(std::istream& in);
 

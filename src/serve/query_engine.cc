@@ -1,6 +1,9 @@
 #include "serve/query_engine.h"
 
 #include <algorithm>
+#include <limits>
+#include <numeric>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
@@ -9,6 +12,15 @@
 #include "core/binary_db.h"
 
 namespace gdim {
+
+namespace {
+
+/// Sentinel score for tombstoned rows on the full-scan path. Real scores are
+/// finite (sqrt(diff/p) ∈ [0, 1]), so the sentinel sorts strictly last and
+/// can never displace a live row from the top-k.
+constexpr double kRemovedScore = std::numeric_limits<double>::infinity();
+
+}  // namespace
 
 Result<QueryEngine> QueryEngine::FromIndex(PersistedIndex index,
                                            ServeOptions options) {
@@ -21,9 +33,45 @@ Result<QueryEngine> QueryEngine::FromIndex(PersistedIndex index,
           std::to_string(p));
     }
   }
+  if (!index.ids.empty()) {
+    if (index.ids.size() != index.db_bits.size()) {
+      return Status::InvalidArgument("index id count does not match rows");
+    }
+    for (size_t i = 0; i < index.ids.size(); ++i) {
+      if (index.ids[i] < 0 ||
+          (i > 0 && index.ids[i] <= index.ids[i - 1])) {
+        return Status::InvalidArgument("index ids must be strictly ascending");
+      }
+    }
+    // next_id_ = ids.back() + 1 must stay representable.
+    if (index.ids.back() == std::numeric_limits<int>::max()) {
+      return Status::InvalidArgument("index id out of range");
+    }
+  }
+  const int64_t min_next_id =
+      index.ids.empty() ? static_cast<int64_t>(index.db_bits.size())
+                        : int64_t{index.ids.back()} + 1;
+  if (index.next_id >= 0 && index.next_id < min_next_id) {
+    return Status::InvalidArgument("index next_id must exceed every id");
+  }
   QueryEngine engine;
   engine.options_ = options;
-  engine.packed_ = PackedBitMatrix::FromRows(index.db_bits);
+  engine.base_ = PackedBitMatrix::FromRows(index.db_bits,
+                                           static_cast<int>(p));
+  engine.delta_ = PackedBitMatrix::WithWidth(static_cast<int>(p));
+  const int n = engine.base_.num_rows();
+  engine.tombstones_.assign(static_cast<size_t>(n), 0);
+  engine.alive_ = n;
+  if (index.ids.empty()) {
+    engine.row_ids_.resize(static_cast<size_t>(n));
+    std::iota(engine.row_ids_.begin(), engine.row_ids_.end(), 0);
+  } else {
+    engine.row_ids_ = index.ids;
+  }
+  // Resume the persisted id counter when present (so ids of removed graphs
+  // are never re-issued after a reload); otherwise derive it.
+  engine.next_id_ =
+      index.next_id >= 0 ? index.next_id : static_cast<int>(min_next_id);
   // The inverted lists only serve the prefilter; skip the O(n·p) pass and
   // their memory when it is disabled.
   if (options.containment_prefilter) {
@@ -41,6 +89,149 @@ Result<QueryEngine> QueryEngine::Open(const std::string& index_path,
   return FromIndex(std::move(index).value(), options);
 }
 
+Result<int> QueryEngine::Insert(const Graph& graph) {
+  return InsertMapped(mapper_.Map(graph));
+}
+
+Result<int> QueryEngine::InsertMapped(
+    const std::vector<uint8_t>& fingerprint) {
+  if (fingerprint.size() != static_cast<size_t>(num_features())) {
+    return Status::InvalidArgument(
+        "fingerprint has " + std::to_string(fingerprint.size()) +
+        " bits, engine dimension is " + std::to_string(num_features()));
+  }
+  // INT_MAX itself is unassignable: next_id_ would overflow, and the v2
+  // reader's id cap would reject the engine's own snapshot.
+  if (next_id_ == std::numeric_limits<int>::max()) {
+    return Status::ResourceExhausted("graph id space exhausted");
+  }
+  const int row = base_.num_rows() + delta_.AppendRow(fingerprint);
+  tombstones_.push_back(0);
+  row_ids_.push_back(next_id_);
+  ++alive_;
+  if (options_.containment_prefilter) {
+    for (size_t r = 0; r < fingerprint.size(); ++r) {
+      // Rows only grow, so appending keeps each list sorted.
+      if (fingerprint[r] != 0) supports_[r].push_back(row);
+    }
+  }
+  return next_id_++;
+}
+
+Status QueryEngine::Remove(int id) {
+  const int row = FindLiveRow(id);
+  if (row < 0) {
+    return Status::NotFound("no live graph with id " + std::to_string(id));
+  }
+  tombstones_[static_cast<size_t>(row)] = 1;
+  ++num_tombstones_;
+  --alive_;
+  if (options_.containment_prefilter) {
+    const std::vector<uint8_t> bits = RowBits(row);
+    for (size_t r = 0; r < bits.size(); ++r) {
+      if (bits[r] == 0) continue;
+      std::vector<int>& list = supports_[r];
+      const auto it = std::lower_bound(list.begin(), list.end(), row);
+      GDIM_DCHECK(it != list.end() && *it == row);
+      list.erase(it);
+    }
+  }
+  return Status::OK();
+}
+
+void QueryEngine::Compact() {
+  if (num_tombstones_ == 0 && delta_.num_rows() == 0) return;
+  const int total = total_rows();
+  PackedBitMatrix merged = PackedBitMatrix::WithWidth(num_features());
+  merged.Reserve(alive_);
+  std::vector<int> new_ids;
+  new_ids.reserve(static_cast<size_t>(alive_));
+  std::vector<int> old_to_new(static_cast<size_t>(total), -1);
+  const int base_n = base_.num_rows();
+  for (int row = 0; row < total; ++row) {
+    if (tombstones_[static_cast<size_t>(row)] != 0) continue;
+    old_to_new[static_cast<size_t>(row)] =
+        row < base_n ? merged.AppendRowFrom(base_, row)
+                     : merged.AppendRowFrom(delta_, row - base_n);
+    new_ids.push_back(row_ids_[static_cast<size_t>(row)]);
+  }
+  base_ = std::move(merged);
+  delta_ = PackedBitMatrix::WithWidth(num_features());
+  row_ids_ = std::move(new_ids);
+  tombstones_.assign(static_cast<size_t>(alive_), 0);
+  num_tombstones_ = 0;
+  if (options_.containment_prefilter) {
+    // The lists already hold exactly the live rows; renumber in place (the
+    // old→new map is monotone, so each list stays sorted).
+    for (std::vector<int>& list : supports_) {
+      for (int& row : list) {
+        row = old_to_new[static_cast<size_t>(row)];
+        GDIM_DCHECK(row >= 0);
+      }
+    }
+  }
+}
+
+std::vector<int> QueryEngine::alive_ids() const {
+  std::vector<int> ids;
+  ids.reserve(static_cast<size_t>(alive_));
+  for (int row = 0; row < total_rows(); ++row) {
+    if (tombstones_[static_cast<size_t>(row)] == 0) {
+      ids.push_back(row_ids_[static_cast<size_t>(row)]);
+    }
+  }
+  return ids;
+}
+
+PersistedIndex QueryEngine::ToPersistedIndex() const {
+  PersistedIndex index;
+  index.features = mapper_.features();
+  index.db_bits.reserve(static_cast<size_t>(alive_));
+  for (int row = 0; row < total_rows(); ++row) {
+    if (tombstones_[static_cast<size_t>(row)] == 0) {
+      index.db_bits.push_back(RowBits(row));
+    }
+  }
+  index.ids = alive_ids();
+  index.next_id = next_id_;
+  return index;
+}
+
+Status QueryEngine::Snapshot(const std::string& path,
+                             IndexFormat format) const {
+  if (format == IndexFormat::kV2Binary) {
+    // Stream the live rows' packed words straight from the segments — no
+    // per-row byte materialization, no unpack/repack round trip.
+    std::vector<const uint64_t*> live_rows;
+    live_rows.reserve(static_cast<size_t>(alive_));
+    const int base_n = base_.num_rows();
+    for (int row = 0; row < total_rows(); ++row) {
+      if (tombstones_[static_cast<size_t>(row)] != 0) continue;
+      live_rows.push_back(row < base_n ? base_.row(row)
+                                       : delta_.row(row - base_n));
+    }
+    return WriteIndexFileV2Words(
+        mapper_.features(), static_cast<uint64_t>(live_rows.size()),
+        static_cast<uint64_t>(base_.words_per_row()),
+        [&](uint64_t i) { return live_rows[i]; }, alive_ids(), next_id_,
+        path);
+  }
+  return WriteIndexFile(ToPersistedIndex(), path, format);
+}
+
+int QueryEngine::FindLiveRow(int id) const {
+  const auto it = std::lower_bound(row_ids_.begin(), row_ids_.end(), id);
+  if (it == row_ids_.end() || *it != id) return -1;
+  const int row = static_cast<int>(it - row_ids_.begin());
+  return tombstones_[static_cast<size_t>(row)] == 0 ? row : -1;
+}
+
+std::vector<uint8_t> QueryEngine::RowBits(int row) const {
+  return row < base_.num_rows()
+             ? base_.UnpackRow(row)
+             : delta_.UnpackRow(row - base_.num_rows());
+}
+
 std::vector<int> QueryEngine::PrefilterCandidates(
     const std::vector<uint8_t>& fingerprint) const {
   // Collect the inverted lists of the set bits, smallest support first so
@@ -52,41 +243,75 @@ std::vector<int> QueryEngine::PrefilterCandidates(
   return IntersectSupports(std::move(lists));
 }
 
+void QueryEngine::ScoreRows(const std::vector<uint64_t>& packed_query,
+                            const std::vector<int>& rows,
+                            std::vector<double>* scores) const {
+  // Candidate lists are ascending, so base rows form a prefix and delta
+  // rows a suffix; score in place (no per-query candidate-list copies).
+  scores->resize(rows.size());
+  const int base_n = base_.num_rows();
+  for (size_t j = 0; j < rows.size(); ++j) {
+    const int row = rows[j];
+    (*scores)[j] =
+        row < base_n
+            ? base_.NormalizedDistance(packed_query, row)
+            : delta_.NormalizedDistance(packed_query, row - base_n);
+  }
+}
+
 Ranking QueryEngine::Query(const Graph& query, int k,
                            ServeQueryStats* stats) const {
-  GDIM_CHECK(k >= 0);
+  // A malformed k must not abort the serving process; k < 0 answers like
+  // k == 0 (empty ranking). The tool boundary additionally rejects it.
+  if (k < 0) k = 0;
   WallTimer timer;
 
   // Stage 1: fingerprint the query onto the selected dimension.
   const std::vector<uint8_t> fingerprint = mapper_.Map(query);
   int features_on = 0;
   for (uint8_t b : fingerprint) features_on += b != 0 ? 1 : 0;
-  const std::vector<uint64_t> packed_query = packed_.PackQuery(fingerprint);
+  const std::vector<uint64_t> packed_query = base_.PackQuery(fingerprint);
 
   // Stage 2: optional containment prefilter over the inverted lists.
   bool prefiltered = false;
   std::vector<int> candidates;
   if (options_.containment_prefilter && features_on > 0) {
     candidates = PrefilterCandidates(fingerprint);
-    // Take the narrowed path only when it actually narrows: enough
-    // candidates to answer, and fewer than a full scan would touch.
-    prefiltered = static_cast<int>(candidates.size()) >= k &&
-                  static_cast<int>(candidates.size()) < packed_.num_rows();
+    // Take the narrowed path only when it actually narrows: some candidate
+    // survived (an empty intersection is a degenerate "scan of zero rows",
+    // not a narrowed scan — the documented fallback applies, also at
+    // k == 0), enough candidates to answer, and fewer than a full scan of
+    // the live rows would touch.
+    prefiltered = !candidates.empty() &&
+                  static_cast<int>(candidates.size()) >= k &&
+                  static_cast<int>(candidates.size()) < alive_;
   }
 
   // Stage 3: popcount distance scan (narrowed or full) + deterministic rank.
+  // Rankings are computed over physical rows, then mapped to external ids;
+  // row order is ascending-id, so the score-then-id tie-break is preserved.
   Ranking top;
   int scanned;
   std::vector<double> scores;
   if (prefiltered) {
-    packed_.ScoreSubset(packed_query, candidates, &scores);
+    ScoreRows(packed_query, candidates, &scores);
     top = TopKCandidates(candidates, scores, k);
     scanned = static_cast<int>(candidates.size());
   } else {
-    packed_.ScoreAll(packed_query, &scores);
+    scores.resize(static_cast<size_t>(total_rows()));
+    base_.ScoreAllInto(packed_query, scores.data());
+    delta_.ScoreAllInto(packed_query, scores.data() + base_.num_rows());
+    if (num_tombstones_ > 0) {
+      for (size_t row = 0; row < scores.size(); ++row) {
+        if (tombstones_[row] != 0) scores[row] = kRemovedScore;
+      }
+    }
     top = TopKByScores(scores, k);
-    scanned = packed_.num_rows();
+    // Tombstone sentinels can only appear when k exceeds the live count.
+    while (!top.empty() && top.back().score == kRemovedScore) top.pop_back();
+    scanned = total_rows();
   }
+  for (RankedResult& r : top) r.id = row_ids_[static_cast<size_t>(r.id)];
 
   if (stats != nullptr) {
     stats->latency_ms = timer.Millis();

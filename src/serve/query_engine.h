@@ -27,8 +27,8 @@ struct ServeOptions {
   /// heuristic — graphs missing one query feature are skipped even though
   /// they could rank in the exact top-k — so it is off by default and meant
   /// for supergraph-biased workloads. Falls back to a full scan when the
-  /// filter does not actually narrow anything: fewer than k candidates
-  /// survive, every graph survives, or the fingerprint is empty.
+  /// filter does not actually narrow anything: no candidate survives, fewer
+  /// than k candidates survive, or every live graph survives.
   bool containment_prefilter = false;
 };
 
@@ -36,7 +36,9 @@ struct ServeOptions {
 struct ServeQueryStats {
   double latency_ms = 0.0;
   int features_on = 0;     ///< set bits in the query fingerprint
-  int scanned = 0;         ///< rows scored in stage 3
+  int scanned = 0;         ///< rows scored in stage 3; the full-scan path
+                           ///< scores every physical row, so removed-but-not-
+                           ///< compacted rows count until Compact()
   bool prefiltered = false;  ///< stage 2 narrowed the scan (no fallback)
 };
 
@@ -49,33 +51,91 @@ struct ServeBatchReport {
   size_t prefiltered_queries = 0;  ///< queries served from a narrowed scan
 };
 
-/// The online query-serving engine: loads a built index once (feature
-/// dimension + mapped database vectors), converts the vectors into the
-/// packed word layout, and answers batched top-k queries through a
-/// three-stage hot path —
+/// The online query-serving engine: loads a built index (feature dimension +
+/// mapped database vectors), converts the vectors into the packed word
+/// layout, and answers batched top-k queries through a three-stage hot path —
 ///   1. fingerprint the query onto the selected dimension (VF2 matching),
 ///   2. optionally prefilter candidates via the feature inverted lists,
-///   3. popcount-Hamming distance scan over the packed bit matrix.
+///   3. popcount-Hamming distance scan over the packed bit matrices.
 /// No MCS computation and no graph algorithm other than stage 1 runs at
 /// query time, which is the paper's whole online-search proposition.
+///
+/// The engine is *mutable*: the database is a sealed base segment plus an
+/// append-only delta segment of packed rows, with a tombstone bitset over
+/// both. Insert appends to the delta, Remove tombstones, and Compact rewrites
+/// the live rows into a fresh sealed base. Every graph keeps a stable
+/// external id for its whole lifetime — ids survive removals of other graphs
+/// and any number of compactions — and after any mutation sequence
+/// Query/QueryBatch results are bit-identical to a fresh engine built over
+/// the equivalent database (same live fingerprints in id order), because
+/// physical row order is always ascending-id and the same deterministic
+/// score-then-id ranking applies.
+///
+/// Mutations are not thread-safe: callers must not run Insert/Remove/Compact
+/// concurrently with each other or with queries.
 class QueryEngine {
  public:
   /// Builds the serving structures from an in-memory persisted index.
-  /// Validates vector shape; the index is consumed.
+  /// Validates vector shape; the index is consumed. Row i keeps the
+  /// persisted external id index.ids[i] (v2 snapshots carry them), or gets
+  /// id i when the index has no id block (v1 files, fresh builds).
   static Result<QueryEngine> FromIndex(PersistedIndex index,
                                        ServeOptions options = {});
 
-  /// Loads the index file at path (core/index_io format) and builds.
+  /// Loads the index file at path (core/index_io, v1 text or v2 binary)
+  /// and builds.
   static Result<QueryEngine> Open(const std::string& index_path,
                                   ServeOptions options = {});
 
-  int num_graphs() const { return packed_.num_rows(); }
+  /// Live (non-tombstoned) graphs.
+  int num_graphs() const { return alive_; }
   int num_features() const { return mapper_.num_features(); }
   const ServeOptions& options() const { return options_; }
-  const PackedBitMatrix& packed_database() const { return packed_; }
+
+  /// Physical layout observability: sealed base rows, appended delta rows,
+  /// and rows removed but not yet reclaimed by Compact().
+  int base_rows() const { return base_.num_rows(); }
+  int delta_rows() const { return delta_.num_rows(); }
+  int tombstoned_rows() const { return num_tombstones_; }
+
+  /// Inserts a graph: fingerprints it with the engine's dimension (VF2) and
+  /// appends the mapped row to the delta segment. Returns the new stable
+  /// external id.
+  Result<int> Insert(const Graph& graph);
+
+  /// Insert for callers that already hold the mapped fingerprint (bulk
+  /// loads, replication, benchmarks); width must equal num_features().
+  Result<int> InsertMapped(const std::vector<uint8_t>& fingerprint);
+
+  /// Tombstones the graph with the given external id; NotFound if no live
+  /// graph has that id. O(log n) + inverted-list maintenance.
+  Status Remove(int id);
+
+  /// Rewrites the live rows into a fresh sealed base segment, drops
+  /// tombstones, and empties the delta. External ids are unchanged. No-op
+  /// on an engine with no delta rows and no tombstones.
+  void Compact();
+
+  /// External ids of the live graphs, ascending (= physical row order).
+  std::vector<int> alive_ids() const;
+
+  /// The equivalent database of the current live state: the feature
+  /// dimension plus the live fingerprints and their external ids in
+  /// ascending-id order. A fresh engine built from this index answers
+  /// queries bit-identically, with the same external ids.
+  PersistedIndex ToPersistedIndex() const;
+
+  /// Writes the live state to path; v2 binary by default, streaming the
+  /// packed words straight from the segments (no byte materialization) and
+  /// persisting external ids, so a reloaded engine keeps serving the same
+  /// ids. v1 text cannot carry ids and renumbers rows positionally.
+  Status Snapshot(const std::string& path,
+                  IndexFormat format = IndexFormat::kV2Binary) const;
 
   /// Top-k ids + normalized mapped distances for one query, ascending
-  /// score with id tie-break (identical order to TopK(MappedRanking(...))).
+  /// score with id tie-break (identical order to TopK(MappedRanking(...))
+  /// over the live rows). Negative k is clamped to 0 (empty ranking) —
+  /// one malformed request must not take down the serving process.
   Ranking Query(const Graph& query, int k,
                 ServeQueryStats* stats = nullptr) const;
 
@@ -89,14 +149,39 @@ class QueryEngine {
  private:
   QueryEngine() = default;
 
-  /// Stage 2: ∩ sup(f_r) over the fingerprint's set bits (ascending ids).
+  int total_rows() const { return base_.num_rows() + delta_.num_rows(); }
+
+  /// Physical row of a live external id, or -1.
+  int FindLiveRow(int id) const;
+
+  /// Row `row` of the segmented matrix back as a 0/1 byte vector.
+  std::vector<uint8_t> RowBits(int row) const;
+
+  /// Stage 2: ∩ sup(f_r) over the fingerprint's set bits (ascending
+  /// physical rows, live rows only — the lists are maintained on mutation).
   std::vector<int> PrefilterCandidates(
       const std::vector<uint8_t>& fingerprint) const;
 
+  /// Stage-3 subset scan across both segments (prefiltered path).
+  void ScoreRows(const std::vector<uint64_t>& packed_query,
+                 const std::vector<int>& rows,
+                 std::vector<double>* scores) const;
+
   ServeOptions options_;
   FeatureMapper mapper_{GraphDatabase{}};
-  PackedBitMatrix packed_;
-  /// supports_[r] = sorted ids of database graphs containing feature r.
+  PackedBitMatrix base_;   ///< sealed segment
+  PackedBitMatrix delta_;  ///< append-only segment (same width as base_)
+  /// tombstones_[row] = 1 iff the physical row was removed; sized to
+  /// total_rows().
+  std::vector<uint8_t> tombstones_;
+  int num_tombstones_ = 0;
+  int alive_ = 0;
+  /// row_ids_[row] = stable external id; strictly increasing in row, so
+  /// ranking by physical row and ranking by external id agree on ties.
+  std::vector<int> row_ids_;
+  int next_id_ = 0;
+  /// supports_[r] = ascending physical rows of live graphs containing
+  /// feature r; only populated when options_.containment_prefilter.
   std::vector<std::vector<int>> supports_;
 };
 

@@ -1,12 +1,16 @@
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "core/index.h"
 #include "core/index_io.h"
 #include "core/topk.h"
 #include "datasets/chemgen.h"
+#include "serve/query_engine.h"
 
 namespace gdim {
 namespace {
@@ -79,6 +83,277 @@ TEST(IndexIoTest, RejectsCorruptVectorRow) {
 TEST(IndexIoTest, MissingFile) {
   EXPECT_FALSE(ReadIndexFile("/no/such/dir/x.idx").ok());
   EXPECT_FALSE(WriteIndexFile(SmallIndex(), "/no/such/dir/x.idx").ok());
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void Spit(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+}
+
+TEST(IndexIoTest, ReadsCrlfTextIndexes) {
+  PersistedIndex p = SmallIndex();
+  const std::string path = ::testing::TempDir() + "/gdim_crlf.idx";
+  ASSERT_TRUE(WriteIndexFile(p, path).ok());
+  // Simulate a Windows checkout / CRLF transfer of the whole file — the
+  // magic line, the feature graph lines, and every vector row.
+  std::string text = Slurp(path);
+  std::string crlf;
+  for (char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  Spit(path, crlf);
+  Result<PersistedIndex> back = ReadIndexFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->features.size(), p.features.size());
+  EXPECT_EQ(back->features[0], p.features[0]);
+  EXPECT_EQ(back->db_bits, p.db_bits);
+}
+
+/// A p-dimensional index with single-vertex features and random vectors —
+/// arbitrary shapes for the round-trip property tests.
+PersistedIndex RandomIndex(int n, int p, Rng* rng) {
+  PersistedIndex index;
+  for (int r = 0; r < p; ++r) {
+    Graph f;
+    f.AddVertex(static_cast<LabelId>(r));
+    index.features.push_back(f);
+  }
+  index.db_bits = RandomBitRows(n, p, 0.35, rng);
+  return index;
+}
+
+TEST(IndexIoTest, V1AndV2RoundTripAcrossShapes) {
+  Rng rng(17);
+  // Widths straddle word boundaries; n = 0 exercises empty databases.
+  for (int p : {0, 1, 63, 64, 65, 130}) {
+    for (int n : {0, 1, 17}) {
+      const PersistedIndex index = RandomIndex(n, p, &rng);
+      for (IndexFormat format :
+           {IndexFormat::kV1Text, IndexFormat::kV2Binary}) {
+        const std::string path = ::testing::TempDir() + "/gdim_rt_" +
+                                 std::to_string(p) + "_" + std::to_string(n) +
+                                 (format == IndexFormat::kV2Binary ? ".idx2"
+                                                                   : ".idx");
+        ASSERT_TRUE(WriteIndexFile(index, path, format).ok());
+        Result<PersistedIndex> back = ReadIndexFile(path);
+        ASSERT_TRUE(back.ok())
+            << "p=" << p << " n=" << n << ": " << back.status().ToString();
+        EXPECT_EQ(back->features, index.features);
+        EXPECT_EQ(back->db_bits, index.db_bits) << "p=" << p << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(IndexIoTest, ConvertV1ToV2AndBackIsLossless) {
+  Rng rng(23);
+  const PersistedIndex index = RandomIndex(12, 70, &rng);
+  const std::string v1 = ::testing::TempDir() + "/gdim_conv.idx";
+  const std::string v2 = ::testing::TempDir() + "/gdim_conv.idx2";
+  const std::string v1_again = ::testing::TempDir() + "/gdim_conv2.idx";
+  ASSERT_TRUE(WriteIndexFile(index, v1, IndexFormat::kV1Text).ok());
+  // v1 -> v2 (what `gdim_tool convert` does).
+  Result<PersistedIndex> from_v1 = ReadIndexFile(v1);
+  ASSERT_TRUE(from_v1.ok());
+  ASSERT_TRUE(WriteIndexFile(*from_v1, v2, IndexFormat::kV2Binary).ok());
+  // v2 -> v1 again.
+  Result<PersistedIndex> from_v2 = ReadIndexFile(v2);
+  ASSERT_TRUE(from_v2.ok());
+  ASSERT_TRUE(WriteIndexFile(*from_v2, v1_again, IndexFormat::kV1Text).ok());
+  EXPECT_EQ(from_v2->db_bits, index.db_bits);
+  EXPECT_EQ(from_v2->features, index.features);
+  // The two text files are byte-identical: nothing was lost in the middle.
+  EXPECT_EQ(Slurp(v1), Slurp(v1_again));
+}
+
+TEST(IndexIoTest, V2RejectsTruncationAndTrailingGarbage) {
+  Rng rng(29);
+  const PersistedIndex index = RandomIndex(8, 65, &rng);
+  const std::string path = ::testing::TempDir() + "/gdim_v2_corrupt.idx2";
+  ASSERT_TRUE(WriteIndexFile(index, path, IndexFormat::kV2Binary).ok());
+  const std::string good = Slurp(path);
+
+  Spit(path, good.substr(0, good.size() - 5));  // truncated word block
+  EXPECT_EQ(ReadIndexFile(path).status().code(), StatusCode::kParseError);
+
+  Spit(path, good + "junk");  // trailing garbage
+  EXPECT_EQ(ReadIndexFile(path).status().code(), StatusCode::kParseError);
+
+  std::string flipped = good;
+  flipped[9] ^= 0x40;  // header version field
+  Spit(path, flipped);
+  EXPECT_EQ(ReadIndexFile(path).status().code(), StatusCode::kParseError);
+
+  flipped = good;
+  flipped[13] ^= 0xFF;  // endianness tag
+  Spit(path, flipped);
+  EXPECT_EQ(ReadIndexFile(path).status().code(), StatusCode::kParseError);
+
+  // Hostile header counts must come back as a Status, not a crash: a
+  // feature-section length far beyond the file, and a huge row count on a
+  // p = 0 index whose rows occupy no bytes (so the size check can't see it).
+  flipped = good;
+  flipped[30] = 0x7F;  // feature_bytes (u64 at offset 24) -> ~2^55
+  Spit(path, flipped);
+  EXPECT_EQ(ReadIndexFile(path).status().code(), StatusCode::kParseError);
+
+  const std::string zero_width_prefix =
+      good.substr(0, 16) +            // magic + version + tag
+      std::string(8, '\0') +          // p = 0
+      std::string(8, '\0');           // feature_bytes = 0
+  std::string degenerate = zero_width_prefix;
+  degenerate.append(7, '\0');
+  degenerate += '\x10';               // n = 2^60 (beyond int range)
+  degenerate.append(8, '\0');         // words_per_row = 0
+  degenerate.append(8, '\0');         // next_id = 0
+  Spit(path, degenerate);
+  EXPECT_EQ(ReadIndexFile(path).status().code(), StatusCode::kParseError);
+
+  // n = 2^30 fits in int and rows occupy no file bytes at p = 0, but each
+  // row still owes 8 id-block bytes, so the size check rejects the count
+  // before any allocation.
+  const std::string big_n = std::string(3, '\0') + '\x40' +  // 2^30, LE u64
+                            std::string(4, '\0');
+  degenerate = zero_width_prefix;
+  degenerate += big_n;                // n = 2^30
+  degenerate.append(8, '\0');         // words_per_row = 0
+  degenerate += big_n;                // next_id = 2^30 (valid: >= n)
+  Spit(path, degenerate);
+  EXPECT_EQ(ReadIndexFile(path).status().code(), StatusCode::kParseError);
+}
+
+TEST(IndexIoTest, ParseIndexFormatNames) {
+  ASSERT_TRUE(ParseIndexFormat("v1").ok());
+  EXPECT_EQ(*ParseIndexFormat("v1"), IndexFormat::kV1Text);
+  ASSERT_TRUE(ParseIndexFormat("v2").ok());
+  EXPECT_EQ(*ParseIndexFormat("v2"), IndexFormat::kV2Binary);
+  EXPECT_EQ(ParseIndexFormat("v3").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(IndexIoTest, V2PersistsCustomIdsAndRejectsBadOnes) {
+  Rng rng(37);
+  PersistedIndex index = RandomIndex(4, 9, &rng);
+  index.ids = {3, 7, 9, 40};
+  const std::string path = ::testing::TempDir() + "/gdim_ids.idx2";
+  ASSERT_TRUE(WriteIndexFile(index, path, IndexFormat::kV2Binary).ok());
+  Result<PersistedIndex> back = ReadIndexFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->ids, index.ids);
+  EXPECT_EQ(back->db_bits, index.db_bits);
+
+  // An engine over the reloaded index serves those ids and keeps numbering
+  // after them.
+  auto engine = QueryEngine::FromIndex(std::move(back).value());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine->alive_ids(), index.ids);
+  ASSERT_TRUE(engine->Remove(7).ok());
+  auto inserted = engine->InsertMapped(std::vector<uint8_t>(9, 1));
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_EQ(*inserted, 41);
+
+  // The id counter survives snapshot/reload: removing the highest id (41)
+  // and reloading must not re-issue it to the next insert.
+  ASSERT_TRUE(engine->Remove(41).ok());
+  const std::string snap = ::testing::TempDir() + "/gdim_ids_snap.idx2";
+  ASSERT_TRUE(engine->Snapshot(snap).ok());
+  auto reloaded = QueryEngine::FromIndex(
+      std::move(ReadIndexFile(snap)).value());
+  ASSERT_TRUE(reloaded.ok());
+  auto after_reload = reloaded->InsertMapped(std::vector<uint8_t>(9, 0));
+  ASSERT_TRUE(after_reload.ok());
+  EXPECT_EQ(*after_reload, 42);  // not a resurrected 41
+
+  // Writers, readers, and FromIndex all reject non-ascending or mis-sized
+  // id lists.
+  index.ids = {3, 3, 9, 40};
+  EXPECT_EQ(WriteIndexFile(index, path, IndexFormat::kV2Binary).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(QueryEngine::FromIndex(index).status().code(),
+            StatusCode::kInvalidArgument);
+  index.ids = {3, 7, 9};
+  EXPECT_EQ(WriteIndexFile(index, path, IndexFormat::kV2Binary).code(),
+            StatusCode::kInvalidArgument);
+  index.ids = {3, 7, 9, 40};
+  PersistedIndex scrambled = index;
+  scrambled.ids = {3, 7, 9, 40};
+  ASSERT_TRUE(WriteIndexFile(scrambled, path, IndexFormat::kV2Binary).ok());
+  std::string bytes = Slurp(path);
+  // The id block is the last 4 u64s; make it non-ascending in place.
+  bytes[bytes.size() - 8] = 0;  // last id 40 -> 0
+  Spit(path, bytes);
+  EXPECT_EQ(ReadIndexFile(path).status().code(), StatusCode::kParseError);
+}
+
+TEST(IndexIoTest, MutatedEngineSnapshotReloadsEquivalently) {
+  Rng rng(31);
+  const PersistedIndex index = RandomIndex(30, 6, &rng);
+  auto engine = QueryEngine::FromIndex(index);
+  ASSERT_TRUE(engine.ok());
+
+  // Churn: remove a few base rows, insert fresh fingerprints, compact,
+  // then keep a tombstone and a delta row live at snapshot time.
+  for (int id : {2, 7, 21}) ASSERT_TRUE(engine->Remove(id).ok());
+  for (const auto& bits : RandomBitRows(5, 6, 0.35, &rng)) {
+    ASSERT_TRUE(engine->InsertMapped(bits).ok());
+  }
+  engine->Compact();
+  ASSERT_TRUE(engine->Remove(30).ok());  // a post-compaction removal
+  for (const auto& bits : RandomBitRows(2, 6, 0.35, &rng)) {
+    ASSERT_TRUE(engine->InsertMapped(bits).ok());
+  }
+
+  for (IndexFormat format : {IndexFormat::kV1Text, IndexFormat::kV2Binary}) {
+    const std::string path =
+        ::testing::TempDir() +
+        (format == IndexFormat::kV2Binary ? "/gdim_snap.idx2"
+                                          : "/gdim_snap.idx");
+    ASSERT_TRUE(engine->Snapshot(path, format).ok());
+    Result<PersistedIndex> back = ReadIndexFile(path);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    // The snapshot is exactly the live database in id order; v2 also
+    // carries the external ids, v1 renumbers positionally.
+    EXPECT_EQ(back->db_bits, engine->ToPersistedIndex().db_bits);
+    const std::vector<int> live_ids = engine->alive_ids();
+    const bool keeps_ids = format == IndexFormat::kV2Binary;
+    if (keeps_ids) {
+      EXPECT_EQ(back->ids, live_ids);
+    } else {
+      EXPECT_TRUE(back->ids.empty());
+    }
+    auto reloaded = QueryEngine::FromIndex(std::move(back).value());
+    ASSERT_TRUE(reloaded.ok());
+    EXPECT_EQ(reloaded->num_graphs(), engine->num_graphs());
+    Graph probe;  // vertex labels 0..2 = features 0..2
+    probe.AddVertex(0);
+    probe.AddVertex(1);
+    probe.AddVertex(2);
+    // A v2-reloaded engine answers bit-identically with the same external
+    // ids; a v1 reload answers identically after mapping its positional
+    // ids through the mutated engine's live id list.
+    Ranking expected = reloaded->Query(probe, 10);
+    if (!keeps_ids) {
+      for (RankedResult& r : expected) {
+        r.id = live_ids[static_cast<size_t>(r.id)];
+      }
+    }
+    EXPECT_EQ(engine->Query(probe, 10), expected);
+    if (keeps_ids) {
+      EXPECT_EQ(reloaded->alive_ids(), live_ids);
+      // Removing by external id hits the same graph in both engines.
+      ASSERT_TRUE(reloaded->Remove(live_ids[1]).ok());
+      ASSERT_TRUE(engine->Remove(live_ids[1]).ok());
+      EXPECT_EQ(engine->Query(probe, 10), reloaded->Query(probe, 10));
+    }
+  }
 }
 
 TEST(IndexIoTest, EndToEndServeFromDisk) {

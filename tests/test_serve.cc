@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "common/histogram.h"
@@ -294,6 +295,284 @@ TEST_F(QueryEngineTest, RejectsRaggedIndexRows) {
   auto engine = QueryEngine::FromIndex(std::move(bad));
   EXPECT_FALSE(engine.ok());
   EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PackedBitMatrixTest, AppendRowMatchesFromRows) {
+  Rng rng(41);
+  for (int p : {1, 63, 64, 65, 130}) {
+    const auto rows = RandomBitRows(9, p, 0.4, &rng);
+    const PackedBitMatrix whole = PackedBitMatrix::FromRows(rows);
+    PackedBitMatrix grown = PackedBitMatrix::WithWidth(p);
+    EXPECT_EQ(grown.num_rows(), 0);
+    EXPECT_EQ(grown.num_bits(), p);
+    grown.Reserve(static_cast<int>(rows.size()));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(grown.AppendRow(rows[i]), static_cast<int>(i));
+    }
+    ASSERT_EQ(grown.num_rows(), whole.num_rows());
+    PackedBitMatrix copied = PackedBitMatrix::WithWidth(p);
+    for (int i = whole.num_rows() - 1; i >= 0; --i) {
+      copied.AppendRowFrom(whole, i);  // word-level copy, reversed order
+    }
+    const std::vector<uint64_t> q =
+        grown.PackQuery(RandomBitRows(1, p, 0.4, &rng)[0]);
+    for (int i = 0; i < whole.num_rows(); ++i) {
+      EXPECT_EQ(grown.UnpackRow(i), rows[static_cast<size_t>(i)]);
+      EXPECT_EQ(grown.HammingDistance(q, i), whole.HammingDistance(q, i));
+      EXPECT_EQ(copied.UnpackRow(whole.num_rows() - 1 - i),
+                rows[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST(PackedBitMatrixTest, PackQueryValidatesWidthEvenWhenEmpty) {
+  const PackedBitMatrix empty = PackedBitMatrix::FromRows({}, 10);
+  EXPECT_EQ(empty.num_rows(), 0);
+  EXPECT_EQ(empty.num_bits(), 10);
+  EXPECT_EQ(empty.PackQuery(std::vector<uint8_t>(10, 1)).size(), 1u);
+  EXPECT_DEATH(empty.PackQuery(std::vector<uint8_t>(7, 1)),
+               "query width");
+}
+
+// ---------------------------------------------------------------------------
+// Mutable engine: segmented insert/remove/compact.
+
+/// Applies the same mutation to an engine and to a shadow (id, bits) model;
+/// the shadow stays sorted by id because new ids always exceed old ones.
+struct ShadowDb {
+  std::vector<std::pair<int, std::vector<uint8_t>>> rows;
+  int next_id = 0;
+
+  void Insert(std::vector<uint8_t> bits) {
+    rows.emplace_back(next_id++, std::move(bits));
+  }
+  void Remove(int id) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i].first == id) {
+        rows.erase(rows.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+    FAIL() << "shadow has no id " << id;
+  }
+  std::vector<int> ids() const {
+    std::vector<int> out;
+    for (const auto& [id, bits] : rows) out.push_back(id);
+    return out;
+  }
+  PersistedIndex Equivalent(const GraphDatabase& features) const {
+    PersistedIndex index;
+    index.features = features;
+    for (const auto& [id, bits] : rows) index.db_bits.push_back(bits);
+    return index;
+  }
+};
+
+TEST_F(QueryEngineTest, MutationSequenceMatchesFreshEngineAcrossThreads) {
+  FeatureMapper mapper(index_->features);
+  for (int threads : {1, 8}) {
+    for (bool prefilter : {false, true}) {
+      ServeOptions opts;
+      opts.threads = threads;
+      opts.containment_prefilter = prefilter;
+      auto engine = QueryEngine::FromIndex(*index_, opts);
+      ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+      ShadowDb shadow;
+      for (const auto& bits : index_->db_bits) shadow.Insert(bits);
+
+      // Interleaved mutation script: removes, inserts, a mid-sequence
+      // compaction, then more churn on both old and new ids.
+      for (int id : {1, 5, 19, 38}) {
+        ASSERT_TRUE(engine->Remove(id).ok());
+        shadow.Remove(id);
+      }
+      for (int i = 0; i < 10; ++i) {
+        const Graph& g = (*queries_)[static_cast<size_t>(i)];
+        auto inserted = engine->Insert(g);
+        ASSERT_TRUE(inserted.ok());
+        EXPECT_EQ(*inserted, shadow.next_id);
+        shadow.Insert(mapper.Map(g));
+      }
+      engine->Compact();
+      EXPECT_EQ(engine->delta_rows(), 0);
+      EXPECT_EQ(engine->tombstoned_rows(), 0);
+      for (int id : {0, 2, 40, 44}) {  // ids 40/44 came from the delta
+        ASSERT_TRUE(engine->Remove(id).ok());
+        shadow.Remove(id);
+      }
+      for (int i = 10; i < 16; ++i) {
+        const Graph& g = (*queries_)[static_cast<size_t>(i)];
+        ASSERT_TRUE(engine->Insert(g).ok());
+        shadow.Insert(mapper.Map(g));
+      }
+
+      // Mutation-surface sanity: ids are stable and misuse is graceful.
+      EXPECT_EQ(engine->alive_ids(), shadow.ids());
+      EXPECT_EQ(engine->num_graphs(), static_cast<int>(shadow.rows.size()));
+      EXPECT_EQ(engine->Remove(5).code(), StatusCode::kNotFound);  // twice
+      EXPECT_EQ(engine->Remove(9999).code(), StatusCode::kNotFound);
+      EXPECT_EQ(engine->InsertMapped(std::vector<uint8_t>(3, 0))
+                    .status()
+                    .code(),
+                StatusCode::kInvalidArgument);
+
+      // The invariant: bit-identical QueryBatch vs a fresh engine over the
+      // equivalent database, after mapping the fresh engine's positional
+      // ids through the live id list.
+      auto fresh =
+          QueryEngine::FromIndex(shadow.Equivalent(index_->features), opts);
+      ASSERT_TRUE(fresh.ok());
+      const std::vector<int> live_ids = shadow.ids();
+      for (int k : {0, 3, 1000}) {
+        std::vector<Ranking> expected = fresh->QueryBatch(*queries_, k);
+        for (Ranking& ranking : expected) {
+          for (RankedResult& r : ranking) {
+            r.id = live_ids[static_cast<size_t>(r.id)];
+          }
+        }
+        EXPECT_EQ(engine->QueryBatch(*queries_, k), expected)
+            << "threads=" << threads << " prefilter=" << prefilter
+            << " k=" << k;
+      }
+
+      // And the same invariant again after a final compaction.
+      engine->Compact();
+      std::vector<Ranking> expected = fresh->QueryBatch(*queries_, 4);
+      for (Ranking& ranking : expected) {
+        for (RankedResult& r : ranking) {
+          r.id = live_ids[static_cast<size_t>(r.id)];
+        }
+      }
+      EXPECT_EQ(engine->QueryBatch(*queries_, 4), expected);
+      EXPECT_EQ(engine->alive_ids(), live_ids);
+    }
+  }
+}
+
+TEST_F(QueryEngineTest, NegativeKAnswersEmptyInsteadOfAborting) {
+  auto engine = QueryEngine::FromIndex(*index_);
+  ASSERT_TRUE(engine.ok());
+  ServeQueryStats stats;
+  EXPECT_TRUE(engine->Query((*queries_)[0], -3, &stats).empty());
+  EXPECT_EQ(stats.scanned, engine->num_graphs());
+  const auto batch = engine->QueryBatch(*queries_, -1);
+  ASSERT_EQ(batch.size(), queries_->size());
+  for (const Ranking& r : batch) EXPECT_TRUE(r.empty());
+}
+
+/// Single-vertex-feature index (see NarrowedScanEqualsRestrictedFullRanking)
+/// with one feature nobody contains, so a query can force an empty stage-2
+/// intersection.
+PersistedIndex LabelSetIndex() {
+  const int kLabels = 5;  // feature 4 has empty support
+  PersistedIndex index;
+  for (LabelId r = 0; r < kLabels; ++r) {
+    Graph f;
+    f.AddVertex(r);
+    index.features.push_back(f);
+  }
+  const std::vector<std::vector<LabelId>> label_sets = {
+      {0, 1}, {0, 1, 2}, {0, 1, 2, 3}, {2, 3}, {0, 2}, {1, 3}, {0, 1, 3},
+  };
+  for (const auto& labels : label_sets) {
+    std::vector<uint8_t> bits(kLabels, 0);
+    for (LabelId l : labels) bits[static_cast<size_t>(l)] = 1;
+    index.db_bits.push_back(bits);
+  }
+  return index;
+}
+
+Graph LabelGraph(std::vector<LabelId> labels) {
+  Graph g;
+  for (LabelId l : labels) g.AddVertex(l);
+  return g;
+}
+
+TEST(QueryEnginePrefilterTest, EmptyIntersectionFallsBackEvenAtKZero) {
+  ServeOptions opts;
+  opts.containment_prefilter = true;
+  auto engine = QueryEngine::FromIndex(LabelSetIndex(), opts);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  // Labels {0, 4}: sup(0) ∩ sup(4) = ∅. A zero-row scan is not a narrowed
+  // scan — the documented fallback must fire, also at k == 0.
+  for (int k : {0, 3}) {
+    ServeQueryStats stats;
+    const Ranking got = engine->Query(LabelGraph({0, 4}), k, &stats);
+    EXPECT_FALSE(stats.prefiltered) << "k=" << k;
+    EXPECT_EQ(stats.scanned, engine->num_graphs()) << "k=" << k;
+    if (k == 0) {
+      EXPECT_TRUE(got.empty());
+    } else {
+      EXPECT_EQ(got.size(), 3u);
+    }
+  }
+
+  // A non-empty candidate set still counts as narrowed at k == 0.
+  ServeQueryStats stats;
+  EXPECT_TRUE(engine->Query(LabelGraph({0, 3}), 0, &stats).empty());
+  EXPECT_TRUE(stats.prefiltered);
+  EXPECT_EQ(stats.scanned, 2);  // graphs {0,1,2,3} and {0,1,3}
+}
+
+TEST(QueryEngineEmptyTest, EmptyDatabaseValidatesAndServes) {
+  // n = 0, p > 0: the engine must keep validating query width (the old
+  // packed matrix lost its width with no rows) and serve empty rankings.
+  PersistedIndex index = LabelSetIndex();
+  index.db_bits.clear();
+  auto engine = QueryEngine::FromIndex(index);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine->num_graphs(), 0);
+  EXPECT_EQ(engine->num_features(), 5);
+  ServeQueryStats stats;
+  EXPECT_TRUE(engine->Query(LabelGraph({0, 1}), 4, &stats).empty());
+  EXPECT_EQ(stats.scanned, 0);
+  const auto batch = engine->QueryBatch({LabelGraph({0}), LabelGraph({2})}, 2);
+  ASSERT_EQ(batch.size(), 2u);
+  for (const Ranking& r : batch) EXPECT_TRUE(r.empty());
+
+  // The empty engine is a valid insert target.
+  auto id = engine->Insert(LabelGraph({0, 1}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0);
+  const Ranking got = engine->Query(LabelGraph({0, 1}), 4);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 0);
+  EXPECT_DOUBLE_EQ(got[0].score, 0.0);
+}
+
+TEST(QueryEngineEmptyTest, ZeroFeatureDimension) {
+  // p = 0: every fingerprint is empty and every distance is 0; ranking
+  // degenerates to ascending ids. n = 0 and n > 0 both serve.
+  PersistedIndex empty;  // p = 0, n = 0
+  auto engine = QueryEngine::FromIndex(empty);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE(engine->Query(LabelGraph({0}), 3).empty());
+
+  PersistedIndex degenerate;  // p = 0, n = 2
+  degenerate.db_bits = {{}, {}};
+  auto engine2 = QueryEngine::FromIndex(degenerate);
+  ASSERT_TRUE(engine2.ok());
+  const Ranking got = engine2->Query(LabelGraph({0}), 5);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].id, 0);
+  EXPECT_EQ(got[1].id, 1);
+  EXPECT_DOUBLE_EQ(got[0].score, 0.0);
+}
+
+TEST(QueryEngineMutationTest, TombstonesNeverSurfaceWhenKExceedsLiveCount) {
+  auto engine = QueryEngine::FromIndex(LabelSetIndex());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->Remove(0).ok());
+  ASSERT_TRUE(engine->Remove(4).ok());
+  // k far beyond the live count: removed rows must not pad the ranking.
+  const Ranking got = engine->Query(LabelGraph({0, 1}), 100);
+  EXPECT_EQ(got.size(), 5u);
+  for (const RankedResult& r : got) {
+    EXPECT_NE(r.id, 0);
+    EXPECT_NE(r.id, 4);
+  }
 }
 
 }  // namespace

@@ -6,15 +6,22 @@
 //   gdim_tool query    --index=index.idx --db=db.gdb --queries=q.gdb --k=10
 //   gdim_tool serve    --index=index.idx --queries=q.gdb --k=10 [--threads=N]
 //   gdim_tool bench-query --index=index.idx --queries=q.gdb [--repeat=R]
+//   gdim_tool update   --index=index.idx --out=index2.idx
+//                      [--insert=new.gdb --remove=3,17 --compact]
+//   gdim_tool convert  --in=index.idx --out=index.idx2 [--format=v2]
 //   gdim_tool stats    --db=db.gdb
 //
 // All subcommands read/write the gSpan text format (`t # id / v / e` lines)
-// and the gdim-index format (see core/index_io.h).
+// and the gdim-index formats (v1 text / v2 binary, see core/index_io.h;
+// readers auto-detect the version).
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/parallel.h"
@@ -40,20 +47,34 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: gdim_tool <generate|mine|build|query|serve|bench-query|stats>"
-      " [--flags]\n"
+      "usage: gdim_tool <generate|mine|build|query|serve|bench-query|update|"
+      "convert|stats> [--flags]\n"
       "  generate --kind=chem|synthetic --n=N --out=FILE "
       "[--queries=M --queries-out=FILE --seed=S]\n"
       "  mine     --db=FILE --out=FILE [--minsup=0.05 --maxedges=7]\n"
       "  build    --db=FILE --out=FILE [--selector=DSPM --p=100 "
-      "--minsup=0.05 --maxedges=7 --seed=S]\n"
+      "--minsup=0.05 --maxedges=7 --seed=S --format=v1|v2]\n"
       "  query    --index=FILE --db=FILE --queries=FILE [--k=10]\n"
       "  serve    --index=FILE --queries=FILE [--k=10 --threads=N "
       "--prefilter --quiet]\n"
       "  bench-query --index=FILE --queries=FILE [--k=10 --threads=N "
       "--prefilter --repeat=5]\n"
+      "  update   --index=FILE --out=FILE [--insert=GRAPHS --remove=I,J,... "
+      "--compact --format=v1|v2]\n"
+      "  convert  --in=FILE --out=FILE [--format=v1|v2]\n"
       "  stats    --db=FILE\n");
   return 2;
+}
+
+/// Rejects a malformed --k at the tool boundary so one bad request cannot
+/// reach (and previously abort) the serving hot path.
+Result<int> ValidatedK(const Flags& flags) {
+  const int k = flags.GetInt("k", 10);
+  if (k < 0) {
+    return Status::InvalidArgument("--k must be >= 0, got " +
+                                   std::to_string(k));
+  }
+  return k;
 }
 
 int RunGenerate(const Flags& flags) {
@@ -137,10 +158,13 @@ int RunBuild(const Flags& flags) {
   WallTimer timer;
   Result<GraphSearchIndex> index = GraphSearchIndex::Build(*db, opts);
   if (!index.ok()) return Fail(index.status());
+  Result<IndexFormat> format =
+      ParseIndexFormat(flags.GetString("format", "v1"));
+  if (!format.ok()) return Fail(format.status());
   PersistedIndex persisted;
   persisted.features = index->dimension();
   persisted.db_bits = index->mapped_database();
-  Status s = WriteIndexFile(persisted, out);
+  Status s = WriteIndexFile(persisted, out, *format);
   if (!s.ok()) return Fail(s);
   const IndexBuildStats& st = index->build_stats();
   std::printf("built %s index over %zu graphs in %.2fs "
@@ -160,7 +184,9 @@ int RunQuery(const Flags& flags) {
   if (index_path.empty() || db_path.empty() || queries_path.empty()) {
     return Usage();
   }
-  const int k = flags.GetInt("k", 10);
+  Result<int> k_flag = ValidatedK(flags);
+  if (!k_flag.ok()) return Fail(k_flag.status());
+  const int k = *k_flag;
   Result<PersistedIndex> index = ReadIndexFile(index_path);
   if (!index.ok()) return Fail(index.status());
   Result<GraphDatabase> db = ReadGraphFile(db_path);
@@ -218,7 +244,9 @@ int RunServe(const Flags& flags) {
   std::optional<QueryEngine> engine;
   GraphDatabase queries;
   if (int rc = LoadServeInputs(flags, &engine, &queries); rc != 0) return rc;
-  const int k = flags.GetInt("k", 10);
+  Result<int> k_flag = ValidatedK(flags);
+  if (!k_flag.ok()) return Fail(k_flag.status());
+  const int k = *k_flag;
   const bool quiet = flags.GetBool("quiet", false);
 
   ServeBatchReport report;
@@ -256,7 +284,9 @@ int RunBenchQuery(const Flags& flags) {
   std::optional<QueryEngine> engine;
   GraphDatabase queries;
   if (int rc = LoadServeInputs(flags, &engine, &queries); rc != 0) return rc;
-  const int k = flags.GetInt("k", 10);
+  Result<int> k_flag = ValidatedK(flags);
+  if (!k_flag.ok()) return Fail(k_flag.status());
+  const int k = *k_flag;
   const int repeat = flags.GetInt("repeat", 5);
 
   // Warm-up pass, then timed repeats; report the aggregate distribution.
@@ -280,6 +310,116 @@ int RunBenchQuery(const Flags& flags) {
       engine->options().threads > 0 ? engine->options().threads
                                     : DefaultThreadCount(),
       best_qps, FormatLatencySummaryMs(batches).c_str());
+  return 0;
+}
+
+/// Parses "--remove=3,17,42" into ids. Every comma-separated token must be
+/// a bare non-negative integer — empty tokens (including a trailing comma),
+/// whitespace, and signs are rejected at the tool boundary.
+Result<std::vector<int>> ParseRemoveIds(const std::string& spec) {
+  std::vector<int> ids;
+  size_t pos = 0;
+  for (;;) {
+    const size_t comma = spec.find(',', pos);
+    const std::string token = spec.substr(
+        pos, (comma == std::string::npos ? spec.size() : comma) - pos);
+    const bool all_digits =
+        !token.empty() &&
+        std::all_of(token.begin(), token.end(),
+                    [](unsigned char c) { return std::isdigit(c); });
+    if (!all_digits) {
+      return Status::InvalidArgument("bad graph id '" + token +
+                                     "' in --remove list");
+    }
+    try {
+      ids.push_back(std::stoi(token));
+    } catch (const std::out_of_range&) {
+      return Status::InvalidArgument("graph id '" + token +
+                                     "' out of range in --remove list");
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return ids;
+}
+
+int RunUpdate(const Flags& flags) {
+  const std::string index_path = flags.GetString("index", "");
+  const std::string out = flags.GetString("out", "");
+  if (index_path.empty() || out.empty()) return Usage();
+  Result<IndexFormat> format =
+      ParseIndexFormat(flags.GetString("format", "v2"));
+  if (!format.ok()) return Fail(format.status());
+  Result<QueryEngine> engine = QueryEngine::Open(index_path);
+  if (!engine.ok()) return Fail(engine.status());
+
+  // Removes first, then inserts, so a freshly inserted graph can never be
+  // swept up by the same command's --remove list.
+  size_t removed = 0;
+  if (flags.Has("remove")) {
+    Result<std::vector<int>> ids = ParseRemoveIds(flags.GetString("remove", ""));
+    if (!ids.ok()) return Fail(ids.status());
+    for (int id : *ids) {
+      Status s = engine->Remove(id);
+      if (!s.ok()) return Fail(s);
+      ++removed;
+    }
+  }
+  int first_id = -1, last_id = -1;
+  size_t inserted = 0;
+  if (flags.Has("insert")) {
+    Result<GraphDatabase> graphs =
+        ReadGraphFile(flags.GetString("insert", ""));
+    if (!graphs.ok()) return Fail(graphs.status());
+    WallTimer timer;
+    for (const Graph& g : *graphs) {
+      Result<int> id = engine->Insert(g);
+      if (!id.ok()) return Fail(id.status());
+      if (first_id < 0) first_id = *id;
+      last_id = *id;
+      ++inserted;
+    }
+    if (inserted > 0) {
+      std::printf("inserted %zu graphs (ids %d..%d) in %.2fs\n", inserted,
+                  first_id, last_id, timer.Seconds());
+    } else {
+      std::printf("inserted 0 graphs (--insert file was empty)\n");
+    }
+  }
+  if (flags.GetBool("compact", false)) {
+    const int reclaimed = engine->tombstoned_rows();
+    engine->Compact();
+    std::printf("compacted: reclaimed %d rows, %d live rows sealed\n",
+                reclaimed, engine->base_rows());
+  }
+  Status s = engine->Snapshot(out, *format);
+  if (!s.ok()) return Fail(s);
+  std::printf(
+      "updated %s: +%zu -%zu -> %d live graphs x %d dims "
+      "(base %d + delta %d rows, %d tombstoned) -> %s\n",
+      index_path.c_str(), inserted, removed, engine->num_graphs(),
+      engine->num_features(), engine->base_rows(), engine->delta_rows(),
+      engine->tombstoned_rows(), out.c_str());
+  return 0;
+}
+
+int RunConvert(const Flags& flags) {
+  const std::string in = flags.GetString("in", "");
+  const std::string out = flags.GetString("out", "");
+  if (in.empty() || out.empty()) return Usage();
+  Result<IndexFormat> format =
+      ParseIndexFormat(flags.GetString("format", "v2"));
+  if (!format.ok()) return Fail(format.status());
+  WallTimer timer;
+  Result<PersistedIndex> index = ReadIndexFile(in);
+  if (!index.ok()) return Fail(index.status());
+  Status s = WriteIndexFile(*index, out, *format);
+  if (!s.ok()) return Fail(s);
+  std::printf("converted %s -> %s (%s, %zu graphs x %zu dims) in %.2fs\n",
+              in.c_str(), out.c_str(),
+              *format == IndexFormat::kV2Binary ? "v2 binary" : "v1 text",
+              index->db_bits.size(), index->features.size(),
+              timer.Seconds());
   return 0;
 }
 
@@ -319,6 +459,8 @@ int Main(int argc, char** argv) {
   if (command == "query") return RunQuery(flags);
   if (command == "serve") return RunServe(flags);
   if (command == "bench-query") return RunBenchQuery(flags);
+  if (command == "update") return RunUpdate(flags);
+  if (command == "convert") return RunConvert(flags);
   if (command == "stats") return RunStats(flags);
   return Usage();
 }
