@@ -1,0 +1,160 @@
+// Closed-loop load generator for the gdim network serving layer
+// (`gdim_tool serve-net`): C connections each send QUERY requests
+// back-to-back and wait for the response, which is exactly the traffic
+// shape that feeds the server's batch coalescing. Reports end-to-end
+// throughput and per-request latency percentiles, and exits nonzero on any
+// protocol error — the CI smoke gate.
+//
+//   bench_net_load --port=P [--host=127.0.0.1] --queries=q.gdb
+//                  [--k=10 --connections=4 --requests=400 --allow-reject]
+//
+// An ERR ResourceExhausted response is backpressure, not a protocol error;
+// it fails the run only without --allow-reject (a correctly provisioned
+// smoke run must see zero of either).
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/histogram.h"
+#include "common/timer.h"
+#include "graph/graph_io.h"
+#include "server/net_socket.h"
+#include "server/wire.h"
+
+namespace gdim {
+namespace {
+
+struct WorkerResult {
+  std::vector<double> latencies_ms;
+  long long ok = 0;
+  long long rejected = 0;
+  long long errors = 0;
+  std::string first_error;
+};
+
+void RunWorker(const std::string& host, int port,
+               const std::vector<std::string>& request_lines,
+               std::atomic<long long>* next_request, long long total_requests,
+               WorkerResult* result) {
+  auto fail = [result](const std::string& message) {
+    ++result->errors;
+    if (result->first_error.empty()) result->first_error = message;
+  };
+  Result<ScopedFd> conn = ConnectTcp(host, port);
+  if (!conn.ok()) {
+    fail(conn.status().ToString());
+    return;
+  }
+  LineReader reader(conn->get());
+  for (;;) {
+    const long long i = next_request->fetch_add(1);
+    if (i >= total_requests) return;
+    const std::string& line =
+        request_lines[static_cast<size_t>(i) % request_lines.size()];
+    WallTimer timer;
+    if (Status sent = SendAll(conn->get(), line); !sent.ok()) {
+      fail(sent.ToString());
+      return;
+    }
+    Result<std::optional<std::string>> response = reader.ReadLine();
+    if (!response.ok()) {
+      fail(response.status().ToString());
+      return;
+    }
+    if (!response->has_value()) {
+      fail("server closed the connection mid-run");
+      return;
+    }
+    Result<Ranking> ranking = ParseRankingResponse(**response);
+    if (ranking.ok()) {
+      result->latencies_ms.push_back(timer.Millis());
+      ++result->ok;
+    } else if (ranking.status().code() == StatusCode::kResourceExhausted) {
+      ++result->rejected;
+    } else {
+      fail(ranking.status().ToString());
+    }
+  }
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const int port = flags.GetInt("port", 0);
+  const std::string queries_path = flags.GetString("queries", "");
+  const int k = flags.GetInt("k", 10);
+  const int connections = flags.GetInt("connections", 4);
+  const long long requests = flags.GetInt("requests", 400);
+  const bool allow_reject = flags.GetBool("allow-reject", false);
+  if (port <= 0 || port > 65535 || queries_path.empty() || k < 0 ||
+      connections < 1 || requests < 1) {
+    std::fprintf(stderr,
+                 "usage: bench_net_load --port=P --queries=FILE "
+                 "[--host=127.0.0.1 --k=10 --connections=4 --requests=400 "
+                 "--allow-reject]\n");
+    return 2;
+  }
+  Result<GraphDatabase> queries = ReadGraphFile(queries_path);
+  if (!queries.ok() || queries->empty()) {
+    std::fprintf(stderr, "error: cannot load queries from %s: %s\n",
+                 queries_path.c_str(),
+                 queries.ok() ? "file holds no graphs"
+                              : queries.status().ToString().c_str());
+    return 1;
+  }
+  // Pre-encode every request line once; workers then only do socket I/O.
+  std::vector<std::string> request_lines;
+  request_lines.reserve(queries->size());
+  for (const Graph& q : *queries) {
+    request_lines.push_back("QUERY " + std::to_string(k) + " " +
+                            EncodeGraphInline(q) + "\n");
+  }
+
+  std::atomic<long long> next_request{0};
+  std::vector<WorkerResult> results(static_cast<size_t>(connections));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(connections));
+  WallTimer wall;
+  for (int c = 0; c < connections; ++c) {
+    workers.emplace_back(RunWorker, host, port, std::cref(request_lines),
+                         &next_request, requests,
+                         &results[static_cast<size_t>(c)]);
+  }
+  for (std::thread& w : workers) w.join();
+  const double seconds = wall.Seconds();
+
+  long long ok = 0, rejected = 0, errors = 0;
+  std::vector<double> latencies;
+  std::string first_error;
+  for (const WorkerResult& r : results) {
+    ok += r.ok;
+    rejected += r.rejected;
+    errors += r.errors;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+    if (first_error.empty()) first_error = r.first_error;
+  }
+  const LatencySummary summary = SummarizeLatencies(std::move(latencies));
+  std::printf(
+      "# net_load %s:%d: %lld requests over %d connections in %.2fs "
+      "(%.0f req/s), %s\n",
+      host.c_str(), port, ok + rejected + errors, connections, seconds,
+      seconds > 0 ? static_cast<double>(ok) / seconds : 0.0,
+      FormatLatencySummaryMs(summary).c_str());
+  std::printf("# ok=%lld rejected=%lld errors=%lld\n", ok, rejected, errors);
+  if (!first_error.empty()) {
+    std::fprintf(stderr, "first error: %s\n", first_error.c_str());
+  }
+  if (errors > 0) return 1;
+  if (rejected > 0 && !allow_reject) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace gdim
+
+int main(int argc, char** argv) { return gdim::Main(argc, argv); }

@@ -133,7 +133,7 @@ Result<PersistedIndex> ReadIndexFileV1(const std::string& path) {
   return out;
 }
 
-Result<PersistedIndex> ReadIndexFileV2(const std::string& path) {
+Result<PackedIndex> ReadIndexFileV2Packed(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for reading: " + path);
   char magic[sizeof(kV2Magic)];
@@ -212,23 +212,20 @@ Result<PersistedIndex> ReadIndexFileV2(const std::string& path) {
   }
   in.seekg(words_begin);
 
-  PersistedIndex out;
+  PackedIndex out;
   out.features = std::move(features).value();
-  out.db_bits.reserve(n);
-  std::vector<uint64_t> words(words_per_row);
-  for (uint64_t i = 0; i < n; ++i) {
-    if (words_per_row > 0 &&
-        !in.read(reinterpret_cast<char*>(words.data()),
-                 static_cast<std::streamsize>(words_per_row *
-                                              sizeof(uint64_t)))) {
-      return Status::ParseError("truncated vector row " + std::to_string(i));
-    }
-    std::vector<uint8_t> row(p);
-    for (uint64_t r = 0; r < p; ++r) {
-      row[r] = static_cast<uint8_t>((words[r >> 6] >> (r & 63)) & 1);
-    }
-    out.db_bits.push_back(std::move(row));
+  // The whole vector block in one read, straight into the word storage the
+  // scan kernels use — no per-bit unpack, no per-row byte materialization.
+  std::vector<uint64_t> words(n * words_per_row);
+  if (!words.empty() &&
+      !in.read(reinterpret_cast<char*>(words.data()),
+               static_cast<std::streamsize>(words.size() *
+                                            sizeof(uint64_t)))) {
+    return Status::ParseError("truncated vector block");
   }
+  out.rows = PackedBitMatrix::FromWords(static_cast<int>(n),
+                                        static_cast<int>(p),
+                                        std::move(words));
   out.ids.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     uint64_t id = 0;
@@ -248,6 +245,23 @@ Result<PersistedIndex> ReadIndexFileV2(const std::string& path) {
     return Status::ParseError("next_id out of range");
   }
   out.next_id = static_cast<int>(next_id);
+  return out;
+}
+
+/// Legacy byte-row view of a v2 file: parse packed, then unpack. Only the
+/// tool paths that manipulate rows as bytes (convert, tests) pay for this;
+/// the serving load path stays on ReadIndexFileV2Packed.
+Result<PersistedIndex> ReadIndexFileV2(const std::string& path) {
+  Result<PackedIndex> packed = ReadIndexFileV2Packed(path);
+  if (!packed.ok()) return packed.status();
+  PersistedIndex out;
+  out.features = std::move(packed->features);
+  out.db_bits.reserve(static_cast<size_t>(packed->rows.num_rows()));
+  for (int i = 0; i < packed->rows.num_rows(); ++i) {
+    out.db_bits.push_back(packed->rows.UnpackRow(i));
+  }
+  out.ids = std::move(packed->ids);
+  out.next_id = packed->next_id;
   return out;
 }
 
@@ -331,23 +345,50 @@ Status WriteIndexFile(const PersistedIndex& index, const std::string& path,
   return Status::InvalidArgument("unknown index format");
 }
 
-Result<PersistedIndex> ReadIndexFile(const std::string& path) {
+namespace {
+
+/// Sniffs the v2 magic; short files simply fail the memcmp and fall through
+/// to the v1 parser.
+Result<bool> SniffV2Magic(const std::string& path) {
   char magic[sizeof(kV2Magic)] = {};
-  {
-    std::ifstream sniff(path, std::ios::binary);
-    if (!sniff) return Status::IoError("cannot open for reading: " + path);
-    sniff.read(magic, sizeof(magic));
-    // Short files simply fail the memcmp and fall through to the v1 parser.
-  }
+  std::ifstream sniff(path, std::ios::binary);
+  if (!sniff) return Status::IoError("cannot open for reading: " + path);
+  sniff.read(magic, sizeof(magic));
+  return std::memcmp(magic, kV2Magic, sizeof(kV2Magic)) == 0;
+}
+
+}  // namespace
+
+Result<PersistedIndex> ReadIndexFile(const std::string& path) {
+  Result<bool> is_v2 = SniffV2Magic(path);
+  if (!is_v2.ok()) return is_v2.status();
   // Backstop for header fields the size checks cannot bound (e.g. a v1
   // 'vectors <n>' count or a v2 row count at p == 0, where rows occupy no
   // file bytes): a hostile count must surface as a Status, not terminate
   // the process through an uncaught allocation failure.
   try {
-    if (std::memcmp(magic, kV2Magic, sizeof(kV2Magic)) == 0) {
-      return ReadIndexFileV2(path);
-    }
-    return ReadIndexFileV1(path);
+    return *is_v2 ? ReadIndexFileV2(path) : ReadIndexFileV1(path);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("index too large to load: " + path);
+  } catch (const std::length_error&) {
+    return Status::ResourceExhausted("index too large to load: " + path);
+  }
+}
+
+Result<PackedIndex> ReadIndexFilePacked(const std::string& path) {
+  Result<bool> is_v2 = SniffV2Magic(path);
+  if (!is_v2.ok()) return is_v2.status();
+  try {
+    if (*is_v2) return ReadIndexFileV2Packed(path);
+    Result<PersistedIndex> v1 = ReadIndexFileV1(path);
+    if (!v1.ok()) return v1.status();
+    PackedIndex out;
+    out.rows = PackedBitMatrix::FromRows(
+        v1->db_bits, static_cast<int>(v1->features.size()));
+    out.features = std::move(v1->features);
+    out.ids = std::move(v1->ids);
+    out.next_id = v1->next_id;
+    return out;
   } catch (const std::bad_alloc&) {
     return Status::ResourceExhausted("index too large to load: " + path);
   } catch (const std::length_error&) {

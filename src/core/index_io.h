@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/packed_bits.h"
 #include "graph/graph.h"
 
 namespace gdim {
@@ -60,6 +61,19 @@ struct PersistedIndex {
   int next_id = -1;
 };
 
+/// A persisted index loaded directly into the serving scan layout: the rows
+/// live in a PackedBitMatrix instead of per-row byte vectors. For v2 files
+/// the word block is adopted wholesale — one block read, no unpack-to-bytes
+/// detour — which is what makes a cold engine start O(read) on large
+/// databases. v1 text files are packed row by row on load. Id semantics
+/// match PersistedIndex.
+struct PackedIndex {
+  GraphDatabase features;
+  PackedBitMatrix rows;
+  std::vector<int> ids;
+  int next_id = -1;
+};
+
 /// On-disk format selector for WriteIndexFile.
 enum class IndexFormat {
   kV1Text,
@@ -87,6 +101,12 @@ Status WriteIndexFileV2Words(
 /// Reads a persisted index of either format (sniffed from the magic);
 /// validates shape and bit values.
 Result<PersistedIndex> ReadIndexFile(const std::string& path);
+
+/// Reads a persisted index of either format straight into the packed scan
+/// layout. For v2 files the vector block is a single block read into the
+/// matrix storage (padding bits are masked); v1 falls back to the text
+/// parser plus a pack. The load path of QueryEngine::Open.
+Result<PackedIndex> ReadIndexFilePacked(const std::string& path);
 
 }  // namespace gdim
 

@@ -48,6 +48,29 @@ PackedBitMatrix PackedBitMatrix::FromRows(
   return m;
 }
 
+PackedBitMatrix PackedBitMatrix::FromWords(int num_rows, int num_bits,
+                                           std::vector<uint64_t> words) {
+  PackedBitMatrix m = WithWidth(num_bits);
+  GDIM_CHECK(num_rows >= 0);
+  GDIM_CHECK(words.size() ==
+             static_cast<size_t>(num_rows) * m.words_per_row_)
+      << "word block has " << words.size() << " words, expected "
+      << static_cast<size_t>(num_rows) * m.words_per_row_;
+  m.num_rows_ = num_rows;
+  m.words_ = std::move(words);
+  // Scan kernels popcount whole words, so stray padding bits would corrupt
+  // every distance; clear them rather than trusting the producer.
+  const int tail_bits = num_bits & 63;
+  if (tail_bits != 0 && m.words_per_row_ > 0) {
+    const uint64_t mask = (uint64_t{1} << tail_bits) - 1;
+    for (size_t i = m.words_per_row_ - 1; i < m.words_.size();
+         i += m.words_per_row_) {
+      m.words_[i] &= mask;
+    }
+  }
+  return m;
+}
+
 std::vector<uint64_t> PackedBitMatrix::PackBits(
     const std::vector<uint8_t>& bits) {
   std::vector<uint64_t> words((bits.size() + 63) / 64, 0);

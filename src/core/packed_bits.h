@@ -39,6 +39,15 @@ class PackedBitMatrix {
   static PackedBitMatrix FromRows(const std::vector<std::vector<uint8_t>>& rows,
                                   int num_bits);
 
+  /// Adopts raw packed words already in the scan layout (num_rows rows of
+  /// ceil(num_bits / 64) words each, bit r of a row at word r/64, bit r%64).
+  /// words.size() must equal num_rows * words_per_row. Padding bits beyond
+  /// num_bits in each row's last word are masked to zero, so a matrix built
+  /// from untrusted words (a v2 snapshot block read) still computes exact
+  /// Hamming distances. The zero-copy load path of QueryEngine::Open.
+  static PackedBitMatrix FromWords(int num_rows, int num_bits,
+                                   std::vector<uint64_t> words);
+
   /// Packs one 0/1 byte vector into words (query-side fingerprint packing).
   static std::vector<uint64_t> PackBits(const std::vector<uint8_t>& bits);
 

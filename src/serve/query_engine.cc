@@ -33,8 +33,26 @@ Result<QueryEngine> QueryEngine::FromIndex(PersistedIndex index,
           std::to_string(p));
     }
   }
+  PackedIndex packed;
+  packed.rows =
+      PackedBitMatrix::FromRows(index.db_bits, static_cast<int>(p));
+  packed.features = std::move(index.features);
+  packed.ids = std::move(index.ids);
+  packed.next_id = index.next_id;
+  return FromPacked(std::move(packed), options);
+}
+
+Result<QueryEngine> QueryEngine::FromPacked(PackedIndex index,
+                                            ServeOptions options) {
+  const int p = static_cast<int>(index.features.size());
+  if (index.rows.num_bits() != p) {
+    return Status::InvalidArgument(
+        "packed rows are " + std::to_string(index.rows.num_bits()) +
+        " bits wide, feature dimension is " + std::to_string(p));
+  }
+  const int n = index.rows.num_rows();
   if (!index.ids.empty()) {
-    if (index.ids.size() != index.db_bits.size()) {
+    if (index.ids.size() != static_cast<size_t>(n)) {
       return Status::InvalidArgument("index id count does not match rows");
     }
     for (size_t i = 0; i < index.ids.size(); ++i) {
@@ -48,25 +66,23 @@ Result<QueryEngine> QueryEngine::FromIndex(PersistedIndex index,
       return Status::InvalidArgument("index id out of range");
     }
   }
-  const int64_t min_next_id =
-      index.ids.empty() ? static_cast<int64_t>(index.db_bits.size())
-                        : int64_t{index.ids.back()} + 1;
+  const int64_t min_next_id = index.ids.empty()
+                                  ? static_cast<int64_t>(n)
+                                  : int64_t{index.ids.back()} + 1;
   if (index.next_id >= 0 && index.next_id < min_next_id) {
     return Status::InvalidArgument("index next_id must exceed every id");
   }
   QueryEngine engine;
   engine.options_ = options;
-  engine.base_ = PackedBitMatrix::FromRows(index.db_bits,
-                                           static_cast<int>(p));
-  engine.delta_ = PackedBitMatrix::WithWidth(static_cast<int>(p));
-  const int n = engine.base_.num_rows();
+  engine.base_ = std::move(index.rows);
+  engine.delta_ = PackedBitMatrix::WithWidth(p);
   engine.tombstones_.assign(static_cast<size_t>(n), 0);
   engine.alive_ = n;
   if (index.ids.empty()) {
     engine.row_ids_.resize(static_cast<size_t>(n));
     std::iota(engine.row_ids_.begin(), engine.row_ids_.end(), 0);
   } else {
-    engine.row_ids_ = index.ids;
+    engine.row_ids_ = std::move(index.ids);
   }
   // Resume the persisted id counter when present (so ids of removed graphs
   // are never re-issued after a reload); otherwise derive it.
@@ -75,8 +91,15 @@ Result<QueryEngine> QueryEngine::FromIndex(PersistedIndex index,
   // The inverted lists only serve the prefilter; skip the O(n·p) pass and
   // their memory when it is disabled.
   if (options.containment_prefilter) {
-    engine.supports_ = SupportsFromBitRows(index.db_bits);
-    engine.supports_.resize(p);
+    engine.supports_.assign(static_cast<size_t>(p), {});
+    for (int row = 0; row < n; ++row) {
+      const std::vector<uint8_t> bits = engine.base_.UnpackRow(row);
+      for (int r = 0; r < p; ++r) {
+        if (bits[static_cast<size_t>(r)] != 0) {
+          engine.supports_[static_cast<size_t>(r)].push_back(row);
+        }
+      }
+    }
   }
   engine.mapper_ = FeatureMapper(std::move(index.features));
   return engine;
@@ -84,9 +107,11 @@ Result<QueryEngine> QueryEngine::FromIndex(PersistedIndex index,
 
 Result<QueryEngine> QueryEngine::Open(const std::string& index_path,
                                       ServeOptions options) {
-  Result<PersistedIndex> index = ReadIndexFile(index_path);
+  // The packed reader adopts a v2 snapshot's word block as the base segment
+  // in one block read — cold start never round-trips through byte rows.
+  Result<PackedIndex> index = ReadIndexFilePacked(index_path);
   if (!index.ok()) return index.status();
-  return FromIndex(std::move(index).value(), options);
+  return FromPacked(std::move(index).value(), options);
 }
 
 Result<int> QueryEngine::Insert(const Graph& graph) {
@@ -95,6 +120,11 @@ Result<int> QueryEngine::Insert(const Graph& graph) {
 
 Result<int> QueryEngine::InsertMapped(
     const std::vector<uint8_t>& fingerprint) {
+  return InsertMappedWithId(fingerprint, next_id_);
+}
+
+Result<int> QueryEngine::InsertMappedWithId(
+    const std::vector<uint8_t>& fingerprint, int id) {
   if (fingerprint.size() != static_cast<size_t>(num_features())) {
     return Status::InvalidArgument(
         "fingerprint has " + std::to_string(fingerprint.size()) +
@@ -102,12 +132,19 @@ Result<int> QueryEngine::InsertMapped(
   }
   // INT_MAX itself is unassignable: next_id_ would overflow, and the v2
   // reader's id cap would reject the engine's own snapshot.
-  if (next_id_ == std::numeric_limits<int>::max()) {
+  if (id == std::numeric_limits<int>::max()) {
     return Status::ResourceExhausted("graph id space exhausted");
+  }
+  // Per-engine ids must stay strictly ascending (row order == id order is
+  // what makes the score-then-id tie-break equal the physical-row order).
+  if (id < next_id_) {
+    return Status::InvalidArgument(
+        "id " + std::to_string(id) + " not after the engine's id cursor " +
+        std::to_string(next_id_));
   }
   const int row = base_.num_rows() + delta_.AppendRow(fingerprint);
   tombstones_.push_back(0);
-  row_ids_.push_back(next_id_);
+  row_ids_.push_back(id);
   ++alive_;
   if (options_.containment_prefilter) {
     for (size_t r = 0; r < fingerprint.size(); ++r) {
@@ -115,7 +152,8 @@ Result<int> QueryEngine::InsertMapped(
       if (fingerprint[r] != 0) supports_[r].push_back(row);
     }
   }
-  return next_id_++;
+  next_id_ = id + 1;
+  return id;
 }
 
 Status QueryEngine::Remove(int id) {
@@ -197,23 +235,30 @@ PersistedIndex QueryEngine::ToPersistedIndex() const {
   return index;
 }
 
+std::vector<std::pair<int, const uint64_t*>> QueryEngine::LiveRowWords()
+    const {
+  std::vector<std::pair<int, const uint64_t*>> live;
+  live.reserve(static_cast<size_t>(alive_));
+  const int base_n = base_.num_rows();
+  for (int row = 0; row < total_rows(); ++row) {
+    if (tombstones_[static_cast<size_t>(row)] != 0) continue;
+    live.emplace_back(row_ids_[static_cast<size_t>(row)],
+                      row < base_n ? base_.row(row)
+                                   : delta_.row(row - base_n));
+  }
+  return live;
+}
+
 Status QueryEngine::Snapshot(const std::string& path,
                              IndexFormat format) const {
   if (format == IndexFormat::kV2Binary) {
     // Stream the live rows' packed words straight from the segments — no
     // per-row byte materialization, no unpack/repack round trip.
-    std::vector<const uint64_t*> live_rows;
-    live_rows.reserve(static_cast<size_t>(alive_));
-    const int base_n = base_.num_rows();
-    for (int row = 0; row < total_rows(); ++row) {
-      if (tombstones_[static_cast<size_t>(row)] != 0) continue;
-      live_rows.push_back(row < base_n ? base_.row(row)
-                                       : delta_.row(row - base_n));
-    }
+    const std::vector<std::pair<int, const uint64_t*>> live = LiveRowWords();
     return WriteIndexFileV2Words(
-        mapper_.features(), static_cast<uint64_t>(live_rows.size()),
+        mapper_.features(), static_cast<uint64_t>(live.size()),
         static_cast<uint64_t>(base_.words_per_row()),
-        [&](uint64_t i) { return live_rows[i]; }, alive_ids(), next_id_,
+        [&](uint64_t i) { return live[i].second; }, alive_ids(), next_id_,
         path);
   }
   return WriteIndexFile(ToPersistedIndex(), path, format);
@@ -230,6 +275,33 @@ std::vector<uint8_t> QueryEngine::RowBits(int row) const {
   return row < base_.num_rows()
              ? base_.UnpackRow(row)
              : delta_.UnpackRow(row - base_.num_rows());
+}
+
+std::vector<int> QueryEngine::PrefilterCandidateRows(
+    const std::vector<uint8_t>& fingerprint) const {
+  GDIM_DCHECK(options_.containment_prefilter);
+  return PrefilterCandidates(fingerprint);
+}
+
+Ranking QueryEngine::QueryMappedCandidates(
+    const std::vector<uint8_t>& fingerprint, int k,
+    const std::vector<int>& candidate_rows, ServeQueryStats* stats) const {
+  if (k < 0) k = 0;
+  WallTimer timer;
+  const std::vector<uint64_t> packed_query = base_.PackQuery(fingerprint);
+  std::vector<double> scores;
+  ScoreRows(packed_query, candidate_rows, &scores);
+  Ranking top = TopKCandidates(candidate_rows, scores, k);
+  for (RankedResult& r : top) r.id = row_ids_[static_cast<size_t>(r.id)];
+  if (stats != nullptr) {
+    stats->latency_ms = timer.Millis();
+    int features_on = 0;
+    for (uint8_t b : fingerprint) features_on += b != 0 ? 1 : 0;
+    stats->features_on = features_on;
+    stats->scanned = static_cast<int>(candidate_rows.size());
+    stats->prefiltered = true;
+  }
+  return top;
 }
 
 std::vector<int> QueryEngine::PrefilterCandidates(
@@ -261,13 +333,23 @@ void QueryEngine::ScoreRows(const std::vector<uint64_t>& packed_query,
 
 Ranking QueryEngine::Query(const Graph& query, int k,
                            ServeQueryStats* stats) const {
+  WallTimer timer;
+  // Stage 1: fingerprint the query onto the selected dimension, then hand
+  // the mapped vector to the scan stages.
+  Ranking top = QueryMapped(mapper_.Map(query), k, stats);
+  // The mapped path timed only stages 2–3; charge the VF2 mapping too.
+  if (stats != nullptr) stats->latency_ms = timer.Millis();
+  return top;
+}
+
+Ranking QueryEngine::QueryMapped(const std::vector<uint8_t>& fingerprint,
+                                 int k, ServeQueryStats* stats,
+                                 ScanMode mode) const {
   // A malformed k must not abort the serving process; k < 0 answers like
   // k == 0 (empty ranking). The tool boundary additionally rejects it.
   if (k < 0) k = 0;
   WallTimer timer;
 
-  // Stage 1: fingerprint the query onto the selected dimension.
-  const std::vector<uint8_t> fingerprint = mapper_.Map(query);
   int features_on = 0;
   for (uint8_t b : fingerprint) features_on += b != 0 ? 1 : 0;
   const std::vector<uint64_t> packed_query = base_.PackQuery(fingerprint);
@@ -275,7 +357,8 @@ Ranking QueryEngine::Query(const Graph& query, int k,
   // Stage 2: optional containment prefilter over the inverted lists.
   bool prefiltered = false;
   std::vector<int> candidates;
-  if (options_.containment_prefilter && features_on > 0) {
+  if (mode == ScanMode::kAuto && options_.containment_prefilter &&
+      features_on > 0) {
     candidates = PrefilterCandidates(fingerprint);
     // Take the narrowed path only when it actually narrows: some candidate
     // survived (an empty intersection is a degenerate "scan of zero rows",
@@ -322,6 +405,25 @@ Ranking QueryEngine::Query(const Graph& query, int k,
   return top;
 }
 
+void FillServeBatchReport(double wall_ms,
+                          const std::vector<ServeQueryStats>& stats,
+                          ServeBatchReport* report) {
+  report->wall_ms = wall_ms;
+  report->qps = wall_ms > 0.0
+                    ? static_cast<double>(stats.size()) / (wall_ms * 1e-3)
+                    : 0.0;
+  std::vector<double> latencies;
+  latencies.reserve(stats.size());
+  report->scanned_rows = 0;
+  report->prefiltered_queries = 0;
+  for (const ServeQueryStats& s : stats) {
+    latencies.push_back(s.latency_ms);
+    report->scanned_rows += s.scanned;
+    report->prefiltered_queries += s.prefiltered ? 1 : 0;
+  }
+  report->latency_ms = SummarizeLatencies(std::move(latencies));
+}
+
 std::vector<Ranking> QueryEngine::QueryBatch(
     const GraphDatabase& queries, int k, ServeBatchReport* report,
     std::vector<ServeQueryStats>* per_query) const {
@@ -338,22 +440,7 @@ std::vector<Ranking> QueryEngine::QueryBatch(
       options_.threads);
   const double wall_ms = batch_timer.Millis();
 
-  if (report != nullptr) {
-    report->wall_ms = wall_ms;
-    report->qps = wall_ms > 0.0
-                      ? static_cast<double>(queries.size()) / (wall_ms * 1e-3)
-                      : 0.0;
-    std::vector<double> latencies;
-    latencies.reserve(stats.size());
-    report->scanned_rows = 0;
-    report->prefiltered_queries = 0;
-    for (const ServeQueryStats& s : stats) {
-      latencies.push_back(s.latency_ms);
-      report->scanned_rows += s.scanned;
-      report->prefiltered_queries += s.prefiltered ? 1 : 0;
-    }
-    report->latency_ms = SummarizeLatencies(std::move(latencies));
-  }
+  if (report != nullptr) FillServeBatchReport(wall_ms, stats, report);
   if (per_query != nullptr) *per_query = std::move(stats);
   return results;
 }

@@ -1,7 +1,9 @@
 #ifndef GDIM_SERVE_QUERY_ENGINE_H_
 #define GDIM_SERVE_QUERY_ENGINE_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/histogram.h"
@@ -32,6 +34,20 @@ struct ServeOptions {
   bool containment_prefilter = false;
 };
 
+/// Stage-2 policy for QueryMapped. kAuto applies this engine's own
+/// narrowed-vs-full fallback — the single-engine default. A sharded owner
+/// instead decides ONCE over global candidate counts and forces every
+/// shard onto the same side: left to their local heuristics, shards
+/// diverge from the single-engine answer (a shard holding fewer than k
+/// candidates would widen to a full scan of rows the single engine's
+/// narrowed scan never touches). The narrowed side of the forced decision
+/// goes through QueryMappedCandidates with the rows the owner already
+/// collected.
+enum class ScanMode {
+  kAuto,
+  kFull,
+};
+
 /// Per-query observability counters from one hot-path execution.
 struct ServeQueryStats {
   double latency_ms = 0.0;
@@ -50,6 +66,13 @@ struct ServeBatchReport {
   long long scanned_rows = 0;    ///< total rows scored across the batch
   size_t prefiltered_queries = 0;  ///< queries served from a narrowed scan
 };
+
+/// Aggregates per-query stats into a batch report (qps, latency
+/// percentiles, scan counters). Shared by every batch entry point — the
+/// engine's own, the sharded engine's, and the batch executor's.
+void FillServeBatchReport(double wall_ms,
+                          const std::vector<ServeQueryStats>& stats,
+                          ServeBatchReport* report);
 
 /// The online query-serving engine: loads a built index (feature dimension +
 /// mapped database vectors), converts the vectors into the packed word
@@ -82,8 +105,15 @@ class QueryEngine {
   static Result<QueryEngine> FromIndex(PersistedIndex index,
                                        ServeOptions options = {});
 
+  /// Builds from an index already in the packed scan layout: the matrix is
+  /// adopted as the sealed base segment with no unpack/repack round trip.
+  /// The startup path for v2 snapshots (ReadIndexFilePacked), where loading
+  /// a database is a block read into this exact layout.
+  static Result<QueryEngine> FromPacked(PackedIndex index,
+                                        ServeOptions options = {});
+
   /// Loads the index file at path (core/index_io, v1 text or v2 binary)
-  /// and builds.
+  /// and builds; v2 files load through the direct packed-words path.
   static Result<QueryEngine> Open(const std::string& index_path,
                                   ServeOptions options = {});
 
@@ -91,6 +121,8 @@ class QueryEngine {
   int num_graphs() const { return alive_; }
   int num_features() const { return mapper_.num_features(); }
   const ServeOptions& options() const { return options_; }
+  /// The stage-1 fingerprinting mapper (callers of QueryMapped share it).
+  const FeatureMapper& mapper() const { return mapper_; }
 
   /// Physical layout observability: sealed base rows, appended delta rows,
   /// and rows removed but not yet reclaimed by Compact().
@@ -107,6 +139,14 @@ class QueryEngine {
   /// loads, replication, benchmarks); width must equal num_features().
   Result<int> InsertMapped(const std::vector<uint8_t>& fingerprint);
 
+  /// InsertMapped with a caller-assigned external id, for an owner of a
+  /// global id sequence (the sharded engine routes ids across shards, so a
+  /// single shard sees gaps). id must be >= the id this engine would assign
+  /// next — per-engine ids stay strictly ascending — and the engine's id
+  /// counter advances to id + 1.
+  Result<int> InsertMappedWithId(const std::vector<uint8_t>& fingerprint,
+                                 int id);
+
   /// Tombstones the graph with the given external id; NotFound if no live
   /// graph has that id. O(log n) + inverted-list maintenance.
   Status Remove(int id);
@@ -118,6 +158,15 @@ class QueryEngine {
 
   /// External ids of the live graphs, ascending (= physical row order).
   std::vector<int> alive_ids() const;
+
+  /// Live rows in physical (= ascending external id) order as (id, packed
+  /// word pointer) pairs; each pointer addresses words_per_row() words and
+  /// stays valid until the next mutation. The streaming hook that lets a
+  /// multi-shard owner snapshot all shards without byte materialization.
+  std::vector<std::pair<int, const uint64_t*>> LiveRowWords() const;
+
+  /// Words per packed row (= ceil(num_features() / 64)).
+  size_t words_per_row() const { return base_.words_per_row(); }
 
   /// The equivalent database of the current live state: the feature
   /// dimension plus the live fingerprints and their external ids in
@@ -138,6 +187,34 @@ class QueryEngine {
   /// one malformed request must not take down the serving process.
   Ranking Query(const Graph& query, int k,
                 ServeQueryStats* stats = nullptr) const;
+
+  /// Stages 2–3 for a caller that already holds the mapped fingerprint:
+  /// the scatter path of a sharded engine fingerprints a query once (VF2 is
+  /// the expensive stage) and fans the mapped vector out to every shard.
+  /// Width must equal num_features(). With kAuto, identical to Query() on
+  /// a graph with this fingerprint.
+  Ranking QueryMapped(const std::vector<uint8_t>& fingerprint, int k,
+                      ServeQueryStats* stats = nullptr,
+                      ScanMode mode = ScanMode::kAuto) const;
+
+  /// Stage 2 alone: the live physical rows surviving ∩ sup(f_r) over the
+  /// fingerprint's set bits (ascending). Requires the containment
+  /// prefilter to be enabled and at least one set bit (the intersection
+  /// over an empty feature family is degenerate — callers fall back to a
+  /// full scan there, as QueryMapped does). A sharded owner collects these
+  /// once per shard, decides narrowed-vs-full globally, and feeds them
+  /// back through QueryMappedCandidates — one intersection pass total.
+  std::vector<int> PrefilterCandidateRows(
+      const std::vector<uint8_t>& fingerprint) const;
+
+  /// Stage 3 alone, over an explicit candidate row set (stage 2 already
+  /// done by the owner): scores candidate_rows against the fingerprint and
+  /// ranks with the usual score-then-id order, external ids in the result.
+  /// stats reports a narrowed scan of candidate_rows.size() rows.
+  Ranking QueryMappedCandidates(const std::vector<uint8_t>& fingerprint,
+                                int k,
+                                const std::vector<int>& candidate_rows,
+                                ServeQueryStats* stats = nullptr) const;
 
   /// Answers a whole batch across the thread pool. results[i] corresponds
   /// to queries[i]; output is deterministic for any thread count. Optional

@@ -1,0 +1,258 @@
+#include "server/batch_executor.h"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gdim {
+
+BatchExecutor::BatchExecutor(ShardedEngine* engine,
+                             BatchExecutorOptions options)
+    : engine_(engine), options_(options) {
+  GDIM_CHECK(engine_ != nullptr);
+  GDIM_CHECK(options_.queue_capacity >= 1)
+      << "queue_capacity must be >= 1, got " << options_.queue_capacity;
+  GDIM_CHECK(options_.max_batch >= 1)
+      << "max_batch must be >= 1, got " << options_.max_batch;
+  GDIM_CHECK(options_.latency_window >= 1);
+  latency_window_.resize(static_cast<size_t>(options_.latency_window), 0.0);
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+BatchExecutor::~BatchExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    paused_ = false;  // a paused executor must still drain on shutdown
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+}
+
+Status BatchExecutor::Admit(Request r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      ++rejected_;
+      return Status::Internal("executor is shutting down");
+    }
+    if (in_flight_ >= static_cast<size_t>(options_.queue_capacity)) {
+      ++rejected_;
+      return Status::ResourceExhausted(
+          "admission queue full (" +
+          std::to_string(options_.queue_capacity) + " in flight)");
+    }
+    ++accepted_;
+    ++in_flight_;
+    queue_.push_back(std::move(r));
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+Result<Ranking> BatchExecutor::Query(Graph query, int k) {
+  Request r;
+  r.kind = Request::Kind::kQuery;
+  r.graph = std::move(query);
+  r.k = k;
+  std::future<Result<Ranking>> done = r.ranking.get_future();
+  Status admitted = Admit(std::move(r));
+  if (!admitted.ok()) return admitted;
+  return done.get();
+}
+
+Result<int> BatchExecutor::Insert(Graph graph) {
+  Request r;
+  r.kind = Request::Kind::kInsert;
+  r.graph = std::move(graph);
+  std::future<Result<int>> done = r.inserted.get_future();
+  Status admitted = Admit(std::move(r));
+  if (!admitted.ok()) return admitted;
+  return done.get();
+}
+
+Status BatchExecutor::Remove(int id) {
+  Request r;
+  r.kind = Request::Kind::kRemove;
+  r.id = id;
+  std::future<Status> done = r.status.get_future();
+  Status admitted = Admit(std::move(r));
+  if (!admitted.ok()) return admitted;
+  return done.get();
+}
+
+Status BatchExecutor::Snapshot(std::string path) {
+  Request r;
+  r.kind = Request::Kind::kSnapshot;
+  r.path = std::move(path);
+  std::future<Status> done = r.status.get_future();
+  Status admitted = Admit(std::move(r));
+  if (!admitted.ok()) return admitted;
+  return done.get();
+}
+
+Result<EngineGauges> BatchExecutor::Gauges() {
+  Request r;
+  r.kind = Request::Kind::kGauges;
+  std::future<Result<EngineGauges>> done = r.gauges.get_future();
+  Status admitted = Admit(std::move(r));
+  if (!admitted.ok()) return admitted;
+  return done.get();
+}
+
+BatchExecutorStats BatchExecutor::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BatchExecutorStats stats;
+  stats.accepted = accepted_;
+  stats.rejected = rejected_;
+  stats.completed = completed_;
+  stats.batches = batches_;
+  stats.mutations = mutations_;
+  stats.queued = in_flight_;
+  std::vector<double> window(
+      latency_window_.begin(),
+      latency_full_ ? latency_window_.end()
+                    : latency_window_.begin() +
+                          static_cast<std::ptrdiff_t>(latency_next_));
+  stats.latency_ms = SummarizeLatencies(std::move(window));
+  return stats;
+}
+
+void BatchExecutor::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void BatchExecutor::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void BatchExecutor::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return (!queue_.empty() && !paused_) || stop_; });
+    if (queue_.empty() || paused_) {
+      if (stop_) return;  // paused && stop: ~BatchExecutor cleared paused_
+      continue;
+    }
+    // Pop the leading run: either a coalescible run of queries (up to
+    // max_batch) or exactly one mutation. FIFO order across kinds is what
+    // gives submit-then-query read-your-write semantics per producer.
+    std::vector<Request> batch;
+    if (queue_.front().kind == Request::Kind::kQuery) {
+      while (!queue_.empty() &&
+             queue_.front().kind == Request::Kind::kQuery &&
+             batch.size() < static_cast<size_t>(options_.max_batch)) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    } else {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    const std::vector<std::function<void()>> fulfill = Execute(&batch);
+    lock.lock();
+    // Counters are published BEFORE the submitters are released, so a
+    // client that just got its answer always sees itself completed in
+    // Stats() (and the STATS verb never under-reports).
+    for (const Request& r : batch) {
+      latency_window_[latency_next_] = r.queued_at.Millis();
+      latency_next_ = (latency_next_ + 1) % latency_window_.size();
+      if (latency_next_ == 0) latency_full_ = true;
+    }
+    in_flight_ -= batch.size();
+    completed_ += batch.size();
+    if (batch.front().kind == Request::Kind::kQuery) {
+      ++batches_;
+    } else if (batch.front().kind != Request::Kind::kGauges) {
+      ++mutations_;
+    }
+    lock.unlock();
+    for (const std::function<void()>& f : fulfill) f();
+    lock.lock();
+  }
+}
+
+std::vector<std::function<void()>> BatchExecutor::Execute(
+    std::vector<Request>* batch) {
+  // Engine work happens here; the returned closures only fulfill promises,
+  // and the dispatcher runs them after publishing the counters (pointers
+  // into *batch stay valid until then).
+  std::vector<std::function<void()>> fulfill;
+  fulfill.reserve(batch->size());
+  if (batch->front().kind != Request::Kind::kQuery) {
+    Request& r = batch->front();
+    switch (r.kind) {
+      case Request::Kind::kInsert: {
+        Result<int> id = engine_->Insert(r.graph);
+        fulfill.push_back(
+            [&r, id = std::move(id)] { r.inserted.set_value(id); });
+        break;
+      }
+      case Request::Kind::kRemove: {
+        Status status = engine_->Remove(r.id);
+        fulfill.push_back(
+            [&r, status = std::move(status)] { r.status.set_value(status); });
+        break;
+      }
+      case Request::Kind::kSnapshot: {
+        Status status = engine_->Snapshot(r.path);
+        fulfill.push_back(
+            [&r, status = std::move(status)] { r.status.set_value(status); });
+        break;
+      }
+      case Request::Kind::kGauges: {
+        EngineGauges gauges;
+        gauges.graphs = engine_->num_graphs();
+        gauges.shards = engine_->num_shards();
+        gauges.features = engine_->num_features();
+        fulfill.push_back([&r, gauges] { r.gauges.set_value(gauges); });
+        break;
+      }
+      case Request::Kind::kQuery:
+        break;  // unreachable
+    }
+    return fulfill;
+  }
+  // Coalesced query run: one stage-1 mapping pass over the whole run
+  // (MapAll parallelizes the VF2 work), then packed multi-query scans.
+  // Requests may carry different k, so scans go per same-k span; one
+  // closed-loop workload almost always lands in a single span.
+  GraphDatabase queries;
+  queries.reserve(batch->size());
+  for (Request& r : *batch) queries.push_back(std::move(r.graph));
+  std::vector<std::vector<uint8_t>> fingerprints =
+      engine_->mapper().MapAll(queries, engine_->options().serve.threads);
+  size_t begin = 0;
+  while (begin < batch->size()) {
+    size_t end = begin + 1;
+    while (end < batch->size() && (*batch)[end].k == (*batch)[begin].k) {
+      ++end;
+    }
+    std::vector<std::vector<uint8_t>> span(
+        std::make_move_iterator(fingerprints.begin() +
+                                static_cast<std::ptrdiff_t>(begin)),
+        std::make_move_iterator(fingerprints.begin() +
+                                static_cast<std::ptrdiff_t>(end)));
+    std::vector<Ranking> results =
+        engine_->QueryMappedBatch(span, (*batch)[begin].k);
+    for (size_t i = begin; i < end; ++i) {
+      Request& r = (*batch)[i];
+      fulfill.push_back(
+          [&r, result = std::move(results[i - begin])]() mutable {
+            r.ranking.set_value(std::move(result));
+          });
+    }
+    begin = end;
+  }
+  return fulfill;
+}
+
+}  // namespace gdim

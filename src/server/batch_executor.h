@@ -1,0 +1,168 @@
+#ifndef GDIM_SERVER_BATCH_EXECUTOR_H_
+#define GDIM_SERVER_BATCH_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/index_io.h"
+#include "core/topk.h"
+#include "graph/graph.h"
+#include "server/sharded_engine.h"
+
+namespace gdim {
+
+/// Admission and coalescing knobs for the batch executor.
+struct BatchExecutorOptions {
+  /// Bound on admitted-but-unfinished requests (queued + executing). A
+  /// submit beyond this is rejected immediately with ResourceExhausted —
+  /// backpressure is a typed status, never an unbounded queue and never a
+  /// blocked producer. Must be >= 1.
+  int queue_capacity = 256;
+
+  /// Max queries coalesced into one packed multi-query scan. Must be >= 1.
+  int max_batch = 64;
+
+  /// Size of the sliding window of completed-request latencies kept for
+  /// Stats(); bounds executor memory regardless of uptime.
+  int latency_window = 4096;
+};
+
+/// Engine gauges sampled on the dispatcher thread — the only thread that
+/// mutates the engine — so a snapshot of a mutating engine is race-free.
+struct EngineGauges {
+  int graphs = 0;    ///< live graphs across all shards
+  int shards = 0;
+  int features = 0;  ///< feature dimension p
+};
+
+/// Counters snapshot for observability (the STATS wire verb).
+struct BatchExecutorStats {
+  uint64_t accepted = 0;    ///< requests admitted past the queue bound
+  uint64_t rejected = 0;    ///< submits refused with ResourceExhausted
+  uint64_t completed = 0;   ///< requests finished (any outcome)
+  uint64_t batches = 0;     ///< coalesced query batches executed
+  uint64_t mutations = 0;   ///< insert/remove/snapshot ops executed
+  size_t queued = 0;        ///< admitted requests not yet finished
+  /// Distribution over the latency window (submit → completion, ms).
+  LatencySummary latency_ms;
+};
+
+/// Funnels every engine access — concurrent top-k queries from many
+/// connections plus mutations — through one dispatcher thread:
+///
+///   submit (any thread) → bounded FIFO admission queue → dispatcher pops a
+///   run of up to max_batch queries → one coalesced QueryBatch over the
+///   sharded engine's thread pool → promises fulfilled.
+///
+/// Coalescing is what turns N closed-loop connections into packed
+/// multi-query scans (the engine amortizes thread-pool wakeups and keeps
+/// every core on scan work); the single dispatcher is also the mutation
+/// story: Insert/Remove/Snapshot run inline between batches in FIFO order,
+/// so the engine's "mutations are not thread-safe with queries" contract
+/// holds without a lock on the hot path.
+///
+/// All public methods are thread-safe. The blocking Query/Insert/... calls
+/// block only on their own result; admission never blocks — a full queue
+/// rejects with StatusCode::kResourceExhausted.
+class BatchExecutor {
+ public:
+  /// The executor serves `engine` (not owned; must outlive the executor).
+  /// Spawns the dispatcher thread.
+  BatchExecutor(ShardedEngine* engine, BatchExecutorOptions options = {});
+
+  /// Drains already-admitted requests, then stops the dispatcher. Submits
+  /// racing with destruction are rejected.
+  ~BatchExecutor();
+
+  BatchExecutor(const BatchExecutor&) = delete;
+  BatchExecutor& operator=(const BatchExecutor&) = delete;
+
+  /// Top-k for one query graph; blocks until the coalesced batch holding it
+  /// completes. ResourceExhausted immediately when the queue is full.
+  Result<Ranking> Query(Graph query, int k);
+
+  /// Inserts a graph; returns its stable external id.
+  Result<int> Insert(Graph graph);
+
+  /// Tombstones the graph with the given external id.
+  Status Remove(int id);
+
+  /// Snapshots the engine's merged live state to a server-side path.
+  Status Snapshot(std::string path);
+
+  /// Counter + latency snapshot.
+  BatchExecutorStats Stats() const;
+
+  /// Samples engine gauges through the request queue (FIFO with mutations);
+  /// subject to the same admission bound as every other request.
+  Result<EngineGauges> Gauges();
+
+  /// Test/drain hook: Pause() makes the dispatcher hold admitted requests
+  /// unexecuted (admission and rejection still work — this is how the
+  /// backpressure path is exercised deterministically); Resume() lets it
+  /// drain.
+  void Pause();
+  void Resume();
+
+  const BatchExecutorOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    enum class Kind { kQuery, kInsert, kRemove, kSnapshot, kGauges };
+    Kind kind = Kind::kQuery;
+    Graph graph;        // kQuery, kInsert
+    int k = 0;          // kQuery
+    int id = 0;         // kRemove
+    std::string path;   // kSnapshot
+    WallTimer queued_at;
+    std::promise<Result<Ranking>> ranking;      // kQuery
+    std::promise<Result<int>> inserted;         // kInsert
+    std::promise<Status> status;                // kRemove, kSnapshot
+    std::promise<Result<EngineGauges>> gauges;  // kGauges
+  };
+
+  /// Admits r or rejects with ResourceExhausted (queue at capacity or
+  /// executor stopping).
+  Status Admit(Request r);
+
+  void DispatcherLoop();
+  /// Runs one popped run of requests outside the lock; returns the
+  /// promise-fulfilling closures, which the dispatcher invokes only after
+  /// publishing the completion counters.
+  std::vector<std::function<void()>> Execute(std::vector<Request>* batch);
+
+  ShardedEngine* engine_;
+  BatchExecutorOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  size_t in_flight_ = 0;  ///< admitted and not yet completed
+  bool stop_ = false;
+  bool paused_ = false;
+  uint64_t accepted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t mutations_ = 0;
+  /// Ring buffer of recent request latencies (submit → completion).
+  std::vector<double> latency_window_;
+  size_t latency_next_ = 0;
+  bool latency_full_ = false;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace gdim
+
+#endif  // GDIM_SERVER_BATCH_EXECUTOR_H_

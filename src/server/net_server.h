@@ -1,0 +1,88 @@
+#ifndef GDIM_SERVER_NET_SERVER_H_
+#define GDIM_SERVER_NET_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "server/batch_executor.h"
+#include "server/net_socket.h"
+
+namespace gdim {
+
+/// Network front-end knobs.
+struct NetServerOptions {
+  /// Numeric IPv4 listen address.
+  std::string host = "127.0.0.1";
+  /// Listen port; 0 asks the kernel for an ephemeral port (read it back
+  /// from port() after Start()).
+  int port = 0;
+  /// listen(2) backlog.
+  int backlog = 64;
+  /// Concurrent connections beyond this are turned away with an ERR
+  /// ResourceExhausted line (connection-level backpressure, distinct from
+  /// the executor's per-request admission bound).
+  int max_connections = 256;
+};
+
+/// The TCP front end: speaks the line-delimited wire protocol (server/wire)
+/// and funnels every request into the BatchExecutor, which owns all engine
+/// access. One thread per connection (threads block on the executor future,
+/// so concurrent connections are what feeds query coalescing); a malformed
+/// line answers ERR and keeps the connection; QUIT or EOF ends it.
+///
+/// Start() binds and spawns the accept loop; Stop() (or the destructor)
+/// shuts the listener and every live connection down and waits for the
+/// handlers to drain.
+class NetServer {
+ public:
+  /// executor is not owned and must outlive the server.
+  NetServer(BatchExecutor* executor, NetServerOptions options = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds host:port and starts accepting. Fails with IoError if the
+  /// address is unusable.
+  Status Start();
+
+  /// The bound port (valid after a successful Start()).
+  int port() const { return port_; }
+
+  /// Total connections accepted so far.
+  uint64_t connections_accepted() const;
+
+  /// Stops accepting, severs live connections, waits for handler exit.
+  /// Idempotent.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  /// Serves one connection; owns the fd.
+  void HandleConnection(int fd);
+  /// One request line → one response line.
+  std::string HandleLine(const std::string& line, bool* quit);
+
+  BatchExecutor* executor_;
+  NetServerOptions options_;
+  ScopedFd listen_fd_;
+  int port_ = 0;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  std::set<int> live_fds_;    ///< open connection fds, for Stop() severing
+  int active_connections_ = 0;  ///< includes handlers past their fd close
+  uint64_t connections_accepted_ = 0;
+  bool stopping_ = false;
+  bool started_ = false;
+};
+
+}  // namespace gdim
+
+#endif  // GDIM_SERVER_NET_SERVER_H_

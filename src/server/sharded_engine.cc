@@ -1,0 +1,360 @@
+#include "server/sharded_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "core/packed_bits.h"
+
+namespace gdim {
+
+namespace {
+
+/// Deterministic k-way gather: every partial is sorted ascending by
+/// (score, id), ids are globally unique, so repeatedly taking the smallest
+/// head reproduces the single-engine total order exactly.
+Ranking MergeTopK(const std::vector<Ranking>& partials, int k) {
+  Ranking out;
+  if (k <= 0) return out;
+  size_t total = 0;
+  for (const Ranking& p : partials) total += p.size();
+  out.reserve(std::min(static_cast<size_t>(k), total));
+  std::vector<size_t> cursor(partials.size(), 0);
+  while (static_cast<int>(out.size()) < k) {
+    size_t best = partials.size();
+    for (size_t s = 0; s < partials.size(); ++s) {
+      if (cursor[s] >= partials[s].size()) continue;
+      if (best == partials.size()) {
+        best = s;
+        continue;
+      }
+      const RankedResult& c = partials[s][cursor[s]];
+      const RankedResult& b = partials[best][cursor[best]];
+      if (c.score < b.score || (c.score == b.score && c.id < b.id)) best = s;
+    }
+    if (best == partials.size()) break;  // every partial exhausted
+    out.push_back(partials[best][cursor[best]++]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ShardedEngine> ShardedEngine::FromIndex(PersistedIndex index,
+                                               ShardedOptions options) {
+  const size_t p = index.features.size();
+  for (size_t i = 0; i < index.db_bits.size(); ++i) {
+    if (index.db_bits[i].size() != p) {
+      return Status::InvalidArgument(
+          "index row " + std::to_string(i) + " has " +
+          std::to_string(index.db_bits[i].size()) + " bits, expected " +
+          std::to_string(p));
+    }
+  }
+  PackedIndex packed;
+  packed.rows = PackedBitMatrix::FromRows(index.db_bits, static_cast<int>(p));
+  packed.features = std::move(index.features);
+  packed.ids = std::move(index.ids);
+  packed.next_id = index.next_id;
+  return FromPacked(std::move(packed), options);
+}
+
+Result<ShardedEngine> ShardedEngine::FromPacked(PackedIndex index,
+                                                ShardedOptions options) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument(
+        "num_shards must be >= 1, got " + std::to_string(options.num_shards));
+  }
+  const int p = static_cast<int>(index.features.size());
+  if (index.rows.num_bits() != p) {
+    return Status::InvalidArgument(
+        "packed rows are " + std::to_string(index.rows.num_bits()) +
+        " bits wide, feature dimension is " + std::to_string(p));
+  }
+  const int n = index.rows.num_rows();
+  // Global id validation up front: per-shard validation only sees ascending
+  // subsequences, so e.g. a globally unsorted id list could split into
+  // shards that each look fine.
+  if (!index.ids.empty()) {
+    if (index.ids.size() != static_cast<size_t>(n)) {
+      return Status::InvalidArgument("index id count does not match rows");
+    }
+    for (size_t i = 0; i < index.ids.size(); ++i) {
+      if (index.ids[i] < 0 || (i > 0 && index.ids[i] <= index.ids[i - 1])) {
+        return Status::InvalidArgument("index ids must be strictly ascending");
+      }
+    }
+    if (index.ids.back() == std::numeric_limits<int>::max()) {
+      return Status::InvalidArgument("index id out of range");
+    }
+  }
+  const int64_t min_next_id = index.ids.empty()
+                                  ? static_cast<int64_t>(n)
+                                  : int64_t{index.ids.back()} + 1;
+  if (index.next_id >= 0 && index.next_id < min_next_id) {
+    return Status::InvalidArgument("index next_id must exceed every id");
+  }
+  const int next_id =
+      index.next_id >= 0 ? index.next_id : static_cast<int>(min_next_id);
+
+  ShardedEngine engine;
+  engine.options_ = options;
+  engine.next_id_ = next_id;
+
+  // Partition rows by id % N with word-level copies (no byte detour).
+  const int num_shards = options.num_shards;
+  std::vector<PackedBitMatrix> shard_rows;
+  shard_rows.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    shard_rows.push_back(PackedBitMatrix::WithWidth(p));
+  }
+  std::vector<std::vector<int>> shard_ids(static_cast<size_t>(num_shards));
+  for (int row = 0; row < n; ++row) {
+    const int id =
+        index.ids.empty() ? row : index.ids[static_cast<size_t>(row)];
+    const int s = id % num_shards;
+    shard_rows[static_cast<size_t>(s)].AppendRowFrom(index.rows, row);
+    shard_ids[static_cast<size_t>(s)].push_back(id);
+  }
+  engine.shards_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    PackedIndex shard;
+    shard.features = index.features;  // each shard owns its mapper copy
+    shard.rows = std::move(shard_rows[static_cast<size_t>(s)]);
+    shard.ids = std::move(shard_ids[static_cast<size_t>(s)]);
+    // The global counter exceeds every id, so it is a valid per-shard
+    // counter too; it keeps reload-then-insert from re-issuing any id.
+    shard.next_id = next_id;
+    Result<QueryEngine> built =
+        QueryEngine::FromPacked(std::move(shard), options.serve);
+    if (!built.ok()) return built.status();
+    engine.shards_.push_back(std::move(built).value());
+  }
+  engine.mapper_ = FeatureMapper(std::move(index.features));
+  return engine;
+}
+
+Result<ShardedEngine> ShardedEngine::Open(const std::string& index_path,
+                                          ShardedOptions options) {
+  Result<PackedIndex> index = ReadIndexFilePacked(index_path);
+  if (!index.ok()) return index.status();
+  return FromPacked(std::move(index).value(), options);
+}
+
+int ShardedEngine::num_graphs() const {
+  int alive = 0;
+  for (const QueryEngine& shard : shards_) alive += shard.num_graphs();
+  return alive;
+}
+
+const QueryEngine& ShardedEngine::shard(int s) const {
+  GDIM_CHECK(s >= 0 && s < num_shards());
+  return shards_[static_cast<size_t>(s)];
+}
+
+Result<int> ShardedEngine::Insert(const Graph& graph) {
+  return InsertMapped(mapper_.Map(graph));
+}
+
+Result<int> ShardedEngine::InsertMapped(
+    const std::vector<uint8_t>& fingerprint) {
+  const int id = next_id_;
+  Result<int> inserted =
+      shards_[static_cast<size_t>(ShardOf(id))].InsertMappedWithId(fingerprint,
+                                                                   id);
+  // Advance the global sequence only on success, so a rejected insert (bad
+  // width, exhausted id space) does not burn an id.
+  if (inserted.ok()) ++next_id_;
+  return inserted;
+}
+
+Status ShardedEngine::Remove(int id) {
+  if (id < 0) {
+    return Status::NotFound("no live graph with id " + std::to_string(id));
+  }
+  return shards_[static_cast<size_t>(ShardOf(id))].Remove(id);
+}
+
+void ShardedEngine::Compact() {
+  for (QueryEngine& shard : shards_) shard.Compact();
+}
+
+std::vector<int> ShardedEngine::alive_ids() const {
+  std::vector<int> ids;
+  ids.reserve(static_cast<size_t>(num_graphs()));
+  for (const QueryEngine& shard : shards_) {
+    const std::vector<int> shard_ids = shard.alive_ids();
+    ids.insert(ids.end(), shard_ids.begin(), shard_ids.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+PersistedIndex ShardedEngine::ToPersistedIndex() const {
+  // Merge the shards' live rows back into ascending-id order.
+  std::vector<std::pair<int, std::vector<uint8_t>>> rows;
+  rows.reserve(static_cast<size_t>(num_graphs()));
+  for (const QueryEngine& shard : shards_) {
+    PersistedIndex part = shard.ToPersistedIndex();
+    for (size_t i = 0; i < part.db_bits.size(); ++i) {
+      rows.emplace_back(part.ids[i], std::move(part.db_bits[i]));
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  PersistedIndex index;
+  index.features = mapper_.features();
+  index.db_bits.reserve(rows.size());
+  index.ids.reserve(rows.size());
+  for (auto& [id, bits] : rows) {
+    index.ids.push_back(id);
+    index.db_bits.push_back(std::move(bits));
+  }
+  index.next_id = next_id_;
+  return index;
+}
+
+Status ShardedEngine::Snapshot(const std::string& path,
+                               IndexFormat format) const {
+  if (format != IndexFormat::kV2Binary) {
+    return WriteIndexFile(ToPersistedIndex(), path, format);
+  }
+  // Stream every shard's packed rows in global id order — word-level
+  // pointers into the shard segments, no byte materialization, exactly like
+  // the single-engine snapshot path.
+  std::vector<std::pair<int, const uint64_t*>> live;
+  live.reserve(static_cast<size_t>(num_graphs()));
+  for (const QueryEngine& shard : shards_) {
+    const auto shard_live = shard.LiveRowWords();
+    live.insert(live.end(), shard_live.begin(), shard_live.end());
+  }
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<int> ids;
+  ids.reserve(live.size());
+  for (const auto& row : live) ids.push_back(row.first);
+  const size_t words_per_row =
+      shards_.empty() ? 0 : shards_[0].words_per_row();
+  return WriteIndexFileV2Words(
+      mapper_.features(), static_cast<uint64_t>(live.size()),
+      static_cast<uint64_t>(words_per_row),
+      [&](uint64_t i) { return live[i].second; }, ids, next_id_, path);
+}
+
+Ranking ShardedEngine::ScatterGather(const std::vector<uint8_t>& fingerprint,
+                                     int k, ServeQueryStats* stats,
+                                     int scatter_threads) const {
+  WallTimer timer;
+  const int n_shards = num_shards();
+
+  // Stage-2 policy is decided ONCE, over global counts, then forced onto
+  // every shard. Left to their per-shard fallback heuristics the shards
+  // diverge from the single engine: a shard locally holding fewer than k
+  // candidates would widen to a full scan the single engine never runs.
+  // The global rule is exactly the single engine's (some candidate
+  // survived, enough to fill k, strictly narrower than a full scan), and
+  // the candidate rows collected here feed straight into the narrowed
+  // scans — one intersection pass per shard total.
+  bool narrowed = false;
+  int features_on = 0;
+  for (uint8_t b : fingerprint) features_on += b != 0 ? 1 : 0;
+  std::vector<std::vector<int>> candidates;
+  if (options_.serve.containment_prefilter && features_on > 0) {
+    candidates.resize(static_cast<size_t>(n_shards));
+    long long total = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      candidates[s] = shards_[s].PrefilterCandidateRows(fingerprint);
+      total += static_cast<long long>(candidates[s].size());
+    }
+    narrowed = total > 0 && total >= std::max(k, 0) && total < num_graphs();
+  }
+
+  std::vector<Ranking> partials(static_cast<size_t>(n_shards));
+  std::vector<ServeQueryStats> shard_stats(static_cast<size_t>(n_shards));
+  ParallelScatter(
+      n_shards,
+      [&](int s) {
+        const size_t i = static_cast<size_t>(s);
+        partials[i] =
+            narrowed
+                ? shards_[i].QueryMappedCandidates(fingerprint, k,
+                                                   candidates[i],
+                                                   &shard_stats[i])
+                : shards_[i].QueryMapped(fingerprint, k, &shard_stats[i],
+                                         ScanMode::kFull);
+      },
+      scatter_threads);
+  Ranking merged = MergeTopK(partials, k);
+  if (stats != nullptr) {
+    stats->latency_ms = timer.Millis();
+    stats->features_on = features_on;
+    stats->scanned = 0;
+    for (int s = 0; s < n_shards; ++s) {
+      stats->scanned += shard_stats[static_cast<size_t>(s)].scanned;
+    }
+    stats->prefiltered = narrowed;
+  }
+  return merged;
+}
+
+Ranking ShardedEngine::Query(const Graph& query, int k,
+                             ServeQueryStats* stats) const {
+  WallTimer timer;
+  Ranking top =
+      ScatterGather(mapper_.Map(query), k, stats, options_.serve.threads);
+  if (stats != nullptr) stats->latency_ms = timer.Millis();  // include VF2
+  return top;
+}
+
+Ranking ShardedEngine::QueryMapped(const std::vector<uint8_t>& fingerprint,
+                                   int k, ServeQueryStats* stats) const {
+  return ScatterGather(fingerprint, k, stats, options_.serve.threads);
+}
+
+std::vector<Ranking> ShardedEngine::QueryBatch(
+    const GraphDatabase& queries, int k, ServeBatchReport* report,
+    std::vector<ServeQueryStats>* per_query) const {
+  WallTimer batch_timer;
+  std::vector<Ranking> results(queries.size());
+  std::vector<ServeQueryStats> stats(queries.size());
+  // One pool over queries; each query scatters serially (no nested pools).
+  ParallelFor(
+      0, static_cast<int>(queries.size()),
+      [&](int i) {
+        WallTimer query_timer;
+        results[static_cast<size_t>(i)] =
+            ScatterGather(mapper_.Map(queries[static_cast<size_t>(i)]), k,
+                          &stats[static_cast<size_t>(i)], 1);
+        stats[static_cast<size_t>(i)].latency_ms = query_timer.Millis();
+      },
+      options_.serve.threads);
+  const double wall_ms = batch_timer.Millis();
+  if (report != nullptr) FillServeBatchReport(wall_ms, stats, report);
+  if (per_query != nullptr) *per_query = std::move(stats);
+  return results;
+}
+
+std::vector<Ranking> ShardedEngine::QueryMappedBatch(
+    const std::vector<std::vector<uint8_t>>& fingerprints, int k,
+    ServeBatchReport* report, std::vector<ServeQueryStats>* per_query) const {
+  WallTimer batch_timer;
+  std::vector<Ranking> results(fingerprints.size());
+  std::vector<ServeQueryStats> stats(fingerprints.size());
+  ParallelFor(
+      0, static_cast<int>(fingerprints.size()),
+      [&](int i) {
+        results[static_cast<size_t>(i)] =
+            ScatterGather(fingerprints[static_cast<size_t>(i)], k,
+                          &stats[static_cast<size_t>(i)], 1);
+      },
+      options_.serve.threads);
+  const double wall_ms = batch_timer.Millis();
+  if (report != nullptr) FillServeBatchReport(wall_ms, stats, report);
+  if (per_query != nullptr) *per_query = std::move(stats);
+  return results;
+}
+
+}  // namespace gdim

@@ -1,0 +1,161 @@
+#ifndef GDIM_SERVER_SHARDED_ENGINE_H_
+#define GDIM_SERVER_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/index_io.h"
+#include "core/mapper.h"
+#include "core/topk.h"
+#include "graph/graph.h"
+#include "serve/query_engine.h"
+
+namespace gdim {
+
+/// Knobs for the sharded serving layer.
+struct ShardedOptions {
+  /// Number of QueryEngine shards; must be >= 1. Results are bit-identical
+  /// for every shard count (the gather merge reproduces the single-engine
+  /// score-then-id total order exactly).
+  int num_shards = 1;
+
+  /// Per-shard serving options. `serve.threads` also sizes the scatter pool
+  /// of Query()/QueryBatch(); the prefilter flag is passed through to every
+  /// shard.
+  ServeOptions serve;
+};
+
+/// A horizontally partitioned QueryEngine: the database is hash-partitioned
+/// across N shards by stable external id (shard of id = id % N), and a top-k
+/// query is answered by scattering the mapped fingerprint to every shard in
+/// parallel and gather-merging the per-shard top-k lists with the same
+/// ascending score-then-id total order the single engine uses.
+///
+/// Invariants:
+///  - External ids are global and stable: the sharded engine owns one id
+///    sequence, routes inserts/removes by id, and a snapshot/reload cycle —
+///    including reloading with a *different* shard count — preserves every
+///    id (the partition function is a pure function of id and N).
+///  - Bit-identical answers: for any shard count and any thread count,
+///    Query/QueryBatch return exactly the ids and scores a single
+///    QueryEngine over the same live database returns, before and after any
+///    interleaved insert/remove/compact sequence. Each shard's top-k is a
+///    superset of the global top-k restricted to that shard, and the k-way
+///    merge breaks ties by id just like the single-engine ranking.
+///
+/// Like QueryEngine, mutations are not thread-safe: callers must not run
+/// Insert/Remove/Compact concurrently with each other or with queries (the
+/// BatchExecutor serializes them onto one dispatcher thread).
+class ShardedEngine {
+ public:
+  /// Partitions the persisted index across options.num_shards shards.
+  /// Row ids (explicit, or positional when the index has no id block)
+  /// determine placement; validation mirrors QueryEngine::FromIndex.
+  static Result<ShardedEngine> FromIndex(PersistedIndex index,
+                                         ShardedOptions options = {});
+
+  /// FromIndex over an index already in the packed scan layout: shard rows
+  /// are split with word-level copies, never through byte vectors.
+  static Result<ShardedEngine> FromPacked(PackedIndex index,
+                                          ShardedOptions options = {});
+
+  /// Loads the index file at path (v2 through the direct packed-words
+  /// path) and partitions it.
+  static Result<ShardedEngine> Open(const std::string& index_path,
+                                    ShardedOptions options = {});
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_features() const { return mapper_.num_features(); }
+  const ShardedOptions& options() const { return options_; }
+  /// The shared stage-1 mapper: the batch executor maps a coalesced run
+  /// once (MapAll) and feeds the fingerprints to QueryMappedBatch.
+  const FeatureMapper& mapper() const { return mapper_; }
+  /// Live graphs across all shards.
+  int num_graphs() const;
+  /// Shard observability (tests, STATS reporting).
+  const QueryEngine& shard(int s) const;
+
+  /// Inserts a graph: assigns the next global id, fingerprints once, and
+  /// appends to the owning shard. Returns the stable external id — the same
+  /// id a single QueryEngine would have assigned.
+  Result<int> Insert(const Graph& graph);
+
+  /// Insert for callers that already hold the mapped fingerprint.
+  Result<int> InsertMapped(const std::vector<uint8_t>& fingerprint);
+
+  /// Tombstones the graph with the given external id in its owning shard;
+  /// NotFound if no live graph has that id.
+  Status Remove(int id);
+
+  /// Compacts every shard (reclaims tombstones, seals deltas). Ids are
+  /// unchanged.
+  void Compact();
+
+  /// External ids of the live graphs across all shards, ascending.
+  std::vector<int> alive_ids() const;
+
+  /// The equivalent single-engine database: live fingerprints and ids in
+  /// ascending-id order plus the global id counter. A QueryEngine (or a
+  /// ShardedEngine of any shard count) built from this answers queries
+  /// bit-identically.
+  PersistedIndex ToPersistedIndex() const;
+
+  /// Writes the merged live state to one index file, shard-count
+  /// independent. v2 streams each shard's packed rows in global id order
+  /// (word-level, no byte materialization); a reload with any shard count
+  /// keeps serving the same ids.
+  Status Snapshot(const std::string& path,
+                  IndexFormat format = IndexFormat::kV2Binary) const;
+
+  /// Top-k for one query: VF2-fingerprint once, scatter the mapped vector
+  /// across all shards on the scatter pool, gather-merge. stats aggregates
+  /// over shards (scanned rows are summed; prefiltered means every shard
+  /// with live rows served from a narrowed scan).
+  Ranking Query(const Graph& query, int k,
+                ServeQueryStats* stats = nullptr) const;
+
+  /// Query for a pre-mapped fingerprint (width must be num_features()).
+  Ranking QueryMapped(const std::vector<uint8_t>& fingerprint, int k,
+                      ServeQueryStats* stats = nullptr) const;
+
+  /// Answers a whole batch: queries are parallelized across the thread
+  /// pool, each scattering over shards serially (one pool, no nested
+  /// oversubscription). Deterministic for any thread count.
+  std::vector<Ranking> QueryBatch(
+      const GraphDatabase& queries, int k, ServeBatchReport* report = nullptr,
+      std::vector<ServeQueryStats>* per_query = nullptr) const;
+
+  /// QueryBatch over pre-mapped fingerprints — the multi-query entry point
+  /// the batch executor coalesces concurrent network queries into (one
+  /// MapAll pass, then packed scans only).
+  std::vector<Ranking> QueryMappedBatch(
+      const std::vector<std::vector<uint8_t>>& fingerprints, int k,
+      ServeBatchReport* report = nullptr,
+      std::vector<ServeQueryStats>* per_query = nullptr) const;
+
+ private:
+  ShardedEngine() = default;
+
+  int ShardOf(int id) const {
+    return id % static_cast<int>(shards_.size());
+  }
+
+  /// Scatter + gather for one mapped fingerprint with an explicit scatter
+  /// pool size (1 inside batch loops, options_.serve.threads for single
+  /// queries).
+  Ranking ScatterGather(const std::vector<uint8_t>& fingerprint, int k,
+                        ServeQueryStats* stats, int scatter_threads) const;
+
+  ShardedOptions options_;
+  FeatureMapper mapper_{GraphDatabase{}};
+  std::vector<QueryEngine> shards_;
+  /// The global id sequence; mirrors what a single engine's counter would
+  /// be after the same build + mutation history.
+  int next_id_ = 0;
+};
+
+}  // namespace gdim
+
+#endif  // GDIM_SERVER_SHARDED_ENGINE_H_

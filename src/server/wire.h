@@ -1,0 +1,72 @@
+#ifndef GDIM_SERVER_WIRE_H_
+#define GDIM_SERVER_WIRE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/topk.h"
+#include "graph/graph.h"
+
+namespace gdim {
+
+/// The line-delimited text protocol of the network serving layer (see
+/// docs/protocol.md for the full spec). One '\n'-terminated request line
+/// maps to exactly one '\n'-terminated response line:
+///
+///   QUERY <k> <graph>     ->  OK <m> <id>:<score> ...
+///   INSERT <graph>        ->  OK <id>
+///   REMOVE <id>           ->  OK removed <id>
+///   SNAPSHOT <path>       ->  OK snapshot <path>
+///   STATS                 ->  OK key=value ...
+///   PING                  ->  OK pong
+///   QUIT                  ->  (server closes the connection)
+///   any failure           ->  ERR <StatusCodeName> <message>
+///
+/// <graph> is a whole gSpan transaction ('t # id' / 'v id label' /
+/// 'e u v label' lines) with ';' standing in for the newlines, so a graph
+/// travels on one line. Scores print with 6 fractional digits.
+
+/// Request verbs.
+enum class WireVerb {
+  kQuery,
+  kInsert,
+  kRemove,
+  kSnapshot,
+  kStats,
+  kPing,
+  kQuit,
+};
+
+/// A parsed request line.
+struct WireRequest {
+  WireVerb verb = WireVerb::kPing;
+  int k = 0;         ///< kQuery
+  int id = 0;        ///< kRemove
+  std::string path;  ///< kSnapshot
+  Graph graph;       ///< kQuery, kInsert
+};
+
+/// One graph as a single-line wire token (gSpan with ';' separators).
+std::string EncodeGraphInline(const Graph& graph);
+
+/// Inverse of EncodeGraphInline; the spec must contain exactly one graph.
+Result<Graph> DecodeGraphInline(const std::string& spec);
+
+/// Parses one request line. Unknown verbs, malformed integers, and broken
+/// graph specs come back as InvalidArgument/ParseError for the server to
+/// format as an ERR response.
+Result<WireRequest> ParseWireRequest(const std::string& line);
+
+/// "OK <m> <id>:<score> ..." for a ranking (no trailing newline).
+std::string FormatRankingResponse(const Ranking& ranking);
+
+/// "ERR <CodeName> <message>" with the message flattened to one line.
+std::string FormatErrorResponse(const Status& status);
+
+/// Client side: parses a QUERY response line into the ranking, or the
+/// transported Status for an ERR line (code name mapped back to the enum).
+Result<Ranking> ParseRankingResponse(const std::string& line);
+
+}  // namespace gdim
+
+#endif  // GDIM_SERVER_WIRE_H_

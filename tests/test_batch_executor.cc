@@ -1,0 +1,186 @@
+// BatchExecutor tests: coalesced query batches answer exactly like the
+// engine, admission is bounded with a typed backpressure status (never a
+// blocked producer), and mutations are FIFO-serialized with queries.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/index_io.h"
+#include "graph/graph.h"
+#include "serve/query_engine.h"
+#include "server/batch_executor.h"
+#include "server/sharded_engine.h"
+
+namespace gdim {
+namespace {
+
+/// Single-vertex-feature index (fingerprint == vertex-label set), so
+/// queries are cheap and fully scripted.
+PersistedIndex LabelIndex(int rows) {
+  const int kLabels = 5;
+  PersistedIndex index;
+  for (LabelId r = 0; r < kLabels; ++r) {
+    Graph f;
+    f.AddVertex(r);
+    index.features.push_back(f);
+  }
+  const std::vector<std::vector<uint8_t>> patterns = {
+      {1, 1, 0, 0, 0}, {0, 0, 1, 1, 0}, {1, 0, 1, 0, 1},
+  };
+  for (int i = 0; i < rows; ++i) {
+    index.db_bits.push_back(patterns[static_cast<size_t>(i) %
+                                     patterns.size()]);
+  }
+  return index;
+}
+
+Graph LabelGraph(std::vector<LabelId> labels) {
+  Graph g;
+  for (LabelId l : labels) g.AddVertex(l);
+  return g;
+}
+
+ShardedEngine MakeEngine(int rows, int shards) {
+  ShardedOptions opts;
+  opts.num_shards = shards;
+  auto engine = ShardedEngine::FromIndex(LabelIndex(rows), opts);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+TEST(BatchExecutorTest, ConcurrentQueriesMatchDirectEngine) {
+  ShardedEngine engine = MakeEngine(30, 3);
+  // Expected answers computed before the executor exists (the executor owns
+  // all engine access once running).
+  const std::vector<Graph> probes = {
+      LabelGraph({0, 1}), LabelGraph({2}), LabelGraph({0, 2, 4}),
+      LabelGraph({3, 4}),
+  };
+  std::vector<Ranking> expected;
+  for (const Graph& p : probes) expected.push_back(engine.Query(p, 7));
+
+  BatchExecutorOptions opts;
+  opts.queue_capacity = 64;
+  opts.max_batch = 8;
+  BatchExecutor executor(&engine, opts);
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 25;
+  std::vector<std::future<bool>> done;
+  done.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    done.push_back(std::async(std::launch::async, [&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const size_t which = static_cast<size_t>(t + i) % probes.size();
+        Result<Ranking> got = executor.Query(probes[which], 7);
+        if (!got.ok() || *got != expected[which]) return false;
+      }
+      return true;
+    }));
+  }
+  for (auto& d : done) EXPECT_TRUE(d.get());
+
+  const BatchExecutorStats stats = executor.Stats();
+  EXPECT_EQ(stats.accepted, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.completed, stats.accepted);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GE(stats.batches, 1u);
+  // Coalescing must never run more batches than requests.
+  EXPECT_LE(stats.batches, stats.accepted);
+  EXPECT_EQ(stats.latency_ms.count, stats.accepted);
+}
+
+TEST(BatchExecutorTest, FullQueueRejectsWithResourceExhausted) {
+  ShardedEngine engine = MakeEngine(12, 2);
+  BatchExecutorOptions opts;
+  opts.queue_capacity = 2;
+  opts.max_batch = 4;
+  BatchExecutor executor(&engine, opts);
+  // Freeze the dispatcher so admitted requests stay queued, deterministic.
+  executor.Pause();
+  auto q1 = std::async(std::launch::async,
+                       [&] { return executor.Query(LabelGraph({0}), 3); });
+  auto q2 = std::async(std::launch::async,
+                       [&] { return executor.Query(LabelGraph({1}), 3); });
+  while (executor.Stats().queued < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Queue is at capacity: the next submit must bounce immediately with the
+  // typed backpressure status instead of blocking.
+  Result<Ranking> rejected = executor.Query(LabelGraph({2}), 3);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  Status rejected_remove = executor.Remove(0);
+  EXPECT_EQ(rejected_remove.code(), StatusCode::kResourceExhausted);
+
+  executor.Resume();
+  EXPECT_TRUE(q1.get().ok());
+  EXPECT_TRUE(q2.get().ok());
+  const BatchExecutorStats stats = executor.Stats();
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(BatchExecutorTest, MutationsAreFifoWithQueries) {
+  ShardedEngine engine = MakeEngine(6, 3);
+  BatchExecutor executor(&engine);
+  // Insert → the very next query (same producer, FIFO queue) sees the row.
+  Result<int> id = executor.Insert(LabelGraph({0, 1, 2, 3, 4}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 6);
+  Result<Ranking> with = executor.Query(LabelGraph({0, 1, 2, 3, 4}), 1);
+  ASSERT_TRUE(with.ok());
+  ASSERT_EQ(with->size(), 1u);
+  EXPECT_EQ((*with)[0].id, 6);
+  EXPECT_DOUBLE_EQ((*with)[0].score, 0.0);
+
+  ASSERT_TRUE(executor.Remove(6).ok());
+  EXPECT_EQ(executor.Remove(6).code(), StatusCode::kNotFound);
+  Result<Ranking> without = executor.Query(LabelGraph({0, 1, 2, 3, 4}), 100);
+  ASSERT_TRUE(without.ok());
+  for (const RankedResult& r : *without) EXPECT_NE(r.id, 6);
+
+  Result<EngineGauges> gauges = executor.Gauges();
+  ASSERT_TRUE(gauges.ok());
+  EXPECT_EQ(gauges->graphs, 6);
+  EXPECT_EQ(gauges->shards, 3);
+  EXPECT_EQ(gauges->features, 5);
+
+  const std::string path = ::testing::TempDir() + "/gdim_executor_snap.idx2";
+  ASSERT_TRUE(executor.Snapshot(path).ok());
+  auto reloaded = QueryEngine::Open(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->num_graphs(), 6);
+
+  const BatchExecutorStats stats = executor.Stats();
+  EXPECT_EQ(stats.mutations, 4u);  // insert + 2 removes + snapshot
+}
+
+TEST(BatchExecutorTest, DestructorDrainsAdmittedRequests) {
+  ShardedEngine engine = MakeEngine(12, 2);
+  std::vector<std::future<Result<Ranking>>> pending;
+  {
+    BatchExecutor executor(&engine);
+    executor.Pause();
+    for (int i = 0; i < 5; ++i) {
+      pending.push_back(std::async(std::launch::async, [&] {
+        return executor.Query(LabelGraph({0, 2}), 4);
+      }));
+    }
+    while (executor.Stats().queued < 5) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Destruction drains the paused queue before stopping the dispatcher.
+  }
+  for (auto& p : pending) {
+    Result<Ranking> got = p.get();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->size(), 4u);
+  }
+}
+
+}  // namespace
+}  // namespace gdim

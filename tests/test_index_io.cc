@@ -356,6 +356,102 @@ TEST(IndexIoTest, MutatedEngineSnapshotReloadsEquivalently) {
   }
 }
 
+TEST(IndexIoTest, PackedReaderMatchesByteReaderForBothFormats) {
+  Rng rng(41);
+  for (int p : {0, 1, 63, 64, 65, 130}) {
+    for (int n : {0, 1, 17}) {
+      PersistedIndex index = RandomIndex(n, p, &rng);
+      if (n > 0) {
+        index.ids.resize(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+          index.ids[static_cast<size_t>(i)] = 2 * i + 1;  // sparse ids
+        }
+      }
+      for (IndexFormat format :
+           {IndexFormat::kV1Text, IndexFormat::kV2Binary}) {
+        const std::string path = ::testing::TempDir() + "/gdim_packed_rt" +
+                                 (format == IndexFormat::kV2Binary ? ".idx2"
+                                                                   : ".idx");
+        ASSERT_TRUE(WriteIndexFile(index, path, format).ok());
+        Result<PackedIndex> packed = ReadIndexFilePacked(path);
+        ASSERT_TRUE(packed.ok())
+            << "p=" << p << " n=" << n << ": " << packed.status().ToString();
+        Result<PersistedIndex> bytes = ReadIndexFile(path);
+        ASSERT_TRUE(bytes.ok());
+        EXPECT_EQ(packed->features, bytes->features);
+        EXPECT_EQ(packed->ids, bytes->ids);
+        EXPECT_EQ(packed->next_id, bytes->next_id);
+        ASSERT_EQ(packed->rows.num_rows(), n);
+        ASSERT_EQ(packed->rows.num_bits(), p);
+        for (int i = 0; i < n; ++i) {
+          EXPECT_EQ(packed->rows.UnpackRow(i),
+                    bytes->db_bits[static_cast<size_t>(i)])
+              << "p=" << p << " row=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(IndexIoTest, PackedReaderMasksHostilePaddingBits) {
+  // p = 10 leaves 54 padding bits per word; a hostile writer can set them,
+  // and the direct word-adopting load path must not let them poison the
+  // popcount distances.
+  const int p = 10;
+  Rng rng(43);
+  PersistedIndex meta = RandomIndex(3, p, &rng);
+  const std::vector<uint64_t> dirty_rows = {
+      0x00000000000003FFULL | 0xFFFFFFFFFFFFFC00ULL,  // all 10 bits + junk
+      0x0000000000000001ULL | 0xABCDEF0000000C00ULL,  // bit 0 + junk
+      0x0000000000000000ULL | 0xFFFFFFFFFFFFFC00ULL,  // no bits + junk
+  };
+  const std::string path = ::testing::TempDir() + "/gdim_dirty_pad.idx2";
+  ASSERT_TRUE(WriteIndexFileV2Words(
+                  meta.features, 3, 1,
+                  [&](uint64_t i) { return &dirty_rows[i]; }, {}, -1, path)
+                  .ok());
+  Result<PackedIndex> packed = ReadIndexFilePacked(path);
+  ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+  EXPECT_EQ(packed->rows.UnpackRow(0), std::vector<uint8_t>(p, 1));
+  std::vector<uint8_t> bit0(p, 0);
+  bit0[0] = 1;
+  EXPECT_EQ(packed->rows.UnpackRow(1), bit0);
+  EXPECT_EQ(packed->rows.UnpackRow(2), std::vector<uint8_t>(p, 0));
+  // Distances see only the real bits: an all-ones query is 0 away from row
+  // 0 and p-away from row 2 — junk would inflate the popcount.
+  const std::vector<uint64_t> query =
+      packed->rows.PackQuery(std::vector<uint8_t>(p, 1));
+  EXPECT_EQ(packed->rows.HammingDistance(query, 0), 0);
+  EXPECT_EQ(packed->rows.HammingDistance(query, 1), p - 1);
+  EXPECT_EQ(packed->rows.HammingDistance(query, 2), p);
+}
+
+TEST(IndexIoTest, OpenServesIdenticallyThroughThePackedPath) {
+  Rng rng(47);
+  PersistedIndex index = RandomIndex(25, 70, &rng);
+  const std::string path = ::testing::TempDir() + "/gdim_packed_open.idx2";
+  ASSERT_TRUE(WriteIndexFile(index, path, IndexFormat::kV2Binary).ok());
+  // Open() loads v2 through ReadIndexFilePacked (block read, no byte
+  // detour); it must serve bit-identically to the byte-path engine.
+  auto packed_engine = QueryEngine::Open(path);
+  ASSERT_TRUE(packed_engine.ok()) << packed_engine.status().ToString();
+  auto byte_engine = QueryEngine::FromIndex(index);
+  ASSERT_TRUE(byte_engine.ok());
+  EXPECT_EQ(packed_engine->num_graphs(), 25);
+  for (const auto& probe_bits : RandomBitRows(6, 70, 0.35, &rng)) {
+    EXPECT_EQ(packed_engine->QueryMapped(probe_bits, 8),
+              byte_engine->QueryMapped(probe_bits, 8));
+  }
+  // Mutations on a packed-loaded engine behave identically too.
+  ASSERT_TRUE(packed_engine->Remove(3).ok());
+  ASSERT_TRUE(byte_engine->Remove(3).ok());
+  auto a = packed_engine->InsertMapped(RandomBitRows(1, 70, 0.5, &rng)[0]);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, 25);
+  packed_engine->Compact();
+  EXPECT_EQ(packed_engine->num_graphs(), 25);
+}
+
 TEST(IndexIoTest, EndToEndServeFromDisk) {
   // Build an index, persist its dimension + vectors, reload, and verify a
   // query answered from the reloaded artifacts matches the live index.

@@ -1,0 +1,324 @@
+// Sharded scatter-gather tests: a ShardedEngine over ANY shard count must
+// answer bit-identically (ids and scores) to a single QueryEngine on the
+// same database — through tie-heavy score distributions, k larger than any
+// shard, shards emptied by removals, interleaved churn, and snapshot/reload
+// cycles that change the shard count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/index.h"
+#include "core/index_io.h"
+#include "core/mapper.h"
+#include "datasets/chemgen.h"
+#include "serve/query_engine.h"
+#include "server/sharded_engine.h"
+
+namespace gdim {
+namespace {
+
+ShardedOptions Sharded(int num_shards, int threads = 0,
+                       bool prefilter = false) {
+  ShardedOptions opts;
+  opts.num_shards = num_shards;
+  opts.serve.threads = threads;
+  opts.serve.containment_prefilter = prefilter;
+  return opts;
+}
+
+class ShardedEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ChemGenOptions gen;
+    gen.num_graphs = 40;
+    gen.num_families = 6;
+    gen.min_vertices = 8;
+    gen.max_vertices = 14;
+    db_ = new GraphDatabase(GenerateChemDatabase(gen));
+    // >= 64 queries so QueryBatch crosses ParallelFor's serial threshold
+    // and the thread-determinism assertions actually spawn workers.
+    queries_ = new GraphDatabase(GenerateChemQueries(gen, 70));
+    IndexOptions opts;
+    opts.mining.min_support = 0.15;
+    opts.mining.max_edges = 4;
+    opts.selector = "DSPM";
+    opts.p = 30;
+    opts.dspm.max_iters = 10;
+    auto built = GraphSearchIndex::Build(*db_, opts);
+    GDIM_CHECK(built.ok()) << built.status().ToString();
+    index_ = new PersistedIndex();
+    index_->features = built->dimension();
+    index_->db_bits = built->mapped_database();
+  }
+
+  static void TearDownTestSuite() {
+    delete db_;
+    delete queries_;
+    delete index_;
+    db_ = nullptr;
+    queries_ = nullptr;
+    index_ = nullptr;
+  }
+
+  static GraphDatabase* db_;
+  static GraphDatabase* queries_;
+  static PersistedIndex* index_;
+};
+
+GraphDatabase* ShardedEngineTest::db_ = nullptr;
+GraphDatabase* ShardedEngineTest::queries_ = nullptr;
+PersistedIndex* ShardedEngineTest::index_ = nullptr;
+
+TEST_F(ShardedEngineTest, AnyShardCountMatchesSingleEngineBitForBit) {
+  auto single = QueryEngine::FromIndex(*index_);
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  for (int shards : {1, 2, 4, 7}) {
+    for (int threads : {1, 8}) {
+      auto engine =
+          ShardedEngine::FromIndex(*index_, Sharded(shards, threads));
+      ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+      EXPECT_EQ(engine->num_shards(), shards);
+      EXPECT_EQ(engine->num_graphs(), single->num_graphs());
+      for (int k : {0, 3, 1000}) {
+        EXPECT_EQ(engine->QueryBatch(*queries_, k),
+                  single->QueryBatch(*queries_, k))
+            << "shards=" << shards << " threads=" << threads << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST_F(ShardedEngineTest, ScatterStatsAggregateAcrossShards) {
+  auto engine = ShardedEngine::FromIndex(*index_, Sharded(4));
+  ASSERT_TRUE(engine.ok());
+  ServeQueryStats stats;
+  const Ranking top = engine->Query((*queries_)[0], 5, &stats);
+  EXPECT_EQ(static_cast<int>(top.size()), 5);
+  // Full scans in every shard sum to the whole database.
+  EXPECT_EQ(stats.scanned, engine->num_graphs());
+  EXPECT_FALSE(stats.prefiltered);
+  EXPECT_GT(stats.latency_ms, 0.0);
+}
+
+TEST_F(ShardedEngineTest, InterleavedChurnStaysIdenticalToSingleEngine) {
+  FeatureMapper mapper(index_->features);
+  for (int threads : {1, 8}) {
+    for (bool prefilter : {false, true}) {
+      ServeOptions serve;
+      serve.threads = threads;
+      serve.containment_prefilter = prefilter;
+      auto single = QueryEngine::FromIndex(*index_, serve);
+      ASSERT_TRUE(single.ok());
+      auto sharded = ShardedEngine::FromIndex(
+          *index_, Sharded(4, threads, prefilter));
+      ASSERT_TRUE(sharded.ok());
+
+      // Identical mutation script against both engines: the sharded id
+      // sequence must mirror the single engine's exactly.
+      for (int id : {1, 5, 19, 38}) {
+        ASSERT_TRUE(single->Remove(id).ok());
+        ASSERT_TRUE(sharded->Remove(id).ok());
+      }
+      for (int i = 0; i < 10; ++i) {
+        const Graph& g = (*queries_)[static_cast<size_t>(i)];
+        auto single_id = single->Insert(g);
+        auto sharded_id = sharded->Insert(g);
+        ASSERT_TRUE(single_id.ok());
+        ASSERT_TRUE(sharded_id.ok());
+        EXPECT_EQ(*single_id, *sharded_id);
+      }
+      sharded->Compact();
+      single->Compact();
+      for (int id : {0, 2, 40, 44}) {  // 40/44 were inserted above
+        ASSERT_TRUE(single->Remove(id).ok());
+        ASSERT_TRUE(sharded->Remove(id).ok());
+      }
+      EXPECT_EQ(sharded->Remove(5).code(), StatusCode::kNotFound);  // twice
+      EXPECT_EQ(sharded->Remove(-3).code(), StatusCode::kNotFound);
+      EXPECT_EQ(sharded->Remove(9999).code(), StatusCode::kNotFound);
+
+      EXPECT_EQ(sharded->alive_ids(), single->alive_ids());
+      EXPECT_EQ(sharded->num_graphs(), single->num_graphs());
+      for (int k : {0, 3, 1000}) {
+        EXPECT_EQ(sharded->QueryBatch(*queries_, k),
+                  single->QueryBatch(*queries_, k))
+            << "threads=" << threads << " prefilter=" << prefilter
+            << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST_F(ShardedEngineTest, SnapshotReloadsUnderAnyShardCount) {
+  auto sharded = ShardedEngine::FromIndex(*index_, Sharded(4));
+  ASSERT_TRUE(sharded.ok());
+  for (int id : {0, 7, 13}) ASSERT_TRUE(sharded->Remove(id).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(sharded->Insert((*queries_)[static_cast<size_t>(i)]).ok());
+  }
+  const std::string path =
+      ::testing::TempDir() + "/gdim_sharded_snapshot.idx2";
+  ASSERT_TRUE(sharded->Snapshot(path).ok());
+
+  const std::vector<Ranking> expected = sharded->QueryBatch(*queries_, 6);
+  const std::vector<int> expected_ids = sharded->alive_ids();
+  // The snapshot is shard-count independent: reload as a single engine and
+  // as sharded engines of other counts, all bit-identical.
+  auto single = QueryEngine::Open(path);
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  EXPECT_EQ(single->alive_ids(), expected_ids);
+  EXPECT_EQ(single->QueryBatch(*queries_, 6), expected);
+  for (int shards : {2, 7}) {
+    auto reloaded = ShardedEngine::Open(path, Sharded(shards));
+    ASSERT_TRUE(reloaded.ok());
+    EXPECT_EQ(reloaded->alive_ids(), expected_ids);
+    EXPECT_EQ(reloaded->QueryBatch(*queries_, 6), expected)
+        << "shards=" << shards;
+    // The persisted id counter survives: the next insert gets the same id
+    // everywhere, never a re-issued one.
+    auto id = reloaded->Insert((*queries_)[9]);
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, 45);  // 40 initial + 5 inserted, removals don't recycle
+  }
+}
+
+TEST_F(ShardedEngineTest, RejectsBadShardCountsAndBadIds) {
+  EXPECT_FALSE(ShardedEngine::FromIndex(*index_, Sharded(0)).ok());
+  EXPECT_FALSE(ShardedEngine::FromIndex(*index_, Sharded(-2)).ok());
+  EXPECT_EQ(ShardedEngine::FromIndex(*index_, Sharded(0)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  PersistedIndex bad = *index_;
+  bad.ids.resize(bad.db_bits.size());
+  for (size_t i = 0; i < bad.ids.size(); ++i) {
+    bad.ids[i] = static_cast<int>(bad.ids.size() - i);  // descending
+  }
+  EXPECT_EQ(ShardedEngine::FromIndex(std::move(bad), Sharded(2))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Controlled-index tests: single-vertex features make fingerprints exact
+// label sets, so tie structure and shard occupancy are fully scripted.
+
+/// p single-vertex features; each row is one of a handful of patterns, so
+/// scores collapse onto very few distinct values (maximal tie pressure on
+/// the merge).
+PersistedIndex TieHeavyIndex(int rows) {
+  const int kLabels = 6;
+  PersistedIndex index;
+  for (LabelId r = 0; r < kLabels; ++r) {
+    Graph f;
+    f.AddVertex(r);
+    index.features.push_back(f);
+  }
+  const std::vector<std::vector<uint8_t>> patterns = {
+      {1, 1, 0, 0, 0, 0}, {0, 0, 1, 1, 0, 0}, {1, 0, 1, 0, 1, 0},
+      {0, 1, 0, 1, 0, 1},
+  };
+  for (int i = 0; i < rows; ++i) {
+    index.db_bits.push_back(patterns[static_cast<size_t>(i) %
+                                     patterns.size()]);
+  }
+  return index;
+}
+
+TEST(ShardedEngineTieTest, TieHeavyMergePreservesIdOrder) {
+  const PersistedIndex index = TieHeavyIndex(40);
+  auto single = QueryEngine::FromIndex(index);
+  ASSERT_TRUE(single.ok());
+  const std::vector<std::vector<uint8_t>> probes = {
+      {1, 1, 0, 0, 0, 0}, {0, 0, 0, 0, 0, 0}, {1, 1, 1, 1, 1, 1},
+      {1, 0, 0, 0, 0, 1},
+  };
+  for (int shards : {1, 2, 4, 7}) {
+    for (int threads : {1, 8}) {
+      auto engine =
+          ShardedEngine::FromIndex(index, Sharded(shards, threads));
+      ASSERT_TRUE(engine.ok());
+      for (const auto& probe : probes) {
+        for (int k : {1, 5, 39, 40, 100}) {
+          EXPECT_EQ(engine->QueryMapped(probe, k),
+                    single->QueryMapped(probe, k))
+              << "shards=" << shards << " threads=" << threads
+              << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedEngineTieTest, KLargerThanAnyShardsLiveRows) {
+  const PersistedIndex index = TieHeavyIndex(10);
+  auto single = QueryEngine::FromIndex(index);
+  ASSERT_TRUE(single.ok());
+  // 7 shards over 10 rows: every shard holds 1-2 rows, far below k.
+  auto engine = ShardedEngine::FromIndex(index, Sharded(7));
+  ASSERT_TRUE(engine.ok());
+  const std::vector<uint8_t> probe = {1, 0, 1, 0, 0, 0};
+  for (int k : {8, 10, 50}) {
+    const Ranking got = engine->QueryMapped(probe, k);
+    EXPECT_EQ(got, single->QueryMapped(probe, k)) << "k=" << k;
+    EXPECT_EQ(got.size(), std::min<size_t>(static_cast<size_t>(k), 10u));
+  }
+}
+
+TEST(ShardedEngineTieTest, ShardsEmptiedByRemovalsStillMerge) {
+  const PersistedIndex index = TieHeavyIndex(12);
+  auto single = QueryEngine::FromIndex(index);
+  auto engine = ShardedEngine::FromIndex(index, Sharded(4));
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(engine.ok());
+  // Remove every id ≡ 1 and ≡ 2 (mod 4): shards 1 and 2 end up empty.
+  for (int id = 0; id < 12; ++id) {
+    if (id % 4 == 1 || id % 4 == 2) {
+      ASSERT_TRUE(single->Remove(id).ok());
+      ASSERT_TRUE(engine->Remove(id).ok());
+    }
+  }
+  EXPECT_EQ(engine->shard(1).num_graphs(), 0);
+  EXPECT_EQ(engine->shard(2).num_graphs(), 0);
+  const std::vector<uint8_t> probe = {0, 1, 1, 0, 0, 0};
+  for (int k : {3, 6, 12}) {
+    EXPECT_EQ(engine->QueryMapped(probe, k), single->QueryMapped(probe, k))
+        << "k=" << k;
+  }
+
+  // Empty the database entirely: queries answer cleanly with nothing.
+  for (int id = 0; id < 12; ++id) {
+    if (id % 4 == 0 || id % 4 == 3) {
+      ASSERT_TRUE(engine->Remove(id).ok());
+    }
+  }
+  EXPECT_EQ(engine->num_graphs(), 0);
+  EXPECT_TRUE(engine->QueryMapped(probe, 5).empty());
+  engine->Compact();
+  EXPECT_TRUE(engine->QueryMapped(probe, 5).empty());
+}
+
+TEST(ShardedEngineTieTest, ToPersistedIndexRoundTripsThroughSingleEngine) {
+  const PersistedIndex index = TieHeavyIndex(12);
+  auto engine = ShardedEngine::FromIndex(index, Sharded(3));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->Remove(4).ok());
+  const std::vector<uint8_t> row = {1, 1, 1, 0, 0, 0};
+  ASSERT_TRUE(engine->InsertMapped(row).ok());
+
+  auto rebuilt = QueryEngine::FromIndex(engine->ToPersistedIndex());
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(rebuilt->alive_ids(), engine->alive_ids());
+  const std::vector<uint8_t> probe = {1, 1, 0, 0, 0, 1};
+  for (int k : {1, 6, 20}) {
+    EXPECT_EQ(rebuilt->QueryMapped(probe, k), engine->QueryMapped(probe, k));
+  }
+}
+
+}  // namespace
+}  // namespace gdim

@@ -5,6 +5,7 @@
 //   gdim_tool build    --db=db.gdb --selector=DSPM --p=100 --out=index.idx
 //   gdim_tool query    --index=index.idx --db=db.gdb --queries=q.gdb --k=10
 //   gdim_tool serve    --index=index.idx --queries=q.gdb --k=10 [--threads=N]
+//   gdim_tool serve-net --index=index.idx --port=7411 --shards=4 [--queue=256]
 //   gdim_tool bench-query --index=index.idx --queries=q.gdb [--repeat=R]
 //   gdim_tool update   --index=index.idx --out=index2.idx
 //                      [--insert=new.gdb --remove=3,17 --compact]
@@ -17,10 +18,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/flags.h"
@@ -35,6 +38,9 @@
 #include "graph/graph_utils.h"
 #include "mining/gspan.h"
 #include "serve/query_engine.h"
+#include "server/batch_executor.h"
+#include "server/net_server.h"
+#include "server/sharded_engine.h"
 
 namespace gdim {
 namespace {
@@ -47,8 +53,8 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: gdim_tool <generate|mine|build|query|serve|bench-query|update|"
-      "convert|stats> [--flags]\n"
+      "usage: gdim_tool <generate|mine|build|query|serve|serve-net|"
+      "bench-query|update|convert|stats> [--flags]\n"
       "  generate --kind=chem|synthetic --n=N --out=FILE "
       "[--queries=M --queries-out=FILE --seed=S]\n"
       "  mine     --db=FILE --out=FILE [--minsup=0.05 --maxedges=7]\n"
@@ -56,9 +62,11 @@ int Usage() {
       "--minsup=0.05 --maxedges=7 --seed=S --format=v1|v2]\n"
       "  query    --index=FILE --db=FILE --queries=FILE [--k=10]\n"
       "  serve    --index=FILE --queries=FILE [--k=10 --threads=N "
-      "--prefilter --quiet]\n"
+      "--shards=N --prefilter --quiet]\n"
+      "  serve-net --index=FILE [--host=127.0.0.1 --port=0 --shards=1 "
+      "--queue=256 --batch=64 --threads=N --max-conns=256 --prefilter]\n"
       "  bench-query --index=FILE --queries=FILE [--k=10 --threads=N "
-      "--prefilter --repeat=5]\n"
+      "--shards=N --prefilter --repeat=5]\n"
       "  update   --index=FILE --out=FILE [--insert=GRAPHS --remove=I,J,... "
       "--compact --format=v1|v2]\n"
       "  convert  --in=FILE --out=FILE [--format=v1|v2]\n"
@@ -75,6 +83,20 @@ Result<int> ValidatedK(const Flags& flags) {
                                    std::to_string(k));
   }
   return k;
+}
+
+/// Bounds an integer flag to [min_value, max_value] at the tool boundary —
+/// nonsense like --shards=0 or --port=99999 is a usage error, never a
+/// silently applied default.
+Result<int> ValidatedRange(const Flags& flags, const std::string& key,
+                           int def, int min_value, int max_value) {
+  const int value = flags.GetInt(key, def);
+  if (value < min_value || value > max_value) {
+    return Status::InvalidArgument(
+        "--" + key + " must be in [" + std::to_string(min_value) + ", " +
+        std::to_string(max_value) + "], got " + std::to_string(value));
+  }
+  return value;
 }
 
 int RunGenerate(const Flags& flags) {
@@ -216,22 +238,29 @@ int RunQuery(const Flags& flags) {
   return 0;
 }
 
-ServeOptions ServeOptionsFromFlags(const Flags& flags) {
-  ServeOptions opts;
-  opts.threads = flags.GetInt("threads", 0);
-  opts.containment_prefilter = flags.GetBool("prefilter", false);
+/// Serving flags shared by serve / serve-net / bench-query, validated.
+Result<ShardedOptions> ShardedOptionsFromFlags(const Flags& flags) {
+  ShardedOptions opts;
+  Result<int> threads = ValidatedRange(flags, "threads", 0, 0, 256);
+  if (!threads.ok()) return threads.status();
+  Result<int> shards = ValidatedRange(flags, "shards", 1, 1, 4096);
+  if (!shards.ok()) return shards.status();
+  opts.num_shards = *shards;
+  opts.serve.threads = *threads;
+  opts.serve.containment_prefilter = flags.GetBool("prefilter", false);
   return opts;
 }
 
 /// Shared serve/bench-query setup: flag validation, engine load, query load.
 /// Returns 0 to proceed, otherwise the exit code to return.
-int LoadServeInputs(const Flags& flags, std::optional<QueryEngine>* engine,
+int LoadServeInputs(const Flags& flags, std::optional<ShardedEngine>* engine,
                     GraphDatabase* queries) {
   const std::string index_path = flags.GetString("index", "");
   const std::string queries_path = flags.GetString("queries", "");
   if (index_path.empty() || queries_path.empty()) return Usage();
-  Result<QueryEngine> opened =
-      QueryEngine::Open(index_path, ServeOptionsFromFlags(flags));
+  Result<ShardedOptions> opts = ShardedOptionsFromFlags(flags);
+  if (!opts.ok()) return Fail(opts.status());
+  Result<ShardedEngine> opened = ShardedEngine::Open(index_path, *opts);
   if (!opened.ok()) return Fail(opened.status());
   Result<GraphDatabase> loaded = ReadGraphFile(queries_path);
   if (!loaded.ok()) return Fail(loaded.status());
@@ -241,7 +270,7 @@ int LoadServeInputs(const Flags& flags, std::optional<QueryEngine>* engine,
 }
 
 int RunServe(const Flags& flags) {
-  std::optional<QueryEngine> engine;
+  std::optional<ShardedEngine> engine;
   GraphDatabase queries;
   if (int rc = LoadServeInputs(flags, &engine, &queries); rc != 0) return rc;
   Result<int> k_flag = ValidatedK(flags);
@@ -281,13 +310,15 @@ int RunServe(const Flags& flags) {
 }
 
 int RunBenchQuery(const Flags& flags) {
-  std::optional<QueryEngine> engine;
+  std::optional<ShardedEngine> engine;
   GraphDatabase queries;
   if (int rc = LoadServeInputs(flags, &engine, &queries); rc != 0) return rc;
   Result<int> k_flag = ValidatedK(flags);
   if (!k_flag.ok()) return Fail(k_flag.status());
   const int k = *k_flag;
-  const int repeat = flags.GetInt("repeat", 5);
+  Result<int> repeat_flag = ValidatedRange(flags, "repeat", 5, 1, 1000000);
+  if (!repeat_flag.ok()) return Fail(repeat_flag.status());
+  const int repeat = *repeat_flag;
 
   // Warm-up pass, then timed repeats; report the aggregate distribution.
   engine->QueryBatch(queries, k);
@@ -303,14 +334,57 @@ int RunBenchQuery(const Flags& flags) {
   }
   LatencySummary batches = SummarizeLatencies(std::move(batch_ms));
   std::printf(
-      "# %d x %zu queries, %d graphs x %d dims, k=%d, threads=%d: "
-      "best %.0f qps, batch %s\n",
+      "# %d x %zu queries, %d graphs x %d dims, %d shard(s), k=%d, "
+      "threads=%d: best %.0f qps, batch %s\n",
       repeat, queries.size(), engine->num_graphs(), engine->num_features(),
-      k,
-      engine->options().threads > 0 ? engine->options().threads
-                                    : DefaultThreadCount(),
+      engine->num_shards(), k,
+      engine->options().serve.threads > 0 ? engine->options().serve.threads
+                                          : DefaultThreadCount(),
       best_qps, FormatLatencySummaryMs(batches).c_str());
   return 0;
+}
+
+int RunServeNet(const Flags& flags) {
+  const std::string index_path = flags.GetString("index", "");
+  if (index_path.empty()) return Usage();
+  Result<ShardedOptions> engine_opts = ShardedOptionsFromFlags(flags);
+  if (!engine_opts.ok()) return Fail(engine_opts.status());
+  Result<int> port = ValidatedRange(flags, "port", 0, 0, 65535);
+  if (!port.ok()) return Fail(port.status());
+  Result<int> queue = ValidatedRange(flags, "queue", 256, 1, 1 << 20);
+  if (!queue.ok()) return Fail(queue.status());
+  Result<int> batch = ValidatedRange(flags, "batch", 64, 1, 1 << 16);
+  if (!batch.ok()) return Fail(batch.status());
+  Result<int> max_conns = ValidatedRange(flags, "max-conns", 256, 1, 1 << 16);
+  if (!max_conns.ok()) return Fail(max_conns.status());
+
+  WallTimer load_timer;
+  Result<ShardedEngine> engine = ShardedEngine::Open(index_path, *engine_opts);
+  if (!engine.ok()) return Fail(engine.status());
+
+  BatchExecutorOptions executor_opts;
+  executor_opts.queue_capacity = *queue;
+  executor_opts.max_batch = *batch;
+  BatchExecutor executor(&*engine, executor_opts);
+
+  NetServerOptions server_opts;
+  server_opts.host = flags.GetString("host", "127.0.0.1");
+  server_opts.port = *port;
+  server_opts.max_connections = *max_conns;
+  NetServer server(&executor, server_opts);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+
+  // One greppable line for scripts (the CI smoke test parses port=N), then
+  // serve until killed.
+  std::printf(
+      "listening on %s port=%d (%d graphs x %d dims, shards=%d, queue=%d, "
+      "batch=%d, max-conns=%d, loaded in %.2fs)\n",
+      server_opts.host.c_str(), server.port(), engine->num_graphs(),
+      engine->num_features(), engine->num_shards(), *queue, *batch,
+      *max_conns, load_timer.Seconds());
+  std::fflush(stdout);
+  for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
 }
 
 /// Parses "--remove=3,17,42" into ids. Every comma-separated token must be
@@ -458,6 +532,7 @@ int Main(int argc, char** argv) {
   if (command == "build") return RunBuild(flags);
   if (command == "query") return RunQuery(flags);
   if (command == "serve") return RunServe(flags);
+  if (command == "serve-net") return RunServeNet(flags);
   if (command == "bench-query") return RunBenchQuery(flags);
   if (command == "update") return RunUpdate(flags);
   if (command == "convert") return RunConvert(flags);
