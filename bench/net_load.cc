@@ -7,19 +7,38 @@
 //
 //   bench_net_load --port=P [--host=127.0.0.1] --queries=q.gdb
 //                  [--k=10 --connections=4 --requests=400 --allow-reject]
+//                  [--repeat-frac=0.0 --zipf-s=1.0 --seed=1]
+//                  [--snapshot-path=FILE]
+//
+// --repeat-frac turns on the repeated-query mode that exercises the
+// server's result cache: each request is, with that probability, drawn
+// from a Zipfian distribution (exponent --zipf-s) over the query set —
+// hot queries repeat, exactly the locality a cache feeds on — and
+// otherwise walks the query set round-robin. The run ends by diffing the
+// server's STATS counters so the cache hit rate of *this run* is printed
+// next to the latency percentiles, a measured number rather than a claim.
+//
+// --snapshot-path issues one SNAPSHOT on its own connection once half the
+// requests are done, while every worker keeps hammering: its duration and
+// the workers' uninterrupted completion are the load-test evidence that
+// snapshots no longer stall the dispatcher.
 //
 // An ERR ResourceExhausted response is backpressure, not a protocol error;
 // it fails the run only without --allow-reject (a correctly provisioned
 // smoke run must see zero of either).
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/histogram.h"
+#include "common/random.h"
 #include "common/timer.h"
 #include "graph/graph_io.h"
 #include "server/net_socket.h"
@@ -27,6 +46,20 @@
 
 namespace gdim {
 namespace {
+
+/// One request/response exchange on a fresh connection (STATS probes, the
+/// mid-run SNAPSHOT). Empty string on any failure.
+std::string OneShotRpc(const std::string& host, int port,
+                       const std::string& request) {
+  Result<ScopedFd> conn = ConnectTcp(host, port);
+  if (!conn.ok()) return "";
+  if (!SendAll(conn->get(), request + "\n").ok()) return "";
+  LineReader reader(conn->get());
+  Result<std::optional<std::string>> response = reader.ReadLine();
+  if (!response.ok() || !response->has_value()) return "";
+  return **response;
+}
+
 
 struct WorkerResult {
   std::vector<double> latencies_ms;
@@ -36,9 +69,41 @@ struct WorkerResult {
   std::string first_error;
 };
 
+/// Zipfian sampler over ranks 0..n-1: P(rank) ∝ 1/(rank+1)^s. Hot, skewed
+/// repetition — the canonical repeated-query shape for cache measurement.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) {
+    cumulative_.reserve(n);
+    double total = 0.0;
+    for (size_t rank = 0; rank < n; ++rank) {
+      total += std::pow(static_cast<double>(rank + 1), -s);
+      cumulative_.push_back(total);
+    }
+  }
+
+  size_t Sample(Rng* rng) const {
+    const double u = rng->UniformDouble() * cumulative_.back();
+    size_t lo = 0, hi = cumulative_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cumulative_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
 void RunWorker(const std::string& host, int port,
                const std::vector<std::string>& request_lines,
                std::atomic<long long>* next_request, long long total_requests,
+               double repeat_frac, const ZipfSampler* zipf, uint64_t seed,
                WorkerResult* result) {
   auto fail = [result](const std::string& message) {
     ++result->errors;
@@ -49,12 +114,16 @@ void RunWorker(const std::string& host, int port,
     fail(conn.status().ToString());
     return;
   }
+  Rng rng(seed);
   LineReader reader(conn->get());
   for (;;) {
     const long long i = next_request->fetch_add(1);
     if (i >= total_requests) return;
-    const std::string& line =
-        request_lines[static_cast<size_t>(i) % request_lines.size()];
+    const size_t which =
+        repeat_frac > 0.0 && rng.Bernoulli(repeat_frac)
+            ? zipf->Sample(&rng)
+            : static_cast<size_t>(i) % request_lines.size();
+    const std::string& line = request_lines[which];
     WallTimer timer;
     if (Status sent = SendAll(conn->get(), line); !sent.ok()) {
       fail(sent.ToString());
@@ -90,12 +159,18 @@ int Main(int argc, char** argv) {
   const int connections = flags.GetInt("connections", 4);
   const long long requests = flags.GetInt("requests", 400);
   const bool allow_reject = flags.GetBool("allow-reject", false);
+  const double repeat_frac = flags.GetDouble("repeat-frac", 0.0);
+  const double zipf_s = flags.GetDouble("zipf-s", 1.0);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::string snapshot_path = flags.GetString("snapshot-path", "");
   if (port <= 0 || port > 65535 || queries_path.empty() || k < 0 ||
-      connections < 1 || requests < 1) {
+      connections < 1 || requests < 1 || repeat_frac < 0.0 ||
+      repeat_frac > 1.0 || zipf_s < 0.0) {
     std::fprintf(stderr,
                  "usage: bench_net_load --port=P --queries=FILE "
                  "[--host=127.0.0.1 --k=10 --connections=4 --requests=400 "
-                 "--allow-reject]\n");
+                 "--repeat-frac=0.0 --zipf-s=1.0 --seed=1 "
+                 "--snapshot-path=FILE --allow-reject]\n");
     return 2;
   }
   Result<GraphDatabase> queries = ReadGraphFile(queries_path);
@@ -114,18 +189,49 @@ int Main(int argc, char** argv) {
                             EncodeGraphInline(q) + "\n");
   }
 
+  const ZipfSampler zipf(request_lines.size(), zipf_s);
+  const std::string stats_before = OneShotRpc(host, port, "STATS");
+
   std::atomic<long long> next_request{0};
+  std::atomic<int> workers_alive{connections};
   std::vector<WorkerResult> results(static_cast<size_t>(connections));
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(connections));
   WallTimer wall;
   for (int c = 0; c < connections; ++c) {
-    workers.emplace_back(RunWorker, host, port, std::cref(request_lines),
-                         &next_request, requests,
-                         &results[static_cast<size_t>(c)]);
+    workers.emplace_back([&, c] {
+      RunWorker(host, port, request_lines, &next_request, requests,
+                repeat_frac, &zipf, seed * 1000003 + static_cast<uint64_t>(c),
+                &results[static_cast<size_t>(c)]);
+      --workers_alive;
+    });
+  }
+  // The snapshot probe: once half the requests are done — sustained load on
+  // both sides of the freeze — issue one SNAPSHOT on its own connection and
+  // time it. The workers never pause; their clean completion alongside this
+  // is the smoke-level proof that snapshots do not stall the dispatcher.
+  // Workers that die early (server gone) stop consuming tickets, so the
+  // wait also exits when none are left — a broken run fails, never hangs.
+  double snapshot_ms = -1.0;
+  std::string snapshot_response;
+  std::thread snapshotter;
+  if (!snapshot_path.empty()) {
+    snapshotter = std::thread([&] {
+      while (next_request.load() < requests / 2 &&
+             workers_alive.load() > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      WallTimer timer;
+      snapshot_response = OneShotRpc(host, port, "SNAPSHOT " + snapshot_path);
+      snapshot_ms = timer.Millis();
+    });
   }
   for (std::thread& w : workers) w.join();
+  // Sample the wall clock before waiting on the snapshotter: a snapshot
+  // tail that outlasts the workers must not deflate the reported qps.
   const double seconds = wall.Seconds();
+  if (snapshotter.joinable()) snapshotter.join();
+  const std::string stats_after = OneShotRpc(host, port, "STATS");
 
   long long ok = 0, rejected = 0, errors = 0;
   std::vector<double> latencies;
@@ -146,6 +252,30 @@ int Main(int argc, char** argv) {
       seconds > 0 ? static_cast<double>(ok) / seconds : 0.0,
       FormatLatencySummaryMs(summary).c_str());
   std::printf("# ok=%lld rejected=%lld errors=%lld\n", ok, rejected, errors);
+
+  // Cache hit rate of THIS run, from the server's own counters (STATS
+  // before/after delta) — the measured speedup evidence for the
+  // repeated-query mode. Old servers without the fields just skip the line.
+  if (!stats_before.empty() && !stats_after.empty()) {
+    const long long hits = StatsField(stats_after, "cache_hits") -
+                           StatsField(stats_before, "cache_hits");
+    const long long misses = StatsField(stats_after, "cache_misses") -
+                             StatsField(stats_before, "cache_misses");
+    if (StatsField(stats_after, "cache_hits") >= 0 && hits + misses > 0) {
+      std::printf("# cache: hits=%lld misses=%lld hit_rate=%.1f%%\n", hits,
+                  misses,
+                  100.0 * static_cast<double>(hits) /
+                      static_cast<double>(hits + misses));
+    }
+  }
+  if (!snapshot_path.empty()) {
+    const bool snapshot_ok = snapshot_response == "OK snapshot";
+    std::printf("# snapshot: %s in %.1fms under load (response '%s')\n",
+                snapshot_ok ? "completed" : "FAILED", snapshot_ms,
+                snapshot_response.c_str());
+    if (!snapshot_ok) return 1;
+  }
+
   if (!first_error.empty()) {
     std::fprintf(stderr, "first error: %s\n", first_error.c_str());
   }

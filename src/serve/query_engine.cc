@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <utility>
@@ -74,7 +75,8 @@ Result<QueryEngine> QueryEngine::FromPacked(PackedIndex index,
   }
   QueryEngine engine;
   engine.options_ = options;
-  engine.base_ = std::move(index.rows);
+  engine.base_ =
+      std::make_shared<const PackedBitMatrix>(std::move(index.rows));
   engine.delta_ = PackedBitMatrix::WithWidth(p);
   engine.tombstones_.assign(static_cast<size_t>(n), 0);
   engine.alive_ = n;
@@ -93,7 +95,7 @@ Result<QueryEngine> QueryEngine::FromPacked(PackedIndex index,
   if (options.containment_prefilter) {
     engine.supports_.assign(static_cast<size_t>(p), {});
     for (int row = 0; row < n; ++row) {
-      const std::vector<uint8_t> bits = engine.base_.UnpackRow(row);
+      const std::vector<uint8_t> bits = engine.base_->UnpackRow(row);
       for (int r = 0; r < p; ++r) {
         if (bits[static_cast<size_t>(r)] != 0) {
           engine.supports_[static_cast<size_t>(r)].push_back(row);
@@ -142,7 +144,7 @@ Result<int> QueryEngine::InsertMappedWithId(
         "id " + std::to_string(id) + " not after the engine's id cursor " +
         std::to_string(next_id_));
   }
-  const int row = base_.num_rows() + delta_.AppendRow(fingerprint);
+  const int row = base_->num_rows() + delta_.AppendRow(fingerprint);
   tombstones_.push_back(0);
   row_ids_.push_back(id);
   ++alive_;
@@ -153,6 +155,7 @@ Result<int> QueryEngine::InsertMappedWithId(
     }
   }
   next_id_ = id + 1;
+  ++epoch_;
   return id;
 }
 
@@ -174,6 +177,7 @@ Status QueryEngine::Remove(int id) {
       list.erase(it);
     }
   }
+  ++epoch_;
   return Status::OK();
 }
 
@@ -185,19 +189,22 @@ void QueryEngine::Compact() {
   std::vector<int> new_ids;
   new_ids.reserve(static_cast<size_t>(alive_));
   std::vector<int> old_to_new(static_cast<size_t>(total), -1);
-  const int base_n = base_.num_rows();
+  const int base_n = base_->num_rows();
   for (int row = 0; row < total; ++row) {
     if (tombstones_[static_cast<size_t>(row)] != 0) continue;
     old_to_new[static_cast<size_t>(row)] =
-        row < base_n ? merged.AppendRowFrom(base_, row)
+        row < base_n ? merged.AppendRowFrom(*base_, row)
                      : merged.AppendRowFrom(delta_, row - base_n);
     new_ids.push_back(row_ids_[static_cast<size_t>(row)]);
   }
-  base_ = std::move(merged);
+  // Install a fresh sealed segment rather than mutating in place: frozen
+  // snapshots may still hold a refcount on the old one.
+  base_ = std::make_shared<const PackedBitMatrix>(std::move(merged));
   delta_ = PackedBitMatrix::WithWidth(num_features());
   row_ids_ = std::move(new_ids);
   tombstones_.assign(static_cast<size_t>(alive_), 0);
   num_tombstones_ = 0;
+  ++epoch_;
   if (options_.containment_prefilter) {
     // The lists already hold exactly the live rows; renumber in place (the
     // old→new map is monotone, so each list stays sorted).
@@ -239,14 +246,38 @@ std::vector<std::pair<int, const uint64_t*>> QueryEngine::LiveRowWords()
     const {
   std::vector<std::pair<int, const uint64_t*>> live;
   live.reserve(static_cast<size_t>(alive_));
-  const int base_n = base_.num_rows();
+  const int base_n = base_->num_rows();
   for (int row = 0; row < total_rows(); ++row) {
     if (tombstones_[static_cast<size_t>(row)] != 0) continue;
     live.emplace_back(row_ids_[static_cast<size_t>(row)],
-                      row < base_n ? base_.row(row)
+                      row < base_n ? base_->row(row)
                                    : delta_.row(row - base_n));
   }
   return live;
+}
+
+std::vector<std::pair<int, const uint64_t*>> FrozenEngineState::LiveRowWords()
+    const {
+  std::vector<std::pair<int, const uint64_t*>> live;
+  const int base_n = base->num_rows();
+  const int total = base_n + delta.num_rows();
+  live.reserve(static_cast<size_t>(total));
+  for (int row = 0; row < total; ++row) {
+    if (tombstones[static_cast<size_t>(row)] != 0) continue;
+    live.emplace_back(row_ids[static_cast<size_t>(row)],
+                      row < base_n ? base->row(row)
+                                   : delta.row(row - base_n));
+  }
+  return live;
+}
+
+FrozenEngineState QueryEngine::Freeze() const {
+  FrozenEngineState frozen;
+  frozen.base = base_;  // refcount clone; Compact replaces, never mutates
+  frozen.delta = delta_;
+  frozen.tombstones = tombstones_;
+  frozen.row_ids = row_ids_;
+  return frozen;
 }
 
 Status QueryEngine::Snapshot(const std::string& path,
@@ -257,7 +288,7 @@ Status QueryEngine::Snapshot(const std::string& path,
     const std::vector<std::pair<int, const uint64_t*>> live = LiveRowWords();
     return WriteIndexFileV2Words(
         mapper_.features(), static_cast<uint64_t>(live.size()),
-        static_cast<uint64_t>(base_.words_per_row()),
+        static_cast<uint64_t>(base_->words_per_row()),
         [&](uint64_t i) { return live[i].second; }, alive_ids(), next_id_,
         path);
   }
@@ -272,9 +303,9 @@ int QueryEngine::FindLiveRow(int id) const {
 }
 
 std::vector<uint8_t> QueryEngine::RowBits(int row) const {
-  return row < base_.num_rows()
-             ? base_.UnpackRow(row)
-             : delta_.UnpackRow(row - base_.num_rows());
+  return row < base_->num_rows()
+             ? base_->UnpackRow(row)
+             : delta_.UnpackRow(row - base_->num_rows());
 }
 
 std::vector<int> QueryEngine::PrefilterCandidateRows(
@@ -288,7 +319,7 @@ Ranking QueryEngine::QueryMappedCandidates(
     const std::vector<int>& candidate_rows, ServeQueryStats* stats) const {
   if (k < 0) k = 0;
   WallTimer timer;
-  const std::vector<uint64_t> packed_query = base_.PackQuery(fingerprint);
+  const std::vector<uint64_t> packed_query = base_->PackQuery(fingerprint);
   std::vector<double> scores;
   ScoreRows(packed_query, candidate_rows, &scores);
   Ranking top = TopKCandidates(candidate_rows, scores, k);
@@ -321,12 +352,12 @@ void QueryEngine::ScoreRows(const std::vector<uint64_t>& packed_query,
   // Candidate lists are ascending, so base rows form a prefix and delta
   // rows a suffix; score in place (no per-query candidate-list copies).
   scores->resize(rows.size());
-  const int base_n = base_.num_rows();
+  const int base_n = base_->num_rows();
   for (size_t j = 0; j < rows.size(); ++j) {
     const int row = rows[j];
     (*scores)[j] =
         row < base_n
-            ? base_.NormalizedDistance(packed_query, row)
+            ? base_->NormalizedDistance(packed_query, row)
             : delta_.NormalizedDistance(packed_query, row - base_n);
   }
 }
@@ -352,7 +383,7 @@ Ranking QueryEngine::QueryMapped(const std::vector<uint8_t>& fingerprint,
 
   int features_on = 0;
   for (uint8_t b : fingerprint) features_on += b != 0 ? 1 : 0;
-  const std::vector<uint64_t> packed_query = base_.PackQuery(fingerprint);
+  const std::vector<uint64_t> packed_query = base_->PackQuery(fingerprint);
 
   // Stage 2: optional containment prefilter over the inverted lists.
   bool prefiltered = false;
@@ -382,8 +413,8 @@ Ranking QueryEngine::QueryMapped(const std::vector<uint8_t>& fingerprint,
     scanned = static_cast<int>(candidates.size());
   } else {
     scores.resize(static_cast<size_t>(total_rows()));
-    base_.ScoreAllInto(packed_query, scores.data());
-    delta_.ScoreAllInto(packed_query, scores.data() + base_.num_rows());
+    base_->ScoreAllInto(packed_query, scores.data());
+    delta_.ScoreAllInto(packed_query, scores.data() + base_->num_rows());
     if (num_tombstones_ > 0) {
       for (size_t row = 0; row < scores.size(); ++row) {
         if (tombstones_[row] != 0) scores[row] = kRemovedScore;

@@ -2,6 +2,7 @@
 #define GDIM_SERVE_QUERY_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -74,6 +75,26 @@ void FillServeBatchReport(double wall_ms,
                           const std::vector<ServeQueryStats>& stats,
                           ServeBatchReport* report);
 
+/// An immutable capture of one engine's live state, taken by Freeze() for
+/// asynchronous snapshotting. The sealed base segment — the part that scales
+/// with database size — is shared by refcount (it is only ever *replaced*,
+/// by Compact, never mutated in place), so a freeze copies just the delta
+/// segment, the tombstone bitset, and the id column: O(delta + n) small
+/// fields, no O(n·p) word copying and no file I/O. A background writer can
+/// then stream the capture to disk while the live engine keeps mutating.
+struct FrozenEngineState {
+  std::shared_ptr<const PackedBitMatrix> base;  ///< shared, never mutated
+  PackedBitMatrix delta;                        ///< copied (small)
+  std::vector<uint8_t> tombstones;              ///< copied; base + delta rows
+  std::vector<int> row_ids;                     ///< copied; base + delta rows
+
+  /// Live rows in ascending-id order as (id, packed word pointer) pairs;
+  /// pointers address into this capture's own segments and stay valid for
+  /// the capture's lifetime (unlike QueryEngine::LiveRowWords, which a
+  /// mutation invalidates).
+  std::vector<std::pair<int, const uint64_t*>> LiveRowWords() const;
+};
+
 /// The online query-serving engine: loads a built index (feature dimension +
 /// mapped database vectors), converts the vectors into the packed word
 /// layout, and answers batched top-k queries through a three-stage hot path —
@@ -120,13 +141,21 @@ class QueryEngine {
   /// Live (non-tombstoned) graphs.
   int num_graphs() const { return alive_; }
   int num_features() const { return mapper_.num_features(); }
+
+  /// Monotonic mutation epoch: bumped by every successful Insert/Remove and
+  /// by every Compact that does work. Two queries issued at the same epoch
+  /// are guaranteed bit-identical answers (the epoch is what makes cached
+  /// results safe to replay); queries never bump it. A bump does not imply
+  /// results changed — Compact rewrites physical rows without changing any
+  /// answer but still bumps, erring on the safe side.
+  uint64_t epoch() const { return epoch_; }
   const ServeOptions& options() const { return options_; }
   /// The stage-1 fingerprinting mapper (callers of QueryMapped share it).
   const FeatureMapper& mapper() const { return mapper_; }
 
   /// Physical layout observability: sealed base rows, appended delta rows,
   /// and rows removed but not yet reclaimed by Compact().
-  int base_rows() const { return base_.num_rows(); }
+  int base_rows() const { return base_->num_rows(); }
   int delta_rows() const { return delta_.num_rows(); }
   int tombstoned_rows() const { return num_tombstones_; }
 
@@ -166,7 +195,15 @@ class QueryEngine {
   std::vector<std::pair<int, const uint64_t*>> LiveRowWords() const;
 
   /// Words per packed row (= ceil(num_features() / 64)).
-  size_t words_per_row() const { return base_.words_per_row(); }
+  size_t words_per_row() const { return base_->words_per_row(); }
+
+  /// Captures the live state for asynchronous snapshotting: the sealed base
+  /// is cloned by refcount, the delta/tombstones/ids are copied. The pause
+  /// is O(delta rows · words + total rows) — independent of the sealed
+  /// base's size — and the capture stays bit-exact at this epoch no matter
+  /// what mutations follow. Same single-writer contract as queries: must not
+  /// run concurrently with Insert/Remove/Compact.
+  FrozenEngineState Freeze() const;
 
   /// The equivalent database of the current live state: the feature
   /// dimension plus the live fingerprints and their external ids in
@@ -226,7 +263,7 @@ class QueryEngine {
  private:
   QueryEngine() = default;
 
-  int total_rows() const { return base_.num_rows() + delta_.num_rows(); }
+  int total_rows() const { return base_->num_rows() + delta_.num_rows(); }
 
   /// Physical row of a live external id, or -1.
   int FindLiveRow(int id) const;
@@ -246,7 +283,11 @@ class QueryEngine {
 
   ServeOptions options_;
   FeatureMapper mapper_{GraphDatabase{}};
-  PackedBitMatrix base_;   ///< sealed segment
+  /// Sealed segment. Held by shared_ptr and treated as immutable — Compact
+  /// installs a fresh matrix instead of mutating — so Freeze() can clone it
+  /// by refcount and a background snapshot can read it safely while the
+  /// engine keeps mutating. Never null once the engine is built.
+  std::shared_ptr<const PackedBitMatrix> base_;
   PackedBitMatrix delta_;  ///< append-only segment (same width as base_)
   /// tombstones_[row] = 1 iff the physical row was removed; sized to
   /// total_rows().
@@ -257,6 +298,8 @@ class QueryEngine {
   /// ranking by physical row and ranking by external id agree on ties.
   std::vector<int> row_ids_;
   int next_id_ = 0;
+  /// Monotonic mutation counter; see epoch().
+  uint64_t epoch_ = 0;
   /// supports_[r] = ascending physical rows of live graphs containing
   /// feature r; only populated when options_.containment_prefilter.
   std::vector<std::vector<int>> supports_;

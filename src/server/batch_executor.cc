@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <iterator>
+#include <memory>
+#include <system_error>
 #include <utility>
 
 #include "common/logging.h"
@@ -18,6 +20,9 @@ BatchExecutor::BatchExecutor(ShardedEngine* engine,
       << "max_batch must be >= 1, got " << options_.max_batch;
   GDIM_CHECK(options_.latency_window >= 1);
   latency_window_.resize(static_cast<size_t>(options_.latency_window), 0.0);
+  if (options_.cache_bytes > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_bytes);
+  }
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -29,6 +34,10 @@ BatchExecutor::~BatchExecutor() {
   }
   cv_.notify_all();
   dispatcher_.join();
+  // Background snapshot writers only read their own frozen captures, but
+  // they signal completion through this object — wait them out.
+  std::unique_lock<std::mutex> lock(mu_);
+  snapshot_cv_.wait(lock, [this] { return snapshots_in_progress_ == 0; });
 }
 
 Status BatchExecutor::Admit(Request r) {
@@ -83,6 +92,15 @@ Status BatchExecutor::Remove(int id) {
   return done.get();
 }
 
+Status BatchExecutor::Compact() {
+  Request r;
+  r.kind = Request::Kind::kCompact;
+  std::future<Status> done = r.status.get_future();
+  Status admitted = Admit(std::move(r));
+  if (!admitted.ok()) return admitted;
+  return done.get();
+}
+
 Status BatchExecutor::Snapshot(std::string path) {
   Request r;
   r.kind = Request::Kind::kSnapshot;
@@ -111,6 +129,9 @@ BatchExecutorStats BatchExecutor::Stats() const {
   stats.batches = batches_;
   stats.mutations = mutations_;
   stats.queued = in_flight_;
+  stats.snapshots_in_progress = snapshots_in_progress_;
+  stats.snapshots_completed = snapshots_completed_;
+  if (cache_ != nullptr) stats.cache = cache_->Stats();
   std::vector<double> window(
       latency_window_.begin(),
       latency_full_ ? latency_window_.end()
@@ -202,10 +223,24 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
             [&r, status = std::move(status)] { r.status.set_value(status); });
         break;
       }
+      case Request::Kind::kCompact: {
+        engine_->Compact();
+        fulfill.push_back([&r] { r.status.set_value(Status::OK()); });
+        break;
+      }
       case Request::Kind::kSnapshot: {
-        Status status = engine_->Snapshot(r.path);
-        fulfill.push_back(
-            [&r, status = std::move(status)] { r.status.set_value(status); });
+        // Freeze on the dispatcher (the only thread allowed to touch the
+        // engine) — a bounded pause, no file I/O. The write itself moves to
+        // a background thread spawned from the fulfill closure, so the
+        // handoff happens after the dispatcher publishes this request's
+        // completion counters; the submitter's promise travels with it and
+        // resolves only once the file is durable.
+        auto frozen =
+            std::make_shared<FrozenShardedState>(engine_->Freeze());
+        fulfill.push_back([this, &r, frozen] {
+          StartAsyncSnapshot(std::move(*frozen), std::move(r.path),
+                             std::move(r.status));
+        });
         break;
       }
       case Request::Kind::kGauges: {
@@ -213,6 +248,7 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
         gauges.graphs = engine_->num_graphs();
         gauges.shards = engine_->num_shards();
         gauges.features = engine_->num_features();
+        gauges.epoch = engine_->epoch();
         fulfill.push_back([&r, gauges] { r.gauges.set_value(gauges); });
         break;
       }
@@ -222,37 +258,105 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
     return fulfill;
   }
   // Coalesced query run: one stage-1 mapping pass over the whole run
-  // (MapAll parallelizes the VF2 work), then packed multi-query scans.
-  // Requests may carry different k, so scans go per same-k span; one
-  // closed-loop workload almost always lands in a single span.
+  // (MapAll parallelizes the VF2 work), then the result cache, then packed
+  // multi-query scans for the misses only.
   GraphDatabase queries;
   queries.reserve(batch->size());
   for (Request& r : *batch) queries.push_back(std::move(r.graph));
   std::vector<std::vector<uint8_t>> fingerprints =
       engine_->mapper().MapAll(queries, engine_->options().serve.threads);
-  size_t begin = 0;
-  while (begin < batch->size()) {
-    size_t end = begin + 1;
-    while (end < batch->size() && (*batch)[end].k == (*batch)[begin].k) {
-      ++end;
+
+  // The epoch is sampled here, on the dispatcher: mutations are FIFO with
+  // query batches, so it is exact for every query in this run, and a hit at
+  // this epoch replays a result the engine produced at this exact state.
+  const uint64_t epoch = engine_->epoch();
+  const uint8_t mode_tag =
+      engine_->options().serve.containment_prefilter ? 1 : 0;
+  std::vector<Ranking> results(batch->size());
+  std::vector<std::string> keys(batch->size());
+  std::vector<size_t> misses;
+  misses.reserve(batch->size());
+  for (size_t i = 0; i < batch->size(); ++i) {
+    if (cache_ != nullptr) {
+      keys[i] = ResultCache::MakeKey(fingerprints[i], (*batch)[i].k,
+                                     mode_tag);
+      if (std::optional<Ranking> hit = cache_->Lookup(keys[i], epoch)) {
+        results[i] = std::move(*hit);
+        continue;
+      }
     }
-    std::vector<std::vector<uint8_t>> span(
-        std::make_move_iterator(fingerprints.begin() +
-                                static_cast<std::ptrdiff_t>(begin)),
-        std::make_move_iterator(fingerprints.begin() +
-                                static_cast<std::ptrdiff_t>(end)));
-    std::vector<Ranking> results =
-        engine_->QueryMappedBatch(span, (*batch)[begin].k);
-    for (size_t i = begin; i < end; ++i) {
-      Request& r = (*batch)[i];
-      fulfill.push_back(
-          [&r, result = std::move(results[i - begin])]() mutable {
-            r.ranking.set_value(std::move(result));
-          });
+    misses.push_back(i);
+  }
+
+  // Scatter the misses. Requests may carry different k, so scans go per
+  // same-k span of the miss list; one closed-loop workload almost always
+  // lands in a single span.
+  size_t begin = 0;
+  while (begin < misses.size()) {
+    const int k = (*batch)[misses[begin]].k;
+    size_t end = begin + 1;
+    while (end < misses.size() && (*batch)[misses[end]].k == k) ++end;
+    std::vector<std::vector<uint8_t>> span;
+    span.reserve(end - begin);
+    for (size_t j = begin; j < end; ++j) {
+      span.push_back(std::move(fingerprints[misses[j]]));
+    }
+    std::vector<Ranking> scanned = engine_->QueryMappedBatch(span, k);
+    for (size_t j = begin; j < end; ++j) {
+      const size_t i = misses[j];
+      results[i] = std::move(scanned[j - begin]);
+      if (cache_ != nullptr) cache_->Insert(keys[i], epoch, results[i]);
     }
     begin = end;
   }
+
+  for (size_t i = 0; i < batch->size(); ++i) {
+    Request& r = (*batch)[i];
+    fulfill.push_back([&r, result = std::move(results[i])]() mutable {
+      r.ranking.set_value(std::move(result));
+    });
+  }
   return fulfill;
+}
+
+void BatchExecutor::StartAsyncSnapshot(FrozenShardedState frozen,
+                                       std::string path,
+                                       std::promise<Status> done) {
+  // Shared so the promise survives a failed thread spawn (a lambda capture
+  // would be destroyed with the lambda, breaking the submitter's future).
+  auto promise = std::make_shared<std::promise<Status>>(std::move(done));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++snapshots_in_progress_;
+  }
+  // Detached: the thread reads only its own frozen capture, then signals
+  // through mu_/snapshot_cv_ (which the destructor waits on) before
+  // releasing the submitter — so neither the executor nor the engine can
+  // disappear under it, and a client that got its OK is guaranteed the
+  // gauge already ticked over.
+  try {
+    std::thread([this, frozen = std::move(frozen), path = std::move(path),
+                 promise]() mutable {
+      Status status = ShardedEngine::WriteSnapshot(frozen, path);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --snapshots_in_progress_;
+        ++snapshots_completed_;
+        snapshot_cv_.notify_all();
+      }
+      promise->set_value(std::move(status));
+    }).detach();
+  } catch (const std::system_error& e) {
+    // Thread/resource exhaustion must fail the one SNAPSHOT request, not
+    // kill the dispatcher or wedge the destructor on a leaked gauge.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --snapshots_in_progress_;
+      snapshot_cv_.notify_all();
+    }
+    promise->set_value(Status::Internal(
+        std::string("cannot spawn snapshot writer: ") + e.what()));
+  }
 }
 
 }  // namespace gdim

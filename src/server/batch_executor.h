@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -17,6 +18,7 @@
 #include "core/index_io.h"
 #include "core/topk.h"
 #include "graph/graph.h"
+#include "server/result_cache.h"
 #include "server/sharded_engine.h"
 
 namespace gdim {
@@ -35,6 +37,12 @@ struct BatchExecutorOptions {
   /// Size of the sliding window of completed-request latencies kept for
   /// Stats(); bounds executor memory regardless of uptime.
   int latency_window = 4096;
+
+  /// Byte budget of the epoch-versioned query result cache consulted before
+  /// every scatter (see server/result_cache.h). 0 disables caching. Hits
+  /// are bit-identical to cold queries at the same epoch; any mutation
+  /// invalidates by epoch bump, so the cache never changes an answer.
+  size_t cache_bytes = 0;
 };
 
 /// Engine gauges sampled on the dispatcher thread — the only thread that
@@ -42,7 +50,8 @@ struct BatchExecutorOptions {
 struct EngineGauges {
   int graphs = 0;    ///< live graphs across all shards
   int shards = 0;
-  int features = 0;  ///< feature dimension p
+  int features = 0;   ///< feature dimension p
+  uint64_t epoch = 0;  ///< engine mutation epoch (see ShardedEngine::epoch)
 };
 
 /// Counters snapshot for observability (the STATS wire verb).
@@ -53,7 +62,16 @@ struct BatchExecutorStats {
   uint64_t batches = 0;     ///< coalesced query batches executed
   uint64_t mutations = 0;   ///< insert/remove/snapshot ops executed
   size_t queued = 0;        ///< admitted requests not yet finished
-  /// Distribution over the latency window (submit → completion, ms).
+  /// Snapshots frozen but not yet fully written by a background thread.
+  uint64_t snapshots_in_progress = 0;
+  uint64_t snapshots_completed = 0;  ///< background snapshot writes finished
+  /// Result-cache counters (all zero when the cache is disabled); see
+  /// ResultCacheStats for field semantics.
+  ResultCacheStats cache;
+  /// Distribution over the latency window (submit → completion, ms). A
+  /// snapshot request's latency covers admission through freeze + handoff —
+  /// the background write is excluded by design (it no longer occupies the
+  /// executor).
   LatencySummary latency_ms;
 };
 
@@ -67,9 +85,19 @@ struct BatchExecutorStats {
 /// Coalescing is what turns N closed-loop connections into packed
 /// multi-query scans (the engine amortizes thread-pool wakeups and keeps
 /// every core on scan work); the single dispatcher is also the mutation
-/// story: Insert/Remove/Snapshot run inline between batches in FIFO order,
-/// so the engine's "mutations are not thread-safe with queries" contract
-/// holds without a lock on the hot path.
+/// story: Insert/Remove run inline between batches in FIFO order, so the
+/// engine's "mutations are not thread-safe with queries" contract holds
+/// without a lock on the hot path. Snapshot only *freezes* on the
+/// dispatcher (a bounded pause) — the file write happens on a background
+/// thread so queries keep flowing (see Snapshot()).
+///
+/// With cache_bytes > 0 the dispatcher consults an epoch-versioned result
+/// cache after the stage-1 mapping and before the scatter: repeated
+/// fingerprints at an unchanged epoch skip the scan entirely, and every
+/// miss populates the cache after the gather. Epoch keying makes hits
+/// bit-identical to cold queries — the FIFO order means a mutation has
+/// fully executed (and bumped the epoch) before any later query is looked
+/// up.
 ///
 /// All public methods are thread-safe. The blocking Query/Insert/... calls
 /// block only on their own result; admission never blocks — a full queue
@@ -80,8 +108,9 @@ class BatchExecutor {
   /// Spawns the dispatcher thread.
   BatchExecutor(ShardedEngine* engine, BatchExecutorOptions options = {});
 
-  /// Drains already-admitted requests, then stops the dispatcher. Submits
-  /// racing with destruction are rejected.
+  /// Drains already-admitted requests, stops the dispatcher, then waits for
+  /// any in-flight background snapshot writes. Submits racing with
+  /// destruction are rejected.
   ~BatchExecutor();
 
   BatchExecutor(const BatchExecutor&) = delete;
@@ -97,10 +126,28 @@ class BatchExecutor {
   /// Tombstones the graph with the given external id.
   Status Remove(int id);
 
-  /// Snapshots the engine's merged live state to a server-side path.
+  /// Compacts every shard (reclaims tombstones, seals deltas) — FIFO with
+  /// the other mutations, so it bumps the epoch in order and cached
+  /// results from before it can never be replayed after it.
+  Status Compact();
+
+  /// Snapshots the engine's merged live state to a server-side path —
+  /// without stalling the dispatcher for the write. The dispatcher freezes
+  /// the engine in a bounded pause (sealed bases cloned by refcount, only
+  /// the small delta/tombstone/id state copied) and a background thread
+  /// streams the v2 file; queries and mutations keep flowing meanwhile. The
+  /// call still blocks *its own* submitter until the file is durable, and
+  /// the file holds exactly the live set at the epoch the request was
+  /// dispatched (mutations admitted after it are excluded — FIFO order).
   Status Snapshot(std::string path);
 
-  /// Counter + latency snapshot.
+  /// Counter + latency snapshot. The executor counters are read under the
+  /// same lock that publishes them — one mutually consistent snapshot in
+  /// which accepted == completed + rejected-free in-flight, and a request
+  /// whose submitter has been released is always counted completed (the
+  /// dispatcher publishes completion before fulfilling promises). The
+  /// nested cache counters are snapshotted under the cache's own lock:
+  /// internally consistent, but taken at a slightly different instant.
   BatchExecutorStats Stats() const;
 
   /// Samples engine gauges through the request queue (FIFO with mutations);
@@ -118,7 +165,7 @@ class BatchExecutor {
 
  private:
   struct Request {
-    enum class Kind { kQuery, kInsert, kRemove, kSnapshot, kGauges };
+    enum class Kind { kQuery, kInsert, kRemove, kCompact, kSnapshot, kGauges };
     Kind kind = Kind::kQuery;
     Graph graph;        // kQuery, kInsert
     int k = 0;          // kQuery
@@ -127,7 +174,7 @@ class BatchExecutor {
     WallTimer queued_at;
     std::promise<Result<Ranking>> ranking;      // kQuery
     std::promise<Result<int>> inserted;         // kInsert
-    std::promise<Status> status;                // kRemove, kSnapshot
+    std::promise<Status> status;                // kRemove, kCompact, kSnapshot
     std::promise<Result<EngineGauges>> gauges;  // kGauges
   };
 
@@ -141,8 +188,19 @@ class BatchExecutor {
   /// publishing the completion counters.
   std::vector<std::function<void()>> Execute(std::vector<Request>* batch);
 
+  /// Spawns the background writer for a frozen snapshot; `done` is
+  /// fulfilled (and snapshots_in_progress decremented) when the file is
+  /// fully written. Called from a fulfill closure, after the dispatcher has
+  /// published this request's completion counters.
+  void StartAsyncSnapshot(FrozenShardedState frozen, std::string path,
+                          std::promise<Status> done);
+
   ShardedEngine* engine_;
   BatchExecutorOptions options_;
+  /// Epoch-versioned result cache; null when options_.cache_bytes == 0.
+  /// Only the dispatcher inserts/looks up (the cache locks internally for
+  /// Stats() readers).
+  std::unique_ptr<ResultCache> cache_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -159,6 +217,11 @@ class BatchExecutor {
   std::vector<double> latency_window_;
   size_t latency_next_ = 0;
   bool latency_full_ = false;
+  /// Background snapshot accounting, guarded by mu_. The writer threads are
+  /// detached; the destructor waits on snapshot_cv_ until none remain.
+  uint64_t snapshots_in_progress_ = 0;
+  uint64_t snapshots_completed_ = 0;
+  std::condition_variable snapshot_cv_;
 
   std::thread dispatcher_;
 };

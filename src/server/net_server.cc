@@ -89,8 +89,21 @@ void NetServer::HandleConnection(int fd) {
   LineReader reader(fd);
   for (;;) {
     Result<std::optional<std::string>> line = reader.ReadLine();
-    if (!line.ok() || !line->has_value()) break;  // error or EOF
-    if ((*line)->empty()) continue;               // tolerate blank lines
+    if (!line.ok()) {
+      // An over-long line is a protocol error, not a transport error: the
+      // reader has already resynchronized past the offending newline, so
+      // answer with a typed ERR and keep serving the connection. Real
+      // socket failures (IoError) still end it.
+      if (line.status().code() == StatusCode::kInvalidArgument) {
+        if (!SendAll(fd, FormatErrorResponse(line.status()) + "\n").ok()) {
+          break;
+        }
+        continue;
+      }
+      break;
+    }
+    if (!line->has_value()) break;  // EOF
+    if ((*line)->empty()) continue;  // tolerate blank lines
     bool quit = false;
     const std::string response = HandleLine(**line, &quit);
     if (!SendAll(fd, response + "\n").ok()) break;
@@ -139,19 +152,29 @@ std::string NetServer::HandleLine(const std::string& line, bool* quit) {
       Result<EngineGauges> gauges = executor_->Gauges();
       if (!gauges.ok()) return FormatErrorResponse(gauges.status());
       const BatchExecutorStats stats = executor_->Stats();
-      char out[512];
+      char out[768];
       std::snprintf(
           out, sizeof(out),
           "OK graphs=%d shards=%d features=%d accepted=%llu rejected=%llu "
           "completed=%llu batches=%llu mutations=%llu queued=%zu "
-          "p50_ms=%.3f p99_ms=%.3f",
+          "p50_ms=%.3f p99_ms=%.3f epoch=%llu cache_hits=%llu "
+          "cache_misses=%llu cache_evictions=%llu cache_entries=%zu "
+          "cache_bytes=%zu snapshots_in_progress=%llu "
+          "snapshots_completed=%llu",
           gauges->graphs, gauges->shards, gauges->features,
           static_cast<unsigned long long>(stats.accepted),
           static_cast<unsigned long long>(stats.rejected),
           static_cast<unsigned long long>(stats.completed),
           static_cast<unsigned long long>(stats.batches),
           static_cast<unsigned long long>(stats.mutations), stats.queued,
-          stats.latency_ms.p50, stats.latency_ms.p99);
+          stats.latency_ms.p50, stats.latency_ms.p99,
+          static_cast<unsigned long long>(gauges->epoch),
+          static_cast<unsigned long long>(stats.cache.hits),
+          static_cast<unsigned long long>(stats.cache.misses),
+          static_cast<unsigned long long>(stats.cache.evictions),
+          stats.cache.entries, stats.cache.bytes,
+          static_cast<unsigned long long>(stats.snapshots_in_progress),
+          static_cast<unsigned long long>(stats.snapshots_completed));
       return out;
     }
     case WireVerb::kPing:

@@ -98,22 +98,41 @@ Result<std::optional<std::string>> LineReader::ReadLine() {
   for (;;) {
     const size_t newline = buffer_.find('\n');
     if (newline != std::string::npos) {
+      if (discarding_) {
+        // End of the over-long line: drop through its terminator, report
+        // it once, and leave the reader synchronized on the next line.
+        buffer_.erase(0, newline + 1);
+        discarding_ = false;
+        return Status::InvalidArgument(
+            "line exceeds " + std::to_string(max_line_bytes_) + " bytes");
+      }
       std::string line = buffer_.substr(0, newline);
       buffer_.erase(0, newline + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       return std::optional<std::string>(std::move(line));
     }
+    // No newline buffered. Over the cap, switch to discard mode: the
+    // buffer is dropped (bounded memory no matter how long the peer
+    // streams) and bytes are swallowed until the line's '\n' arrives.
+    if (discarding_) {
+      buffer_.clear();
+    } else if (buffer_.size() > max_line_bytes_) {
+      discarding_ = true;
+      buffer_.clear();
+    }
     if (eof_) {
+      if (discarding_) {
+        // Over-long unterminated tail; after reporting it, clean EOF.
+        discarding_ = false;
+        return Status::InvalidArgument(
+            "line exceeds " + std::to_string(max_line_bytes_) + " bytes");
+      }
       // A final unterminated fragment counts as a line; after that, EOF.
       if (buffer_.empty()) return std::optional<std::string>();
       std::string line = std::move(buffer_);
       buffer_.clear();
       if (!line.empty() && line.back() == '\r') line.pop_back();
       return std::optional<std::string>(std::move(line));
-    }
-    if (buffer_.size() > max_line_bytes_) {
-      return Status::IoError("line exceeds " +
-                             std::to_string(max_line_bytes_) + " bytes");
     }
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);

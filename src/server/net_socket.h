@@ -62,15 +62,20 @@ Status SendAll(int fd, const std::string& data);
 
 /// Buffered line reader over a socket: splits the byte stream on '\n',
 /// strips a trailing '\r'. Lines are capped (a peer streaming an unbounded
-/// line cannot exhaust server memory).
+/// line cannot exhaust server memory): an over-long line is discarded in
+/// bounded memory through its terminating '\n', reported once as a typed
+/// InvalidArgument, and the reader stays usable — the server can answer
+/// with an ERR line instead of dropping the connection without a reply.
 class LineReader {
  public:
   /// fd is borrowed, not owned. max_line_bytes bounds one line.
   explicit LineReader(int fd, size_t max_line_bytes = 1 << 20)
       : fd_(fd), max_line_bytes_(max_line_bytes) {}
 
-  /// Next line without its terminator; std::nullopt on clean EOF. IoError
-  /// on socket errors or an over-long line.
+  /// Next line without its terminator; std::nullopt on clean EOF.
+  /// InvalidArgument for an over-long line (the reader has resynchronized
+  /// past it; keep calling). IoError on socket errors — those end the
+  /// stream.
   Result<std::optional<std::string>> ReadLine();
 
  private:
@@ -78,6 +83,8 @@ class LineReader {
   size_t max_line_bytes_;
   std::string buffer_;
   bool eof_ = false;
+  /// Swallowing an over-long line until its '\n' (buffer kept empty).
+  bool discarding_ = false;
 };
 
 }  // namespace gdim

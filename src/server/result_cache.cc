@@ -1,0 +1,108 @@
+#include "server/result_cache.h"
+
+#include <cstring>
+#include <utility>
+
+#include "core/packed_bits.h"
+
+namespace gdim {
+
+namespace {
+
+/// Fixed per-entry charge covering the list node, the map slot, and the key
+/// copy the map holds — so a budget of N bytes bounds real memory at
+/// roughly N, not N plus unbounded bookkeeping.
+constexpr size_t kEntryOverheadBytes = 128;
+
+size_t EntryBytes(const std::string& key, const Ranking& ranking) {
+  return kEntryOverheadBytes + 2 * key.size() +
+         ranking.size() * sizeof(RankedResult);
+}
+
+}  // namespace
+
+ResultCache::ResultCache(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+std::string ResultCache::MakeKey(const std::vector<uint8_t>& fingerprint,
+                                 int k, uint8_t scan_mode) {
+  const std::vector<uint64_t> words = PackedBitMatrix::PackBits(fingerprint);
+  const uint32_t width = static_cast<uint32_t>(fingerprint.size());
+  const int32_t k32 = k;
+  std::string key;
+  key.resize(words.size() * sizeof(uint64_t) + sizeof(width) + sizeof(k32) +
+             1);
+  char* out = key.data();
+  std::memcpy(out, words.data(), words.size() * sizeof(uint64_t));
+  out += words.size() * sizeof(uint64_t);
+  // The width disambiguates fingerprints whose packed words collide (a set
+  // bit count is not enough: trailing zero bits pack away).
+  std::memcpy(out, &width, sizeof(width));
+  out += sizeof(width);
+  std::memcpy(out, &k32, sizeof(k32));
+  out += sizeof(k32);
+  *out = static_cast<char>(scan_mode);
+  return key;
+}
+
+std::optional<Ranking> ResultCache::Lookup(const std::string& key,
+                                           uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto found = index_.find(key);
+  if (found == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  if (found->second->epoch != epoch) {
+    // Stale: a mutation bumped the epoch since this was stored. The entry
+    // can never be served again (epochs are monotonic), so purge it now.
+    EvictLocked(found->second);
+    ++evictions_;
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, found->second);
+  ++hits_;
+  return found->second->ranking;
+}
+
+void ResultCache::Insert(const std::string& key, uint64_t epoch,
+                         const Ranking& ranking) {
+  const size_t bytes = EntryBytes(key, ranking);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes > max_bytes_) return;  // larger than the whole budget
+  const auto found = index_.find(key);
+  if (found != index_.end()) {
+    // Same query re-executed (typically at a newer epoch): replace.
+    EvictLocked(found->second);
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key, epoch, ranking, bytes});
+  index_.emplace(key, lru_.begin());
+  bytes_ += bytes;
+  ++insertions_;
+  while (bytes_ > max_bytes_) {
+    EvictLocked(std::prev(lru_.end()));
+    ++evictions_;
+  }
+}
+
+void ResultCache::EvictLocked(Lru::iterator it) {
+  bytes_ -= it->bytes;
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResultCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.insertions = insertions_;
+  stats.entries = lru_.size();
+  stats.bytes = bytes_;
+  stats.max_bytes = max_bytes_;
+  return stats;
+}
+
+}  // namespace gdim

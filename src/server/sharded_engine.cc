@@ -155,6 +155,12 @@ const QueryEngine& ShardedEngine::shard(int s) const {
   return shards_[static_cast<size_t>(s)];
 }
 
+uint64_t ShardedEngine::epoch() const {
+  uint64_t sum = 0;
+  for (const QueryEngine& shard : shards_) sum += shard.epoch();
+  return sum;
+}
+
 Result<int> ShardedEngine::Insert(const Graph& graph) {
   return InsertMapped(mapper_.Map(graph));
 }
@@ -222,12 +228,31 @@ Status ShardedEngine::Snapshot(const std::string& path,
   if (format != IndexFormat::kV2Binary) {
     return WriteIndexFile(ToPersistedIndex(), path, format);
   }
-  // Stream every shard's packed rows in global id order — word-level
-  // pointers into the shard segments, no byte materialization, exactly like
-  // the single-engine snapshot path.
-  std::vector<std::pair<int, const uint64_t*>> live;
-  live.reserve(static_cast<size_t>(num_graphs()));
+  // The synchronous v2 path is the asynchronous one run inline, so both are
+  // one code path: freeze (cheap), then stream the capture.
+  return WriteSnapshot(Freeze(), path);
+}
+
+FrozenShardedState ShardedEngine::Freeze() const {
+  FrozenShardedState frozen;
+  frozen.features = mapper_.features();
+  frozen.shards.reserve(shards_.size());
   for (const QueryEngine& shard : shards_) {
+    frozen.shards.push_back(shard.Freeze());
+  }
+  frozen.next_id = next_id_;
+  frozen.words_per_row = shards_.empty() ? 0 : shards_[0].words_per_row();
+  frozen.epoch = epoch();
+  return frozen;
+}
+
+Status ShardedEngine::WriteSnapshot(const FrozenShardedState& frozen,
+                                    const std::string& path) {
+  // Stream every frozen shard's packed rows in global id order — word-level
+  // pointers into the capture's segments, no byte materialization, exactly
+  // like the single-engine snapshot path.
+  std::vector<std::pair<int, const uint64_t*>> live;
+  for (const FrozenEngineState& shard : frozen.shards) {
     const auto shard_live = shard.LiveRowWords();
     live.insert(live.end(), shard_live.begin(), shard_live.end());
   }
@@ -236,12 +261,10 @@ Status ShardedEngine::Snapshot(const std::string& path,
   std::vector<int> ids;
   ids.reserve(live.size());
   for (const auto& row : live) ids.push_back(row.first);
-  const size_t words_per_row =
-      shards_.empty() ? 0 : shards_[0].words_per_row();
   return WriteIndexFileV2Words(
-      mapper_.features(), static_cast<uint64_t>(live.size()),
-      static_cast<uint64_t>(words_per_row),
-      [&](uint64_t i) { return live[i].second; }, ids, next_id_, path);
+      frozen.features, static_cast<uint64_t>(live.size()),
+      static_cast<uint64_t>(frozen.words_per_row),
+      [&](uint64_t i) { return live[i].second; }, ids, frozen.next_id, path);
 }
 
 Ranking ShardedEngine::ScatterGather(const std::vector<uint8_t>& fingerprint,

@@ -27,6 +27,19 @@ struct ShardedOptions {
   ServeOptions serve;
 };
 
+/// An immutable capture of every shard's live state plus the global
+/// metadata a snapshot file needs, taken by ShardedEngine::Freeze() on the
+/// engine's (single) writer thread and then streamed to disk by
+/// WriteSnapshot on any thread — the engine is free to mutate in the
+/// meantime. See FrozenEngineState for what the per-shard capture costs.
+struct FrozenShardedState {
+  GraphDatabase features;  ///< copied (small: p feature graphs)
+  std::vector<FrozenEngineState> shards;
+  int next_id = 0;
+  size_t words_per_row = 0;
+  uint64_t epoch = 0;  ///< the engine's mutation epoch at freeze time
+};
+
 /// A horizontally partitioned QueryEngine: the database is hash-partitioned
 /// across N shards by stable external id (shard of id = id % N), and a top-k
 /// query is answered by scattering the mapped fingerprint to every shard in
@@ -77,6 +90,13 @@ class ShardedEngine {
   /// Shard observability (tests, STATS reporting).
   const QueryEngine& shard(int s) const;
 
+  /// Monotonic mutation epoch: the sum of the shard epochs, so every
+  /// successful Insert/Remove and every working Compact bumps it (each
+  /// mutation lands in exactly one shard; Compact may bump several).
+  /// Queries never bump it, and two queries at the same epoch answer
+  /// bit-identically — the invariant the executor's result cache keys on.
+  uint64_t epoch() const;
+
   /// Inserts a graph: assigns the next global id, fingerprints once, and
   /// appends to the owning shard. Returns the stable external id — the same
   /// id a single QueryEngine would have assigned.
@@ -108,6 +128,20 @@ class ShardedEngine {
   /// keeps serving the same ids.
   Status Snapshot(const std::string& path,
                   IndexFormat format = IndexFormat::kV2Binary) const;
+
+  /// Captures all shards for asynchronous snapshotting: sealed bases are
+  /// cloned by refcount, deltas/tombstones/ids copied — a bounded pause
+  /// independent of sealed-base size, on the engine's writer thread. The
+  /// capture answers for exactly this epoch's live set forever.
+  FrozenShardedState Freeze() const;
+
+  /// Streams a frozen capture to one v2 index file, shard-count
+  /// independent, word-level (no byte materialization) — safe on any
+  /// thread, concurrent with live mutations, because the capture owns or
+  /// shares everything it reads. Snapshot(path, kV2Binary) is
+  /// WriteSnapshot(Freeze(), path).
+  static Status WriteSnapshot(const FrozenShardedState& frozen,
+                              const std::string& path);
 
   /// Top-k for one query: VF2-fingerprint once, scatter the mapped vector
   /// across all shards on the scatter pool, gather-merge. stats aggregates

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -143,6 +144,13 @@ std::string FormatErrorResponse(const Status& status) {
   std::replace(message.begin(), message.end(), '\r', ' ');
   return std::string("ERR ") + StatusCodeToString(status.code()) + " " +
          message;
+}
+
+long long StatsField(const std::string& stats_line, const std::string& key) {
+  const std::string needle = " " + key + "=";
+  const size_t pos = stats_line.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::strtoll(stats_line.c_str() + pos + needle.size(), nullptr, 10);
 }
 
 Result<Ranking> ParseRankingResponse(const std::string& line) {

@@ -67,6 +67,11 @@ std::string FormatErrorResponse(const Status& status);
 /// transported Status for an ERR line (code name mapped back to the enum).
 Result<Ranking> ParseRankingResponse(const std::string& line);
 
+/// Client side: integer value of `key=` in a STATS response line, or -1
+/// when the key is absent — the one parser of the STATS key=value format,
+/// shared by the load generator and the tests.
+long long StatsField(const std::string& stats_line, const std::string& key);
+
 }  // namespace gdim
 
 #endif  // GDIM_SERVER_WIRE_H_

@@ -4,8 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -157,6 +164,134 @@ TEST(BatchExecutorTest, MutationsAreFifoWithQueries) {
 
   const BatchExecutorStats stats = executor.Stats();
   EXPECT_EQ(stats.mutations, 4u);  // insert + 2 removes + snapshot
+}
+
+TEST(BatchExecutorTest, CacheHitsAreExactAndEveryMutationInvalidates) {
+  ShardedEngine engine = MakeEngine(18, 3);
+  BatchExecutorOptions opts;
+  opts.cache_bytes = 1 << 20;
+  BatchExecutor executor(&engine, opts);
+  const Graph probe = LabelGraph({0, 1, 2, 3, 4});
+
+  Result<Ranking> cold = executor.Query(probe, 5);
+  ASSERT_TRUE(cold.ok());
+  Result<Ranking> hit = executor.Query(probe, 5);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(*hit, *cold);
+  BatchExecutorStats stats = executor.Stats();
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+
+  // Different k is a different key, not a truncation of the cached list.
+  Result<Ranking> other_k = executor.Query(probe, 2);
+  ASSERT_TRUE(other_k.ok());
+  EXPECT_EQ(other_k->size(), 2u);
+  EXPECT_EQ(executor.Stats().cache.misses, 2u);
+
+  // Insert an exact match: the stale top-5 must NOT be replayed — the new
+  // row (distance 0) has to surface immediately.
+  Result<int> id = executor.Insert(probe);
+  ASSERT_TRUE(id.ok());
+  Result<Ranking> after_insert = executor.Query(probe, 5);
+  ASSERT_TRUE(after_insert.ok());
+  ASSERT_FALSE(after_insert->empty());
+  EXPECT_EQ((*after_insert)[0].id, *id);
+  EXPECT_DOUBLE_EQ((*after_insert)[0].score, 0.0);
+
+  // Remove it again: the (now stale) post-insert answer must not replay.
+  ASSERT_TRUE(executor.Remove(*id).ok());
+  Result<Ranking> after_remove = executor.Query(probe, 5);
+  ASSERT_TRUE(after_remove.ok());
+  EXPECT_EQ(*after_remove, *cold);
+
+  // Compact does not change answers but must still invalidate (epoch bump):
+  // the next ask is a fresh miss that returns the identical ranking.
+  const uint64_t misses_before = executor.Stats().cache.misses;
+  ASSERT_TRUE(executor.Compact().ok());
+  Result<Ranking> after_compact = executor.Query(probe, 5);
+  ASSERT_TRUE(after_compact.ok());
+  EXPECT_EQ(*after_compact, *cold);
+  EXPECT_EQ(executor.Stats().cache.misses, misses_before + 1);
+
+  Result<EngineGauges> gauges = executor.Gauges();
+  ASSERT_TRUE(gauges.ok());
+  EXPECT_GE(gauges->epoch, 3u);  // insert + remove + compact at least
+}
+
+TEST(BatchExecutorTest, CacheDisabledByDefaultReportsNothing) {
+  ShardedEngine engine = MakeEngine(6, 2);
+  BatchExecutor executor(&engine);
+  ASSERT_TRUE(executor.Query(LabelGraph({0}), 3).ok());
+  ASSERT_TRUE(executor.Query(LabelGraph({0}), 3).ok());
+  const BatchExecutorStats stats = executor.Stats();
+  EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_EQ(stats.cache.misses, 0u);
+  EXPECT_EQ(stats.cache.max_bytes, 0u);
+}
+
+// The non-blocking-snapshot proof, made deterministic with a FIFO: the
+// background writer blocks opening the pipe (no reader yet), and while it
+// is provably still in progress the dispatcher keeps answering queries and
+// mutations. Draining the pipe then releases the writer, and the bytes that
+// come out are a valid v2 snapshot of the state at freeze time — the
+// mutations that ran DURING the snapshot are not in it.
+TEST(BatchExecutorTest, SnapshotStreamsInBackgroundWithoutBlockingQueries) {
+  constexpr int kRows = 12;
+  ShardedEngine engine = MakeEngine(kRows, 2);
+  BatchExecutorOptions opts;
+  opts.cache_bytes = 1 << 20;
+  BatchExecutor executor(&engine, opts);
+
+  const std::string fifo =
+      ::testing::TempDir() + "/gdim_snap_fifo_" +
+      std::to_string(::getpid());
+  ::unlink(fifo.c_str());
+  ASSERT_EQ(::mkfifo(fifo.c_str(), 0600), 0);
+
+  auto pending = std::async(std::launch::async,
+                            [&] { return executor.Snapshot(fifo); });
+  // The freeze + handoff happen quickly; the write then parks on the pipe.
+  for (int i = 0; i < 5000 && executor.Stats().snapshots_in_progress == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(executor.Stats().snapshots_in_progress, 1u);
+
+  // Queries and mutations keep flowing while the snapshot is in flight.
+  Result<Ranking> during = executor.Query(LabelGraph({0, 2, 4}), 4);
+  ASSERT_TRUE(during.ok());
+  EXPECT_EQ(during->size(), 4u);
+  Result<int> inserted = executor.Insert(LabelGraph({0, 1, 2, 3, 4}));
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_EQ(executor.Stats().snapshots_in_progress, 1u)
+      << "snapshot must still be writing while queries are served";
+
+  // Release the writer: drain the pipe into a real file.
+  const std::string drained = fifo + ".idx2";
+  {
+    const int read_fd = ::open(fifo.c_str(), O_RDONLY);
+    ASSERT_GE(read_fd, 0);
+    std::ofstream out(drained, std::ios::binary);
+    char buffer[4096];
+    ssize_t n;
+    while ((n = ::read(read_fd, buffer, sizeof(buffer))) > 0) {
+      out.write(buffer, n);
+    }
+    ::close(read_fd);
+  }
+  Status written = pending.get();
+  EXPECT_TRUE(written.ok()) << written.ToString();
+  const BatchExecutorStats stats = executor.Stats();
+  EXPECT_EQ(stats.snapshots_in_progress, 0u);
+  EXPECT_EQ(stats.snapshots_completed, 1u);
+
+  // The drained bytes are the freeze-time state: the insert that happened
+  // mid-write is absent, everything older is present.
+  Result<QueryEngine> reloaded = QueryEngine::Open(drained);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->num_graphs(), kRows);
+  for (int id : reloaded->alive_ids()) EXPECT_NE(id, *inserted);
+  ::unlink(fifo.c_str());
 }
 
 TEST(BatchExecutorTest, DestructorDrainsAdmittedRequests) {

@@ -1,0 +1,163 @@
+// ResultCache tests: epoch versioning (stale entries can never be served
+// and are purged on touch), LRU eviction under the byte budget, key
+// construction, and counter consistency.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/result_cache.h"
+
+namespace gdim {
+namespace {
+
+std::vector<uint8_t> Bits(std::initializer_list<int> on, int width = 64) {
+  std::vector<uint8_t> bits(static_cast<size_t>(width), 0);
+  for (int r : on) bits[static_cast<size_t>(r)] = 1;
+  return bits;
+}
+
+Ranking MakeRanking(std::initializer_list<int> ids) {
+  Ranking ranking;
+  double score = 0.0;
+  for (int id : ids) {
+    ranking.push_back({id, score});
+    score += 0.125;
+  }
+  return ranking;
+}
+
+/// Bytes one cached entry costs (learned from a probe cache, so the tests
+/// do not hard-code the overhead constant).
+size_t OneEntryBytes(const std::string& key, const Ranking& ranking) {
+  ResultCache probe(1 << 20);
+  probe.Insert(key, 0, ranking);
+  return probe.Stats().bytes;
+}
+
+TEST(ResultCacheTest, HitReturnsTheStoredRankingAtTheSameEpoch) {
+  ResultCache cache(1 << 20);
+  const std::string key = ResultCache::MakeKey(Bits({1, 5}), 10, 0);
+  const Ranking stored = MakeRanking({4, 9, 2});
+
+  EXPECT_FALSE(cache.Lookup(key, 7).has_value());
+  cache.Insert(key, 7, stored);
+  std::optional<Ranking> hit = cache.Lookup(key, 7);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->size(), stored.size());
+  for (size_t i = 0; i < stored.size(); ++i) {
+    EXPECT_EQ((*hit)[i].id, stored[i].id);
+    EXPECT_EQ((*hit)[i].score, stored[i].score);
+  }
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(ResultCacheTest, EpochMismatchMissesAndPurgesTheStaleEntry) {
+  ResultCache cache(1 << 20);
+  const std::string key = ResultCache::MakeKey(Bits({0}), 5, 0);
+  cache.Insert(key, 3, MakeRanking({1}));
+
+  // A mutation bumped the epoch: the entry must never be served again.
+  EXPECT_FALSE(cache.Lookup(key, 4).has_value());
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u) << "stale entry must be purged on touch";
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.evictions, 1u);
+
+  // And the old epoch is gone for good too (epochs are monotonic).
+  EXPECT_FALSE(cache.Lookup(key, 3).has_value());
+
+  // Re-populating at the new epoch serves again.
+  cache.Insert(key, 4, MakeRanking({2}));
+  ASSERT_TRUE(cache.Lookup(key, 4).has_value());
+  EXPECT_EQ((*cache.Lookup(key, 4))[0].id, 2);
+}
+
+TEST(ResultCacheTest, InsertUnderTheSameKeyReplaces) {
+  ResultCache cache(1 << 20);
+  const std::string key = ResultCache::MakeKey(Bits({2, 3}), 4, 0);
+  cache.Insert(key, 1, MakeRanking({10}));
+  cache.Insert(key, 2, MakeRanking({20}));
+  EXPECT_EQ(cache.Stats().entries, 1u);
+  std::optional<Ranking> hit = cache.Lookup(key, 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].id, 20);
+  // Any epoch mismatch purges (epochs only move forward in production, so
+  // a mismatch in either direction means the entry is unservable).
+  EXPECT_FALSE(cache.Lookup(key, 1).has_value());
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, LruEvictsTheColdestEntryUnderTheByteBudget) {
+  const Ranking ranking = MakeRanking({1, 2});
+  std::vector<std::string> keys;
+  for (int i = 0; i < 4; ++i) {
+    keys.push_back(ResultCache::MakeKey(Bits({i}), 3, 0));
+  }
+  const size_t entry = OneEntryBytes(keys[0], ranking);
+
+  ResultCache cache(3 * entry);  // room for exactly three entries
+  cache.Insert(keys[0], 0, ranking);
+  cache.Insert(keys[1], 0, ranking);
+  cache.Insert(keys[2], 0, ranking);
+  EXPECT_EQ(cache.Stats().entries, 3u);
+  // Touch key 0 so key 1 is now the coldest.
+  EXPECT_TRUE(cache.Lookup(keys[0], 0).has_value());
+  cache.Insert(keys[3], 0, ranking);
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, stats.max_bytes);
+  EXPECT_TRUE(cache.Lookup(keys[0], 0).has_value());
+  EXPECT_FALSE(cache.Lookup(keys[1], 0).has_value()) << "coldest must go";
+  EXPECT_TRUE(cache.Lookup(keys[2], 0).has_value());
+  EXPECT_TRUE(cache.Lookup(keys[3], 0).has_value());
+}
+
+TEST(ResultCacheTest, EntryLargerThanTheWholeBudgetIsNotStored) {
+  ResultCache cache(16);
+  const std::string key = ResultCache::MakeKey(Bits({0}), 1, 0);
+  cache.Insert(key, 0, MakeRanking({1}));
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(cache.Stats().insertions, 0u);
+  EXPECT_FALSE(cache.Lookup(key, 0).has_value());
+}
+
+TEST(ResultCacheTest, KeysSeparateFingerprintKModeAndWidth) {
+  const std::string base = ResultCache::MakeKey(Bits({1, 3}), 10, 0);
+  EXPECT_NE(ResultCache::MakeKey(Bits({1, 4}), 10, 0), base);
+  EXPECT_NE(ResultCache::MakeKey(Bits({1, 3}), 11, 0), base);
+  EXPECT_NE(ResultCache::MakeKey(Bits({1, 3}), 10, 1), base);
+  // Same set bits, wider fingerprint: the packed words can coincide, the
+  // width field must still separate the keys.
+  EXPECT_NE(ResultCache::MakeKey(Bits({1, 3}, 63), 10, 0), base);
+  EXPECT_EQ(ResultCache::MakeKey(Bits({1, 3}), 10, 0), base);
+}
+
+TEST(ResultCacheTest, CountersAddUp) {
+  ResultCache cache(1 << 20);
+  const std::string a = ResultCache::MakeKey(Bits({0}), 1, 0);
+  const std::string b = ResultCache::MakeKey(Bits({1}), 1, 0);
+  cache.Lookup(a, 0);             // miss
+  cache.Insert(a, 0, MakeRanking({1}));
+  cache.Lookup(a, 0);             // hit
+  cache.Lookup(b, 0);             // miss
+  cache.Lookup(a, 1);             // stale -> miss + eviction
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+}  // namespace
+}  // namespace gdim

@@ -561,6 +561,55 @@ TEST(QueryEngineEmptyTest, ZeroFeatureDimension) {
   EXPECT_DOUBLE_EQ(got[0].score, 0.0);
 }
 
+TEST(QueryEngineMutationTest, EpochBumpsOnMutationsOnly) {
+  auto engine = QueryEngine::FromIndex(LabelSetIndex());
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->epoch(), 0u);
+
+  // Queries never bump.
+  engine->Query(LabelGraph({0, 1}), 3);
+  EXPECT_EQ(engine->epoch(), 0u);
+
+  auto id = engine->Insert(LabelGraph({0, 3}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(engine->epoch(), 1u);
+  ASSERT_TRUE(engine->Remove(*id).ok());
+  EXPECT_EQ(engine->epoch(), 2u);
+
+  // Failed mutations leave the engine unchanged — and the epoch with it.
+  EXPECT_FALSE(engine->Remove(*id).ok());
+  EXPECT_FALSE(engine->InsertMapped({1, 0}).ok());  // wrong width
+  EXPECT_EQ(engine->epoch(), 2u);
+
+  // A working Compact bumps (physical rows moved); a no-op one does not.
+  engine->Compact();
+  EXPECT_EQ(engine->epoch(), 3u);
+  engine->Compact();
+  EXPECT_EQ(engine->epoch(), 3u);
+}
+
+TEST(QueryEngineMutationTest, FreezeCapturesStateImmuneToLaterMutations) {
+  auto engine = QueryEngine::FromIndex(LabelSetIndex());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->Insert(LabelGraph({1, 2})).ok());  // delta row
+  ASSERT_TRUE(engine->Remove(0).ok());
+  const std::vector<int> ids_at_freeze = engine->alive_ids();
+  const FrozenEngineState frozen = engine->Freeze();
+
+  // Mutate hard after the freeze: append, remove, and compact (which
+  // replaces the sealed base the capture shares).
+  ASSERT_TRUE(engine->Insert(LabelGraph({0})).ok());
+  ASSERT_TRUE(engine->Remove(2).ok());
+  engine->Compact();
+
+  std::vector<int> frozen_ids;
+  for (const auto& [id, words] : frozen.LiveRowWords()) {
+    frozen_ids.push_back(id);
+    EXPECT_NE(words, nullptr);
+  }
+  EXPECT_EQ(frozen_ids, ids_at_freeze);
+}
+
 TEST(QueryEngineMutationTest, TombstonesNeverSurfaceWhenKExceedsLiveCount) {
   auto engine = QueryEngine::FromIndex(LabelSetIndex());
   ASSERT_TRUE(engine.ok());

@@ -303,6 +303,58 @@ TEST(ShardedEngineTieTest, ShardsEmptiedByRemovalsStillMerge) {
   EXPECT_TRUE(engine->QueryMapped(probe, 5).empty());
 }
 
+TEST(ShardedEngineTieTest, EpochSumsShardMutationsAndFreezeIsStable) {
+  const PersistedIndex index = TieHeavyIndex(12);
+  auto engine = ShardedEngine::FromIndex(index, Sharded(4));
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->epoch(), 0u);
+  const std::vector<uint8_t> probe = {1, 0, 1, 0, 0, 0};
+  engine->QueryMapped(probe, 5);
+  EXPECT_EQ(engine->epoch(), 0u);  // queries never bump
+
+  const std::vector<uint8_t> row = {1, 1, 0, 0, 0, 0};
+  ASSERT_TRUE(engine->InsertMapped(row).ok());
+  EXPECT_EQ(engine->epoch(), 1u);
+  ASSERT_TRUE(engine->Remove(3).ok());
+  EXPECT_EQ(engine->epoch(), 2u);
+  EXPECT_FALSE(engine->Remove(3).ok());  // failed ops leave it alone
+  EXPECT_EQ(engine->epoch(), 2u);
+  // Compact bumps once per shard that did work; monotonic either way.
+  engine->Compact();
+  EXPECT_GT(engine->epoch(), 2u);
+  const uint64_t settled = engine->epoch();
+  engine->Compact();  // global no-op
+  EXPECT_EQ(engine->epoch(), settled);
+
+  // Freeze + WriteSnapshot equals the synchronous snapshot bit for bit,
+  // and the capture survives mutations applied after it.
+  const FrozenShardedState frozen = engine->Freeze();
+  EXPECT_EQ(frozen.epoch, settled);
+  ASSERT_TRUE(engine->InsertMapped(row).ok());
+  ASSERT_TRUE(engine->Remove(0).ok());
+  engine->Compact();
+  const std::string from_frozen =
+      ::testing::TempDir() + "/gdim_frozen_snap.idx2";
+  ASSERT_TRUE(ShardedEngine::WriteSnapshot(frozen, from_frozen).ok());
+  auto reloaded = QueryEngine::Open(from_frozen);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  std::vector<int> frozen_ids;
+  for (const FrozenEngineState& shard : frozen.shards) {
+    for (const auto& [id, words] : shard.LiveRowWords()) {
+      (void)words;
+      frozen_ids.push_back(id);
+    }
+  }
+  std::sort(frozen_ids.begin(), frozen_ids.end());
+  EXPECT_EQ(reloaded->alive_ids(), frozen_ids);
+  for (int k : {1, 6, 20}) {
+    // The reloaded capture answers like the engine did at freeze time: it
+    // must still contain id 0 (removed after) and not the second insert.
+    const Ranking got = reloaded->QueryMapped(probe, k);
+    for (const RankedResult& r : got) EXPECT_NE(r.id, 13);
+  }
+}
+
 TEST(ShardedEngineTieTest, ToPersistedIndexRoundTripsThroughSingleEngine) {
   const PersistedIndex index = TieHeavyIndex(12);
   auto engine = ShardedEngine::FromIndex(index, Sharded(3));

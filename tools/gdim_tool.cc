@@ -5,7 +5,8 @@
 //   gdim_tool build    --db=db.gdb --selector=DSPM --p=100 --out=index.idx
 //   gdim_tool query    --index=index.idx --db=db.gdb --queries=q.gdb --k=10
 //   gdim_tool serve    --index=index.idx --queries=q.gdb --k=10 [--threads=N]
-//   gdim_tool serve-net --index=index.idx --port=7411 --shards=4 [--queue=256]
+//   gdim_tool serve-net --index=index.idx --port=7411 --shards=4
+//                       [--queue=256 --cache-mb=64]
 //   gdim_tool bench-query --index=index.idx --queries=q.gdb [--repeat=R]
 //   gdim_tool update   --index=index.idx --out=index2.idx
 //                      [--insert=new.gdb --remove=3,17 --compact]
@@ -64,7 +65,8 @@ int Usage() {
       "  serve    --index=FILE --queries=FILE [--k=10 --threads=N "
       "--shards=N --prefilter --quiet]\n"
       "  serve-net --index=FILE [--host=127.0.0.1 --port=0 --shards=1 "
-      "--queue=256 --batch=64 --threads=N --max-conns=256 --prefilter]\n"
+      "--queue=256 --batch=64 --threads=N --max-conns=256 --cache-mb=64 "
+      "--prefilter]\n"
       "  bench-query --index=FILE --queries=FILE [--k=10 --threads=N "
       "--shards=N --prefilter --repeat=5]\n"
       "  update   --index=FILE --out=FILE [--insert=GRAPHS --remove=I,J,... "
@@ -357,6 +359,10 @@ int RunServeNet(const Flags& flags) {
   if (!batch.ok()) return Fail(batch.status());
   Result<int> max_conns = ValidatedRange(flags, "max-conns", 256, 1, 1 << 16);
   if (!max_conns.ok()) return Fail(max_conns.status());
+  // Result-cache budget in MiB; 0 disables caching (hits are bit-identical
+  // to cold queries, so the cache is on by default).
+  Result<int> cache_mb = ValidatedRange(flags, "cache-mb", 64, 0, 65536);
+  if (!cache_mb.ok()) return Fail(cache_mb.status());
 
   WallTimer load_timer;
   Result<ShardedEngine> engine = ShardedEngine::Open(index_path, *engine_opts);
@@ -365,6 +371,7 @@ int RunServeNet(const Flags& flags) {
   BatchExecutorOptions executor_opts;
   executor_opts.queue_capacity = *queue;
   executor_opts.max_batch = *batch;
+  executor_opts.cache_bytes = static_cast<size_t>(*cache_mb) << 20;
   BatchExecutor executor(&*engine, executor_opts);
 
   NetServerOptions server_opts;
@@ -379,10 +386,10 @@ int RunServeNet(const Flags& flags) {
   // serve until killed.
   std::printf(
       "listening on %s port=%d (%d graphs x %d dims, shards=%d, queue=%d, "
-      "batch=%d, max-conns=%d, loaded in %.2fs)\n",
+      "batch=%d, max-conns=%d, cache-mb=%d, loaded in %.2fs)\n",
       server_opts.host.c_str(), server.port(), engine->num_graphs(),
       engine->num_features(), engine->num_shards(), *queue, *batch,
-      *max_conns, load_timer.Seconds());
+      *max_conns, *cache_mb, load_timer.Seconds());
   std::fflush(stdout);
   for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
 }
