@@ -8,7 +8,7 @@
 //   bench_net_load --port=P [--host=127.0.0.1] --queries=q.gdb
 //                  [--k=10 --connections=4 --requests=400 --allow-reject]
 //                  [--repeat-frac=0.0 --zipf-s=1.0 --seed=1]
-//                  [--snapshot-path=FILE]
+//                  [--mutate-frac=0.0 --snapshot-path=FILE --reindex]
 //
 // --repeat-frac turns on the repeated-query mode that exercises the
 // server's result cache: each request is, with that probability, drawn
@@ -18,10 +18,20 @@
 // server's STATS counters so the cache hit rate of *this run* is printed
 // next to the latency percentiles, a measured number rather than a claim.
 //
+// --mutate-frac mixes INSERT/REMOVE churn into the stream: each request
+// is, with that probability, a mutation — an INSERT of a query-set graph,
+// or a REMOVE of an id this worker inserted earlier (never someone else's,
+// so a REMOVE can never legitimately answer NotFound). This is the load
+// shape that exercises epoch-based cache invalidation and the reindex
+// auto-trigger under concurrency.
+//
 // --snapshot-path issues one SNAPSHOT on its own connection once half the
 // requests are done, while every worker keeps hammering: its duration and
 // the workers' uninterrupted completion are the load-test evidence that
-// snapshots no longer stall the dispatcher.
+// snapshots no longer stall the dispatcher. --reindex does the same with a
+// REINDEX: the run fails unless the dimension refresh completes OK while
+// the workers churn — the smoke-level proof that a reindex neither stalls
+// nor corrupts live traffic.
 //
 // An ERR ResourceExhausted response is backpressure, not a protocol error;
 // it fails the run only without --allow-reject (a correctly provisioned
@@ -31,6 +41,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <thread>
@@ -64,6 +75,7 @@ std::string OneShotRpc(const std::string& host, int port,
 struct WorkerResult {
   std::vector<double> latencies_ms;
   long long ok = 0;
+  long long mutations = 0;  ///< of the ok count, INSERT/REMOVE requests
   long long rejected = 0;
   long long errors = 0;
   std::string first_error;
@@ -102,9 +114,10 @@ class ZipfSampler {
 
 void RunWorker(const std::string& host, int port,
                const std::vector<std::string>& request_lines,
+               const std::vector<std::string>& insert_lines,
                std::atomic<long long>* next_request, long long total_requests,
-               double repeat_frac, const ZipfSampler* zipf, uint64_t seed,
-               WorkerResult* result) {
+               double repeat_frac, double mutate_frac,
+               const ZipfSampler* zipf, uint64_t seed, WorkerResult* result) {
   auto fail = [result](const std::string& message) {
     ++result->errors;
     if (result->first_error.empty()) result->first_error = message;
@@ -116,16 +129,34 @@ void RunWorker(const std::string& host, int port,
   }
   Rng rng(seed);
   LineReader reader(conn->get());
+  // Ids this worker inserted and has not yet removed. Workers only remove
+  // their own inserts, so a REMOVE can never race another worker into a
+  // legitimate NotFound.
+  std::vector<int> owned_ids;
   for (;;) {
     const long long i = next_request->fetch_add(1);
     if (i >= total_requests) return;
-    const size_t which =
-        repeat_frac > 0.0 && rng.Bernoulli(repeat_frac)
-            ? zipf->Sample(&rng)
-            : static_cast<size_t>(i) % request_lines.size();
-    const std::string& line = request_lines[which];
+    const bool mutate = mutate_frac > 0.0 && rng.Bernoulli(mutate_frac);
+    const bool remove = mutate && !owned_ids.empty() && rng.Bernoulli(0.5);
+    // Pre-encoded lines are sent by pointer — the closed-loop hot path
+    // stays pure socket I/O; only a REMOVE builds its line (the id is
+    // dynamic).
+    std::string remove_line;
+    const std::string* line;
+    if (remove) {
+      remove_line = "REMOVE " + std::to_string(owned_ids.back()) + "\n";
+      line = &remove_line;
+    } else if (mutate) {
+      line = &insert_lines[rng.UniformU64(insert_lines.size())];
+    } else {
+      const size_t which =
+          repeat_frac > 0.0 && rng.Bernoulli(repeat_frac)
+              ? zipf->Sample(&rng)
+              : static_cast<size_t>(i) % request_lines.size();
+      line = &request_lines[which];
+    }
     WallTimer timer;
-    if (Status sent = SendAll(conn->get(), line); !sent.ok()) {
+    if (Status sent = SendAll(conn->get(), *line); !sent.ok()) {
       fail(sent.ToString());
       return;
     }
@@ -137,6 +168,27 @@ void RunWorker(const std::string& host, int port,
     if (!response->has_value()) {
       fail("server closed the connection mid-run");
       return;
+    }
+    if (mutate) {
+      // INSERT answers "OK <id>", REMOVE answers "OK removed <id>"; both
+      // reject with a typed ERR line under backpressure.
+      const std::string& r = **response;
+      if (r.rfind("OK ", 0) == 0) {
+        if (remove) {
+          owned_ids.pop_back();
+        } else {
+          owned_ids.push_back(
+              static_cast<int>(std::strtol(r.c_str() + 3, nullptr, 10)));
+        }
+        result->latencies_ms.push_back(timer.Millis());
+        ++result->ok;
+        ++result->mutations;
+      } else if (r.find("ResourceExhausted") != std::string::npos) {
+        ++result->rejected;
+      } else {
+        fail("mutation answered '" + r + "'");
+      }
+      continue;
     }
     Result<Ranking> ranking = ParseRankingResponse(**response);
     if (ranking.ok()) {
@@ -160,17 +212,20 @@ int Main(int argc, char** argv) {
   const long long requests = flags.GetInt("requests", 400);
   const bool allow_reject = flags.GetBool("allow-reject", false);
   const double repeat_frac = flags.GetDouble("repeat-frac", 0.0);
+  const double mutate_frac = flags.GetDouble("mutate-frac", 0.0);
   const double zipf_s = flags.GetDouble("zipf-s", 1.0);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const std::string snapshot_path = flags.GetString("snapshot-path", "");
+  const bool reindex = flags.GetBool("reindex", false);
   if (port <= 0 || port > 65535 || queries_path.empty() || k < 0 ||
       connections < 1 || requests < 1 || repeat_frac < 0.0 ||
-      repeat_frac > 1.0 || zipf_s < 0.0) {
+      repeat_frac > 1.0 || mutate_frac < 0.0 || mutate_frac > 1.0 ||
+      zipf_s < 0.0) {
     std::fprintf(stderr,
                  "usage: bench_net_load --port=P --queries=FILE "
                  "[--host=127.0.0.1 --k=10 --connections=4 --requests=400 "
-                 "--repeat-frac=0.0 --zipf-s=1.0 --seed=1 "
-                 "--snapshot-path=FILE --allow-reject]\n");
+                 "--repeat-frac=0.0 --mutate-frac=0.0 --zipf-s=1.0 --seed=1 "
+                 "--snapshot-path=FILE --reindex --allow-reject]\n");
     return 2;
   }
   Result<GraphDatabase> queries = ReadGraphFile(queries_path);
@@ -183,10 +238,13 @@ int Main(int argc, char** argv) {
   }
   // Pre-encode every request line once; workers then only do socket I/O.
   std::vector<std::string> request_lines;
+  std::vector<std::string> insert_lines;
   request_lines.reserve(queries->size());
+  insert_lines.reserve(queries->size());
   for (const Graph& q : *queries) {
     request_lines.push_back("QUERY " + std::to_string(k) + " " +
                             EncodeGraphInline(q) + "\n");
+    insert_lines.push_back("INSERT " + EncodeGraphInline(q) + "\n");
   }
 
   const ZipfSampler zipf(request_lines.size(), zipf_s);
@@ -200,8 +258,9 @@ int Main(int argc, char** argv) {
   WallTimer wall;
   for (int c = 0; c < connections; ++c) {
     workers.emplace_back([&, c] {
-      RunWorker(host, port, request_lines, &next_request, requests,
-                repeat_frac, &zipf, seed * 1000003 + static_cast<uint64_t>(c),
+      RunWorker(host, port, request_lines, insert_lines, &next_request,
+                requests, repeat_frac, mutate_frac, &zipf,
+                seed * 1000003 + static_cast<uint64_t>(c),
                 &results[static_cast<size_t>(c)]);
       --workers_alive;
     });
@@ -226,18 +285,40 @@ int Main(int argc, char** argv) {
       snapshot_ms = timer.Millis();
     });
   }
+  // The reindex probe mirrors the snapshot probe: once half the requests
+  // are done, ask the server to re-select its dimension over the live
+  // (now churned) corpus on its own connection. Workers never pause; their
+  // clean completion — queries answered before, during, and after the
+  // generation swap — is the load-level proof that a reindex does not
+  // stall or corrupt serving.
+  double reindex_ms = -1.0;
+  std::string reindex_response;
+  std::thread reindexer;
+  if (reindex) {
+    reindexer = std::thread([&] {
+      while (next_request.load() < requests / 2 && workers_alive.load() > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      WallTimer timer;
+      reindex_response = OneShotRpc(host, port, "REINDEX");
+      reindex_ms = timer.Millis();
+    });
+  }
   for (std::thread& w : workers) w.join();
-  // Sample the wall clock before waiting on the snapshotter: a snapshot
-  // tail that outlasts the workers must not deflate the reported qps.
+  // Sample the wall clock before waiting on the probes: a snapshot or
+  // reindex tail that outlasts the workers must not deflate the reported
+  // qps.
   const double seconds = wall.Seconds();
   if (snapshotter.joinable()) snapshotter.join();
+  if (reindexer.joinable()) reindexer.join();
   const std::string stats_after = OneShotRpc(host, port, "STATS");
 
-  long long ok = 0, rejected = 0, errors = 0;
+  long long ok = 0, mutations = 0, rejected = 0, errors = 0;
   std::vector<double> latencies;
   std::string first_error;
   for (const WorkerResult& r : results) {
     ok += r.ok;
+    mutations += r.mutations;
     rejected += r.rejected;
     errors += r.errors;
     latencies.insert(latencies.end(), r.latencies_ms.begin(),
@@ -251,7 +332,8 @@ int Main(int argc, char** argv) {
       host.c_str(), port, ok + rejected + errors, connections, seconds,
       seconds > 0 ? static_cast<double>(ok) / seconds : 0.0,
       FormatLatencySummaryMs(summary).c_str());
-  std::printf("# ok=%lld rejected=%lld errors=%lld\n", ok, rejected, errors);
+  std::printf("# ok=%lld (mutations=%lld) rejected=%lld errors=%lld\n", ok,
+              mutations, rejected, errors);
 
   // Cache hit rate of THIS run, from the server's own counters (STATS
   // before/after delta) — the measured speedup evidence for the
@@ -274,6 +356,14 @@ int Main(int argc, char** argv) {
                 snapshot_ok ? "completed" : "FAILED", snapshot_ms,
                 snapshot_response.c_str());
     if (!snapshot_ok) return 1;
+  }
+  if (reindex) {
+    const bool reindex_ok =
+        reindex_response.rfind("OK reindexed ", 0) == 0;
+    std::printf("# reindex: %s in %.1fms under load (response '%s')\n",
+                reindex_ok ? "completed" : "FAILED", reindex_ms,
+                reindex_response.c_str());
+    if (!reindex_ok) return 1;
   }
 
   if (!first_error.empty()) {

@@ -1,0 +1,126 @@
+#ifndef GDIM_REINDEX_DIMENSION_REFRESHER_H_
+#define GDIM_REINDEX_DIMENSION_REFRESHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dspm.h"
+#include "core/dspmap.h"
+#include "core/selector.h"
+#include "mcs/dissimilarity.h"
+#include "mining/gspan.h"
+#include "store/graph_store.h"
+
+namespace gdim {
+
+/// Knobs for one dimension refresh. Defaults follow the serving story:
+/// DSPMap (the paper's scalable selector — it evaluates dissimilarities
+/// lazily per partition block, so a refresh never computes the O(n²) δ
+/// matrix) over a freshly mined candidate set, keeping the current
+/// dimension count.
+struct RefreshOptions {
+  /// Selector by paper name ("DSPMap", "DSPM", "Sample", ...); resolved
+  /// through the core/selector.h registry, so every selector the offline
+  /// build supports is available online.
+  std::string selector = "DSPMap";
+
+  /// Number of dimensions to select; 0 = keep the serving engine's current
+  /// dimension count. (BuildGeneration itself requires a resolved p > 0 —
+  /// the 0 sentinel is resolved by the caller, who knows the engine.)
+  int p = 0;
+
+  /// Candidate mining over the frozen live set.
+  MiningOptions mining;
+
+  /// Dissimilarity for the selectors that need one (DSPMap blocks, DSPM /
+  /// SFS full matrix).
+  DissimilarityKind dissimilarity = DissimilarityKind::kDelta2;
+
+  /// Selector-specific knobs, mirroring IndexOptions.
+  SelectorParams params;
+  DspmOptions dspm;
+  DspmapOptions dspmap;
+
+  uint64_t seed = 1;
+  int threads = 0;
+
+  /// Test hook: invoked on the refresh thread after the freeze has been
+  /// taken and before mining/selection begins. Tests park a refresh here
+  /// deterministically (e.g. blocking on a FIFO open) to prove queries and
+  /// mutations keep flowing while a refresh is mid-selection. Never set in
+  /// production paths.
+  std::function<void()> selection_gate;
+};
+
+/// The product of one refresh: a freshly selected dimension over the frozen
+/// live set, plus every frozen graph's fingerprint on it. fingerprints[i]
+/// belongs to external id ids[i] (ascending) — exactly the shape a
+/// PersistedIndex wants, so installing a generation is a FromIndex away.
+/// Fingerprints come from the mined support sets (no VF2 needed for the
+/// frozen graphs), which agree bit-for-bit with FeatureMapper::Map — both
+/// answer "is feature f subgraph-isomorphic to g" exactly.
+struct RefreshedGeneration {
+  GraphDatabase features;
+  std::vector<int> ids;
+  std::vector<std::vector<uint8_t>> fingerprints;
+  int mined_features = 0;       ///< candidate set size before selection
+  double mining_seconds = 0.0;
+  double selection_seconds = 0.0;
+};
+
+/// The synchronous refresh pipeline: mine frequent subgraphs over the
+/// frozen live set, run the configured selector, and materialize the new
+/// dimension + fingerprints. Deterministic in (frozen set, options):
+/// mining order is DFS-lexicographic and every selector is seeded, so two
+/// runs over the same live set produce bit-identical generations — the
+/// property the swap-equivalence tests (online swap vs offline rebuild)
+/// lean on. Runs wherever called; the refresher below runs it on a
+/// background thread.
+Result<RefreshedGeneration> BuildGeneration(const FrozenGraphSet& frozen,
+                                            const RefreshOptions& options);
+
+/// Runs dimension refreshes on a background thread, one at a time.
+///
+/// The division of labor with the serving dispatcher: the dispatcher (the
+/// engine's single writer) freezes the live graph set — a bounded pause —
+/// and calls Start(); the refresher mines + selects + re-fingerprints off
+/// the hot path; when done it hands the built generation to the `done`
+/// callback ON THE REFRESH THREAD. The callback must route the result back
+/// to the writer thread for installation (the BatchExecutor enqueues an
+/// internal adopt request) — the refresher itself never touches an engine.
+///
+/// Start/running/completed are thread-safe. The destructor joins any
+/// in-flight refresh (its `done` callback still runs; callers' callbacks
+/// must tolerate being invoked during executor shutdown).
+class DimensionRefresher {
+ public:
+  using DoneFn = std::function<void(Result<RefreshedGeneration>)>;
+
+  DimensionRefresher() = default;
+  ~DimensionRefresher();
+
+  DimensionRefresher(const DimensionRefresher&) = delete;
+  DimensionRefresher& operator=(const DimensionRefresher&) = delete;
+
+  /// Starts a background refresh over the frozen set. ResourceExhausted if
+  /// one is already running (the caller surfaces this as a typed wire
+  /// error; a second concurrent selection would only burn the same cores).
+  /// Refresh lifecycle observability lives with the caller (the executor's
+  /// reindex_in_progress/reindex_completed stats span freeze → swap, a
+  /// wider window than the selection alone).
+  Status Start(FrozenGraphSet frozen, RefreshOptions options, DoneFn done);
+
+ private:
+  mutable std::mutex mu_;
+  std::thread worker_;
+  bool running_ = false;
+};
+
+}  // namespace gdim
+
+#endif  // GDIM_REINDEX_DIMENSION_REFRESHER_H_

@@ -116,6 +116,16 @@ Result<QueryEngine> QueryEngine::Open(const std::string& index_path,
   return FromPacked(std::move(index).value(), options);
 }
 
+void QueryEngine::AdoptGeneration(QueryEngine next) {
+  const uint64_t floor = epoch_ + 1;
+  *this = std::move(next);
+  if (epoch_ < floor) epoch_ = floor;
+}
+
+void QueryEngine::RaiseEpochToAtLeast(uint64_t epoch) {
+  if (epoch_ < epoch) epoch_ = epoch;
+}
+
 Result<int> QueryEngine::Insert(const Graph& graph) {
   return InsertMapped(mapper_.Map(graph));
 }

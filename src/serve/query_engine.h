@@ -138,6 +138,20 @@ class QueryEngine {
   static Result<QueryEngine> Open(const std::string& index_path,
                                   ServeOptions options = {});
 
+  /// Installs `next` — a freshly built engine over a new dimension
+  /// generation — into *this, with epoch continuity: the adopted epoch is
+  /// strictly greater than this engine's current epoch, so epoch-keyed
+  /// consumers (the result cache) can never replay an answer across the
+  /// generation boundary even though every other piece of state (mapper,
+  /// segments, ids) is replaced wholesale. Single-writer contract: must not
+  /// run concurrently with queries or mutations, like every mutation.
+  void AdoptGeneration(QueryEngine next);
+
+  /// Generation-swap hook for a sharded owner whose epoch is a sum over
+  /// shards: lifts this engine's epoch to at least `epoch`. Monotonic
+  /// (never lowers), counts as a mutation for cache purposes.
+  void RaiseEpochToAtLeast(uint64_t epoch);
+
   /// Live (non-tombstoned) graphs.
   int num_graphs() const { return alive_; }
   int num_features() const { return mapper_.num_features(); }

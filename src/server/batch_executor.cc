@@ -19,6 +19,10 @@ BatchExecutor::BatchExecutor(ShardedEngine* engine,
   GDIM_CHECK(options_.max_batch >= 1)
       << "max_batch must be >= 1, got " << options_.max_batch;
   GDIM_CHECK(options_.latency_window >= 1);
+  GDIM_CHECK(options_.reindex_every >= 0);
+  GDIM_CHECK(options_.reindex_every == 0 || options_.store != nullptr)
+      << "reindex_every needs a live graph store";
+  store_ = options_.store;
   latency_window_.resize(static_cast<size_t>(options_.latency_window), 0.0);
   if (options_.cache_bytes > 0) {
     cache_ = std::make_unique<ResultCache>(options_.cache_bytes);
@@ -41,22 +45,25 @@ BatchExecutor::~BatchExecutor() {
 }
 
 Status BatchExecutor::Admit(Request r) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stop_) {
-      ++rejected_;
-      return Status::Internal("executor is shutting down");
-    }
-    if (in_flight_ >= static_cast<size_t>(options_.queue_capacity)) {
-      ++rejected_;
-      return Status::ResourceExhausted(
-          "admission queue full (" +
-          std::to_string(options_.queue_capacity) + " in flight)");
-    }
-    ++accepted_;
-    ++in_flight_;
-    queue_.push_back(std::move(r));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) {
+    ++rejected_;
+    return Status::Internal("executor is shutting down");
   }
+  if (in_flight_ >= static_cast<size_t>(options_.queue_capacity)) {
+    ++rejected_;
+    return Status::ResourceExhausted(
+        "admission queue full (" +
+        std::to_string(options_.queue_capacity) + " in flight)");
+  }
+  ++accepted_;
+  ++in_flight_;
+  queue_.push_back(std::move(r));
+  // Notify while still holding mu_: once this submitter releases the lock
+  // it may never run again, and the executor may be destroyed the moment
+  // the queue drains — an unlocked notify could then signal a destroyed
+  // condition variable. Holding the lock orders the notify strictly before
+  // any destruction (the destructor's first step takes mu_).
   cv_.notify_one();
   return Status::OK();
 }
@@ -92,10 +99,20 @@ Status BatchExecutor::Remove(int id) {
   return done.get();
 }
 
-Status BatchExecutor::Compact() {
+Result<int> BatchExecutor::Compact() {
   Request r;
   r.kind = Request::Kind::kCompact;
-  std::future<Status> done = r.status.get_future();
+  std::future<Result<int>> done = r.compacted.get_future();
+  Status admitted = Admit(std::move(r));
+  if (!admitted.ok()) return admitted;
+  return done.get();
+}
+
+Result<ReindexReport> BatchExecutor::Reindex(int p) {
+  Request r;
+  r.kind = Request::Kind::kReindex;
+  r.p = p;
+  std::future<Result<ReindexReport>> done = r.reindexed.get_future();
   Status admitted = Admit(std::move(r));
   if (!admitted.ok()) return admitted;
   return done.get();
@@ -131,6 +148,8 @@ BatchExecutorStats BatchExecutor::Stats() const {
   stats.queued = in_flight_;
   stats.snapshots_in_progress = snapshots_in_progress_;
   stats.snapshots_completed = snapshots_completed_;
+  stats.reindexes_in_progress = reindex_in_flight_ ? 1 : 0;
+  stats.reindexes_completed = reindexes_completed_;
   if (cache_ != nullptr) stats.cache = cache_->Stats();
   std::vector<double> window(
       latency_window_.begin(),
@@ -182,17 +201,30 @@ void BatchExecutor::DispatcherLoop() {
     lock.lock();
     // Counters are published BEFORE the submitters are released, so a
     // client that just got its answer always sees itself completed in
-    // Stats() (and the STATS verb never under-reports).
-    for (const Request& r : batch) {
-      latency_window_[latency_next_] = r.queued_at.Millis();
-      latency_next_ = (latency_next_ + 1) % latency_window_.size();
-      if (latency_next_ == 0) latency_full_ = true;
+    // Stats() (and the STATS verb never under-reports). The internal
+    // generation-adoption step is invisible to the client-facing
+    // accepted/completed/latency numbers (its admission skipped accepted_
+    // too) — a reindex must not fabricate a phantom request in the STATS
+    // arithmetic clients do.
+    const bool internal =
+        batch.front().kind == Request::Kind::kAdoptGeneration;
+    if (!internal) {
+      for (const Request& r : batch) {
+        latency_window_[latency_next_] = r.queued_at.Millis();
+        latency_next_ = (latency_next_ + 1) % latency_window_.size();
+        if (latency_next_ == 0) latency_full_ = true;
+      }
+      completed_ += batch.size();
     }
     in_flight_ -= batch.size();
-    completed_ += batch.size();
     if (batch.front().kind == Request::Kind::kQuery) {
       ++batches_;
-    } else if (batch.front().kind != Request::Kind::kGauges) {
+    } else if (batch.front().kind != Request::Kind::kGauges &&
+               batch.front().kind != Request::Kind::kReindex &&
+               batch.front().kind != Request::Kind::kAdoptGeneration) {
+      // Reindex traffic has its own gauges (reindex_in_progress /
+      // reindex_completed); counting it as a mutation would skew the
+      // auto-trigger arithmetic clients do from STATS deltas.
       ++mutations_;
     }
     lock.unlock();
@@ -213,19 +245,61 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
     switch (r.kind) {
       case Request::Kind::kInsert: {
         Result<int> id = engine_->Insert(r.graph);
+        if (id.ok() && store_ != nullptr) {
+          // Keep the store in lockstep with the engine: same id, same
+          // graph, same thread. A divergence here would hand a future
+          // reindex the wrong corpus.
+          Status put = store_->Put(*id, std::move(r.graph));
+          GDIM_CHECK(put.ok()) << put.ToString();
+        }
+        if (id.ok()) {
+          ++mutations_since_reindex_;
+          MaybeAutoReindex();
+        }
         fulfill.push_back(
             [&r, id = std::move(id)] { r.inserted.set_value(id); });
         break;
       }
       case Request::Kind::kRemove: {
         Status status = engine_->Remove(r.id);
+        if (status.ok() && store_ != nullptr) {
+          Status removed = store_->Remove(r.id);
+          GDIM_CHECK(removed.ok()) << removed.ToString();
+        }
+        if (status.ok()) {
+          ++mutations_since_reindex_;
+          MaybeAutoReindex();
+        }
         fulfill.push_back(
             [&r, status = std::move(status)] { r.status.set_value(status); });
         break;
       }
       case Request::Kind::kCompact: {
+        const int reclaimed = engine_->tombstoned_rows();
         engine_->Compact();
-        fulfill.push_back([&r] { r.status.set_value(Status::OK()); });
+        if (store_ != nullptr) store_->Compact();
+        fulfill.push_back(
+            [&r, reclaimed] { r.compacted.set_value(reclaimed); });
+        break;
+      }
+      case Request::Kind::kReindex: {
+        // Freeze + launch only; the promise travels to the background
+        // selection and comes home with the kAdoptGeneration request. The
+        // dispatcher (and this request, for counting purposes) is done the
+        // moment the handoff happens — exactly the SNAPSHOT shape.
+        StartReindex(r.p, std::move(r.reindexed));
+        break;
+      }
+      case Request::Kind::kAdoptGeneration: {
+        Result<ReindexReport> outcome = InstallGeneration(r.built.get());
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          reindex_in_flight_ = false;
+          if (outcome.ok()) ++reindexes_completed_;
+        }
+        fulfill.push_back([&r, outcome = std::move(outcome)] {
+          r.reindexed.set_value(outcome);
+        });
         break;
       }
       case Request::Kind::kSnapshot: {
@@ -249,6 +323,9 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
         gauges.shards = engine_->num_shards();
         gauges.features = engine_->num_features();
         gauges.epoch = engine_->epoch();
+        gauges.physical_rows = engine_->physical_rows();
+        gauges.tombstones = engine_->tombstoned_rows();
+        gauges.generation = engine_->generation();
         fulfill.push_back([&r, gauges] { r.gauges.set_value(gauges); });
         break;
       }
@@ -317,6 +394,134 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
     });
   }
   return fulfill;
+}
+
+void BatchExecutor::AdmitInternal(Request r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stop_) {
+      // in_flight_ must balance the dispatcher's decrement, but accepted_
+      // stays client-only — the adopt step is bookkeeping, not a request.
+      ++in_flight_;
+      queue_.push_back(std::move(r));
+      cv_.notify_one();  // under mu_, same lifetime reasoning as Admit
+      return;
+    }
+    // The dispatcher is gone; nobody will ever install this generation.
+    reindex_in_flight_ = false;
+  }
+  r.reindexed.set_value(Status::Internal("executor is shutting down"));
+}
+
+void BatchExecutor::StartReindex(int p,
+                                 std::promise<Result<ReindexReport>> done) {
+  if (store_ == nullptr) {
+    done.set_value(Status::InvalidArgument(
+        "reindex unavailable: the server has no live graph store "
+        "(serve-net needs --db)"));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reindex_in_flight_) {
+      done.set_value(
+          Status::ResourceExhausted("a reindex is already in progress"));
+      return;
+    }
+    reindex_in_flight_ = true;
+  }
+  // The freeze: the dispatcher's only synchronous contribution. Everything
+  // the background selection reads is copied out here, so churn that
+  // follows can never race it.
+  FrozenGraphSet frozen = store_->Freeze();
+  if (frozen.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    reindex_in_flight_ = false;
+    done.set_value(Status::InvalidArgument("cannot reindex an empty database"));
+    return;
+  }
+  RefreshOptions refresh = options_.refresh;
+  refresh.p = p > 0 ? p
+              : refresh.p > 0 ? refresh.p
+                              : engine_->num_features();
+  mutations_since_reindex_ = 0;
+  // Shared so the promise survives the trip through the refresh thread's
+  // closure and back into a Request.
+  auto promise =
+      std::make_shared<std::promise<Result<ReindexReport>>>(std::move(done));
+  Status started = refresher_.Start(
+      std::move(frozen), std::move(refresh),
+      [this, promise](Result<RefreshedGeneration> built) {
+        Request adopt;
+        adopt.kind = Request::Kind::kAdoptGeneration;
+        adopt.built =
+            std::make_shared<Result<RefreshedGeneration>>(std::move(built));
+        adopt.reindexed = std::move(*promise);
+        AdmitInternal(std::move(adopt));
+      });
+  if (!started.ok()) {
+    // Unreachable while reindex_in_flight_ gates Start, but a refresher
+    // refusal must not leave the gauge stuck or the submitter hanging.
+    std::lock_guard<std::mutex> lock(mu_);
+    reindex_in_flight_ = false;
+    promise->set_value(started);
+  }
+}
+
+void BatchExecutor::MaybeAutoReindex() {
+  if (options_.reindex_every <= 0 || store_ == nullptr) return;
+  if (mutations_since_reindex_ < options_.reindex_every) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reindex_in_flight_) return;
+  }
+  // Fire-and-forget: the report is discarded (no future attached); success
+  // shows up as a dimension_generation bump, failure as reindex_in_progress
+  // falling with no bump.
+  StartReindex(0, std::promise<Result<ReindexReport>>());
+}
+
+Result<ReindexReport> BatchExecutor::InstallGeneration(
+    Result<RefreshedGeneration>* built) {
+  if (!built->ok()) return built->status();
+  RefreshedGeneration& generation = **built;
+  // Reconcile the generation (built over the freeze-time live set) with
+  // the churn that happened during selection: ids still live keep their
+  // frozen fingerprints, ids inserted since are VF2-mapped with the NEW
+  // mapper, ids removed since are dropped. The cost is proportional to the
+  // churn during the refresh, not the database.
+  const FeatureMapper mapper(generation.features);
+  PersistedIndex index;
+  index.features = generation.features;
+  const std::vector<int> live = store_->live_ids();
+  index.ids.reserve(live.size());
+  index.db_bits.reserve(live.size());
+  int remapped = 0;
+  for (int id : live) {
+    const auto it = std::lower_bound(generation.ids.begin(),
+                                     generation.ids.end(), id);
+    if (it != generation.ids.end() && *it == id) {
+      index.db_bits.push_back(std::move(
+          generation.fingerprints[static_cast<size_t>(
+              it - generation.ids.begin())]));
+    } else {
+      const Graph* graph = store_->FindLive(id);
+      GDIM_CHECK(graph != nullptr);
+      index.db_bits.push_back(mapper.Map(*graph));
+      ++remapped;
+    }
+    index.ids.push_back(id);
+  }
+  index.next_id = engine_->next_id();
+  Result<ShardedEngine> next =
+      ShardedEngine::FromIndex(std::move(index), engine_->options());
+  if (!next.ok()) return next.status();
+  engine_->SwapGeneration(std::move(next).value());
+  ReindexReport report;
+  report.generation = engine_->generation();
+  report.features = engine_->num_features();
+  report.remapped = remapped;
+  return report;
 }
 
 void BatchExecutor::StartAsyncSnapshot(FrozenShardedState frozen,

@@ -18,8 +18,10 @@
 #include "core/index_io.h"
 #include "core/topk.h"
 #include "graph/graph.h"
+#include "reindex/dimension_refresher.h"
 #include "server/result_cache.h"
 #include "server/sharded_engine.h"
+#include "store/graph_store.h"
 
 namespace gdim {
 
@@ -43,6 +45,33 @@ struct BatchExecutorOptions {
   /// are bit-identical to cold queries at the same epoch; any mutation
   /// invalidates by epoch bump, so the cache never changes an answer.
   size_t cache_bytes = 0;
+
+  /// The live-graph store behind the engine (not owned; must outlive the
+  /// executor). Null means REINDEX is unavailable — the engine's
+  /// fingerprints cannot be re-derived without the graphs. When set, the
+  /// executor keeps it in lockstep with the engine: populated by every
+  /// successful Insert, marked by Remove, pruned by Compact. Mutated only
+  /// on the dispatcher thread, like the engine.
+  GraphStore* store = nullptr;
+
+  /// Defaults for dimension refreshes (REINDEX and the auto-trigger).
+  /// refresh.p == 0 keeps the engine's current dimension count.
+  RefreshOptions refresh;
+
+  /// Auto-trigger: start a background refresh after this many successful
+  /// Insert/Remove mutations since the last refresh began. 0 = never.
+  /// Requires `store`.
+  int reindex_every = 0;
+};
+
+/// What a completed REINDEX reports back (the wire layer prints it).
+struct ReindexReport {
+  uint64_t generation = 0;  ///< the engine's generation after the swap
+  int features = 0;         ///< dimension count of the new generation
+  /// Live graphs that churned in *during* the background selection and were
+  /// therefore VF2-mapped onto the new dimension at swap time (the frozen
+  /// majority is re-fingerprinted from mined supports, VF2-free).
+  int remapped = 0;
 };
 
 /// Engine gauges sampled on the dispatcher thread — the only thread that
@@ -52,6 +81,12 @@ struct EngineGauges {
   int shards = 0;
   int features = 0;   ///< feature dimension p
   uint64_t epoch = 0;  ///< engine mutation epoch (see ShardedEngine::epoch)
+  /// Physical rows (base + delta, all shards): what a full scan scores.
+  /// physical_rows - tombstones == graphs; Compact() closes the gap.
+  int physical_rows = 0;
+  int tombstones = 0;  ///< removed-but-uncompacted rows across all shards
+  /// Dimension generation: 0 at load, +1 per adopted reindex.
+  uint64_t generation = 0;
 };
 
 /// Counters snapshot for observability (the STATS wire verb).
@@ -65,6 +100,10 @@ struct BatchExecutorStats {
   /// Snapshots frozen but not yet fully written by a background thread.
   uint64_t snapshots_in_progress = 0;
   uint64_t snapshots_completed = 0;  ///< background snapshot writes finished
+  /// 1 while a dimension refresh is running (freeze → selection →
+  /// swap), else 0; at most one runs at a time.
+  uint64_t reindexes_in_progress = 0;
+  uint64_t reindexes_completed = 0;  ///< generations successfully swapped in
   /// Result-cache counters (all zero when the cache is disabled); see
   /// ResultCacheStats for field semantics.
   ResultCacheStats cache;
@@ -126,10 +165,28 @@ class BatchExecutor {
   /// Tombstones the graph with the given external id.
   Status Remove(int id);
 
-  /// Compacts every shard (reclaims tombstones, seals deltas) — FIFO with
-  /// the other mutations, so it bumps the epoch in order and cached
-  /// results from before it can never be replayed after it.
-  Status Compact();
+  /// Compacts every shard (reclaims tombstones, seals deltas) and prunes
+  /// the graph store — FIFO with the other mutations, so it bumps the
+  /// epoch in order and cached results from before it can never be
+  /// replayed after it. Returns the number of tombstoned rows reclaimed.
+  Result<int> Compact();
+
+  /// Re-selects the serving dimension over the live database and hot-swaps
+  /// the new generation in, without stopping queries. The dispatcher only
+  /// *freezes* the live graph set (a bounded pause — graphs are small);
+  /// mining + selection + re-fingerprinting run on a background thread, and
+  /// the finished generation comes back through the request queue as an
+  /// internal adopt step that reconciles churn-during-selection (graphs
+  /// inserted since the freeze are VF2-mapped onto the new dimension,
+  /// removed ones dropped) and installs it with ShardedEngine::
+  /// SwapGeneration — an epoch bump, so the result cache can never serve an
+  /// answer across the generation boundary. Like Snapshot, the call blocks
+  /// only its own submitter (until the swap lands); queries and mutations
+  /// flow throughout. p == 0 keeps the current dimension count.
+  ///
+  /// Fails with InvalidArgument when the executor has no graph store, and
+  /// with ResourceExhausted when a refresh is already in progress.
+  Result<ReindexReport> Reindex(int p = 0);
 
   /// Snapshots the engine's merged live state to a server-side path —
   /// without stalling the dispatcher for the write. The dispatcher freezes
@@ -165,22 +222,64 @@ class BatchExecutor {
 
  private:
   struct Request {
-    enum class Kind { kQuery, kInsert, kRemove, kCompact, kSnapshot, kGauges };
+    enum class Kind {
+      kQuery,
+      kInsert,
+      kRemove,
+      kCompact,
+      kSnapshot,
+      kGauges,
+      kReindex,
+      /// Internal: a finished background refresh coming home for
+      /// installation on the dispatcher. Never submitted by clients;
+      /// admitted past the capacity bound (dropping it would strand the
+      /// refresh and its submitter).
+      kAdoptGeneration,
+    };
     Kind kind = Kind::kQuery;
     Graph graph;        // kQuery, kInsert
     int k = 0;          // kQuery
     int id = 0;         // kRemove
+    int p = 0;          // kReindex (0 = keep dimension count)
     std::string path;   // kSnapshot
+    /// kAdoptGeneration: the background refresh's output.
+    std::shared_ptr<Result<RefreshedGeneration>> built;
     WallTimer queued_at;
     std::promise<Result<Ranking>> ranking;      // kQuery
     std::promise<Result<int>> inserted;         // kInsert
-    std::promise<Status> status;                // kRemove, kCompact, kSnapshot
+    std::promise<Status> status;                // kRemove, kSnapshot
+    std::promise<Result<int>> compacted;        // kCompact
+    /// kReindex / kAdoptGeneration; travels from the REINDEX request into
+    /// the refresh thread and back with the adopt request, resolving only
+    /// when the swap lands (or the refresh fails).
+    std::promise<Result<ReindexReport>> reindexed;  // kReindex, kAdopt...
     std::promise<Result<EngineGauges>> gauges;  // kGauges
   };
 
   /// Admits r or rejects with ResourceExhausted (queue at capacity or
   /// executor stopping).
   Status Admit(Request r);
+
+  /// Admission for internal requests (generation adoption): exempt from the
+  /// capacity bound — rejecting would strand the refresh — but still
+  /// refused when the executor is stopping, in which case the traveling
+  /// promise is failed here.
+  void AdmitInternal(Request r);
+
+  /// Dispatcher-side start of a refresh: freezes the store, launches the
+  /// background selection, and arranges for the result to come back as a
+  /// kAdoptGeneration request carrying `done`. Fails `done` immediately
+  /// when no store exists, the live set is empty, or a refresh is already
+  /// in flight.
+  void StartReindex(int p, std::promise<Result<ReindexReport>> done);
+
+  /// Fires StartReindex when the mutation count since the last refresh
+  /// reaches options_.reindex_every (fire-and-forget promise).
+  void MaybeAutoReindex();
+
+  /// Dispatcher-side installation of a finished refresh: reconciles the
+  /// generation with churn since the freeze and swaps it into the engine.
+  Result<ReindexReport> InstallGeneration(Result<RefreshedGeneration>* built);
 
   void DispatcherLoop();
   /// Runs one popped run of requests outside the lock; returns the
@@ -223,7 +322,23 @@ class BatchExecutor {
   uint64_t snapshots_completed_ = 0;
   std::condition_variable snapshot_cv_;
 
+  /// Reindex accounting, guarded by mu_ (Stats() reads it; the dispatcher
+  /// and the refresh-done callback write it).
+  bool reindex_in_flight_ = false;
+  uint64_t reindexes_completed_ = 0;
+  /// Successful Insert/Remove count since the last refresh started; feeds
+  /// the auto-trigger. Dispatcher-only, no lock needed.
+  int mutations_since_reindex_ = 0;
+
+  /// The live-graph store (options_.store); dispatcher-only after
+  /// construction.
+  GraphStore* store_ = nullptr;
+
   std::thread dispatcher_;
+  /// Declared last so it is destroyed FIRST: its destructor joins an
+  /// in-flight refresh, whose done-callback touches mu_/queue_ — which must
+  /// still be alive at that point.
+  DimensionRefresher refresher_;
 };
 
 }  // namespace gdim

@@ -143,6 +143,17 @@ std::string NetServer::HandleLine(const std::string& line, bool* quit) {
       if (!status.ok()) return FormatErrorResponse(status);
       return "OK removed " + std::to_string(request.id);
     }
+    case WireVerb::kCompact: {
+      Result<int> reclaimed = executor_->Compact();
+      if (!reclaimed.ok()) return FormatErrorResponse(reclaimed.status());
+      return "OK compacted " + std::to_string(*reclaimed);
+    }
+    case WireVerb::kReindex: {
+      Result<ReindexReport> report = executor_->Reindex(request.p);
+      if (!report.ok()) return FormatErrorResponse(report.status());
+      return "OK reindexed generation=" + std::to_string(report->generation) +
+             " features=" + std::to_string(report->features);
+    }
     case WireVerb::kSnapshot: {
       Status status = executor_->Snapshot(std::move(request.path));
       if (!status.ok()) return FormatErrorResponse(status);
@@ -152,16 +163,19 @@ std::string NetServer::HandleLine(const std::string& line, bool* quit) {
       Result<EngineGauges> gauges = executor_->Gauges();
       if (!gauges.ok()) return FormatErrorResponse(gauges.status());
       const BatchExecutorStats stats = executor_->Stats();
-      char out[768];
+      char out[1024];
       std::snprintf(
           out, sizeof(out),
-          "OK graphs=%d shards=%d features=%d accepted=%llu rejected=%llu "
+          "OK graphs=%d shards=%d features=%d physical_rows=%d "
+          "tombstones=%d accepted=%llu rejected=%llu "
           "completed=%llu batches=%llu mutations=%llu queued=%zu "
           "p50_ms=%.3f p99_ms=%.3f epoch=%llu cache_hits=%llu "
           "cache_misses=%llu cache_evictions=%llu cache_entries=%zu "
           "cache_bytes=%zu snapshots_in_progress=%llu "
-          "snapshots_completed=%llu",
+          "snapshots_completed=%llu dimension_generation=%llu "
+          "reindex_in_progress=%llu reindex_completed=%llu",
           gauges->graphs, gauges->shards, gauges->features,
+          gauges->physical_rows, gauges->tombstones,
           static_cast<unsigned long long>(stats.accepted),
           static_cast<unsigned long long>(stats.rejected),
           static_cast<unsigned long long>(stats.completed),
@@ -174,7 +188,10 @@ std::string NetServer::HandleLine(const std::string& line, bool* quit) {
           static_cast<unsigned long long>(stats.cache.evictions),
           stats.cache.entries, stats.cache.bytes,
           static_cast<unsigned long long>(stats.snapshots_in_progress),
-          static_cast<unsigned long long>(stats.snapshots_completed));
+          static_cast<unsigned long long>(stats.snapshots_completed),
+          static_cast<unsigned long long>(gauges->generation),
+          static_cast<unsigned long long>(stats.reindexes_in_progress),
+          static_cast<unsigned long long>(stats.reindexes_completed));
       return out;
     }
     case WireVerb::kPing:

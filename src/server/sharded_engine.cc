@@ -150,6 +150,22 @@ int ShardedEngine::num_graphs() const {
   return alive;
 }
 
+int ShardedEngine::physical_rows() const {
+  int rows = 0;
+  for (const QueryEngine& shard : shards_) {
+    rows += shard.base_rows() + shard.delta_rows();
+  }
+  return rows;
+}
+
+int ShardedEngine::tombstoned_rows() const {
+  int tombstones = 0;
+  for (const QueryEngine& shard : shards_) {
+    tombstones += shard.tombstoned_rows();
+  }
+  return tombstones;
+}
+
 const QueryEngine& ShardedEngine::shard(int s) const {
   GDIM_CHECK(s >= 0 && s < num_shards());
   return shards_[static_cast<size_t>(s)];
@@ -186,6 +202,22 @@ Status ShardedEngine::Remove(int id) {
 
 void ShardedEngine::Compact() {
   for (QueryEngine& shard : shards_) shard.Compact();
+}
+
+void ShardedEngine::SwapGeneration(ShardedEngine next) {
+  // The new generation's shards start at epoch 0 (they are fresh builds);
+  // the installed epoch must exceed the pre-swap one so epoch-keyed
+  // consumers treat the swap as a mutation. Raising one shard's epoch
+  // raises the sum — which shard is immaterial, the sum is the contract.
+  const uint64_t floor = epoch() + 1;
+  options_ = std::move(next.options_);
+  mapper_ = std::move(next.mapper_);
+  shards_ = std::move(next.shards_);
+  next_id_ = next.next_id_;
+  ++generation_;
+  const uint64_t now = epoch();
+  if (now < floor) shards_[0].RaiseEpochToAtLeast(
+      shards_[0].epoch() + (floor - now));
 }
 
 std::vector<int> ShardedEngine::alive_ids() const {

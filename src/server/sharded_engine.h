@@ -87,8 +87,20 @@ class ShardedEngine {
   const FeatureMapper& mapper() const { return mapper_; }
   /// Live graphs across all shards.
   int num_graphs() const;
+  /// Physical rows (sealed base + append-only delta) across all shards —
+  /// what a full scan actually touches, tombstoned rows included.
+  int physical_rows() const;
+  /// Rows removed but not yet reclaimed by Compact(), across all shards.
+  int tombstoned_rows() const;
+  /// The next external id this engine would assign (the global sequence).
+  int next_id() const { return next_id_; }
   /// Shard observability (tests, STATS reporting).
   const QueryEngine& shard(int s) const;
+
+  /// How many dimension generations this engine has adopted: 0 for the
+  /// load-time generation, +1 per SwapGeneration. Exposed as the
+  /// `dimension_generation` STATS gauge.
+  uint64_t generation() const { return generation_; }
 
   /// Monotonic mutation epoch: the sum of the shard epochs, so every
   /// successful Insert/Remove and every working Compact bumps it (each
@@ -112,6 +124,20 @@ class ShardedEngine {
   /// Compacts every shard (reclaims tombstones, seals deltas). Ids are
   /// unchanged.
   void Compact();
+
+  /// Installs a freshly built engine — a new dimension *generation*, the
+  /// product of a background reindex over the live graph set — into *this*
+  /// atomically from the caller's (single writer) point of view: mapper,
+  /// shards, and id sequence are replaced wholesale, the generation counter
+  /// increments, and the mutation epoch is guaranteed to come out strictly
+  /// greater than it was before the swap. The epoch guarantee is what makes
+  /// the swap safe under the epoch-keyed result cache: an answer computed
+  /// against the old generation can never be replayed against the new one,
+  /// even though the two generations may rank differently (different
+  /// dimensions) for the same live set. `next` would normally be built with
+  /// the same options/shard count, but any valid engine is installable.
+  /// Same single-writer contract as every mutation.
+  void SwapGeneration(ShardedEngine next);
 
   /// External ids of the live graphs across all shards, ascending.
   std::vector<int> alive_ids() const;
@@ -188,6 +214,8 @@ class ShardedEngine {
   /// The global id sequence; mirrors what a single engine's counter would
   /// be after the same build + mutation history.
   int next_id_ = 0;
+  /// Dimension generations adopted; see generation().
+  uint64_t generation_ = 0;
 };
 
 }  // namespace gdim

@@ -108,6 +108,27 @@ Result<WireRequest> ParseWireRequest(const std::string& line) {
     request.id = *id;
     return request;
   }
+  if (verb == "COMPACT") {
+    if (!rest.empty()) {
+      return Status::InvalidArgument("COMPACT takes no arguments");
+    }
+    request.verb = WireVerb::kCompact;
+    return request;
+  }
+  if (verb == "REINDEX") {
+    if (!rest.empty()) {
+      Result<int> p = ParseNonNegInt(rest, "dimension count");
+      if (!p.ok()) return p.status();
+      if (*p < 1) {
+        return Status::InvalidArgument(
+            "REINDEX dimension count must be >= 1 (omit it to keep the "
+            "current one)");
+      }
+      request.p = *p;
+    }
+    request.verb = WireVerb::kReindex;
+    return request;
+  }
   if (verb == "SNAPSHOT") {
     if (rest.empty()) {
       return Status::InvalidArgument("SNAPSHOT wants '<path>'");

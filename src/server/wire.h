@@ -16,6 +16,8 @@ namespace gdim {
 ///   QUERY <k> <graph>     ->  OK <m> <id>:<score> ...
 ///   INSERT <graph>        ->  OK <id>
 ///   REMOVE <id>           ->  OK removed <id>
+///   COMPACT               ->  OK compacted <reclaimed>
+///   REINDEX [p]           ->  OK reindexed generation=<g> features=<p>
 ///   SNAPSHOT <path>       ->  OK snapshot <path>
 ///   STATS                 ->  OK key=value ...
 ///   PING                  ->  OK pong
@@ -31,6 +33,8 @@ enum class WireVerb {
   kQuery,
   kInsert,
   kRemove,
+  kCompact,
+  kReindex,
   kSnapshot,
   kStats,
   kPing,
@@ -42,6 +46,7 @@ struct WireRequest {
   WireVerb verb = WireVerb::kPing;
   int k = 0;         ///< kQuery
   int id = 0;        ///< kRemove
+  int p = 0;         ///< kReindex dimension count; 0 = keep the current one
   std::string path;  ///< kSnapshot
   Graph graph;       ///< kQuery, kInsert
 };

@@ -24,6 +24,7 @@
 #include "server/net_socket.h"
 #include "server/sharded_engine.h"
 #include "server/wire.h"
+#include "store/graph_store.h"
 
 namespace gdim {
 namespace {
@@ -90,6 +91,20 @@ TEST(WireTest, ParseRequestAcceptsEveryVerb) {
   EXPECT_EQ(snapshot->verb, WireVerb::kSnapshot);
   EXPECT_EQ(snapshot->path, "/tmp/some path.idx2");
 
+  auto compact = ParseWireRequest("COMPACT");
+  ASSERT_TRUE(compact.ok());
+  EXPECT_EQ(compact->verb, WireVerb::kCompact);
+
+  auto reindex = ParseWireRequest("REINDEX");
+  ASSERT_TRUE(reindex.ok());
+  EXPECT_EQ(reindex->verb, WireVerb::kReindex);
+  EXPECT_EQ(reindex->p, 0);  // keep the current dimension count
+
+  auto reindex_p = ParseWireRequest("REINDEX 128");
+  ASSERT_TRUE(reindex_p.ok());
+  EXPECT_EQ(reindex_p->verb, WireVerb::kReindex);
+  EXPECT_EQ(reindex_p->p, 128);
+
   EXPECT_EQ(ParseWireRequest("STATS")->verb, WireVerb::kStats);
   EXPECT_EQ(ParseWireRequest("PING")->verb, WireVerb::kPing);
   EXPECT_EQ(ParseWireRequest("QUIT")->verb, WireVerb::kQuit);
@@ -103,6 +118,9 @@ TEST(WireTest, ParseRequestRejectsMalformedLines) {
            std::string("REMOVE -4"), std::string("REMOVE 1,2"),
            std::string("INSERT"), std::string("SNAPSHOT"),
            std::string("STATS now"), std::string("PING x"),
+           std::string("COMPACT now"), std::string("REINDEX 0"),
+           std::string("REINDEX -5"), std::string("REINDEX x"),
+           std::string("REINDEX 1 2"),
        }) {
     EXPECT_FALSE(ParseWireRequest(line).ok()) << line;
   }
@@ -289,6 +307,115 @@ TEST_F(NetServerTest, StatsReportsCacheEpochAndSnapshotFields) {
   stats = client.Rpc("STATS");
   EXPECT_EQ(StatsField(stats, "snapshots_completed"), 1) << stats;
   EXPECT_EQ(StatsField(stats, "snapshots_in_progress"), 0) << stats;
+}
+
+TEST_F(NetServerTest, CompactOverTheWireReclaimsTombstones) {
+  Client client(server_->port());
+  // Fresh server: nothing to reclaim.
+  EXPECT_EQ(client.Rpc("COMPACT"), "OK compacted 0");
+
+  // Full scans score removed-but-uncompacted rows; the physical_rows and
+  // tombstones gauges make that visible over the wire.
+  EXPECT_EQ(client.Rpc("REMOVE 4"), "OK removed 4");
+  EXPECT_EQ(client.Rpc("REMOVE 11"), "OK removed 11");
+  std::string stats = client.Rpc("STATS");
+  EXPECT_EQ(StatsField(stats, "graphs"), 18) << stats;
+  EXPECT_EQ(StatsField(stats, "physical_rows"), 20) << stats;
+  EXPECT_EQ(StatsField(stats, "tombstones"), 2) << stats;
+
+  EXPECT_EQ(client.Rpc("COMPACT"), "OK compacted 2");
+  stats = client.Rpc("STATS");
+  EXPECT_EQ(StatsField(stats, "graphs"), 18) << stats;
+  EXPECT_EQ(StatsField(stats, "physical_rows"), 18) << stats;
+  EXPECT_EQ(StatsField(stats, "tombstones"), 0) << stats;
+}
+
+TEST_F(NetServerTest, ReindexWithoutStoreIsATypedError) {
+  Client client(server_->port());
+  EXPECT_EQ(client.Rpc("REINDEX").rfind("ERR InvalidArgument", 0), 0u);
+  const std::string stats = client.Rpc("STATS");
+  EXPECT_EQ(StatsField(stats, "dimension_generation"), 0) << stats;
+  EXPECT_EQ(StatsField(stats, "reindex_in_progress"), 0) << stats;
+  EXPECT_EQ(StatsField(stats, "reindex_completed"), 0) << stats;
+}
+
+/// REINDEX over the wire needs a store of real (edge-bearing) graphs to
+/// mine; this fixture serves a tiny path-graph corpus with the store wired
+/// in, the way `serve-net --db` does.
+class ReindexNetServerTest : public ::testing::Test {
+ protected:
+  static Graph PathGraph(LabelId a, LabelId b, LabelId c, LabelId el) {
+    Graph g;
+    g.AddVertex(a);
+    g.AddVertex(b);
+    g.AddVertex(c);
+    g.AddEdge(0, 1, el);
+    g.AddEdge(1, 2, el);
+    return g;
+  }
+
+  void SetUp() override {
+    for (int i = 0; i < 16; ++i) {
+      corpus_.push_back(PathGraph(static_cast<LabelId>(i % 3),
+                                  static_cast<LabelId>((i + 1) % 3),
+                                  static_cast<LabelId>(i % 2), 0));
+    }
+    // The initial index's fingerprints are placeholders on a single-vertex
+    // dimension; the REINDEX replaces them with a mined generation.
+    auto engine = ShardedEngine::FromIndex(LabelIndex(16), [] {
+      ShardedOptions opts;
+      opts.num_shards = 2;
+      return opts;
+    }());
+    ASSERT_TRUE(engine.ok());
+    engine_.emplace(std::move(engine).value());
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_TRUE(store_.Put(i, corpus_[static_cast<size_t>(i)]).ok());
+    }
+    BatchExecutorOptions executor_opts;
+    executor_opts.cache_bytes = 1 << 20;
+    executor_opts.store = &store_;
+    executor_opts.refresh.mining.min_support = 0.3;
+    executor_opts.refresh.mining.max_edges = 2;
+    executor_.emplace(&*engine_, executor_opts);
+    server_.emplace(&*executor_);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  GraphDatabase corpus_;
+  GraphStore store_;
+  std::optional<ShardedEngine> engine_;
+  std::optional<BatchExecutor> executor_;
+  std::optional<NetServer> server_;
+};
+
+TEST_F(ReindexNetServerTest, ReindexOverTheWireSwapsAGeneration) {
+  Client client(server_->port());
+  std::string stats = client.Rpc("STATS");
+  EXPECT_EQ(StatsField(stats, "dimension_generation"), 0) << stats;
+  const long long epoch_before = StatsField(stats, "epoch");
+
+  const std::string response = client.Rpc("REINDEX 4");
+  ASSERT_EQ(response.rfind("OK reindexed generation=1 features=", 0), 0u)
+      << response;
+
+  stats = client.Rpc("STATS");
+  EXPECT_EQ(StatsField(stats, "dimension_generation"), 1) << stats;
+  EXPECT_EQ(StatsField(stats, "reindex_completed"), 1) << stats;
+  EXPECT_EQ(StatsField(stats, "reindex_in_progress"), 0) << stats;
+  EXPECT_GT(StatsField(stats, "epoch"), epoch_before) << stats;
+  EXPECT_EQ(StatsField(stats, "graphs"), 16) << stats;
+
+  // The swapped generation answers on the mined dimension: a corpus graph
+  // queried against itself is an exact fingerprint match.
+  const std::string answer =
+      client.Rpc("QUERY 1 " + EncodeGraphInline(corpus_[0]));
+  Result<Ranking> ranking = ParseRankingResponse(answer);
+  ASSERT_TRUE(ranking.ok()) << answer;
+  ASSERT_EQ(ranking->size(), 1u);
+  EXPECT_DOUBLE_EQ((*ranking)[0].score, 0.0);
 }
 
 // ----------------------------------------------------------- wire fuzz ----

@@ -7,6 +7,7 @@
 //   gdim_tool serve    --index=index.idx --queries=q.gdb --k=10 [--threads=N]
 //   gdim_tool serve-net --index=index.idx --port=7411 --shards=4
 //                       [--queue=256 --cache-mb=64]
+//                       [--db=db.gdb --reindex-every=5000]
 //   gdim_tool bench-query --index=index.idx --queries=q.gdb [--repeat=R]
 //   gdim_tool update   --index=index.idx --out=index2.idx
 //                      [--insert=new.gdb --remove=3,17 --compact]
@@ -42,6 +43,7 @@
 #include "server/batch_executor.h"
 #include "server/net_server.h"
 #include "server/sharded_engine.h"
+#include "store/graph_store.h"
 
 namespace gdim {
 namespace {
@@ -66,7 +68,8 @@ int Usage() {
       "--shards=N --prefilter --quiet]\n"
       "  serve-net --index=FILE [--host=127.0.0.1 --port=0 --shards=1 "
       "--queue=256 --batch=64 --threads=N --max-conns=256 --cache-mb=64 "
-      "--prefilter]\n"
+      "--prefilter --db=GRAPHS --reindex-every=N --reindex-selector=DSPMap "
+      "--reindex-p=0 --reindex-minsup=0.05 --reindex-maxedges=7]\n"
       "  bench-query --index=FILE --queries=FILE [--k=10 --threads=N "
       "--shards=N --prefilter --repeat=5]\n"
       "  update   --index=FILE --out=FILE [--insert=GRAPHS --remove=I,J,... "
@@ -346,6 +349,51 @@ int RunBenchQuery(const Flags& flags) {
   return 0;
 }
 
+/// Positive identity check for serve-net's --db: the supplied graphs must
+/// BE the index's live graphs, in ascending-id order. A count match alone
+/// would let a same-sized but mismatched file silently mis-key every entry
+/// of the graph store — queries would stay correct (they never read the
+/// store) until the first REINDEX built a generation whose fingerprints
+/// describe graphs the ids don't own. VF2-maps a spread sample of the db
+/// graphs onto the engine's current dimension and compares bit-for-bit
+/// against the engine's stored rows: any positional shift misaligns nearly
+/// every row, so a small sample catches it with near-certainty at a cost
+/// independent of database size.
+Status ValidateDbAgainstEngine(const ShardedEngine& engine,
+                               const GraphDatabase& db) {
+  const int p = engine.num_features();
+  if (p == 0 || db.empty()) return Status::OK();
+  std::vector<std::pair<int, const uint64_t*>> live;
+  live.reserve(db.size());
+  for (int s = 0; s < engine.num_shards(); ++s) {
+    const auto rows = engine.shard(s).LiveRowWords();
+    live.insert(live.end(), rows.begin(), rows.end());
+  }
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const size_t sample =
+      std::min<size_t>(live.size(), 25);
+  for (size_t j = 0; j < sample; ++j) {
+    const size_t i =
+        sample <= 1 ? 0 : j * (live.size() - 1) / (sample - 1);
+    const std::vector<uint8_t> bits = engine.mapper().Map(db[i]);
+    for (int r = 0; r < p; ++r) {
+      const uint64_t word = live[i].second[static_cast<size_t>(r) / 64];
+      const uint8_t stored = (word >> (static_cast<size_t>(r) % 64)) & 1;
+      if (stored != bits[static_cast<size_t>(r)]) {
+        return Status::InvalidArgument(
+            "--db graph " + std::to_string(i) +
+            " does not match the index row with id " +
+            std::to_string(live[i].first) +
+            " (fingerprints differ at feature " + std::to_string(r) +
+            "); the db file must list the index's live graphs in "
+            "ascending-id order");
+      }
+    }
+  }
+  return Status::OK();
+}
+
 int RunServeNet(const Flags& flags) {
   const std::string index_path = flags.GetString("index", "");
   if (index_path.empty()) return Usage();
@@ -363,15 +411,75 @@ int RunServeNet(const Flags& flags) {
   // to cold queries, so the cache is on by default).
   Result<int> cache_mb = ValidatedRange(flags, "cache-mb", 64, 0, 65536);
   if (!cache_mb.ok()) return Fail(cache_mb.status());
+  // Reindex subsystem: --db supplies the live graphs (the index only holds
+  // fingerprints, which cannot be re-selected from); --reindex-every=N
+  // auto-triggers a refresh after N mutations.
+  const std::string db_path = flags.GetString("db", "");
+  Result<int> reindex_every =
+      ValidatedRange(flags, "reindex-every", 0, 0, 1 << 30);
+  if (!reindex_every.ok()) return Fail(reindex_every.status());
+  if (*reindex_every > 0 && db_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--reindex-every needs --db (the live graphs to re-select from)"));
+  }
+  Result<int> reindex_p = ValidatedRange(flags, "reindex-p", 0, 0, 1 << 20);
+  if (!reindex_p.ok()) return Fail(reindex_p.status());
+  // Refresh mining knobs are validated at the tool boundary like every
+  // other serve-net flag — a typo here would otherwise surface only at the
+  // first background refresh (silently, under --reindex-every).
+  const double reindex_minsup = flags.GetDouble("reindex-minsup", 0.05);
+  if (reindex_minsup <= 0.0 || reindex_minsup > 1.0) {
+    return Fail(Status::InvalidArgument(
+        "--reindex-minsup must be in (0, 1], got " +
+        std::to_string(reindex_minsup)));
+  }
+  Result<int> reindex_maxedges =
+      ValidatedRange(flags, "reindex-maxedges", 7, 1, 64);
+  if (!reindex_maxedges.ok()) return Fail(reindex_maxedges.status());
 
   WallTimer load_timer;
   Result<ShardedEngine> engine = ShardedEngine::Open(index_path, *engine_opts);
   if (!engine.ok()) return Fail(engine.status());
 
+  // The live-graph store: one entry per engine row, keyed by the engine's
+  // external ids. The db file must list the graphs in the index's row
+  // (ascending id) order — true for any `build` output and for v2
+  // snapshots' merged live sets written next to a matching graph dump.
+  std::optional<GraphStore> store;
+  if (!db_path.empty()) {
+    Result<GraphDatabase> db = ReadGraphFile(db_path);
+    if (!db.ok()) return Fail(db.status());
+    if (static_cast<int>(db->size()) != engine->num_graphs()) {
+      return Fail(Status::InvalidArgument(
+          "--db holds " + std::to_string(db->size()) + " graphs, index has " +
+          std::to_string(engine->num_graphs()) +
+          " live rows; they must describe the same database"));
+    }
+    if (Status matches = ValidateDbAgainstEngine(*engine, *db);
+        !matches.ok()) {
+      return Fail(matches);
+    }
+    store.emplace();
+    const std::vector<int> ids = engine->alive_ids();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      Status put = store->Put(ids[i], std::move((*db)[i]));
+      if (!put.ok()) return Fail(put);
+    }
+  }
+
   BatchExecutorOptions executor_opts;
   executor_opts.queue_capacity = *queue;
   executor_opts.max_batch = *batch;
   executor_opts.cache_bytes = static_cast<size_t>(*cache_mb) << 20;
+  executor_opts.store = store.has_value() ? &*store : nullptr;
+  executor_opts.reindex_every = *reindex_every;
+  executor_opts.refresh.selector =
+      flags.GetString("reindex-selector", "DSPMap");
+  executor_opts.refresh.p = *reindex_p;
+  executor_opts.refresh.mining.min_support = reindex_minsup;
+  executor_opts.refresh.mining.max_edges = *reindex_maxedges;
+  executor_opts.refresh.seed =
+      static_cast<uint64_t>(flags.GetInt("seed", 1));
   BatchExecutor executor(&*engine, executor_opts);
 
   NetServerOptions server_opts;
@@ -386,10 +494,12 @@ int RunServeNet(const Flags& flags) {
   // serve until killed.
   std::printf(
       "listening on %s port=%d (%d graphs x %d dims, shards=%d, queue=%d, "
-      "batch=%d, max-conns=%d, cache-mb=%d, loaded in %.2fs)\n",
+      "batch=%d, max-conns=%d, cache-mb=%d, reindex=%s every=%d, "
+      "loaded in %.2fs)\n",
       server_opts.host.c_str(), server.port(), engine->num_graphs(),
       engine->num_features(), engine->num_shards(), *queue, *batch,
-      *max_conns, *cache_mb, load_timer.Seconds());
+      *max_conns, *cache_mb, store.has_value() ? "on" : "off",
+      *reindex_every, load_timer.Seconds());
   std::fflush(stdout);
   for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
 }
