@@ -123,7 +123,7 @@ int Main(int argc, char** argv) {
     }
     timer.Reset();
     for (const Graph& q : round_queries) {
-      const Ranking top = engine.Query(q, k);
+      const Ranking top = engine.Query(q, {.k = k});
       if (!top.empty()) sink += top[0].score;
     }
     query_s += timer.Seconds();
@@ -153,11 +153,11 @@ int Main(int argc, char** argv) {
   for (int q = 0; q < 20; ++q) {
     const Graph query =
         GraphFromFingerprint(RandomBitRows(1, p, density, &rng)[0]);
-    Ranking expected = fresh->Query(query, k);
+    Ranking expected = fresh->Query(query, {.k = k});
     for (RankedResult& r : expected) {
       r.id = expected_ids[static_cast<size_t>(r.id)];
     }
-    GDIM_CHECK(engine.Query(query, k) == expected)
+    GDIM_CHECK(engine.Query(query, {.k = k}) == expected)
         << "churned engine diverged from fresh build on probe " << q;
   }
 

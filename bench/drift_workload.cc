@@ -49,7 +49,7 @@ double MeanRecall(BatchExecutor* executor, const GraphStore& store,
     for (RankedResult& r : exact) {
       r.id = live.ids[static_cast<size_t>(r.id)];
     }
-    Result<Ranking> approx = executor->Query(q, k);
+    Result<Ranking> approx = executor->Query(q, {.k = k});
     GDIM_CHECK(approx.ok()) << approx.status().ToString();
     int overlap = 0;
     for (const RankedResult& a : *approx) {

@@ -9,6 +9,7 @@
 //                  [--k=10 --connections=4 --requests=400 --allow-reject]
 //                  [--repeat-frac=0.0 --zipf-s=1.0 --seed=1]
 //                  [--mutate-frac=0.0 --snapshot-path=FILE --reindex]
+//                  [--json-out=FILE]
 //
 // --repeat-frac turns on the repeated-query mode that exercises the
 // server's result cache: each request is, with that probability, drawn
@@ -217,6 +218,7 @@ int Main(int argc, char** argv) {
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const std::string snapshot_path = flags.GetString("snapshot-path", "");
   const bool reindex = flags.GetBool("reindex", false);
+  const std::string json_out = flags.GetString("json-out", "");
   if (port <= 0 || port > 65535 || queries_path.empty() || k < 0 ||
       connections < 1 || requests < 1 || repeat_frac < 0.0 ||
       repeat_frac > 1.0 || mutate_frac < 0.0 || mutate_frac > 1.0 ||
@@ -225,7 +227,8 @@ int Main(int argc, char** argv) {
                  "usage: bench_net_load --port=P --queries=FILE "
                  "[--host=127.0.0.1 --k=10 --connections=4 --requests=400 "
                  "--repeat-frac=0.0 --mutate-frac=0.0 --zipf-s=1.0 --seed=1 "
-                 "--snapshot-path=FILE --reindex --allow-reject]\n");
+                 "--snapshot-path=FILE --reindex --allow-reject "
+                 "--json-out=FILE]\n");
     return 2;
   }
   Result<GraphDatabase> queries = ReadGraphFile(queries_path);
@@ -364,6 +367,37 @@ int Main(int argc, char** argv) {
                 reindex_ok ? "completed" : "FAILED", reindex_ms,
                 reindex_response.c_str());
     if (!reindex_ok) return 1;
+  }
+
+  // Machine-readable results for CI trend tracking. The kernel is the
+  // server's, not this process's, so it comes out of the STATS line.
+  if (!json_out.empty()) {
+    std::string kernel = "unknown";
+    const size_t pos = stats_after.find(" kernel=");
+    if (pos != std::string::npos) {
+      const size_t begin = pos + 8;
+      const size_t end = stats_after.find(' ', begin);
+      kernel = stats_after.substr(begin, end == std::string::npos
+                                             ? std::string::npos
+                                             : end - begin);
+    }
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"net_load\",\n"
+                 "  \"connections\": %d, \"requests\": %lld, \"k\": %d,\n"
+                 "  \"kernel\": \"%s\",\n  \"qps\": %.1f,\n"
+                 "  \"p50_ms\": %.4f, \"p99_ms\": %.4f,\n"
+                 "  \"ok\": %lld, \"rejected\": %lld, \"errors\": %lld\n}\n",
+                 connections, requests, k, kernel.c_str(),
+                 seconds > 0 ? static_cast<double>(ok) / seconds : 0.0,
+                 summary.p50, summary.p99, ok, rejected, errors);
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_out.c_str());
   }
 
   if (!first_error.empty()) {

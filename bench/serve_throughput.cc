@@ -1,22 +1,30 @@
 // Serving hot-path throughput: packed word-popcount scans vs the seed's
-// byte-vector scans, on a synthetic mapped database.
+// byte-vector scans, plus the multi-query SIMD kernels against each other,
+// on a synthetic mapped database.
 //
 //   bench_serve_throughput [--n=10000 --p=300 --queries=50 --k=10
-//                           --density=0.3 --repeat=3 --seed=7]
+//                           --density=0.3 --repeat=3 --seed=7
+//                           --json-out=FILE]
 //
 // Reports scan-kernel time (score every row, no ranking), full-ranking time
-// (scan + sort), and the serving stage-3 path (scan + partial top-k), with
-// byte/packed speedups. The packed results are checked bit-for-bit against
-// the byte reference before timing.
+// (scan + sort), the serving stage-3 path (scan + partial top-k), and a
+// per-kernel section: every kernel this host supports runs the same
+// block-tiled multi-query batch scan, checked bit-for-bit against scalar
+// before timing, with speedups relative to scalar. --json-out writes the
+// machine-readable form (per-kernel qps and latency percentiles, plus the
+// process's active kernel) for CI trend tracking.
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/flags.h"
+#include "common/histogram.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/timer.h"
+#include "core/kernels/scan_kernel.h"
 #include "core/objective.h"
 #include "core/packed_bits.h"
 #include "core/topk.h"
@@ -31,6 +39,52 @@ void ByteScoreAll(const std::vector<uint8_t>& query,
   scores->resize(rows.size());
   for (size_t i = 0; i < rows.size(); ++i) {
     (*scores)[i] = BinaryMappedDistance(query, rows[i]);
+  }
+}
+
+/// One kernel's batch-scan measurement over the whole query set.
+struct KernelTiming {
+  std::string name;
+  double best_s = 1e30;  ///< best-of-repeats wall time for the full batch
+  LatencySummary latency_ms;  ///< per-query latency (tile wall time)
+  double qps = 0.0;
+};
+
+/// Runs the block-tiled multi-query Hamming scan exactly the way the batch
+/// engines tile it — kernel.tile_width() queries per pass, kScanBlockRows
+/// rows per kernel call — writing raw diffs into *diffs (resized to
+/// num_queries * num_rows, diffs[q * num_rows + r]).
+void TiledBatchScan(const ScanKernel& kernel, const PackedBitMatrix& packed,
+                    const std::vector<std::vector<uint64_t>>& queries,
+                    std::vector<uint32_t>* diffs,
+                    std::vector<double>* per_query_ms) {
+  constexpr int kBlockRows = 256;
+  const int num_rows = packed.num_rows();
+  const size_t words = packed.words_per_row();
+  const int tile = kernel.tile_width();
+  const int num_queries = static_cast<int>(queries.size());
+  diffs->resize(static_cast<size_t>(num_queries) * num_rows);
+  per_query_ms->clear();
+  std::vector<const uint64_t*> query_ptrs(static_cast<size_t>(tile));
+  std::vector<uint32_t> block(static_cast<size_t>(tile) * kBlockRows);
+  for (int q0 = 0; q0 < num_queries; q0 += tile) {
+    WallTimer timer;
+    const int nq = std::min(tile, num_queries - q0);
+    for (int q = 0; q < nq; ++q) {
+      query_ptrs[static_cast<size_t>(q)] = queries[q0 + q].data();
+    }
+    for (int r0 = 0; r0 < num_rows; r0 += kBlockRows) {
+      const int nr = std::min(kBlockRows, num_rows - r0);
+      kernel.HammingBlockMulti(query_ptrs.data(), nq, packed.row(r0), words,
+                               nr, block.data());
+      for (int q = 0; q < nq; ++q) {
+        std::copy(block.begin() + q * nr, block.begin() + (q + 1) * nr,
+                  diffs->begin() +
+                      static_cast<size_t>(q0 + q) * num_rows + r0);
+      }
+    }
+    const double tile_ms = timer.Millis();
+    for (int q = 0; q < nq; ++q) per_query_ms->push_back(tile_ms);
   }
 }
 
@@ -111,7 +165,77 @@ int Main(int argc, char** argv) {
               "%.1fx vs byte ranking)\n",
               packed_topk_s / qn * 1e6, qn / packed_topk_s,
               byte_rank_s / packed_topk_s);
+
+  // Multi-query kernel shoot-out: every kernel this host supports runs the
+  // same block-tiled batch scan. Bit-identity against scalar is asserted on
+  // the raw diff outputs before any timing — a fast wrong kernel must fail
+  // here, not ship a number.
+  const std::vector<const ScanKernel*> kernels = SupportedScanKernels();
+  std::vector<uint32_t> scalar_diffs, kernel_diffs;
+  std::vector<double> per_query_ms;
+  TiledBatchScan(ScalarScanKernel(), packed, packed_queries, &scalar_diffs,
+                 &per_query_ms);
+  std::vector<KernelTiming> timings;
+  for (const ScanKernel* kernel : kernels) {
+    TiledBatchScan(*kernel, packed, packed_queries, &kernel_diffs,
+                   &per_query_ms);
+    GDIM_CHECK(kernel_diffs == scalar_diffs)
+        << "kernel '" << kernel->name() << "' diverged from scalar";
+    KernelTiming t;
+    t.name = kernel->name();
+    std::vector<double> best_latencies;
+    for (int rep = 0; rep < repeat; ++rep) {
+      WallTimer timer;
+      TiledBatchScan(*kernel, packed, packed_queries, &kernel_diffs,
+                     &per_query_ms);
+      const double s = timer.Seconds();
+      sink += kernel_diffs.back();
+      if (s < t.best_s) {
+        t.best_s = s;
+        best_latencies = per_query_ms;
+      }
+    }
+    t.latency_ms = SummarizeLatencies(std::move(best_latencies));
+    t.qps = qn / t.best_s;
+    timings.push_back(std::move(t));
+  }
+  const double scalar_s = timings.front().best_s;
+  std::printf("active kernel: %s\n", ActiveScanKernel().name());
+  for (const KernelTiming& t : timings) {
+    std::printf("%-6s multi-scan:   %8.1f us/query  (%.0f qps, "
+                "speedup %.1fx vs scalar)\n",
+                t.name.c_str(), t.best_s / qn * 1e6, t.qps,
+                scalar_s / t.best_s);
+  }
   std::printf("# sink=%g\n", sink);
+
+  const std::string json_out = flags.GetString("json-out", "");
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"serve_throughput\",\n"
+                 "  \"n\": %d, \"p\": %d, \"queries\": %d, \"k\": %d,\n"
+                 "  \"active_kernel\": \"%s\",\n  \"kernels\": [",
+                 n, p, num_queries, k, ActiveScanKernel().name());
+    for (size_t i = 0; i < timings.size(); ++i) {
+      const KernelTiming& t = timings[i];
+      std::fprintf(f,
+                   "%s\n    {\"kernel\": \"%s\", \"qps\": %.1f, "
+                   "\"us_per_query\": %.2f, \"p50_ms\": %.4f, "
+                   "\"p99_ms\": %.4f, \"speedup_vs_scalar\": %.2f}",
+                   i == 0 ? "" : ",", t.name.c_str(), t.qps,
+                   t.best_s / qn * 1e6, t.latency_ms.p50, t.latency_ms.p99,
+                   scalar_s / t.best_s);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_out.c_str());
+  }
   return 0;
 }
 

@@ -1,0 +1,131 @@
+#include "core/kernels/scan_kernel.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gdim {
+
+namespace {
+
+class ScalarKernel final : public ScanKernel {
+ public:
+  const char* name() const override { return "scalar"; }
+
+  int tile_width() const override { return 4; }
+
+  void HammingBlock(const uint64_t* query, const uint64_t* rows,
+                    size_t words_per_row, int num_rows,
+                    uint32_t* diffs) const override {
+    const uint64_t* row = rows;
+    for (int r = 0; r < num_rows; ++r, row += words_per_row) {
+      uint32_t diff = 0;
+      for (size_t w = 0; w < words_per_row; ++w) {
+        diff += static_cast<uint32_t>(std::popcount(query[w] ^ row[w]));
+      }
+      diffs[r] = diff;
+    }
+  }
+
+  void HammingBlockMulti(const uint64_t* const* queries, int num_queries,
+                         const uint64_t* rows, size_t words_per_row,
+                         int num_rows, uint32_t* diffs) const override {
+    // Register-tile the queries in fours: each row word is loaded once per
+    // four queries instead of once per query, which is the whole point of
+    // the multi-query entry even without SIMD.
+    int q = 0;
+    for (; q + 4 <= num_queries; q += 4) {
+      const uint64_t* q0 = queries[q];
+      const uint64_t* q1 = queries[q + 1];
+      const uint64_t* q2 = queries[q + 2];
+      const uint64_t* q3 = queries[q + 3];
+      const uint64_t* row = rows;
+      for (int r = 0; r < num_rows; ++r, row += words_per_row) {
+        uint32_t d0 = 0, d1 = 0, d2 = 0, d3 = 0;
+        for (size_t w = 0; w < words_per_row; ++w) {
+          const uint64_t word = row[w];
+          d0 += static_cast<uint32_t>(std::popcount(q0[w] ^ word));
+          d1 += static_cast<uint32_t>(std::popcount(q1[w] ^ word));
+          d2 += static_cast<uint32_t>(std::popcount(q2[w] ^ word));
+          d3 += static_cast<uint32_t>(std::popcount(q3[w] ^ word));
+        }
+        diffs[static_cast<size_t>(q) * num_rows + r] = d0;
+        diffs[static_cast<size_t>(q + 1) * num_rows + r] = d1;
+        diffs[static_cast<size_t>(q + 2) * num_rows + r] = d2;
+        diffs[static_cast<size_t>(q + 3) * num_rows + r] = d3;
+      }
+    }
+    for (; q < num_queries; ++q) {
+      HammingBlock(queries[q], rows, words_per_row, num_rows,
+                   diffs + static_cast<size_t>(q) * num_rows);
+    }
+  }
+};
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  // The AVX-512 kernel popcounts with VPOPCNTDQ; plain avx512f hosts
+  // (Skylake-SP era) fall back to avx2 rather than carrying a second
+  // AVX-512 popcount implementation.
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vpopcntdq");
+#else
+  return false;
+#endif
+}
+
+const ScanKernel* PickActiveKernel() {
+  if (const char* forced = std::getenv("GDIM_FORCE_KERNEL");
+      forced != nullptr && forced[0] != '\0') {
+    if (const ScanKernel* kernel = FindScanKernel(forced)) return kernel;
+    std::fprintf(stderr,
+                 "gdim: GDIM_FORCE_KERNEL=%s is not runnable on this host; "
+                 "falling back to automatic kernel selection\n",
+                 forced);
+  }
+  if (const ScanKernel* kernel = FindScanKernel("avx512")) return kernel;
+  if (const ScanKernel* kernel = FindScanKernel("avx2")) return kernel;
+  return &ScalarScanKernel();
+}
+
+}  // namespace
+
+const ScanKernel& ScalarScanKernel() {
+  static const ScalarKernel kernel;
+  return kernel;
+}
+
+const ScanKernel* FindScanKernel(const std::string& name) {
+  if (name == "scalar") return &ScalarScanKernel();
+  if (name == "avx2") return CpuHasAvx2() ? Avx2ScanKernelOrNull() : nullptr;
+  if (name == "avx512") {
+    return CpuHasAvx512() ? Avx512ScanKernelOrNull() : nullptr;
+  }
+  return nullptr;
+}
+
+std::vector<const ScanKernel*> SupportedScanKernels() {
+  std::vector<const ScanKernel*> kernels = {&ScalarScanKernel()};
+  for (const char* name : {"avx2", "avx512"}) {
+    if (const ScanKernel* kernel = FindScanKernel(name)) {
+      kernels.push_back(kernel);
+    }
+  }
+  return kernels;
+}
+
+const ScanKernel& ActiveScanKernel() {
+  static const ScanKernel* active = PickActiveKernel();
+  return *active;
+}
+
+}  // namespace gdim

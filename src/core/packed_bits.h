@@ -108,8 +108,18 @@ class PackedBitMatrix {
 
   /// ScoreAll into a caller-owned buffer of num_rows() doubles, so a
   /// multi-segment engine can scan base + delta into one score vector
-  /// without a concatenating copy.
+  /// without a concatenating copy. Runs on the process's ActiveScanKernel()
+  /// in cache-resident row blocks; every kernel is bit-identical to scalar
+  /// (exact integer Hamming counts, one shared sqrt(diff/p) conversion).
   void ScoreAllInto(const std::vector<uint64_t>& query, double* out) const;
+
+  /// Multi-query ScoreAllInto: scores num_queries packed queries (each
+  /// words_per_row() words, from PackQuery) in one pass over the rows —
+  /// outs[q][i] gets row i's score against queries[q]. The block-tiled
+  /// batch-scan kernel: a row block is loaded once and XORed against every
+  /// query while cache-resident, instead of once per query.
+  void ScoreAllMultiInto(const uint64_t* const* queries, int num_queries,
+                         double* const* outs) const;
 
   /// Scores only the given rows, writing scores[j] for candidates[j]
   /// (*scores resized to candidates.size()). The post-prefilter kernel.

@@ -11,6 +11,7 @@
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "core/binary_db.h"
+#include "core/kernels/scan_kernel.h"
 
 namespace gdim {
 
@@ -325,9 +326,9 @@ std::vector<int> QueryEngine::PrefilterCandidateRows(
 }
 
 Ranking QueryEngine::QueryMappedCandidates(
-    const std::vector<uint8_t>& fingerprint, int k,
+    const std::vector<uint8_t>& fingerprint, const QueryOptions& options,
     const std::vector<int>& candidate_rows, ServeQueryStats* stats) const {
-  if (k < 0) k = 0;
+  const int k = std::max(options.k, 0);
   WallTimer timer;
   const std::vector<uint64_t> packed_query = base_->PackQuery(fingerprint);
   std::vector<double> scores;
@@ -372,23 +373,23 @@ void QueryEngine::ScoreRows(const std::vector<uint64_t>& packed_query,
   }
 }
 
-Ranking QueryEngine::Query(const Graph& query, int k,
+Ranking QueryEngine::Query(const Graph& query, const QueryOptions& options,
                            ServeQueryStats* stats) const {
   WallTimer timer;
   // Stage 1: fingerprint the query onto the selected dimension, then hand
   // the mapped vector to the scan stages.
-  Ranking top = QueryMapped(mapper_.Map(query), k, stats);
+  Ranking top = QueryMapped(mapper_.Map(query), options, stats);
   // The mapped path timed only stages 2–3; charge the VF2 mapping too.
   if (stats != nullptr) stats->latency_ms = timer.Millis();
   return top;
 }
 
 Ranking QueryEngine::QueryMapped(const std::vector<uint8_t>& fingerprint,
-                                 int k, ServeQueryStats* stats,
-                                 ScanMode mode) const {
+                                 const QueryOptions& options,
+                                 ServeQueryStats* stats) const {
   // A malformed k must not abort the serving process; k < 0 answers like
   // k == 0 (empty ranking). The tool boundary additionally rejects it.
-  if (k < 0) k = 0;
+  const int k = std::max(options.k, 0);
   WallTimer timer;
 
   int features_on = 0;
@@ -398,8 +399,8 @@ Ranking QueryEngine::QueryMapped(const std::vector<uint8_t>& fingerprint,
   // Stage 2: optional containment prefilter over the inverted lists.
   bool prefiltered = false;
   std::vector<int> candidates;
-  if (mode == ScanMode::kAuto && options_.containment_prefilter &&
-      features_on > 0) {
+  if (options.scan_mode == ScanMode::kAuto &&
+      options_.containment_prefilter && features_on > 0) {
     candidates = PrefilterCandidates(fingerprint);
     // Take the narrowed path only when it actually narrows: some candidate
     // survived (an empty intersection is a degenerate "scan of zero rows",
@@ -465,20 +466,121 @@ void FillServeBatchReport(double wall_ms,
   report->latency_ms = SummarizeLatencies(std::move(latencies));
 }
 
+std::vector<Ranking> QueryEngine::QueryMappedTile(
+    const std::vector<uint8_t>* fingerprints, int count,
+    const QueryOptions& options, std::vector<ServeQueryStats>* stats) const {
+  const int k = std::max(options.k, 0);
+  WallTimer timer;
+  std::vector<Ranking> results(static_cast<size_t>(std::max(count, 0)));
+  if (stats != nullptr) {
+    stats->assign(static_cast<size_t>(std::max(count, 0)),
+                  ServeQueryStats{});
+  }
+  if (count <= 0) return results;
+
+  const int total = total_rows();
+  std::vector<std::vector<uint64_t>> packed(static_cast<size_t>(count));
+  std::vector<const uint64_t*> query_ptrs(static_cast<size_t>(count));
+  for (int q = 0; q < count; ++q) {
+    packed[static_cast<size_t>(q)] =
+        base_->PackQuery(fingerprints[q]);
+    query_ptrs[static_cast<size_t>(q)] =
+        packed[static_cast<size_t>(q)].data();
+  }
+  // One score column per query; base and delta fill disjoint row ranges of
+  // every column, exactly like the single-query full-scan path.
+  std::vector<std::vector<double>> scores(
+      static_cast<size_t>(count),
+      std::vector<double>(static_cast<size_t>(total)));
+  std::vector<double*> outs(static_cast<size_t>(count));
+  for (int q = 0; q < count; ++q) {
+    outs[static_cast<size_t>(q)] = scores[static_cast<size_t>(q)].data();
+  }
+  base_->ScoreAllMultiInto(query_ptrs.data(), count, outs.data());
+  if (delta_.num_rows() > 0) {
+    std::vector<double*> delta_outs(static_cast<size_t>(count));
+    for (int q = 0; q < count; ++q) {
+      delta_outs[static_cast<size_t>(q)] =
+          outs[static_cast<size_t>(q)] + base_->num_rows();
+    }
+    delta_.ScoreAllMultiInto(query_ptrs.data(), count, delta_outs.data());
+  }
+
+  for (int q = 0; q < count; ++q) {
+    std::vector<double>& column = scores[static_cast<size_t>(q)];
+    if (num_tombstones_ > 0) {
+      for (size_t row = 0; row < column.size(); ++row) {
+        if (tombstones_[row] != 0) column[row] = kRemovedScore;
+      }
+    }
+    Ranking top = TopKByScores(column, k);
+    while (!top.empty() && top.back().score == kRemovedScore) top.pop_back();
+    for (RankedResult& r : top) r.id = row_ids_[static_cast<size_t>(r.id)];
+    results[static_cast<size_t>(q)] = std::move(top);
+  }
+
+  if (stats != nullptr) {
+    const double tile_ms = timer.Millis();
+    for (int q = 0; q < count; ++q) {
+      ServeQueryStats& s = (*stats)[static_cast<size_t>(q)];
+      s.latency_ms = tile_ms;
+      int features_on = 0;
+      for (uint8_t b : fingerprints[q]) features_on += b != 0 ? 1 : 0;
+      s.features_on = features_on;
+      s.scanned = total;
+      s.prefiltered = false;
+    }
+  }
+  return results;
+}
+
 std::vector<Ranking> QueryEngine::QueryBatch(
-    const GraphDatabase& queries, int k, ServeBatchReport* report,
+    const GraphDatabase& queries, const QueryOptions& options,
+    ServeBatchReport* report,
     std::vector<ServeQueryStats>* per_query) const {
   WallTimer batch_timer;
+  const int n = static_cast<int>(queries.size());
   std::vector<Ranking> results(queries.size());
   std::vector<ServeQueryStats> stats(queries.size());
-  ParallelFor(
-      0, static_cast<int>(queries.size()),
-      [&](int i) {
-        results[static_cast<size_t>(i)] =
-            Query(queries[static_cast<size_t>(i)], k,
-                  &stats[static_cast<size_t>(i)]);
-      },
-      options_.threads);
+  // Stage 1 for the whole batch in one parallel pass; the scans below then
+  // touch packed words only.
+  const std::vector<std::vector<uint8_t>> fingerprints =
+      mapper_.MapAll(queries, options_.threads);
+  if (options.scan_mode == ScanMode::kAuto &&
+      options_.containment_prefilter) {
+    // The stage-2 decision is per query, so the batch cannot share row
+    // passes; keep the per-query path.
+    ParallelFor(
+        0, n,
+        [&](int i) {
+          results[static_cast<size_t>(i)] =
+              QueryMapped(fingerprints[static_cast<size_t>(i)], options,
+                          &stats[static_cast<size_t>(i)]);
+        },
+        options_.threads);
+  } else {
+    // Block-tiled multi-query scan: tiles of tile_width() queries share
+    // every row-block pass. Tile boundaries never affect results — scores
+    // are bit-identical for every kernel and tile split.
+    const int tile = ActiveScanKernel().tile_width();
+    const int num_tiles = (n + tile - 1) / tile;
+    ParallelFor(
+        0, num_tiles,
+        [&](int t) {
+          const int begin = t * tile;
+          const int count = std::min(tile, n - begin);
+          std::vector<ServeQueryStats> tile_stats;
+          std::vector<Ranking> tile_results = QueryMappedTile(
+              fingerprints.data() + begin, count, options, &tile_stats);
+          for (int j = 0; j < count; ++j) {
+            results[static_cast<size_t>(begin + j)] =
+                std::move(tile_results[static_cast<size_t>(j)]);
+            stats[static_cast<size_t>(begin + j)] =
+                tile_stats[static_cast<size_t>(j)];
+          }
+        },
+        options_.threads);
+  }
   const double wall_ms = batch_timer.Millis();
 
   if (report != nullptr) FillServeBatchReport(wall_ms, stats, report);

@@ -14,6 +14,7 @@
 #include "core/packed_bits.h"
 #include "core/topk.h"
 #include "graph/graph.h"
+#include "serve/query_options.h"
 
 namespace gdim {
 
@@ -33,20 +34,6 @@ struct ServeOptions {
   /// filter does not actually narrow anything: no candidate survives, fewer
   /// than k candidates survive, or every live graph survives.
   bool containment_prefilter = false;
-};
-
-/// Stage-2 policy for QueryMapped. kAuto applies this engine's own
-/// narrowed-vs-full fallback — the single-engine default. A sharded owner
-/// instead decides ONCE over global candidate counts and forces every
-/// shard onto the same side: left to their local heuristics, shards
-/// diverge from the single-engine answer (a shard holding fewer than k
-/// candidates would widen to a full scan of rows the single engine's
-/// narrowed scan never touches). The narrowed side of the forced decision
-/// goes through QueryMappedCandidates with the rows the owner already
-/// collected.
-enum class ScanMode {
-  kAuto,
-  kFull,
 };
 
 /// Per-query observability counters from one hot-path execution.
@@ -234,9 +221,9 @@ class QueryEngine {
 
   /// Top-k ids + normalized mapped distances for one query, ascending
   /// score with id tie-break (identical order to TopK(MappedRanking(...))
-  /// over the live rows). Negative k is clamped to 0 (empty ranking) —
-  /// one malformed request must not take down the serving process.
-  Ranking Query(const Graph& query, int k,
+  /// over the live rows). All per-query knobs (k, scan mode) travel in
+  /// `options`: engine.Query(q, {.k = 10}).
+  Ranking Query(const Graph& query, const QueryOptions& options,
                 ServeQueryStats* stats = nullptr) const;
 
   /// Stages 2–3 for a caller that already holds the mapped fingerprint:
@@ -244,9 +231,9 @@ class QueryEngine {
   /// the expensive stage) and fans the mapped vector out to every shard.
   /// Width must equal num_features(). With kAuto, identical to Query() on
   /// a graph with this fingerprint.
-  Ranking QueryMapped(const std::vector<uint8_t>& fingerprint, int k,
-                      ServeQueryStats* stats = nullptr,
-                      ScanMode mode = ScanMode::kAuto) const;
+  Ranking QueryMapped(const std::vector<uint8_t>& fingerprint,
+                      const QueryOptions& options,
+                      ServeQueryStats* stats = nullptr) const;
 
   /// Stage 2 alone: the live physical rows surviving ∩ sup(f_r) over the
   /// fingerprint's set bits (ascending). Requires the containment
@@ -263,16 +250,35 @@ class QueryEngine {
   /// ranks with the usual score-then-id order, external ids in the result.
   /// stats reports a narrowed scan of candidate_rows.size() rows.
   Ranking QueryMappedCandidates(const std::vector<uint8_t>& fingerprint,
-                                int k,
+                                const QueryOptions& options,
                                 const std::vector<int>& candidate_rows,
                                 ServeQueryStats* stats = nullptr) const;
 
   /// Answers a whole batch across the thread pool. results[i] corresponds
-  /// to queries[i]; output is deterministic for any thread count. Optional
-  /// per-query stats (resized to the batch) and an aggregate report.
+  /// to queries[i]; output is deterministic for any thread count (and
+  /// bit-identical for every scan kernel). Optional per-query stats
+  /// (resized to the batch) and an aggregate report. Fingerprints the
+  /// whole batch first (MapAll), then — unless the containment prefilter
+  /// takes the per-query path — scans tiles of ActiveScanKernel()::
+  /// tile_width() queries per row-block pass via QueryMappedTile.
   std::vector<Ranking> QueryBatch(
-      const GraphDatabase& queries, int k, ServeBatchReport* report = nullptr,
+      const GraphDatabase& queries, const QueryOptions& options,
+      ServeBatchReport* report = nullptr,
       std::vector<ServeQueryStats>* per_query = nullptr) const;
+
+  /// Full-scan stage 3 for a contiguous tile of `count` pre-mapped
+  /// fingerprints, scored together: every row block is loaded once and
+  /// XORed against all `count` queries while cache-resident (the
+  /// multi-query kernel path behind QueryBatch and the sharded engine's
+  /// QueryMappedBatch). results[q] / (*stats)[q] correspond to
+  /// fingerprints[q]; each equals QueryMapped(fingerprints[q],
+  /// {.k = options.k, .scan_mode = ScanMode::kFull}) bit for bit. Per-query
+  /// latency_ms reports the tile's wall time (each query waited for the
+  /// shared pass).
+  std::vector<Ranking> QueryMappedTile(
+      const std::vector<uint8_t>* fingerprints, int count,
+      const QueryOptions& options,
+      std::vector<ServeQueryStats>* stats = nullptr) const;
 
  private:
   QueryEngine() = default;

@@ -1,0 +1,41 @@
+#ifndef GDIM_SERVE_QUERY_OPTIONS_H_
+#define GDIM_SERVE_QUERY_OPTIONS_H_
+
+namespace gdim {
+
+/// Stage-2 policy for a mapped query. kAuto applies the serving engine's own
+/// narrowed-vs-full fallback — the single-engine default. A sharded owner
+/// instead decides ONCE over global candidate counts and forces every shard
+/// onto the same side: left to their local heuristics, shards diverge from
+/// the single-engine answer (a shard holding fewer than k candidates would
+/// widen to a full scan of rows the single engine's narrowed scan never
+/// touches). The narrowed side of the forced decision goes through
+/// QueryEngine::QueryMappedCandidates with the rows the owner already
+/// collected; kFull is the forced full-scan side, and also what the wire
+/// protocol's MODE=full requests.
+enum class ScanMode {
+  kAuto,
+  kFull,
+};
+
+/// Per-query knobs, threaded through every query entry point of
+/// QueryEngine, ShardedEngine, and BatchExecutor — the one options struct
+/// behind the former positional (k, ScanMode) parameter zoo, and the
+/// extension point future per-query knobs (approximate modes, kernel tile
+/// hints) land in without touching any signature. Construct with designated
+/// initializers: engine.Query(q, {.k = 10}).
+struct QueryOptions {
+  /// Result count. Negative values answer like 0 (empty ranking) — one
+  /// malformed request must not take down the serving process; boundary
+  /// layers (tool flags, the wire parser) additionally reject them.
+  int k = 0;
+
+  /// Stage-2 scan policy; see ScanMode.
+  ScanMode scan_mode = ScanMode::kAuto;
+
+  friend bool operator==(const QueryOptions&, const QueryOptions&) = default;
+};
+
+}  // namespace gdim
+
+#endif  // GDIM_SERVE_QUERY_OPTIONS_H_

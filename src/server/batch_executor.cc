@@ -68,11 +68,12 @@ Status BatchExecutor::Admit(Request r) {
   return Status::OK();
 }
 
-Result<Ranking> BatchExecutor::Query(Graph query, int k) {
+Result<Ranking> BatchExecutor::Query(Graph query,
+                                     const QueryOptions& options) {
   Request r;
   r.kind = Request::Kind::kQuery;
   r.graph = std::move(query);
-  r.k = k;
+  r.query_options = options;
   std::future<Result<Ranking>> done = r.ranking.get_future();
   Status admitted = Admit(std::move(r));
   if (!admitted.ok()) return admitted;
@@ -347,7 +348,9 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
   // query batches, so it is exact for every query in this run, and a hit at
   // this epoch replays a result the engine produced at this exact state.
   const uint64_t epoch = engine_->epoch();
-  const uint8_t mode_tag =
+  // Results depend on every per-query knob, so the cache key carries the
+  // scan mode alongside the engine-level prefilter flag in its tag byte.
+  const uint8_t prefilter_tag =
       engine_->options().serve.containment_prefilter ? 1 : 0;
   std::vector<Ranking> results(batch->size());
   std::vector<std::string> keys(batch->size());
@@ -355,8 +358,11 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
   misses.reserve(batch->size());
   for (size_t i = 0; i < batch->size(); ++i) {
     if (cache_ != nullptr) {
-      keys[i] = ResultCache::MakeKey(fingerprints[i], (*batch)[i].k,
-                                     mode_tag);
+      const QueryOptions& options = (*batch)[i].query_options;
+      const uint8_t mode_tag = static_cast<uint8_t>(
+          prefilter_tag |
+          (options.scan_mode == ScanMode::kFull ? 2 : 0));
+      keys[i] = ResultCache::MakeKey(fingerprints[i], options.k, mode_tag);
       if (std::optional<Ranking> hit = cache_->Lookup(keys[i], epoch)) {
         results[i] = std::move(*hit);
         continue;
@@ -365,20 +371,23 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
     misses.push_back(i);
   }
 
-  // Scatter the misses. Requests may carry different k, so scans go per
-  // same-k span of the miss list; one closed-loop workload almost always
-  // lands in a single span.
+  // Scatter the misses. Requests may carry different options, so scans go
+  // per equal-options span of the miss list; one closed-loop workload
+  // almost always lands in a single span.
   size_t begin = 0;
   while (begin < misses.size()) {
-    const int k = (*batch)[misses[begin]].k;
+    const QueryOptions options = (*batch)[misses[begin]].query_options;
     size_t end = begin + 1;
-    while (end < misses.size() && (*batch)[misses[end]].k == k) ++end;
+    while (end < misses.size() &&
+           (*batch)[misses[end]].query_options == options) {
+      ++end;
+    }
     std::vector<std::vector<uint8_t>> span;
     span.reserve(end - begin);
     for (size_t j = begin; j < end; ++j) {
       span.push_back(std::move(fingerprints[misses[j]]));
     }
-    std::vector<Ranking> scanned = engine_->QueryMappedBatch(span, k);
+    std::vector<Ranking> scanned = engine_->QueryMappedBatch(span, options);
     for (size_t j = begin; j < end; ++j) {
       const size_t i = misses[j];
       results[i] = std::move(scanned[j - begin]);

@@ -157,7 +157,9 @@ class BatchExecutor {
 
   /// Top-k for one query graph; blocks until the coalesced batch holding it
   /// completes. ResourceExhausted immediately when the queue is full.
-  Result<Ranking> Query(Graph query, int k);
+  /// Per-query knobs (k, scan mode) travel in `options`; requests with
+  /// equal options coalesce into shared multi-query scans.
+  Result<Ranking> Query(Graph query, const QueryOptions& options);
 
   /// Inserts a graph; returns its stable external id.
   Result<int> Insert(Graph graph);
@@ -238,7 +240,7 @@ class BatchExecutor {
     };
     Kind kind = Kind::kQuery;
     Graph graph;        // kQuery, kInsert
-    int k = 0;          // kQuery
+    QueryOptions query_options;  // kQuery
     int id = 0;         // kRemove
     int p = 0;          // kReindex (0 = keep dimension count)
     std::string path;   // kSnapshot

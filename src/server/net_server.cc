@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "core/kernels/scan_kernel.h"
 #include "server/wire.h"
 
 namespace gdim {
@@ -129,7 +130,7 @@ std::string NetServer::HandleLine(const std::string& line, bool* quit) {
   switch (request.verb) {
     case WireVerb::kQuery: {
       Result<Ranking> ranking =
-          executor_->Query(std::move(request.graph), request.k);
+          executor_->Query(std::move(request.graph), request.options);
       if (!ranking.ok()) return FormatErrorResponse(ranking.status());
       return FormatRankingResponse(*ranking);
     }
@@ -173,7 +174,7 @@ std::string NetServer::HandleLine(const std::string& line, bool* quit) {
           "cache_misses=%llu cache_evictions=%llu cache_entries=%zu "
           "cache_bytes=%zu snapshots_in_progress=%llu "
           "snapshots_completed=%llu dimension_generation=%llu "
-          "reindex_in_progress=%llu reindex_completed=%llu",
+          "reindex_in_progress=%llu reindex_completed=%llu kernel=%s",
           gauges->graphs, gauges->shards, gauges->features,
           gauges->physical_rows, gauges->tombstones,
           static_cast<unsigned long long>(stats.accepted),
@@ -191,7 +192,8 @@ std::string NetServer::HandleLine(const std::string& line, bool* quit) {
           static_cast<unsigned long long>(stats.snapshots_completed),
           static_cast<unsigned long long>(gauges->generation),
           static_cast<unsigned long long>(stats.reindexes_in_progress),
-          static_cast<unsigned long long>(stats.reindexes_completed));
+          static_cast<unsigned long long>(stats.reindexes_completed),
+          ActiveScanKernel().name());
       return out;
     }
     case WireVerb::kPing:

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "core/kernels/scan_kernel.h"
 #include "core/packed_bits.h"
 
 namespace gdim {
@@ -300,8 +301,10 @@ Status ShardedEngine::WriteSnapshot(const FrozenShardedState& frozen,
 }
 
 Ranking ShardedEngine::ScatterGather(const std::vector<uint8_t>& fingerprint,
-                                     int k, ServeQueryStats* stats,
+                                     const QueryOptions& options,
+                                     ServeQueryStats* stats,
                                      int scatter_threads) const {
+  const int k = options.k;
   WallTimer timer;
   const int n_shards = num_shards();
 
@@ -317,7 +320,8 @@ Ranking ShardedEngine::ScatterGather(const std::vector<uint8_t>& fingerprint,
   int features_on = 0;
   for (uint8_t b : fingerprint) features_on += b != 0 ? 1 : 0;
   std::vector<std::vector<int>> candidates;
-  if (options_.serve.containment_prefilter && features_on > 0) {
+  if (options_.serve.containment_prefilter &&
+      options.scan_mode == ScanMode::kAuto && features_on > 0) {
     candidates.resize(static_cast<size_t>(n_shards));
     long long total = 0;
     for (size_t s = 0; s < shards_.size(); ++s) {
@@ -335,11 +339,13 @@ Ranking ShardedEngine::ScatterGather(const std::vector<uint8_t>& fingerprint,
         const size_t i = static_cast<size_t>(s);
         partials[i] =
             narrowed
-                ? shards_[i].QueryMappedCandidates(fingerprint, k,
+                ? shards_[i].QueryMappedCandidates(fingerprint, options,
                                                    candidates[i],
                                                    &shard_stats[i])
-                : shards_[i].QueryMapped(fingerprint, k, &shard_stats[i],
-                                         ScanMode::kFull);
+                : shards_[i].QueryMapped(
+                      fingerprint,
+                      {.k = options.k, .scan_mode = ScanMode::kFull},
+                      &shard_stats[i]);
       },
       scatter_threads);
   Ranking merged = MergeTopK(partials, k);
@@ -355,37 +361,101 @@ Ranking ShardedEngine::ScatterGather(const std::vector<uint8_t>& fingerprint,
   return merged;
 }
 
-Ranking ShardedEngine::Query(const Graph& query, int k,
+Ranking ShardedEngine::Query(const Graph& query, const QueryOptions& options,
                              ServeQueryStats* stats) const {
   WallTimer timer;
-  Ranking top =
-      ScatterGather(mapper_.Map(query), k, stats, options_.serve.threads);
+  Ranking top = ScatterGather(mapper_.Map(query), options, stats,
+                              options_.serve.threads);
   if (stats != nullptr) stats->latency_ms = timer.Millis();  // include VF2
   return top;
 }
 
 Ranking ShardedEngine::QueryMapped(const std::vector<uint8_t>& fingerprint,
-                                   int k, ServeQueryStats* stats) const {
-  return ScatterGather(fingerprint, k, stats, options_.serve.threads);
+                                   const QueryOptions& options,
+                                   ServeQueryStats* stats) const {
+  return ScatterGather(fingerprint, options, stats, options_.serve.threads);
+}
+
+void ShardedEngine::ScanMappedBatch(
+    const std::vector<std::vector<uint8_t>>& fingerprints,
+    const QueryOptions& options, std::vector<Ranking>* results,
+    std::vector<ServeQueryStats>* stats) const {
+  const int n = static_cast<int>(fingerprints.size());
+  if (options_.serve.containment_prefilter &&
+      options.scan_mode == ScanMode::kAuto) {
+    // The stage-2 narrowed-vs-full decision is global and per query, so
+    // queries cannot share row passes: one pool over queries, each
+    // scattering over shards serially (no nested pools).
+    ParallelFor(
+        0, n,
+        [&](int i) {
+          WallTimer query_timer;
+          (*results)[static_cast<size_t>(i)] =
+              ScatterGather(fingerprints[static_cast<size_t>(i)], options,
+                            &(*stats)[static_cast<size_t>(i)], 1);
+          (*stats)[static_cast<size_t>(i)].latency_ms = query_timer.Millis();
+        },
+        options_.serve.threads);
+    return;
+  }
+  // Block-tiled multi-query path: cut the batch into tiles of the active
+  // kernel's width and let every shard score a whole tile per row-block
+  // pass (QueryEngine::QueryMappedTile), then gather-merge per query. The
+  // merge is the same deterministic k-way MergeTopK as the scatter path, so
+  // answers are bit-identical to one-query-at-a-time scattering for every
+  // tile split, shard count, and kernel.
+  const QueryOptions full{.k = options.k, .scan_mode = ScanMode::kFull};
+  const int tile = ActiveScanKernel().tile_width();
+  const int num_tiles = tile > 0 ? (n + tile - 1) / tile : 0;
+  ParallelFor(
+      0, num_tiles,
+      [&](int t) {
+        const int begin = t * tile;
+        const int count = std::min(tile, n - begin);
+        WallTimer tile_timer;
+        std::vector<std::vector<Ranking>> partials(shards_.size());
+        std::vector<std::vector<ServeQueryStats>> shard_stats(
+            shards_.size());
+        for (size_t s = 0; s < shards_.size(); ++s) {
+          partials[s] = shards_[s].QueryMappedTile(
+              fingerprints.data() + begin, count, full, &shard_stats[s]);
+        }
+        for (int q = 0; q < count; ++q) {
+          std::vector<Ranking> per_shard;
+          per_shard.reserve(shards_.size());
+          for (size_t s = 0; s < shards_.size(); ++s) {
+            per_shard.push_back(
+                std::move(partials[s][static_cast<size_t>(q)]));
+          }
+          (*results)[static_cast<size_t>(begin + q)] =
+              MergeTopK(per_shard, options.k);
+        }
+        const double tile_ms = tile_timer.Millis();
+        for (int q = 0; q < count; ++q) {
+          ServeQueryStats& s = (*stats)[static_cast<size_t>(begin + q)];
+          s.latency_ms = tile_ms;
+          s.features_on = shard_stats[0][static_cast<size_t>(q)].features_on;
+          s.scanned = 0;
+          for (size_t sh = 0; sh < shards_.size(); ++sh) {
+            s.scanned += shard_stats[sh][static_cast<size_t>(q)].scanned;
+          }
+          s.prefiltered = false;
+        }
+      },
+      options_.serve.threads);
 }
 
 std::vector<Ranking> ShardedEngine::QueryBatch(
-    const GraphDatabase& queries, int k, ServeBatchReport* report,
+    const GraphDatabase& queries, const QueryOptions& options,
+    ServeBatchReport* report,
     std::vector<ServeQueryStats>* per_query) const {
   WallTimer batch_timer;
   std::vector<Ranking> results(queries.size());
   std::vector<ServeQueryStats> stats(queries.size());
-  // One pool over queries; each query scatters serially (no nested pools).
-  ParallelFor(
-      0, static_cast<int>(queries.size()),
-      [&](int i) {
-        WallTimer query_timer;
-        results[static_cast<size_t>(i)] =
-            ScatterGather(mapper_.Map(queries[static_cast<size_t>(i)]), k,
-                          &stats[static_cast<size_t>(i)], 1);
-        stats[static_cast<size_t>(i)].latency_ms = query_timer.Millis();
-      },
-      options_.serve.threads);
+  // One stage-1 pass over the whole batch, then packed scans only.
+  const std::vector<std::vector<uint8_t>> fingerprints =
+      mapper_.MapAll(queries, options_.serve.threads);
+  ScanMappedBatch(fingerprints, options, &results, &stats);
   const double wall_ms = batch_timer.Millis();
   if (report != nullptr) FillServeBatchReport(wall_ms, stats, report);
   if (per_query != nullptr) *per_query = std::move(stats);
@@ -393,19 +463,13 @@ std::vector<Ranking> ShardedEngine::QueryBatch(
 }
 
 std::vector<Ranking> ShardedEngine::QueryMappedBatch(
-    const std::vector<std::vector<uint8_t>>& fingerprints, int k,
-    ServeBatchReport* report, std::vector<ServeQueryStats>* per_query) const {
+    const std::vector<std::vector<uint8_t>>& fingerprints,
+    const QueryOptions& options, ServeBatchReport* report,
+    std::vector<ServeQueryStats>* per_query) const {
   WallTimer batch_timer;
   std::vector<Ranking> results(fingerprints.size());
   std::vector<ServeQueryStats> stats(fingerprints.size());
-  ParallelFor(
-      0, static_cast<int>(fingerprints.size()),
-      [&](int i) {
-        results[static_cast<size_t>(i)] =
-            ScatterGather(fingerprints[static_cast<size_t>(i)], k,
-                          &stats[static_cast<size_t>(i)], 1);
-      },
-      options_.serve.threads);
+  ScanMappedBatch(fingerprints, options, &results, &stats);
   const double wall_ms = batch_timer.Millis();
   if (report != nullptr) FillServeBatchReport(wall_ms, stats, report);
   if (per_query != nullptr) *per_query = std::move(stats);

@@ -172,27 +172,35 @@ class ShardedEngine {
   /// Top-k for one query: VF2-fingerprint once, scatter the mapped vector
   /// across all shards on the scatter pool, gather-merge. stats aggregates
   /// over shards (scanned rows are summed; prefiltered means every shard
-  /// with live rows served from a narrowed scan).
-  Ranking Query(const Graph& query, int k,
+  /// with live rows served from a narrowed scan). Per-query knobs travel in
+  /// `options`: engine.Query(q, {.k = 10}).
+  Ranking Query(const Graph& query, const QueryOptions& options,
                 ServeQueryStats* stats = nullptr) const;
 
   /// Query for a pre-mapped fingerprint (width must be num_features()).
-  Ranking QueryMapped(const std::vector<uint8_t>& fingerprint, int k,
+  Ranking QueryMapped(const std::vector<uint8_t>& fingerprint,
+                      const QueryOptions& options,
                       ServeQueryStats* stats = nullptr) const;
 
-  /// Answers a whole batch: queries are parallelized across the thread
-  /// pool, each scattering over shards serially (one pool, no nested
-  /// oversubscription). Deterministic for any thread count.
+  /// Answers a whole batch: one MapAll fingerprinting pass, then the same
+  /// scan path as QueryMappedBatch. Deterministic for any thread count and
+  /// bit-identical for every scan kernel.
   std::vector<Ranking> QueryBatch(
-      const GraphDatabase& queries, int k, ServeBatchReport* report = nullptr,
+      const GraphDatabase& queries, const QueryOptions& options,
+      ServeBatchReport* report = nullptr,
       std::vector<ServeQueryStats>* per_query = nullptr) const;
 
   /// QueryBatch over pre-mapped fingerprints — the multi-query entry point
-  /// the batch executor coalesces concurrent network queries into (one
-  /// MapAll pass, then packed scans only).
+  /// the batch executor coalesces concurrent network queries into. Unless
+  /// the containment prefilter takes the per-query scatter path, the batch
+  /// is cut into tiles of ActiveScanKernel()::tile_width() queries and each
+  /// shard scores a whole tile per row-block pass (QueryEngine::
+  /// QueryMappedTile) instead of looping queries outermost; the per-query
+  /// gather merge is unchanged, so answers are bit-identical to the
+  /// one-query-at-a-time path.
   std::vector<Ranking> QueryMappedBatch(
-      const std::vector<std::vector<uint8_t>>& fingerprints, int k,
-      ServeBatchReport* report = nullptr,
+      const std::vector<std::vector<uint8_t>>& fingerprints,
+      const QueryOptions& options, ServeBatchReport* report = nullptr,
       std::vector<ServeQueryStats>* per_query = nullptr) const;
 
  private:
@@ -205,8 +213,17 @@ class ShardedEngine {
   /// Scatter + gather for one mapped fingerprint with an explicit scatter
   /// pool size (1 inside batch loops, options_.serve.threads for single
   /// queries).
-  Ranking ScatterGather(const std::vector<uint8_t>& fingerprint, int k,
-                        ServeQueryStats* stats, int scatter_threads) const;
+  Ranking ScatterGather(const std::vector<uint8_t>& fingerprint,
+                        const QueryOptions& options, ServeQueryStats* stats,
+                        int scatter_threads) const;
+
+  /// The shared scan body of QueryBatch/QueryMappedBatch: fills results and
+  /// stats (both pre-sized to the batch) tile by tile, or per query when
+  /// the prefilter decides scans.
+  void ScanMappedBatch(const std::vector<std::vector<uint8_t>>& fingerprints,
+                       const QueryOptions& options,
+                       std::vector<Ranking>* results,
+                       std::vector<ServeQueryStats>* stats) const;
 
   ShardedOptions options_;
   FeatureMapper mapper_{GraphDatabase{}};

@@ -80,14 +80,45 @@ Result<WireRequest> ParseWireRequest(const std::string& line) {
   if (verb == "QUERY") {
     const size_t k_end = rest.find(' ');
     if (k_end == std::string::npos) {
-      return Status::InvalidArgument("QUERY wants '<k> <graph>'");
+      return Status::InvalidArgument(
+          "QUERY wants '<k> [KEY=VALUE ...] <graph>'");
     }
     Result<int> k = ParseNonNegInt(rest.substr(0, k_end), "k");
     if (!k.ok()) return k.status();
-    Result<Graph> graph = DecodeGraphInline(rest.substr(k_end + 1));
+    request.options.k = *k;
+    // Option tokens sit between k and the graph; a gSpan token never
+    // contains '=', so the first '='-free token starts the graph.
+    size_t pos = k_end + 1;
+    for (;;) {
+      const size_t token_end = rest.find(' ', pos);
+      const std::string token = rest.substr(
+          pos, token_end == std::string::npos ? std::string::npos
+                                              : token_end - pos);
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos) break;  // the graph starts here
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "MODE") {
+        if (value == "auto") {
+          request.options.scan_mode = ScanMode::kAuto;
+        } else if (value == "full") {
+          request.options.scan_mode = ScanMode::kFull;
+        } else {
+          return Status::InvalidArgument("bad QUERY MODE '" + value +
+                                         "' (want auto|full)");
+        }
+      } else {
+        return Status::InvalidArgument("unknown QUERY option '" + key + "'");
+      }
+      if (token_end == std::string::npos) {
+        return Status::InvalidArgument("QUERY wants a graph after its "
+                                       "options");
+      }
+      pos = token_end + 1;
+    }
+    Result<Graph> graph = DecodeGraphInline(rest.substr(pos));
     if (!graph.ok()) return graph.status();
     request.verb = WireVerb::kQuery;
-    request.k = *k;
     request.graph = std::move(graph).value();
     return request;
   }

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "core/topk.h"
 #include "graph/graph.h"
+#include "serve/query_options.h"
 
 namespace gdim {
 
@@ -13,7 +14,8 @@ namespace gdim {
 /// docs/protocol.md for the full spec). One '\n'-terminated request line
 /// maps to exactly one '\n'-terminated response line:
 ///
-///   QUERY <k> <graph>     ->  OK <m> <id>:<score> ...
+///   QUERY <k> [KEY=VALUE ...] <graph>
+///                         ->  OK <m> <id>:<score> ...
 ///   INSERT <graph>        ->  OK <id>
 ///   REMOVE <id>           ->  OK removed <id>
 ///   COMPACT               ->  OK compacted <reclaimed>
@@ -27,6 +29,11 @@ namespace gdim {
 /// <graph> is a whole gSpan transaction ('t # id' / 'v id label' /
 /// 'e u v label' lines) with ';' standing in for the newlines, so a graph
 /// travels on one line. Scores print with 6 fractional digits.
+///
+/// QUERY accepts optional KEY=VALUE option tokens between <k> and the
+/// graph (a gSpan token never contains '=', so the first '='-free token
+/// starts the graph). Known keys: MODE=auto|full (QueryOptions::scan_mode).
+/// An unknown key or a bad value is a typed ERR InvalidArgument.
 
 /// Request verbs.
 enum class WireVerb {
@@ -44,7 +51,7 @@ enum class WireVerb {
 /// A parsed request line.
 struct WireRequest {
   WireVerb verb = WireVerb::kPing;
-  int k = 0;         ///< kQuery
+  QueryOptions options;  ///< kQuery: k + option tokens, engine-ready
   int id = 0;        ///< kRemove
   int p = 0;         ///< kReindex dimension count; 0 = keep the current one
   std::string path;  ///< kSnapshot

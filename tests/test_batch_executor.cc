@@ -68,7 +68,7 @@ TEST(BatchExecutorTest, ConcurrentQueriesMatchDirectEngine) {
       LabelGraph({3, 4}),
   };
   std::vector<Ranking> expected;
-  for (const Graph& p : probes) expected.push_back(engine.Query(p, 7));
+  for (const Graph& p : probes) expected.push_back(engine.Query(p, {.k = 7}));
 
   BatchExecutorOptions opts;
   opts.queue_capacity = 64;
@@ -82,7 +82,7 @@ TEST(BatchExecutorTest, ConcurrentQueriesMatchDirectEngine) {
     done.push_back(std::async(std::launch::async, [&, t] {
       for (int i = 0; i < kPerThread; ++i) {
         const size_t which = static_cast<size_t>(t + i) % probes.size();
-        Result<Ranking> got = executor.Query(probes[which], 7);
+        Result<Ranking> got = executor.Query(probes[which], {.k = 7});
         if (!got.ok() || *got != expected[which]) return false;
       }
       return true;
@@ -108,16 +108,18 @@ TEST(BatchExecutorTest, FullQueueRejectsWithResourceExhausted) {
   BatchExecutor executor(&engine, opts);
   // Freeze the dispatcher so admitted requests stay queued, deterministic.
   executor.Pause();
-  auto q1 = std::async(std::launch::async,
-                       [&] { return executor.Query(LabelGraph({0}), 3); });
-  auto q2 = std::async(std::launch::async,
-                       [&] { return executor.Query(LabelGraph({1}), 3); });
+  auto q1 = std::async(std::launch::async, [&] {
+    return executor.Query(LabelGraph({0}), {.k = 3});
+  });
+  auto q2 = std::async(std::launch::async, [&] {
+    return executor.Query(LabelGraph({1}), {.k = 3});
+  });
   while (executor.Stats().queued < 2) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   // Queue is at capacity: the next submit must bounce immediately with the
   // typed backpressure status instead of blocking.
-  Result<Ranking> rejected = executor.Query(LabelGraph({2}), 3);
+  Result<Ranking> rejected = executor.Query(LabelGraph({2}), {.k = 3});
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
   Status rejected_remove = executor.Remove(0);
@@ -138,7 +140,7 @@ TEST(BatchExecutorTest, MutationsAreFifoWithQueries) {
   Result<int> id = executor.Insert(LabelGraph({0, 1, 2, 3, 4}));
   ASSERT_TRUE(id.ok());
   EXPECT_EQ(*id, 6);
-  Result<Ranking> with = executor.Query(LabelGraph({0, 1, 2, 3, 4}), 1);
+  Result<Ranking> with = executor.Query(LabelGraph({0, 1, 2, 3, 4}), {.k = 1});
   ASSERT_TRUE(with.ok());
   ASSERT_EQ(with->size(), 1u);
   EXPECT_EQ((*with)[0].id, 6);
@@ -146,7 +148,8 @@ TEST(BatchExecutorTest, MutationsAreFifoWithQueries) {
 
   ASSERT_TRUE(executor.Remove(6).ok());
   EXPECT_EQ(executor.Remove(6).code(), StatusCode::kNotFound);
-  Result<Ranking> without = executor.Query(LabelGraph({0, 1, 2, 3, 4}), 100);
+  Result<Ranking> without =
+      executor.Query(LabelGraph({0, 1, 2, 3, 4}), {.k = 100});
   ASSERT_TRUE(without.ok());
   for (const RankedResult& r : *without) EXPECT_NE(r.id, 6);
 
@@ -173,9 +176,9 @@ TEST(BatchExecutorTest, CacheHitsAreExactAndEveryMutationInvalidates) {
   BatchExecutor executor(&engine, opts);
   const Graph probe = LabelGraph({0, 1, 2, 3, 4});
 
-  Result<Ranking> cold = executor.Query(probe, 5);
+  Result<Ranking> cold = executor.Query(probe, {.k = 5});
   ASSERT_TRUE(cold.ok());
-  Result<Ranking> hit = executor.Query(probe, 5);
+  Result<Ranking> hit = executor.Query(probe, {.k = 5});
   ASSERT_TRUE(hit.ok());
   EXPECT_EQ(*hit, *cold);
   BatchExecutorStats stats = executor.Stats();
@@ -183,7 +186,7 @@ TEST(BatchExecutorTest, CacheHitsAreExactAndEveryMutationInvalidates) {
   EXPECT_EQ(stats.cache.misses, 1u);
 
   // Different k is a different key, not a truncation of the cached list.
-  Result<Ranking> other_k = executor.Query(probe, 2);
+  Result<Ranking> other_k = executor.Query(probe, {.k = 2});
   ASSERT_TRUE(other_k.ok());
   EXPECT_EQ(other_k->size(), 2u);
   EXPECT_EQ(executor.Stats().cache.misses, 2u);
@@ -192,7 +195,7 @@ TEST(BatchExecutorTest, CacheHitsAreExactAndEveryMutationInvalidates) {
   // row (distance 0) has to surface immediately.
   Result<int> id = executor.Insert(probe);
   ASSERT_TRUE(id.ok());
-  Result<Ranking> after_insert = executor.Query(probe, 5);
+  Result<Ranking> after_insert = executor.Query(probe, {.k = 5});
   ASSERT_TRUE(after_insert.ok());
   ASSERT_FALSE(after_insert->empty());
   EXPECT_EQ((*after_insert)[0].id, *id);
@@ -200,7 +203,7 @@ TEST(BatchExecutorTest, CacheHitsAreExactAndEveryMutationInvalidates) {
 
   // Remove it again: the (now stale) post-insert answer must not replay.
   ASSERT_TRUE(executor.Remove(*id).ok());
-  Result<Ranking> after_remove = executor.Query(probe, 5);
+  Result<Ranking> after_remove = executor.Query(probe, {.k = 5});
   ASSERT_TRUE(after_remove.ok());
   EXPECT_EQ(*after_remove, *cold);
 
@@ -208,7 +211,7 @@ TEST(BatchExecutorTest, CacheHitsAreExactAndEveryMutationInvalidates) {
   // the next ask is a fresh miss that returns the identical ranking.
   const uint64_t misses_before = executor.Stats().cache.misses;
   ASSERT_TRUE(executor.Compact().ok());
-  Result<Ranking> after_compact = executor.Query(probe, 5);
+  Result<Ranking> after_compact = executor.Query(probe, {.k = 5});
   ASSERT_TRUE(after_compact.ok());
   EXPECT_EQ(*after_compact, *cold);
   EXPECT_EQ(executor.Stats().cache.misses, misses_before + 1);
@@ -221,8 +224,8 @@ TEST(BatchExecutorTest, CacheHitsAreExactAndEveryMutationInvalidates) {
 TEST(BatchExecutorTest, CacheDisabledByDefaultReportsNothing) {
   ShardedEngine engine = MakeEngine(6, 2);
   BatchExecutor executor(&engine);
-  ASSERT_TRUE(executor.Query(LabelGraph({0}), 3).ok());
-  ASSERT_TRUE(executor.Query(LabelGraph({0}), 3).ok());
+  ASSERT_TRUE(executor.Query(LabelGraph({0}), {.k = 3}).ok());
+  ASSERT_TRUE(executor.Query(LabelGraph({0}), {.k = 3}).ok());
   const BatchExecutorStats stats = executor.Stats();
   EXPECT_EQ(stats.cache.hits, 0u);
   EXPECT_EQ(stats.cache.misses, 0u);
@@ -258,7 +261,7 @@ TEST(BatchExecutorTest, SnapshotStreamsInBackgroundWithoutBlockingQueries) {
   EXPECT_EQ(executor.Stats().snapshots_in_progress, 1u);
 
   // Queries and mutations keep flowing while the snapshot is in flight.
-  Result<Ranking> during = executor.Query(LabelGraph({0, 2, 4}), 4);
+  Result<Ranking> during = executor.Query(LabelGraph({0, 2, 4}), {.k = 4});
   ASSERT_TRUE(during.ok());
   EXPECT_EQ(during->size(), 4u);
   Result<int> inserted = executor.Insert(LabelGraph({0, 1, 2, 3, 4}));
@@ -302,7 +305,7 @@ TEST(BatchExecutorTest, DestructorDrainsAdmittedRequests) {
     executor.Pause();
     for (int i = 0; i < 5; ++i) {
       pending.push_back(std::async(std::launch::async, [&] {
-        return executor.Query(LabelGraph({0, 2}), 4);
+        return executor.Query(LabelGraph({0, 2}), {.k = 4});
       }));
     }
     while (executor.Stats().queued < 5) {

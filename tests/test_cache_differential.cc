@@ -188,15 +188,15 @@ void RunChurnInterleaving(int shards, int threads, uint64_t seed) {
         Result<QueryEngine> brute =
             QueryEngine::FromIndex(model.ToIndex(), brute_opts);
         ASSERT_TRUE(brute.ok()) << brute.status().ToString();
-        const Ranking want = brute->Query(GraphForBits(probe), k);
+        const Ranking want = brute->Query(GraphForBits(probe), {.k = k});
 
-        Result<Ranking> first = executor.Query(GraphForBits(probe), k);
+        Result<Ranking> first = executor.Query(GraphForBits(probe), {.k = k});
         ASSERT_TRUE(first.ok()) << first.status().ToString();
         ExpectRankingEq(*first, want, "cold query vs brute force");
         // No mutation can interleave (this test is the only producer), so
         // the second ask is served at the same epoch — from the cache if
         // it fits — and must be byte-for-byte the same answer.
-        Result<Ranking> second = executor.Query(GraphForBits(probe), k);
+        Result<Ranking> second = executor.Query(GraphForBits(probe), {.k = k});
         ASSERT_TRUE(second.ok()) << second.status().ToString();
         ExpectRankingEq(*second, want, "repeat (cache-hit) query vs brute");
         ++queries_issued;

@@ -339,19 +339,20 @@ TEST(IndexIoTest, MutatedEngineSnapshotReloadsEquivalently) {
     // A v2-reloaded engine answers bit-identically with the same external
     // ids; a v1 reload answers identically after mapping its positional
     // ids through the mutated engine's live id list.
-    Ranking expected = reloaded->Query(probe, 10);
+    Ranking expected = reloaded->Query(probe, {.k = 10});
     if (!keeps_ids) {
       for (RankedResult& r : expected) {
         r.id = live_ids[static_cast<size_t>(r.id)];
       }
     }
-    EXPECT_EQ(engine->Query(probe, 10), expected);
+    EXPECT_EQ(engine->Query(probe, {.k = 10}), expected);
     if (keeps_ids) {
       EXPECT_EQ(reloaded->alive_ids(), live_ids);
       // Removing by external id hits the same graph in both engines.
       ASSERT_TRUE(reloaded->Remove(live_ids[1]).ok());
       ASSERT_TRUE(engine->Remove(live_ids[1]).ok());
-      EXPECT_EQ(engine->Query(probe, 10), reloaded->Query(probe, 10));
+      EXPECT_EQ(engine->Query(probe, {.k = 10}),
+                reloaded->Query(probe, {.k = 10}));
     }
   }
 }
@@ -439,8 +440,8 @@ TEST(IndexIoTest, OpenServesIdenticallyThroughThePackedPath) {
   ASSERT_TRUE(byte_engine.ok());
   EXPECT_EQ(packed_engine->num_graphs(), 25);
   for (const auto& probe_bits : RandomBitRows(6, 70, 0.35, &rng)) {
-    EXPECT_EQ(packed_engine->QueryMapped(probe_bits, 8),
-              byte_engine->QueryMapped(probe_bits, 8));
+    EXPECT_EQ(packed_engine->QueryMapped(probe_bits, {.k = 8}),
+              byte_engine->QueryMapped(probe_bits, {.k = 8}));
   }
   // Mutations on a packed-loaded engine behave identically too.
   ASSERT_TRUE(packed_engine->Remove(3).ok());

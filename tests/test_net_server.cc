@@ -17,6 +17,7 @@
 
 #include "common/random.h"
 #include "core/index_io.h"
+#include "core/kernels/scan_kernel.h"
 #include "graph/graph.h"
 #include "serve/query_engine.h"
 #include "server/batch_executor.h"
@@ -74,7 +75,7 @@ TEST(WireTest, ParseRequestAcceptsEveryVerb) {
   auto query = ParseWireRequest("QUERY 7 " + spec);
   ASSERT_TRUE(query.ok());
   EXPECT_EQ(query->verb, WireVerb::kQuery);
-  EXPECT_EQ(query->k, 7);
+  EXPECT_EQ(query->options.k, 7);
   EXPECT_EQ(query->graph, LabelGraph({1, 2}));
 
   auto insert = ParseWireRequest("INSERT " + spec);
@@ -110,6 +111,24 @@ TEST(WireTest, ParseRequestAcceptsEveryVerb) {
   EXPECT_EQ(ParseWireRequest("QUIT")->verb, WireVerb::kQuit);
 }
 
+TEST(WireTest, ParseRequestAcceptsQueryOptionTokens) {
+  const std::string spec = EncodeGraphInline(LabelGraph({1, 2}));
+  auto full = ParseWireRequest("QUERY 7 MODE=full " + spec);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->options.k, 7);
+  EXPECT_EQ(full->options.scan_mode, ScanMode::kFull);
+  EXPECT_EQ(full->graph, LabelGraph({1, 2}));
+
+  auto automatic = ParseWireRequest("QUERY 7 MODE=auto " + spec);
+  ASSERT_TRUE(automatic.ok());
+  EXPECT_EQ(automatic->options.scan_mode, ScanMode::kAuto);
+
+  // Repeats are allowed; the last one wins, like every KEY=VALUE protocol.
+  auto last = ParseWireRequest("QUERY 7 MODE=full MODE=auto " + spec);
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->options.scan_mode, ScanMode::kAuto);
+}
+
 TEST(WireTest, ParseRequestRejectsMalformedLines) {
   for (const std::string& line : {
            std::string("FROB 1"), std::string("QUERY"),
@@ -121,6 +140,13 @@ TEST(WireTest, ParseRequestRejectsMalformedLines) {
            std::string("COMPACT now"), std::string("REINDEX 0"),
            std::string("REINDEX -5"), std::string("REINDEX x"),
            std::string("REINDEX 1 2"),
+           // Option-token shapes: bad value, unknown key, option but no
+           // graph, option glued to a missing value.
+           std::string("QUERY 3 MODE=banana t # 0;v 0 1"),
+           std::string("QUERY 3 FROB=1 t # 0;v 0 1"),
+           std::string("QUERY 3 MODE=full"),
+           std::string("QUERY 3 MODE= t # 0;v 0 1"),
+           std::string("QUERY 3 =full t # 0;v 0 1"),
        }) {
     EXPECT_FALSE(ParseWireRequest(line).ok()) << line;
   }
@@ -217,7 +243,7 @@ TEST_F(NetServerTest, VerbsRoundTripOverTcp) {
 
   const Graph probe = LabelGraph({0, 2, 4});
   const std::string expected =
-      FormatRankingResponse(shadow_->Query(probe, 5));
+      FormatRankingResponse(shadow_->Query(probe, {.k = 5}));
   EXPECT_EQ(client.Rpc("QUERY 5 " + EncodeGraphInline(probe)), expected);
 
   EXPECT_EQ(client.Rpc("INSERT " + EncodeGraphInline(LabelGraph({0, 1}))),
@@ -235,6 +261,12 @@ TEST_F(NetServerTest, VerbsRoundTripOverTcp) {
   const std::string stats = client.Rpc("STATS");
   EXPECT_EQ(stats.rfind("OK graphs=20 shards=2 features=5 ", 0), 0u)
       << stats;
+  // The scan kernel this server process resolved is reported verbatim —
+  // what the CI kernel matrix greps to prove GDIM_FORCE_KERNEL took.
+  EXPECT_NE(
+      stats.find(" kernel=" + std::string(ActiveScanKernel().name())),
+      std::string::npos)
+      << stats;
 
   EXPECT_EQ(client.Rpc("QUIT"), "OK bye");
   EXPECT_TRUE(client.AtEof());
@@ -247,8 +279,25 @@ TEST_F(NetServerTest, MalformedLinesAnswerErrAndKeepTheConnection) {
             "ERR InvalidArgument bad k 'nope'");
   EXPECT_EQ(client.Rpc("REMOVE -1").rfind("ERR InvalidArgument", 0), 0u);
   EXPECT_EQ(client.Rpc("QUERY 3 garbage").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(client.Rpc("QUERY 3 FROB=1 t # 0;v 0 1"),
+            "ERR InvalidArgument unknown QUERY option 'FROB'");
+  EXPECT_EQ(client.Rpc("QUERY 3 MODE=banana t # 0;v 0 1"),
+            "ERR InvalidArgument bad QUERY MODE 'banana' (want auto|full)");
   // The connection survived all of it.
   EXPECT_EQ(client.Rpc("PING"), "OK pong");
+}
+
+TEST_F(NetServerTest, QueryModeOptionTravelsOverTheWire) {
+  Client client(server_->port());
+  const Graph probe = LabelGraph({0, 2, 4});
+  const std::string spec = EncodeGraphInline(probe);
+  // This fixture has no prefilter, so kAuto and kFull answer identically —
+  // the wire option must parse, execute, and change nothing.
+  const std::string expected =
+      FormatRankingResponse(shadow_->Query(probe, {.k = 5}));
+  EXPECT_EQ(client.Rpc("QUERY 5 " + spec), expected);
+  EXPECT_EQ(client.Rpc("QUERY 5 MODE=full " + spec), expected);
+  EXPECT_EQ(client.Rpc("QUERY 5 MODE=auto " + spec), expected);
 }
 
 TEST_F(NetServerTest, ConcurrentConnectionsGetExactAnswers) {
@@ -258,7 +307,7 @@ TEST_F(NetServerTest, ConcurrentConnectionsGetExactAnswers) {
   };
   std::vector<std::string> expected;
   for (const Graph& p : probes) {
-    expected.push_back(FormatRankingResponse(shadow_->Query(p, 6)));
+    expected.push_back(FormatRankingResponse(shadow_->Query(p, {.k = 6})));
   }
   constexpr int kClients = 5;
   constexpr int kPerClient = 20;
@@ -495,7 +544,7 @@ TEST_F(NetServerTest, OversizedLineAnswersTypedErrorAndResynchronizes) {
   EXPECT_EQ(client.Rpc("PING"), "OK pong");
   const Graph probe = LabelGraph({0, 2, 4});
   EXPECT_EQ(client.Rpc("QUERY 5 " + EncodeGraphInline(probe)),
-            FormatRankingResponse(shadow_->Query(probe, 5)));
+            FormatRankingResponse(shadow_->Query(probe, {.k = 5})));
 }
 
 // --------------------------------------------------- snapshot under load --
@@ -523,7 +572,8 @@ TEST_F(NetServerTest, SnapshotOverTheWireDoesNotBlockOtherConnections) {
   }
   // Sustained service while the snapshot writer is parked.
   const Graph probe = LabelGraph({1, 3});
-  const std::string expected = FormatRankingResponse(shadow_->Query(probe, 6));
+  const std::string expected =
+      FormatRankingResponse(shadow_->Query(probe, {.k = 6}));
   for (int i = 0; i < 20; ++i) {
     ASSERT_EQ(client.Rpc("QUERY 6 " + EncodeGraphInline(probe)), expected);
   }

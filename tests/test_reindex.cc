@@ -256,9 +256,9 @@ TEST(ReindexDifferentialTest, SwapMatchesOfflineRebuild) {
         // gauges.
         std::vector<Ranking> before;
         for (const Graph& p : probes) {
-          Result<Ranking> cold = executor.Query(p, 6);
+          Result<Ranking> cold = executor.Query(p, {.k = 6});
           ASSERT_TRUE(cold.ok());
-          Result<Ranking> hot = executor.Query(p, 6);
+          Result<Ranking> hot = executor.Query(p, {.k = 6});
           ASSERT_TRUE(hot.ok());
           EXPECT_EQ(*hot, *cold);
           before.push_back(std::move(*cold));
@@ -310,9 +310,9 @@ TEST(ReindexDifferentialTest, SwapMatchesOfflineRebuild) {
         // old entry unreachable — answered exactly like the offline build.
         const uint64_t hits_at_swap = executor.Stats().cache.hits;
         const uint64_t misses_at_swap = executor.Stats().cache.misses;
-        Result<Ranking> first = executor.Query(probes[0], 6);
+        Result<Ranking> first = executor.Query(probes[0], {.k = 6});
         ASSERT_TRUE(first.ok());
-        EXPECT_EQ(*first, offline_engine->Query(probes[0], 6));
+        EXPECT_EQ(*first, offline_engine->Query(probes[0], {.k = 6}));
         EXPECT_EQ(executor.Stats().cache.hits, hits_at_swap)
             << "a cached answer crossed the generation boundary";
         EXPECT_EQ(executor.Stats().cache.misses, misses_at_swap + 1);
@@ -320,8 +320,8 @@ TEST(ReindexDifferentialTest, SwapMatchesOfflineRebuild) {
         // Bit-identical answers for the whole probe set (probes sharing a
         // fingerprint may legitimately hit same-generation entries now).
         for (size_t i = 0; i < probes.size(); ++i) {
-          const Ranking expected = offline_engine->Query(probes[i], 6);
-          Result<Ranking> got = executor.Query(probes[i], 6);
+          const Ranking expected = offline_engine->Query(probes[i], {.k = 6});
+          Result<Ranking> got = executor.Query(probes[i], {.k = 6});
           ASSERT_TRUE(got.ok());
           EXPECT_EQ(*got, expected) << "probe " << i;
         }
@@ -393,7 +393,7 @@ TEST(ReindexLiveTest, QueriesAndMutationsFlowWhileSelectionIsParked) {
   ASSERT_EQ(executor.Stats().reindexes_in_progress, 1u);
 
   // Queries flow while the selection is parked...
-  Result<Ranking> during = executor.Query(corpus[0], 3);
+  Result<Ranking> during = executor.Query(corpus[0], {.k = 3});
   ASSERT_TRUE(during.ok());
   EXPECT_EQ(during->size(), 3u);
   // ... and so do mutations (plus a compaction, which must prune the store
@@ -428,7 +428,7 @@ TEST(ReindexLiveTest, QueriesAndMutationsFlowWhileSelectionIsParked) {
   Result<EngineGauges> gauges = executor.Gauges();
   ASSERT_TRUE(gauges.ok());
   EXPECT_EQ(gauges->generation, 1u);
-  Result<Ranking> all = executor.Query(extra[0], gauges->graphs);
+  Result<Ranking> all = executor.Query(extra[0], {.k = gauges->graphs});
   ASSERT_TRUE(all.ok());
   bool found_inserted = false;
   for (const RankedResult& r : *all) {
@@ -473,7 +473,7 @@ TEST(ReindexLiveTest, AutoTriggerRefreshesAfterNMutations) {
   EXPECT_EQ(generation, 1u);
   EXPECT_EQ(executor.Stats().reindexes_completed, 1u);
   // Keep serving on the new generation.
-  Result<Ranking> after = executor.Query(extra[0], 4);
+  Result<Ranking> after = executor.Query(extra[0], {.k = 4});
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(after->size(), 4u);
 }

@@ -188,7 +188,7 @@ TEST_F(QueryEngineTest, MatchesOfflineMappedRanking) {
     const Ranking expected =
         TopK(MappedRanking(mapper.Map(q), index_->db_bits), 5);
     ServeQueryStats stats;
-    const Ranking got = engine->Query(q, 5, &stats);
+    const Ranking got = engine->Query(q, {.k = 5}, &stats);
     EXPECT_EQ(got, expected);
     EXPECT_EQ(stats.scanned, engine->num_graphs());
     EXPECT_FALSE(stats.prefiltered);
@@ -206,8 +206,10 @@ TEST_F(QueryEngineTest, BatchIsDeterministicAcrossThreadCounts) {
   ASSERT_TRUE(engine8.ok());
   ServeBatchReport report1, report8;
   std::vector<ServeQueryStats> stats1, stats8;
-  const auto results1 = engine1->QueryBatch(*queries_, 4, &report1, &stats1);
-  const auto results8 = engine8->QueryBatch(*queries_, 4, &report8, &stats8);
+  const auto results1 =
+      engine1->QueryBatch(*queries_, {.k = 4}, &report1, &stats1);
+  const auto results8 =
+      engine8->QueryBatch(*queries_, {.k = 4}, &report8, &stats8);
   EXPECT_EQ(results1, results8);
   ASSERT_EQ(results1.size(), queries_->size());
   EXPECT_EQ(report1.latency_ms.count, queries_->size());
@@ -227,14 +229,14 @@ TEST_F(QueryEngineTest, PrefilterNeverWidensAndKeepsOrder) {
   ASSERT_TRUE(plain.ok());
   for (const Graph& q : *queries_) {
     ServeQueryStats stats;
-    const Ranking got = engine->Query(q, 3, &stats);
+    const Ranking got = engine->Query(q, {.k = 3}, &stats);
     EXPECT_LE(stats.scanned, engine->num_graphs());
     for (size_t i = 1; i < got.size(); ++i) {
       EXPECT_LE(got[i - 1].score, got[i].score);
     }
     if (!stats.prefiltered) {
       // Fallback path must equal the unfiltered engine exactly.
-      EXPECT_EQ(got, plain->Query(q, 3));
+      EXPECT_EQ(got, plain->Query(q, {.k = 3}));
     }
   }
 }
@@ -271,7 +273,7 @@ TEST(QueryEnginePrefilterTest, NarrowedScanEqualsRestrictedFullRanking) {
   q.AddVertex(1);
   q.AddEdge(0, 1, 0);
   ServeQueryStats stats;
-  const Ranking got = engine->Query(q, 3, &stats);
+  const Ranking got = engine->Query(q, {.k = 3}, &stats);
   EXPECT_TRUE(stats.prefiltered);
   EXPECT_EQ(stats.scanned, 4);
   EXPECT_EQ(stats.features_on, 2);
@@ -425,26 +427,26 @@ TEST_F(QueryEngineTest, MutationSequenceMatchesFreshEngineAcrossThreads) {
       ASSERT_TRUE(fresh.ok());
       const std::vector<int> live_ids = shadow.ids();
       for (int k : {0, 3, 1000}) {
-        std::vector<Ranking> expected = fresh->QueryBatch(*queries_, k);
+        std::vector<Ranking> expected = fresh->QueryBatch(*queries_, {.k = k});
         for (Ranking& ranking : expected) {
           for (RankedResult& r : ranking) {
             r.id = live_ids[static_cast<size_t>(r.id)];
           }
         }
-        EXPECT_EQ(engine->QueryBatch(*queries_, k), expected)
+        EXPECT_EQ(engine->QueryBatch(*queries_, {.k = k}), expected)
             << "threads=" << threads << " prefilter=" << prefilter
             << " k=" << k;
       }
 
       // And the same invariant again after a final compaction.
       engine->Compact();
-      std::vector<Ranking> expected = fresh->QueryBatch(*queries_, 4);
+      std::vector<Ranking> expected = fresh->QueryBatch(*queries_, {.k = 4});
       for (Ranking& ranking : expected) {
         for (RankedResult& r : ranking) {
           r.id = live_ids[static_cast<size_t>(r.id)];
         }
       }
-      EXPECT_EQ(engine->QueryBatch(*queries_, 4), expected);
+      EXPECT_EQ(engine->QueryBatch(*queries_, {.k = 4}), expected);
       EXPECT_EQ(engine->alive_ids(), live_ids);
     }
   }
@@ -454,9 +456,9 @@ TEST_F(QueryEngineTest, NegativeKAnswersEmptyInsteadOfAborting) {
   auto engine = QueryEngine::FromIndex(*index_);
   ASSERT_TRUE(engine.ok());
   ServeQueryStats stats;
-  EXPECT_TRUE(engine->Query((*queries_)[0], -3, &stats).empty());
+  EXPECT_TRUE(engine->Query((*queries_)[0], {.k = -3}, &stats).empty());
   EXPECT_EQ(stats.scanned, engine->num_graphs());
-  const auto batch = engine->QueryBatch(*queries_, -1);
+  const auto batch = engine->QueryBatch(*queries_, {.k = -1});
   ASSERT_EQ(batch.size(), queries_->size());
   for (const Ranking& r : batch) EXPECT_TRUE(r.empty());
 }
@@ -499,7 +501,7 @@ TEST(QueryEnginePrefilterTest, EmptyIntersectionFallsBackEvenAtKZero) {
   // scan — the documented fallback must fire, also at k == 0.
   for (int k : {0, 3}) {
     ServeQueryStats stats;
-    const Ranking got = engine->Query(LabelGraph({0, 4}), k, &stats);
+    const Ranking got = engine->Query(LabelGraph({0, 4}), {.k = k}, &stats);
     EXPECT_FALSE(stats.prefiltered) << "k=" << k;
     EXPECT_EQ(stats.scanned, engine->num_graphs()) << "k=" << k;
     if (k == 0) {
@@ -511,7 +513,7 @@ TEST(QueryEnginePrefilterTest, EmptyIntersectionFallsBackEvenAtKZero) {
 
   // A non-empty candidate set still counts as narrowed at k == 0.
   ServeQueryStats stats;
-  EXPECT_TRUE(engine->Query(LabelGraph({0, 3}), 0, &stats).empty());
+  EXPECT_TRUE(engine->Query(LabelGraph({0, 3}), {.k = 0}, &stats).empty());
   EXPECT_TRUE(stats.prefiltered);
   EXPECT_EQ(stats.scanned, 2);  // graphs {0,1,2,3} and {0,1,3}
 }
@@ -526,9 +528,10 @@ TEST(QueryEngineEmptyTest, EmptyDatabaseValidatesAndServes) {
   EXPECT_EQ(engine->num_graphs(), 0);
   EXPECT_EQ(engine->num_features(), 5);
   ServeQueryStats stats;
-  EXPECT_TRUE(engine->Query(LabelGraph({0, 1}), 4, &stats).empty());
+  EXPECT_TRUE(engine->Query(LabelGraph({0, 1}), {.k = 4}, &stats).empty());
   EXPECT_EQ(stats.scanned, 0);
-  const auto batch = engine->QueryBatch({LabelGraph({0}), LabelGraph({2})}, 2);
+  const auto batch =
+      engine->QueryBatch({LabelGraph({0}), LabelGraph({2})}, {.k = 2});
   ASSERT_EQ(batch.size(), 2u);
   for (const Ranking& r : batch) EXPECT_TRUE(r.empty());
 
@@ -536,7 +539,7 @@ TEST(QueryEngineEmptyTest, EmptyDatabaseValidatesAndServes) {
   auto id = engine->Insert(LabelGraph({0, 1}));
   ASSERT_TRUE(id.ok());
   EXPECT_EQ(*id, 0);
-  const Ranking got = engine->Query(LabelGraph({0, 1}), 4);
+  const Ranking got = engine->Query(LabelGraph({0, 1}), {.k = 4});
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0].id, 0);
   EXPECT_DOUBLE_EQ(got[0].score, 0.0);
@@ -548,13 +551,13 @@ TEST(QueryEngineEmptyTest, ZeroFeatureDimension) {
   PersistedIndex empty;  // p = 0, n = 0
   auto engine = QueryEngine::FromIndex(empty);
   ASSERT_TRUE(engine.ok());
-  EXPECT_TRUE(engine->Query(LabelGraph({0}), 3).empty());
+  EXPECT_TRUE(engine->Query(LabelGraph({0}), {.k = 3}).empty());
 
   PersistedIndex degenerate;  // p = 0, n = 2
   degenerate.db_bits = {{}, {}};
   auto engine2 = QueryEngine::FromIndex(degenerate);
   ASSERT_TRUE(engine2.ok());
-  const Ranking got = engine2->Query(LabelGraph({0}), 5);
+  const Ranking got = engine2->Query(LabelGraph({0}), {.k = 5});
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got[0].id, 0);
   EXPECT_EQ(got[1].id, 1);
@@ -567,7 +570,7 @@ TEST(QueryEngineMutationTest, EpochBumpsOnMutationsOnly) {
   EXPECT_EQ(engine->epoch(), 0u);
 
   // Queries never bump.
-  engine->Query(LabelGraph({0, 1}), 3);
+  engine->Query(LabelGraph({0, 1}), {.k = 3});
   EXPECT_EQ(engine->epoch(), 0u);
 
   auto id = engine->Insert(LabelGraph({0, 3}));
@@ -616,7 +619,7 @@ TEST(QueryEngineMutationTest, TombstonesNeverSurfaceWhenKExceedsLiveCount) {
   ASSERT_TRUE(engine->Remove(0).ok());
   ASSERT_TRUE(engine->Remove(4).ok());
   // k far beyond the live count: removed rows must not pad the ranking.
-  const Ranking got = engine->Query(LabelGraph({0, 1}), 100);
+  const Ranking got = engine->Query(LabelGraph({0, 1}), {.k = 100});
   EXPECT_EQ(got.size(), 5u);
   for (const RankedResult& r : got) {
     EXPECT_NE(r.id, 0);

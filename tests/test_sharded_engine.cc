@@ -85,8 +85,8 @@ TEST_F(ShardedEngineTest, AnyShardCountMatchesSingleEngineBitForBit) {
       EXPECT_EQ(engine->num_shards(), shards);
       EXPECT_EQ(engine->num_graphs(), single->num_graphs());
       for (int k : {0, 3, 1000}) {
-        EXPECT_EQ(engine->QueryBatch(*queries_, k),
-                  single->QueryBatch(*queries_, k))
+        EXPECT_EQ(engine->QueryBatch(*queries_, {.k = k}),
+                  single->QueryBatch(*queries_, {.k = k}))
             << "shards=" << shards << " threads=" << threads << " k=" << k;
       }
     }
@@ -97,7 +97,7 @@ TEST_F(ShardedEngineTest, ScatterStatsAggregateAcrossShards) {
   auto engine = ShardedEngine::FromIndex(*index_, Sharded(4));
   ASSERT_TRUE(engine.ok());
   ServeQueryStats stats;
-  const Ranking top = engine->Query((*queries_)[0], 5, &stats);
+  const Ranking top = engine->Query((*queries_)[0], {.k = 5}, &stats);
   EXPECT_EQ(static_cast<int>(top.size()), 5);
   // Full scans in every shard sum to the whole database.
   EXPECT_EQ(stats.scanned, engine->num_graphs());
@@ -145,8 +145,8 @@ TEST_F(ShardedEngineTest, InterleavedChurnStaysIdenticalToSingleEngine) {
       EXPECT_EQ(sharded->alive_ids(), single->alive_ids());
       EXPECT_EQ(sharded->num_graphs(), single->num_graphs());
       for (int k : {0, 3, 1000}) {
-        EXPECT_EQ(sharded->QueryBatch(*queries_, k),
-                  single->QueryBatch(*queries_, k))
+        EXPECT_EQ(sharded->QueryBatch(*queries_, {.k = k}),
+                  single->QueryBatch(*queries_, {.k = k}))
             << "threads=" << threads << " prefilter=" << prefilter
             << " k=" << k;
       }
@@ -165,19 +165,20 @@ TEST_F(ShardedEngineTest, SnapshotReloadsUnderAnyShardCount) {
       ::testing::TempDir() + "/gdim_sharded_snapshot.idx2";
   ASSERT_TRUE(sharded->Snapshot(path).ok());
 
-  const std::vector<Ranking> expected = sharded->QueryBatch(*queries_, 6);
+  const std::vector<Ranking> expected =
+      sharded->QueryBatch(*queries_, {.k = 6});
   const std::vector<int> expected_ids = sharded->alive_ids();
   // The snapshot is shard-count independent: reload as a single engine and
   // as sharded engines of other counts, all bit-identical.
   auto single = QueryEngine::Open(path);
   ASSERT_TRUE(single.ok()) << single.status().ToString();
   EXPECT_EQ(single->alive_ids(), expected_ids);
-  EXPECT_EQ(single->QueryBatch(*queries_, 6), expected);
+  EXPECT_EQ(single->QueryBatch(*queries_, {.k = 6}), expected);
   for (int shards : {2, 7}) {
     auto reloaded = ShardedEngine::Open(path, Sharded(shards));
     ASSERT_TRUE(reloaded.ok());
     EXPECT_EQ(reloaded->alive_ids(), expected_ids);
-    EXPECT_EQ(reloaded->QueryBatch(*queries_, 6), expected)
+    EXPECT_EQ(reloaded->QueryBatch(*queries_, {.k = 6}), expected)
         << "shards=" << shards;
     // The persisted id counter survives: the next insert gets the same id
     // everywhere, never a re-issued one.
@@ -245,8 +246,8 @@ TEST(ShardedEngineTieTest, TieHeavyMergePreservesIdOrder) {
       ASSERT_TRUE(engine.ok());
       for (const auto& probe : probes) {
         for (int k : {1, 5, 39, 40, 100}) {
-          EXPECT_EQ(engine->QueryMapped(probe, k),
-                    single->QueryMapped(probe, k))
+          EXPECT_EQ(engine->QueryMapped(probe, {.k = k}),
+                    single->QueryMapped(probe, {.k = k}))
               << "shards=" << shards << " threads=" << threads
               << " k=" << k;
         }
@@ -264,8 +265,8 @@ TEST(ShardedEngineTieTest, KLargerThanAnyShardsLiveRows) {
   ASSERT_TRUE(engine.ok());
   const std::vector<uint8_t> probe = {1, 0, 1, 0, 0, 0};
   for (int k : {8, 10, 50}) {
-    const Ranking got = engine->QueryMapped(probe, k);
-    EXPECT_EQ(got, single->QueryMapped(probe, k)) << "k=" << k;
+    const Ranking got = engine->QueryMapped(probe, {.k = k});
+    EXPECT_EQ(got, single->QueryMapped(probe, {.k = k})) << "k=" << k;
     EXPECT_EQ(got.size(), std::min<size_t>(static_cast<size_t>(k), 10u));
   }
 }
@@ -287,7 +288,8 @@ TEST(ShardedEngineTieTest, ShardsEmptiedByRemovalsStillMerge) {
   EXPECT_EQ(engine->shard(2).num_graphs(), 0);
   const std::vector<uint8_t> probe = {0, 1, 1, 0, 0, 0};
   for (int k : {3, 6, 12}) {
-    EXPECT_EQ(engine->QueryMapped(probe, k), single->QueryMapped(probe, k))
+    EXPECT_EQ(engine->QueryMapped(probe, {.k = k}),
+              single->QueryMapped(probe, {.k = k}))
         << "k=" << k;
   }
 
@@ -298,9 +300,9 @@ TEST(ShardedEngineTieTest, ShardsEmptiedByRemovalsStillMerge) {
     }
   }
   EXPECT_EQ(engine->num_graphs(), 0);
-  EXPECT_TRUE(engine->QueryMapped(probe, 5).empty());
+  EXPECT_TRUE(engine->QueryMapped(probe, {.k = 5}).empty());
   engine->Compact();
-  EXPECT_TRUE(engine->QueryMapped(probe, 5).empty());
+  EXPECT_TRUE(engine->QueryMapped(probe, {.k = 5}).empty());
 }
 
 TEST(ShardedEngineTieTest, EpochSumsShardMutationsAndFreezeIsStable) {
@@ -309,7 +311,7 @@ TEST(ShardedEngineTieTest, EpochSumsShardMutationsAndFreezeIsStable) {
   ASSERT_TRUE(engine.ok());
   EXPECT_EQ(engine->epoch(), 0u);
   const std::vector<uint8_t> probe = {1, 0, 1, 0, 0, 0};
-  engine->QueryMapped(probe, 5);
+  engine->QueryMapped(probe, {.k = 5});
   EXPECT_EQ(engine->epoch(), 0u);  // queries never bump
 
   const std::vector<uint8_t> row = {1, 1, 0, 0, 0, 0};
@@ -350,7 +352,7 @@ TEST(ShardedEngineTieTest, EpochSumsShardMutationsAndFreezeIsStable) {
   for (int k : {1, 6, 20}) {
     // The reloaded capture answers like the engine did at freeze time: it
     // must still contain id 0 (removed after) and not the second insert.
-    const Ranking got = reloaded->QueryMapped(probe, k);
+    const Ranking got = reloaded->QueryMapped(probe, {.k = k});
     for (const RankedResult& r : got) EXPECT_NE(r.id, 13);
   }
 }
@@ -368,7 +370,8 @@ TEST(ShardedEngineTieTest, ToPersistedIndexRoundTripsThroughSingleEngine) {
   EXPECT_EQ(rebuilt->alive_ids(), engine->alive_ids());
   const std::vector<uint8_t> probe = {1, 1, 0, 0, 0, 1};
   for (int k : {1, 6, 20}) {
-    EXPECT_EQ(rebuilt->QueryMapped(probe, k), engine->QueryMapped(probe, k));
+    EXPECT_EQ(rebuilt->QueryMapped(probe, {.k = k}),
+              engine->QueryMapped(probe, {.k = k}));
   }
 }
 

@@ -286,7 +286,7 @@ int RunServe(const Flags& flags) {
   ServeBatchReport report;
   std::vector<ServeQueryStats> per_query;
   std::vector<Ranking> results =
-      engine->QueryBatch(queries, k, &report, &per_query);
+      engine->QueryBatch(queries, {.k = k}, &report, &per_query);
   if (!quiet) {
     for (size_t qi = 0; qi < results.size(); ++qi) {
       std::printf("query %zu:", qi);
@@ -326,12 +326,12 @@ int RunBenchQuery(const Flags& flags) {
   const int repeat = *repeat_flag;
 
   // Warm-up pass, then timed repeats; report the aggregate distribution.
-  engine->QueryBatch(queries, k);
+  engine->QueryBatch(queries, {.k = k});
   std::vector<double> batch_ms;
   double best_qps = 0.0;
   for (int rep = 0; rep < repeat; ++rep) {
     ServeBatchReport report;
-    engine->QueryBatch(queries, k, &report);
+    engine->QueryBatch(queries, {.k = k}, &report);
     batch_ms.push_back(report.wall_ms);
     best_qps = std::max(best_qps, report.qps);
     std::printf("batch %d: %.1fms (%.0f qps, %s)\n", rep, report.wall_ms,
