@@ -24,6 +24,7 @@
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/sync.h"
 #include "common/timer.h"
 #include "core/index_io.h"
 #include "serve/query_engine.h"
@@ -82,6 +83,8 @@ int Main(int argc, char** argv) {
   Result<QueryEngine> built = QueryEngine::FromIndex(seed_index, options);
   GDIM_CHECK(built.ok()) << built.status().ToString();
   QueryEngine engine = std::move(built).value();
+  // This single-threaded bench is the engine's writer.
+  ScopedRole writer(&engine.writer_role());
 
   int next_id = n;  // mirrors the engine's id assignment
   double insert_s = 0.0, remove_s = 0.0, query_s = 0.0, compact_s = 0.0;

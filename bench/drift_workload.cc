@@ -25,6 +25,7 @@
 
 #include "common/flags.h"
 #include "common/logging.h"
+#include "common/sync.h"
 #include "common/timer.h"
 #include "core/index_io.h"
 #include "core/topk.h"
@@ -42,7 +43,14 @@ namespace {
 /// back to external ids).
 double MeanRecall(BatchExecutor* executor, const GraphStore& store,
                   const GraphDatabase& queries, int k) {
-  const FrozenGraphSet live = store.Freeze();
+  FrozenGraphSet live;
+  {
+    // Callers invoke this between synchronous executor calls, when the
+    // dispatcher is idle and every mutation has drained, so this thread
+    // may act as the store's writer for the capture.
+    ScopedRole store_writer(&store.writer_role());
+    live = store.Freeze();
+  }
   double total = 0.0;
   for (const Graph& q : queries) {
     Ranking exact = TopK(ExactRanking(q, live.graphs), k);
@@ -115,25 +123,31 @@ int Main(int argc, char** argv) {
 
   // Build the initial generation over A — the same pipeline REINDEX runs.
   GraphStore store;
-  for (int i = 0; i < n; ++i) {
-    GDIM_CHECK(store.Put(i, corpus_a[static_cast<size_t>(i)]).ok());
-  }
   WallTimer timer;
-  Result<RefreshedGeneration> initial =
-      BuildGeneration(store.Freeze(), refresh);
-  GDIM_CHECK(initial.ok()) << initial.status().ToString();
   PersistedIndex index;
-  index.features = std::move(initial->features);
-  index.db_bits = std::move(initial->fingerprints);
-  index.ids = std::move(initial->ids);
+  int mined_features = 0;
+  {
+    // No executor exists yet: Main is the store's writer while it seeds
+    // corpus A and freezes the generation-0 build input.
+    ScopedRole store_writer(&store.writer_role());
+    for (int i = 0; i < n; ++i) {
+      GDIM_CHECK(store.Put(i, corpus_a[static_cast<size_t>(i)]).ok());
+    }
+    Result<RefreshedGeneration> initial =
+        BuildGeneration(store.Freeze(), refresh);
+    GDIM_CHECK(initial.ok()) << initial.status().ToString();
+    index.features = std::move(initial->features);
+    index.db_bits = std::move(initial->fingerprints);
+    index.ids = std::move(initial->ids);
+    mined_features = initial->mined_features;
+  }
   ShardedOptions engine_opts;
   engine_opts.num_shards = shards;
   Result<ShardedEngine> engine =
       ShardedEngine::FromIndex(std::move(index), engine_opts);
   GDIM_CHECK(engine.ok()) << engine.status().ToString();
   std::printf("built generation 0 over corpus A in %.2fs (%d mined -> %d dims)\n",
-              timer.Seconds(), initial->mined_features,
-              engine->num_features());
+              timer.Seconds(), mined_features, engine->num_features());
 
   BatchExecutorOptions executor_opts;
   executor_opts.cache_bytes = 1 << 20;

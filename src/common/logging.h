@@ -42,7 +42,7 @@ class CheckMessageBuilder {
 /// hot paths are cheap). Usage: GDIM_CHECK(x > 0) << "context " << x;
 #define GDIM_CHECK(cond)                                                   \
   if (cond) {                                                              \
-  } else /* NOLINT */                                                      \
+  } else /* NOLINT: the empty-if/else is the macro's dangling-else guard */ \
     ::gdim::internal_logging::CheckMessageBuilder(__FILE__, __LINE__, #cond)
 
 /// Debug-only check, compiled out in release builds.

@@ -1,0 +1,15 @@
+#include "common/sync.h"
+
+namespace gdim {
+
+void CondVar::Wait(Mutex* mu) {
+  // Adopt the caller-held native mutex for the wait protocol, then release
+  // the unique_lock's ownership claim without unlocking — the caller's
+  // MutexLock (or manual Lock) still owns the mutex, exactly as REQUIRES
+  // models: held on entry, held on return.
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+}
+
+}  // namespace gdim

@@ -1,0 +1,185 @@
+#ifndef GDIM_COMMON_SYNC_H_
+#define GDIM_COMMON_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Clang thread-safety annotations.
+//
+// These macros expand to Clang's capability attributes under Clang and to
+// nothing elsewhere, so GCC builds are unaffected while any Clang build (the
+// CI thread-safety job compiles with -Wthread-safety -Werror=thread-safety)
+// turns every locking contract below into a compile error when violated.
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+// ---------------------------------------------------------------------------
+#if defined(__clang__)
+#define GDIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GDIM_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a class as a capability (a lock, or a logical resource such as a
+/// thread role). The string names the capability kind in diagnostics.
+#define GDIM_CAPABILITY(x) GDIM_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability.
+#define GDIM_SCOPED_CAPABILITY GDIM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data members: reads/writes require holding the named capability.
+#define GDIM_GUARDED_BY(x) GDIM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer members: dereferences require holding the named capability (the
+/// pointer itself may be read freely).
+#define GDIM_PT_GUARDED_BY(x) GDIM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Functions: the caller must hold the capability (exclusively / shared).
+#define GDIM_REQUIRES(...) \
+  GDIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define GDIM_REQUIRES_SHARED(...) \
+  GDIM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Functions: acquire / release the capability (no argument: `this`).
+#define GDIM_ACQUIRE(...) \
+  GDIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GDIM_RELEASE(...) \
+  GDIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define GDIM_TRY_ACQUIRE(...) \
+  GDIM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Functions: the caller must NOT hold the capability (deadlock guard for
+/// public entry points of self-locking classes).
+#define GDIM_EXCLUDES(...) GDIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Functions: assert (without acquiring) that the capability is held — the
+/// escape hatch for invariants the analysis cannot see, e.g. "this object is
+/// owned exclusively by an object whose role is already held". Every use
+/// must carry an inline justification (enforced by tools/check_invariants.py
+/// for the NO_THREAD_SAFETY_ANALYSIS spelling; reviewers hold Assert() to
+/// the same bar).
+#define GDIM_ASSERT_CAPABILITY(x) GDIM_THREAD_ANNOTATION(assert_capability(x))
+
+/// Accessor functions that return a capability, so `obj->role()` in a
+/// REQUIRES clause resolves to the same capability as `role_` inside the
+/// class.
+#define GDIM_RETURN_CAPABILITY(x) GDIM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Turns the analysis off for one function. Last resort; every use must
+/// carry an inline `// justification:` comment (tools/check_invariants.py
+/// rejects bare uses).
+#define GDIM_NO_THREAD_SAFETY_ANALYSIS \
+  GDIM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace gdim {
+
+/// The project mutex: std::mutex wearing the capability annotations, so
+/// `GDIM_GUARDED_BY(mu_)` members and `GDIM_REQUIRES(mu_)` helpers are
+/// compiler-checked. Raw std::mutex / std::lock_guard / std::unique_lock are
+/// banned outside this header (tools/check_invariants.py) — unannotated
+/// locking is invisible to the analysis and rots back into prose contracts.
+class GDIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() GDIM_ACQUIRE() { mu_.lock(); }
+  void Unlock() GDIM_RELEASE() { mu_.unlock(); }
+  bool TryLock() GDIM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for a Mutex; the project replacement for std::lock_guard /
+/// std::unique_lock. Scoped: the analysis knows the capability is held from
+/// construction to the end of the enclosing block.
+class GDIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) GDIM_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() GDIM_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable working with Mutex. Wait() requires the mutex held —
+/// checked — and, like std::condition_variable, releases it for the wait and
+/// reacquires before returning (the lock set is unchanged across the call,
+/// which is exactly what REQUIRES models).
+///
+/// Prefer the explicit-loop form at call sites whose predicate reads guarded
+/// members:
+///
+///   MutexLock lock(&mu_);
+///   while (!done_) cv_.Wait(&mu_);
+///
+/// The analysis checks lambda bodies as separate functions, so a predicate
+/// lambda reading guarded state would need its own annotations; an inline
+/// while loop keeps the accesses inside the function that holds the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified; may wake spuriously (callers loop).
+  void Wait(Mutex* mu) GDIM_REQUIRES(mu);
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// A capability with no runtime state: a *role* a thread plays, e.g. "the
+/// engine's single writer". Single-writer contracts that used to live in
+/// prose ("mutations are not thread-safe: callers must serialize them onto
+/// one thread") become checked REQUIRES clauses: the owning thread acquires
+/// the role once (a no-op at runtime) and every mutating method demands it.
+/// See ShardedEngine::writer_role() for the canonical use.
+class GDIM_CAPABILITY("role") ThreadRole {
+ public:
+  /// Copyable/movable (unlike a real lock) so that role-carrying objects —
+  /// engines returned by value, generation swaps — keep their value
+  /// semantics: a role has no runtime state, and its capability identity is
+  /// the *expression* naming it, which copying does not disturb.
+  ThreadRole() = default;
+
+  /// Claims / relinquishes the role. No-ops at runtime; the value is the
+  /// REQUIRES checking they enable. Dynamic enforcement of "exactly one
+  /// holder" stays with TSan, which sees the underlying accesses.
+  void Acquire() GDIM_ACQUIRE() {}
+  void Release() GDIM_RELEASE() {}
+
+  /// Tells the analysis the role is held here without acquiring it — for
+  /// objects owned exclusively by a holder of an enclosing role (e.g. the
+  /// shards inside a ShardedEngine). Use with an inline justification.
+  void Assert() GDIM_ASSERT_CAPABILITY(this) {}
+};
+
+/// RAII role holder for straight-line owners: tests, benchmarks, and tools
+/// that drive an engine from a single thread scope.
+class GDIM_SCOPED_CAPABILITY ScopedRole {
+ public:
+  explicit ScopedRole(ThreadRole* role) GDIM_ACQUIRE(role) : role_(role) {
+    role_->Acquire();
+  }
+  ~ScopedRole() GDIM_RELEASE() { role_->Release(); }
+
+  ScopedRole(const ScopedRole&) = delete;
+  ScopedRole& operator=(const ScopedRole&) = delete;
+
+ private:
+  ThreadRole* const role_;
+};
+
+}  // namespace gdim
+
+#endif  // GDIM_COMMON_SYNC_H_

@@ -113,7 +113,7 @@ DimensionRefresher::~DimensionRefresher() {
 
 Status DimensionRefresher::Start(FrozenGraphSet frozen,
                                  RefreshOptions options, DoneFn done) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (running_) {
     return Status::ResourceExhausted("a dimension refresh is already running");
   }
@@ -129,7 +129,7 @@ Status DimensionRefresher::Start(FrozenGraphSet frozen,
       if (options.selection_gate) options.selection_gate();
       Result<RefreshedGeneration> built = BuildGeneration(frozen, options);
       {
-        std::lock_guard<std::mutex> inner(mu_);
+        MutexLock inner(&mu_);
         running_ = false;
       }
       done(std::move(built));

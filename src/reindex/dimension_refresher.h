@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/dspm.h"
 #include "core/dspmap.h"
 #include "core/selector.h"
@@ -113,12 +113,16 @@ class DimensionRefresher {
   /// Refresh lifecycle observability lives with the caller (the executor's
   /// reindex_in_progress/reindex_completed stats span freeze → swap, a
   /// wider window than the selection alone).
-  Status Start(FrozenGraphSet frozen, RefreshOptions options, DoneFn done);
+  Status Start(FrozenGraphSet frozen, RefreshOptions options, DoneFn done)
+      GDIM_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::thread worker_;
-  bool running_ = false;
+  mutable Mutex mu_;
+  /// Joined under mu_ by Start (reaping a finished run) and lock-free by the
+  /// destructor, which the analysis does not check — by then no other thread
+  /// may call Start anyway.
+  std::thread worker_ GDIM_GUARDED_BY(mu_);
+  bool running_ GDIM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gdim

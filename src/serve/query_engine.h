@@ -9,6 +9,7 @@
 
 #include "common/histogram.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/index_io.h"
 #include "core/mapper.h"
 #include "core/packed_bits.h"
@@ -103,7 +104,12 @@ struct FrozenEngineState {
 /// score-then-id ranking applies.
 ///
 /// Mutations are not thread-safe: callers must not run Insert/Remove/Compact
-/// concurrently with each other or with queries.
+/// concurrently with each other or with queries. The contract is
+/// compiler-checked: every mutating method (and Freeze, which reads state a
+/// mutation invalidates) REQUIRES writer_role() — the single writer
+/// acquires the role once (the BatchExecutor's dispatcher thread does; a
+/// single-threaded test scope uses ScopedRole) and Clang's thread-safety
+/// analysis rejects any call path that never claimed it.
 class QueryEngine {
  public:
   /// Builds the serving structures from an in-memory persisted index.
@@ -132,12 +138,19 @@ class QueryEngine {
   /// generation boundary even though every other piece of state (mapper,
   /// segments, ids) is replaced wholesale. Single-writer contract: must not
   /// run concurrently with queries or mutations, like every mutation.
-  void AdoptGeneration(QueryEngine next);
+  void AdoptGeneration(QueryEngine next) GDIM_REQUIRES(writer_role_);
 
   /// Generation-swap hook for a sharded owner whose epoch is a sum over
   /// shards: lifts this engine's epoch to at least `epoch`. Monotonic
   /// (never lowers), counts as a mutation for cache purposes.
-  void RaiseEpochToAtLeast(uint64_t epoch);
+  void RaiseEpochToAtLeast(uint64_t epoch) GDIM_REQUIRES(writer_role_);
+
+  /// The single-writer capability; see the class comment. The accessor
+  /// resolves to the same capability as the member, so call sites may spell
+  /// either `engine.writer_role()` or (inside the class) `writer_role_`.
+  ThreadRole& writer_role() const GDIM_RETURN_CAPABILITY(writer_role_) {
+    return writer_role_;
+  }
 
   /// Live (non-tombstoned) graphs.
   int num_graphs() const { return alive_; }
@@ -163,11 +176,12 @@ class QueryEngine {
   /// Inserts a graph: fingerprints it with the engine's dimension (VF2) and
   /// appends the mapped row to the delta segment. Returns the new stable
   /// external id.
-  Result<int> Insert(const Graph& graph);
+  Result<int> Insert(const Graph& graph) GDIM_REQUIRES(writer_role_);
 
   /// Insert for callers that already hold the mapped fingerprint (bulk
   /// loads, replication, benchmarks); width must equal num_features().
-  Result<int> InsertMapped(const std::vector<uint8_t>& fingerprint);
+  Result<int> InsertMapped(const std::vector<uint8_t>& fingerprint)
+      GDIM_REQUIRES(writer_role_);
 
   /// InsertMapped with a caller-assigned external id, for an owner of a
   /// global id sequence (the sharded engine routes ids across shards, so a
@@ -175,16 +189,16 @@ class QueryEngine {
   /// next — per-engine ids stay strictly ascending — and the engine's id
   /// counter advances to id + 1.
   Result<int> InsertMappedWithId(const std::vector<uint8_t>& fingerprint,
-                                 int id);
+                                 int id) GDIM_REQUIRES(writer_role_);
 
   /// Tombstones the graph with the given external id; NotFound if no live
   /// graph has that id. O(log n) + inverted-list maintenance.
-  Status Remove(int id);
+  Status Remove(int id) GDIM_REQUIRES(writer_role_);
 
   /// Rewrites the live rows into a fresh sealed base segment, drops
   /// tombstones, and empties the delta. External ids are unchanged. No-op
   /// on an engine with no delta rows and no tombstones.
-  void Compact();
+  void Compact() GDIM_REQUIRES(writer_role_);
 
   /// External ids of the live graphs, ascending (= physical row order).
   std::vector<int> alive_ids() const;
@@ -202,9 +216,9 @@ class QueryEngine {
   /// is cloned by refcount, the delta/tombstones/ids are copied. The pause
   /// is O(delta rows · words + total rows) — independent of the sealed
   /// base's size — and the capture stays bit-exact at this epoch no matter
-  /// what mutations follow. Same single-writer contract as queries: must not
-  /// run concurrently with Insert/Remove/Compact.
-  FrozenEngineState Freeze() const;
+  /// what mutations follow. Same single-writer contract as mutations: the
+  /// capture must be ordered against writers, so it REQUIRES the role.
+  FrozenEngineState Freeze() const GDIM_REQUIRES(writer_role_);
 
   /// The equivalent database of the current live state: the feature
   /// dimension plus the live fingerprints and their external ids in
@@ -323,6 +337,8 @@ class QueryEngine {
   /// supports_[r] = ascending physical rows of live graphs containing
   /// feature r; only populated when options_.containment_prefilter.
   std::vector<std::vector<int>> supports_;
+  /// See writer_role(). mutable: acquiring a role is not a state change.
+  mutable ThreadRole writer_role_;
 };
 
 }  // namespace gdim

@@ -32,20 +32,20 @@ BatchExecutor::BatchExecutor(ShardedEngine* engine,
 
 BatchExecutor::~BatchExecutor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
     paused_ = false;  // a paused executor must still drain on shutdown
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   dispatcher_.join();
   // Background snapshot writers only read their own frozen captures, but
   // they signal completion through this object — wait them out.
-  std::unique_lock<std::mutex> lock(mu_);
-  snapshot_cv_.wait(lock, [this] { return snapshots_in_progress_ == 0; });
+  MutexLock lock(&mu_);
+  while (snapshots_in_progress_ != 0) snapshot_cv_.Wait(&mu_);
 }
 
 Status BatchExecutor::Admit(Request r) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (stop_) {
     ++rejected_;
     return Status::Internal("executor is shutting down");
@@ -64,7 +64,7 @@ Status BatchExecutor::Admit(Request r) {
   // the queue drains — an unlocked notify could then signal a destroyed
   // condition variable. Holding the lock orders the notify strictly before
   // any destruction (the destructor's first step takes mu_).
-  cv_.notify_one();
+  cv_.NotifyOne();
   return Status::OK();
 }
 
@@ -139,7 +139,7 @@ Result<EngineGauges> BatchExecutor::Gauges() {
 }
 
 BatchExecutorStats BatchExecutor::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   BatchExecutorStats stats;
   stats.accepted = accepted_;
   stats.rejected = rejected_;
@@ -162,76 +162,83 @@ BatchExecutorStats BatchExecutor::Stats() const {
 }
 
 void BatchExecutor::Pause() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   paused_ = true;
 }
 
 void BatchExecutor::Resume() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     paused_ = false;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void BatchExecutor::DispatcherLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  // The dispatcher IS the engine's (and the store's) single writer: it
+  // claims the writer role for its whole lifetime, which is what lets
+  // Execute and the reindex helpers carry checked REQUIRES clauses instead
+  // of the old prose contract. A no-op at runtime.
+  engine_->writer_role().Acquire();
   for (;;) {
-    cv_.wait(lock, [this] { return (!queue_.empty() && !paused_) || stop_; });
-    if (queue_.empty() || paused_) {
-      if (stop_) return;  // paused && stop: ~BatchExecutor cleared paused_
-      continue;
-    }
-    // Pop the leading run: either a coalescible run of queries (up to
-    // max_batch) or exactly one mutation. FIFO order across kinds is what
-    // gives submit-then-query read-your-write semantics per producer.
     std::vector<Request> batch;
-    if (queue_.front().kind == Request::Kind::kQuery) {
-      while (!queue_.empty() &&
-             queue_.front().kind == Request::Kind::kQuery &&
-             batch.size() < static_cast<size_t>(options_.max_batch)) {
+    {
+      MutexLock lock(&mu_);
+      while (!((!queue_.empty() && !paused_) || stop_)) cv_.Wait(&mu_);
+      if (queue_.empty() || paused_) {
+        if (stop_) break;  // paused && stop: ~BatchExecutor cleared paused_
+        continue;
+      }
+      // Pop the leading run: either a coalescible run of queries (up to
+      // max_batch) or exactly one mutation. FIFO order across kinds is what
+      // gives submit-then-query read-your-write semantics per producer.
+      if (queue_.front().kind == Request::Kind::kQuery) {
+        while (!queue_.empty() &&
+               queue_.front().kind == Request::Kind::kQuery &&
+               batch.size() < static_cast<size_t>(options_.max_batch)) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      } else {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
-    } else {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
     }
-    lock.unlock();
     const std::vector<std::function<void()>> fulfill = Execute(&batch);
-    lock.lock();
-    // Counters are published BEFORE the submitters are released, so a
-    // client that just got its answer always sees itself completed in
-    // Stats() (and the STATS verb never under-reports). The internal
-    // generation-adoption step is invisible to the client-facing
-    // accepted/completed/latency numbers (its admission skipped accepted_
-    // too) — a reindex must not fabricate a phantom request in the STATS
-    // arithmetic clients do.
-    const bool internal =
-        batch.front().kind == Request::Kind::kAdoptGeneration;
-    if (!internal) {
-      for (const Request& r : batch) {
-        latency_window_[latency_next_] = r.queued_at.Millis();
-        latency_next_ = (latency_next_ + 1) % latency_window_.size();
-        if (latency_next_ == 0) latency_full_ = true;
+    {
+      MutexLock lock(&mu_);
+      // Counters are published BEFORE the submitters are released, so a
+      // client that just got its answer always sees itself completed in
+      // Stats() (and the STATS verb never under-reports). The internal
+      // generation-adoption step is invisible to the client-facing
+      // accepted/completed/latency numbers (its admission skipped accepted_
+      // too) — a reindex must not fabricate a phantom request in the STATS
+      // arithmetic clients do.
+      const bool internal =
+          batch.front().kind == Request::Kind::kAdoptGeneration;
+      if (!internal) {
+        for (const Request& r : batch) {
+          latency_window_[latency_next_] = r.queued_at.Millis();
+          latency_next_ = (latency_next_ + 1) % latency_window_.size();
+          if (latency_next_ == 0) latency_full_ = true;
+        }
+        completed_ += batch.size();
       }
-      completed_ += batch.size();
+      in_flight_ -= batch.size();
+      if (batch.front().kind == Request::Kind::kQuery) {
+        ++batches_;
+      } else if (batch.front().kind != Request::Kind::kGauges &&
+                 batch.front().kind != Request::Kind::kReindex &&
+                 batch.front().kind != Request::Kind::kAdoptGeneration) {
+        // Reindex traffic has its own gauges (reindex_in_progress /
+        // reindex_completed); counting it as a mutation would skew the
+        // auto-trigger arithmetic clients do from STATS deltas.
+        ++mutations_;
+      }
     }
-    in_flight_ -= batch.size();
-    if (batch.front().kind == Request::Kind::kQuery) {
-      ++batches_;
-    } else if (batch.front().kind != Request::Kind::kGauges &&
-               batch.front().kind != Request::Kind::kReindex &&
-               batch.front().kind != Request::Kind::kAdoptGeneration) {
-      // Reindex traffic has its own gauges (reindex_in_progress /
-      // reindex_completed); counting it as a mutation would skew the
-      // auto-trigger arithmetic clients do from STATS deltas.
-      ++mutations_;
-    }
-    lock.unlock();
     for (const std::function<void()>& f : fulfill) f();
-    lock.lock();
   }
+  engine_->writer_role().Release();
 }
 
 std::vector<std::function<void()>> BatchExecutor::Execute(
@@ -249,7 +256,11 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
         if (id.ok() && store_ != nullptr) {
           // Keep the store in lockstep with the engine: same id, same
           // graph, same thread. A divergence here would hand a future
-          // reindex the wrong corpus.
+          // reindex the wrong corpus. The store shares the engine's single
+          // writer (this thread), so holding the engine's role — Execute's
+          // REQUIRES — is holding the store's; the analysis cannot derive
+          // that, hence the Assert.
+          store_->writer_role().Assert();
           Status put = store_->Put(*id, std::move(r.graph));
           GDIM_CHECK(put.ok()) << put.ToString();
         }
@@ -264,6 +275,8 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
       case Request::Kind::kRemove: {
         Status status = engine_->Remove(r.id);
         if (status.ok() && store_ != nullptr) {
+          // The store shares the engine's single writer; see kInsert.
+          store_->writer_role().Assert();
           Status removed = store_->Remove(r.id);
           GDIM_CHECK(removed.ok()) << removed.ToString();
         }
@@ -278,7 +291,11 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
       case Request::Kind::kCompact: {
         const int reclaimed = engine_->tombstoned_rows();
         engine_->Compact();
-        if (store_ != nullptr) store_->Compact();
+        if (store_ != nullptr) {
+          // The store shares the engine's single writer; see kInsert.
+          store_->writer_role().Assert();
+          store_->Compact();
+        }
         fulfill.push_back(
             [&r, reclaimed] { r.compacted.set_value(reclaimed); });
         break;
@@ -294,7 +311,7 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
       case Request::Kind::kAdoptGeneration: {
         Result<ReindexReport> outcome = InstallGeneration(r.built.get());
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(&mu_);
           reindex_in_flight_ = false;
           if (outcome.ok()) ++reindexes_completed_;
         }
@@ -407,13 +424,13 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
 
 void BatchExecutor::AdmitInternal(Request r) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!stop_) {
       // in_flight_ must balance the dispatcher's decrement, but accepted_
       // stays client-only — the adopt step is bookkeeping, not a request.
       ++in_flight_;
       queue_.push_back(std::move(r));
-      cv_.notify_one();  // under mu_, same lifetime reasoning as Admit
+      cv_.NotifyOne();  // under mu_, same lifetime reasoning as Admit
       return;
     }
     // The dispatcher is gone; nobody will ever install this generation.
@@ -431,7 +448,7 @@ void BatchExecutor::StartReindex(int p,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (reindex_in_flight_) {
       done.set_value(
           Status::ResourceExhausted("a reindex is already in progress"));
@@ -441,10 +458,12 @@ void BatchExecutor::StartReindex(int p,
   }
   // The freeze: the dispatcher's only synchronous contribution. Everything
   // the background selection reads is copied out here, so churn that
-  // follows can never race it.
+  // follows can never race it. The store shares the engine's single writer
+  // (this method's REQUIRES), hence the Assert.
+  store_->writer_role().Assert();
   FrozenGraphSet frozen = store_->Freeze();
   if (frozen.empty()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     reindex_in_flight_ = false;
     done.set_value(Status::InvalidArgument("cannot reindex an empty database"));
     return;
@@ -471,7 +490,7 @@ void BatchExecutor::StartReindex(int p,
   if (!started.ok()) {
     // Unreachable while reindex_in_flight_ gates Start, but a refresher
     // refusal must not leave the gauge stuck or the submitter hanging.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     reindex_in_flight_ = false;
     promise->set_value(started);
   }
@@ -481,7 +500,7 @@ void BatchExecutor::MaybeAutoReindex() {
   if (options_.reindex_every <= 0 || store_ == nullptr) return;
   if (mutations_since_reindex_ < options_.reindex_every) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (reindex_in_flight_) return;
   }
   // Fire-and-forget: the report is discarded (no future attached); success
@@ -540,7 +559,7 @@ void BatchExecutor::StartAsyncSnapshot(FrozenShardedState frozen,
   // would be destroyed with the lambda, breaking the submitter's future).
   auto promise = std::make_shared<std::promise<Status>>(std::move(done));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++snapshots_in_progress_;
   }
   // Detached: the thread reads only its own frozen capture, then signals
@@ -553,10 +572,10 @@ void BatchExecutor::StartAsyncSnapshot(FrozenShardedState frozen,
                  promise]() mutable {
       Status status = ShardedEngine::WriteSnapshot(frozen, path);
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         --snapshots_in_progress_;
         ++snapshots_completed_;
-        snapshot_cv_.notify_all();
+        snapshot_cv_.NotifyAll();
       }
       promise->set_value(std::move(status));
     }).detach();
@@ -564,9 +583,9 @@ void BatchExecutor::StartAsyncSnapshot(FrozenShardedState frozen,
     // Thread/resource exhaustion must fail the one SNAPSHOT request, not
     // kill the dispatcher or wedge the destructor on a leaked gauge.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --snapshots_in_progress_;
-      snapshot_cv_.notify_all();
+      snapshot_cv_.NotifyAll();
     }
     promise->set_value(Status::Internal(
         std::string("cannot spawn snapshot writer: ") + e.what()));

@@ -1,19 +1,18 @@
 #ifndef GDIM_SERVER_BATCH_EXECUTOR_H_
 #define GDIM_SERVER_BATCH_EXECUTOR_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/histogram.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/timer.h"
 #include "core/index_io.h"
 #include "core/topk.h"
@@ -207,7 +206,7 @@ class BatchExecutor {
   /// dispatcher publishes completion before fulfilling promises). The
   /// nested cache counters are snapshotted under the cache's own lock:
   /// internally consistent, but taken at a slightly different instant.
-  BatchExecutorStats Stats() const;
+  BatchExecutorStats Stats() const GDIM_EXCLUDES(mu_);
 
   /// Samples engine gauges through the request queue (FIFO with mutations);
   /// subject to the same admission bound as every other request.
@@ -217,8 +216,8 @@ class BatchExecutor {
   /// unexecuted (admission and rejection still work — this is how the
   /// backpressure path is exercised deterministically); Resume() lets it
   /// drain.
-  void Pause();
-  void Resume();
+  void Pause() GDIM_EXCLUDES(mu_);
+  void Resume() GDIM_EXCLUDES(mu_);
 
   const BatchExecutorOptions& options() const { return options_; }
 
@@ -260,41 +259,49 @@ class BatchExecutor {
 
   /// Admits r or rejects with ResourceExhausted (queue at capacity or
   /// executor stopping).
-  Status Admit(Request r);
+  Status Admit(Request r) GDIM_EXCLUDES(mu_);
 
   /// Admission for internal requests (generation adoption): exempt from the
   /// capacity bound — rejecting would strand the refresh — but still
   /// refused when the executor is stopping, in which case the traveling
   /// promise is failed here.
-  void AdmitInternal(Request r);
+  void AdmitInternal(Request r) GDIM_EXCLUDES(mu_);
 
   /// Dispatcher-side start of a refresh: freezes the store, launches the
   /// background selection, and arranges for the result to come back as a
   /// kAdoptGeneration request carrying `done`. Fails `done` immediately
   /// when no store exists, the live set is empty, or a refresh is already
   /// in flight.
-  void StartReindex(int p, std::promise<Result<ReindexReport>> done);
+  void StartReindex(int p, std::promise<Result<ReindexReport>> done)
+      GDIM_REQUIRES(engine_->writer_role()) GDIM_EXCLUDES(mu_);
 
   /// Fires StartReindex when the mutation count since the last refresh
   /// reaches options_.reindex_every (fire-and-forget promise).
-  void MaybeAutoReindex();
+  void MaybeAutoReindex() GDIM_REQUIRES(engine_->writer_role())
+      GDIM_EXCLUDES(mu_);
 
   /// Dispatcher-side installation of a finished refresh: reconciles the
   /// generation with churn since the freeze and swaps it into the engine.
-  Result<ReindexReport> InstallGeneration(Result<RefreshedGeneration>* built);
+  Result<ReindexReport> InstallGeneration(Result<RefreshedGeneration>* built)
+      GDIM_REQUIRES(engine_->writer_role());
 
-  void DispatcherLoop();
+  void DispatcherLoop() GDIM_EXCLUDES(mu_);
   /// Runs one popped run of requests outside the lock; returns the
   /// promise-fulfilling closures, which the dispatcher invokes only after
-  /// publishing the completion counters.
-  std::vector<std::function<void()>> Execute(std::vector<Request>* batch);
+  /// publishing the completion counters. All engine/store access funnels
+  /// through here, on the dispatcher thread — which holds the engine's
+  /// writer role for its whole lifetime, hence the REQUIRES.
+  std::vector<std::function<void()>> Execute(std::vector<Request>* batch)
+      GDIM_REQUIRES(engine_->writer_role()) GDIM_EXCLUDES(mu_);
 
   /// Spawns the background writer for a frozen snapshot; `done` is
   /// fulfilled (and snapshots_in_progress decremented) when the file is
   /// fully written. Called from a fulfill closure, after the dispatcher has
-  /// published this request's completion counters.
+  /// published this request's completion counters. Touches only the frozen
+  /// capture and mu_-guarded accounting — never the live engine, so no
+  /// writer role.
   void StartAsyncSnapshot(FrozenShardedState frozen, std::string path,
-                          std::promise<Status> done);
+                          std::promise<Status> done) GDIM_EXCLUDES(mu_);
 
   ShardedEngine* engine_;
   BatchExecutorOptions options_;
@@ -303,37 +310,40 @@ class BatchExecutor {
   /// Stats() readers).
   std::unique_ptr<ResultCache> cache_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
-  size_t in_flight_ = 0;  ///< admitted and not yet completed
-  bool stop_ = false;
-  bool paused_ = false;
-  uint64_t accepted_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t completed_ = 0;
-  uint64_t batches_ = 0;
-  uint64_t mutations_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Request> queue_ GDIM_GUARDED_BY(mu_);
+  /// Admitted and not yet completed.
+  size_t in_flight_ GDIM_GUARDED_BY(mu_) = 0;
+  bool stop_ GDIM_GUARDED_BY(mu_) = false;
+  bool paused_ GDIM_GUARDED_BY(mu_) = false;
+  uint64_t accepted_ GDIM_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ GDIM_GUARDED_BY(mu_) = 0;
+  uint64_t completed_ GDIM_GUARDED_BY(mu_) = 0;
+  uint64_t batches_ GDIM_GUARDED_BY(mu_) = 0;
+  uint64_t mutations_ GDIM_GUARDED_BY(mu_) = 0;
   /// Ring buffer of recent request latencies (submit → completion).
-  std::vector<double> latency_window_;
-  size_t latency_next_ = 0;
-  bool latency_full_ = false;
-  /// Background snapshot accounting, guarded by mu_. The writer threads are
-  /// detached; the destructor waits on snapshot_cv_ until none remain.
-  uint64_t snapshots_in_progress_ = 0;
-  uint64_t snapshots_completed_ = 0;
-  std::condition_variable snapshot_cv_;
+  std::vector<double> latency_window_ GDIM_GUARDED_BY(mu_);
+  size_t latency_next_ GDIM_GUARDED_BY(mu_) = 0;
+  bool latency_full_ GDIM_GUARDED_BY(mu_) = false;
+  /// Background snapshot accounting. The writer threads are detached; the
+  /// destructor waits on snapshot_cv_ until none remain.
+  uint64_t snapshots_in_progress_ GDIM_GUARDED_BY(mu_) = 0;
+  uint64_t snapshots_completed_ GDIM_GUARDED_BY(mu_) = 0;
+  CondVar snapshot_cv_;
 
-  /// Reindex accounting, guarded by mu_ (Stats() reads it; the dispatcher
-  /// and the refresh-done callback write it).
-  bool reindex_in_flight_ = false;
-  uint64_t reindexes_completed_ = 0;
+  /// Reindex accounting (Stats() reads it; the dispatcher and the
+  /// refresh-done callback write it).
+  bool reindex_in_flight_ GDIM_GUARDED_BY(mu_) = false;
+  uint64_t reindexes_completed_ GDIM_GUARDED_BY(mu_) = 0;
   /// Successful Insert/Remove count since the last refresh started; feeds
-  /// the auto-trigger. Dispatcher-only, no lock needed.
+  /// the auto-trigger. Dispatcher-only — every function touching it
+  /// REQUIRES the engine's writer role, which only the dispatcher holds.
   int mutations_since_reindex_ = 0;
 
   /// The live-graph store (options_.store); dispatcher-only after
-  /// construction.
+  /// construction, checked through its own writer_role() (asserted under
+  /// the engine's — both belong to the dispatcher).
   GraphStore* store_ = nullptr;
 
   std::thread dispatcher_;

@@ -30,14 +30,14 @@ Status NetServer::Start() {
 }
 
 uint64_t NetServer::connections_accepted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return connections_accepted_;
 }
 
 void NetServer::Stop() {
   if (!started_) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) return;
     stopping_ = true;
     // Severing the sockets pops every handler out of its blocking recv.
@@ -46,21 +46,21 @@ void NetServer::Stop() {
   ::shutdown(listen_fd_.get(), SHUT_RDWR);
   accept_thread_.join();
   listen_fd_.reset();
-  std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  MutexLock lock(&mu_);
+  while (active_connections_ != 0) drained_cv_.Wait(&mu_);
 }
 
 void NetServer::AcceptLoop() {
   for (;;) {
     const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
     if (fd < 0) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (stopping_) return;
       continue;  // transient accept failure (EINTR, aborted handshake)
     }
     bool reject = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (stopping_) {
         ::close(fd);
         return;
@@ -115,11 +115,11 @@ void NetServer::HandleConnection(int fd) {
   // clobber the new connection's registration) and notifying while locked
   // (Stop() may destroy the server the moment the drain predicate holds).
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     live_fds_.erase(fd);
     ::close(fd);
     --active_connections_;
-    drained_cv_.notify_all();
+    drained_cv_.NotifyAll();
   }
 }
 

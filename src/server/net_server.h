@@ -1,14 +1,13 @@
 #ifndef GDIM_SERVER_NET_SERVER_H_
 #define GDIM_SERVER_NET_SERVER_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "server/batch_executor.h"
 #include "server/net_socket.h"
 
@@ -55,16 +54,16 @@ class NetServer {
   int port() const { return port_; }
 
   /// Total connections accepted so far.
-  uint64_t connections_accepted() const;
+  uint64_t connections_accepted() const GDIM_EXCLUDES(mu_);
 
   /// Stops accepting, severs live connections, waits for handler exit.
   /// Idempotent.
-  void Stop();
+  void Stop() GDIM_EXCLUDES(mu_);
 
  private:
-  void AcceptLoop();
+  void AcceptLoop() GDIM_EXCLUDES(mu_);
   /// Serves one connection; owns the fd.
-  void HandleConnection(int fd);
+  void HandleConnection(int fd) GDIM_EXCLUDES(mu_);
   /// One request line → one response line.
   std::string HandleLine(const std::string& line, bool* quit);
 
@@ -74,12 +73,16 @@ class NetServer {
   int port_ = 0;
   std::thread accept_thread_;
 
-  mutable std::mutex mu_;
-  std::condition_variable drained_cv_;
-  std::set<int> live_fds_;    ///< open connection fds, for Stop() severing
-  int active_connections_ = 0;  ///< includes handlers past their fd close
-  uint64_t connections_accepted_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar drained_cv_;
+  /// Open connection fds, for Stop() severing.
+  std::set<int> live_fds_ GDIM_GUARDED_BY(mu_);
+  /// Includes handlers past their fd close.
+  int active_connections_ GDIM_GUARDED_BY(mu_) = 0;
+  uint64_t connections_accepted_ GDIM_GUARDED_BY(mu_) = 0;
+  bool stopping_ GDIM_GUARDED_BY(mu_) = false;
+  /// Touched only by the Start()/Stop() caller's thread, never by handlers
+  /// — deliberately outside mu_.
   bool started_ = false;
 };
 

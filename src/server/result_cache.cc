@@ -46,7 +46,7 @@ std::string ResultCache::MakeKey(const std::vector<uint8_t>& fingerprint,
 
 std::optional<Ranking> ResultCache::Lookup(const std::string& key,
                                            uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto found = index_.find(key);
   if (found == index_.end()) {
     ++misses_;
@@ -68,7 +68,7 @@ std::optional<Ranking> ResultCache::Lookup(const std::string& key,
 void ResultCache::Insert(const std::string& key, uint64_t epoch,
                          const Ranking& ranking) {
   const size_t bytes = EntryBytes(key, ranking);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (bytes > max_bytes_) return;  // larger than the whole budget
   const auto found = index_.find(key);
   if (found != index_.end()) {
@@ -93,7 +93,7 @@ void ResultCache::EvictLocked(Lru::iterator it) {
 }
 
 ResultCacheStats ResultCache::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ResultCacheStats stats;
   stats.hits = hits_;
   stats.misses = misses_;

@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/topk.h"
 
 namespace gdim {
@@ -67,13 +67,15 @@ class ResultCache {
   /// The cached ranking for key at exactly this epoch, or nullopt. A hit
   /// refreshes the entry's LRU position; finding an entry from an older
   /// epoch purges it and counts a miss (plus an eviction).
-  std::optional<Ranking> Lookup(const std::string& key, uint64_t epoch);
+  std::optional<Ranking> Lookup(const std::string& key, uint64_t epoch)
+      GDIM_EXCLUDES(mu_);
 
   /// Stores ranking for key at epoch, replacing any entry under the same
   /// key, then evicts LRU entries until the byte budget holds.
-  void Insert(const std::string& key, uint64_t epoch, const Ranking& ranking);
+  void Insert(const std::string& key, uint64_t epoch, const Ranking& ranking)
+      GDIM_EXCLUDES(mu_);
 
-  ResultCacheStats Stats() const;
+  ResultCacheStats Stats() const GDIM_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -85,17 +87,17 @@ class ResultCache {
   using Lru = std::list<Entry>;
 
   /// Unlinks *it from the map, the LRU list, and the byte accounting.
-  void EvictLocked(Lru::iterator it);
+  void EvictLocked(Lru::iterator it) GDIM_REQUIRES(mu_);
 
   const size_t max_bytes_;
-  mutable std::mutex mu_;
-  size_t bytes_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t insertions_ = 0;
-  Lru lru_;  ///< front = most recently used
-  std::unordered_map<std::string, Lru::iterator> index_;
+  mutable Mutex mu_;
+  size_t bytes_ GDIM_GUARDED_BY(mu_) = 0;
+  uint64_t hits_ GDIM_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GDIM_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GDIM_GUARDED_BY(mu_) = 0;
+  uint64_t insertions_ GDIM_GUARDED_BY(mu_) = 0;
+  Lru lru_ GDIM_GUARDED_BY(mu_);  ///< front = most recently used
+  std::unordered_map<std::string, Lru::iterator> index_ GDIM_GUARDED_BY(mu_);
 };
 
 }  // namespace gdim

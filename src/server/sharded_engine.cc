@@ -185,9 +185,12 @@ Result<int> ShardedEngine::Insert(const Graph& graph) {
 Result<int> ShardedEngine::InsertMapped(
     const std::vector<uint8_t>& fingerprint) {
   const int id = next_id_;
-  Result<int> inserted =
-      shards_[static_cast<size_t>(ShardOf(id))].InsertMappedWithId(fingerprint,
-                                                                   id);
+  QueryEngine& shard = shards_[static_cast<size_t>(ShardOf(id))];
+  // Shards are private to this engine and reachable only through it, so
+  // holding writer_role_ (this method's REQUIRES) is holding every shard's
+  // role; the analysis cannot derive that ownership, hence the Assert.
+  shard.writer_role().Assert();
+  Result<int> inserted = shard.InsertMappedWithId(fingerprint, id);
   // Advance the global sequence only on success, so a rejected insert (bad
   // width, exhausted id space) does not burn an id.
   if (inserted.ok()) ++next_id_;
@@ -198,11 +201,18 @@ Status ShardedEngine::Remove(int id) {
   if (id < 0) {
     return Status::NotFound("no live graph with id " + std::to_string(id));
   }
-  return shards_[static_cast<size_t>(ShardOf(id))].Remove(id);
+  QueryEngine& shard = shards_[static_cast<size_t>(ShardOf(id))];
+  // Private shard under the engine's writer_role_; see InsertMapped.
+  shard.writer_role().Assert();
+  return shard.Remove(id);
 }
 
 void ShardedEngine::Compact() {
-  for (QueryEngine& shard : shards_) shard.Compact();
+  for (QueryEngine& shard : shards_) {
+    // Private shard under the engine's writer_role_; see InsertMapped.
+    shard.writer_role().Assert();
+    shard.Compact();
+  }
 }
 
 void ShardedEngine::SwapGeneration(ShardedEngine next) {
@@ -217,8 +227,11 @@ void ShardedEngine::SwapGeneration(ShardedEngine next) {
   next_id_ = next.next_id_;
   ++generation_;
   const uint64_t now = epoch();
-  if (now < floor) shards_[0].RaiseEpochToAtLeast(
-      shards_[0].epoch() + (floor - now));
+  if (now < floor) {
+    // Private shard under the engine's writer_role_; see InsertMapped.
+    shards_[0].writer_role().Assert();
+    shards_[0].RaiseEpochToAtLeast(shards_[0].epoch() + (floor - now));
+  }
 }
 
 std::vector<int> ShardedEngine::alive_ids() const {
@@ -271,6 +284,8 @@ FrozenShardedState ShardedEngine::Freeze() const {
   frozen.features = mapper_.features();
   frozen.shards.reserve(shards_.size());
   for (const QueryEngine& shard : shards_) {
+    // Private shard under the engine's writer_role_; see InsertMapped.
+    shard.writer_role().Assert();
     frozen.shards.push_back(shard.Freeze());
   }
   frozen.next_id = next_id_;

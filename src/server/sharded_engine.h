@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/index_io.h"
 #include "core/mapper.h"
 #include "core/topk.h"
@@ -59,8 +60,13 @@ struct FrozenShardedState {
 ///    merge breaks ties by id just like the single-engine ranking.
 ///
 /// Like QueryEngine, mutations are not thread-safe: callers must not run
-/// Insert/Remove/Compact concurrently with each other or with queries (the
-/// BatchExecutor serializes them onto one dispatcher thread).
+/// Insert/Remove/Compact concurrently with each other or with queries. The
+/// contract is compiler-checked: every mutating method (and Freeze)
+/// REQUIRES writer_role(), acquired once by the single writer — the
+/// BatchExecutor's dispatcher thread in production, a ScopedRole in
+/// single-threaded tests/tools. The per-shard QueryEngine roles are
+/// subsumed: shards are private and reachable only through this engine, so
+/// the implementation asserts each shard's role under its own.
 class ShardedEngine {
  public:
   /// Partitions the persisted index across options.num_shards shards.
@@ -109,21 +115,27 @@ class ShardedEngine {
   /// bit-identically — the invariant the executor's result cache keys on.
   uint64_t epoch() const;
 
+  /// The single-writer capability; see the class comment.
+  ThreadRole& writer_role() const GDIM_RETURN_CAPABILITY(writer_role_) {
+    return writer_role_;
+  }
+
   /// Inserts a graph: assigns the next global id, fingerprints once, and
   /// appends to the owning shard. Returns the stable external id — the same
   /// id a single QueryEngine would have assigned.
-  Result<int> Insert(const Graph& graph);
+  Result<int> Insert(const Graph& graph) GDIM_REQUIRES(writer_role_);
 
   /// Insert for callers that already hold the mapped fingerprint.
-  Result<int> InsertMapped(const std::vector<uint8_t>& fingerprint);
+  Result<int> InsertMapped(const std::vector<uint8_t>& fingerprint)
+      GDIM_REQUIRES(writer_role_);
 
   /// Tombstones the graph with the given external id in its owning shard;
   /// NotFound if no live graph has that id.
-  Status Remove(int id);
+  Status Remove(int id) GDIM_REQUIRES(writer_role_);
 
   /// Compacts every shard (reclaims tombstones, seals deltas). Ids are
   /// unchanged.
-  void Compact();
+  void Compact() GDIM_REQUIRES(writer_role_);
 
   /// Installs a freshly built engine — a new dimension *generation*, the
   /// product of a background reindex over the live graph set — into *this*
@@ -137,7 +149,7 @@ class ShardedEngine {
   /// dimensions) for the same live set. `next` would normally be built with
   /// the same options/shard count, but any valid engine is installable.
   /// Same single-writer contract as every mutation.
-  void SwapGeneration(ShardedEngine next);
+  void SwapGeneration(ShardedEngine next) GDIM_REQUIRES(writer_role_);
 
   /// External ids of the live graphs across all shards, ascending.
   std::vector<int> alive_ids() const;
@@ -151,15 +163,18 @@ class ShardedEngine {
   /// Writes the merged live state to one index file, shard-count
   /// independent. v2 streams each shard's packed rows in global id order
   /// (word-level, no byte materialization); a reload with any shard count
-  /// keeps serving the same ids.
+  /// keeps serving the same ids. Synchronous Freeze+write, so it carries
+  /// Freeze's ordering contract.
   Status Snapshot(const std::string& path,
-                  IndexFormat format = IndexFormat::kV2Binary) const;
+                  IndexFormat format = IndexFormat::kV2Binary) const
+      GDIM_REQUIRES(writer_role_);
 
   /// Captures all shards for asynchronous snapshotting: sealed bases are
   /// cloned by refcount, deltas/tombstones/ids copied — a bounded pause
-  /// independent of sealed-base size, on the engine's writer thread. The
-  /// capture answers for exactly this epoch's live set forever.
-  FrozenShardedState Freeze() const;
+  /// independent of sealed-base size, on the engine's writer thread (the
+  /// capture must be ordered against writers, hence REQUIRES). The capture
+  /// answers for exactly this epoch's live set forever.
+  FrozenShardedState Freeze() const GDIM_REQUIRES(writer_role_);
 
   /// Streams a frozen capture to one v2 index file, shard-count
   /// independent, word-level (no byte materialization) — safe on any
@@ -233,6 +248,8 @@ class ShardedEngine {
   int next_id_ = 0;
   /// Dimension generations adopted; see generation().
   uint64_t generation_ = 0;
+  /// See writer_role(). mutable: acquiring a role is not a state change.
+  mutable ThreadRole writer_role_;
 };
 
 }  // namespace gdim

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "graph/graph.h"
 
 namespace gdim {
@@ -38,23 +39,29 @@ struct FrozenGraphSet {
 /// free.
 ///
 /// Not thread-safe: the store belongs to the engine's single writer (the
-/// BatchExecutor dispatcher), like the engines themselves. Freeze() hands
-/// an independent copy to background readers.
+/// BatchExecutor dispatcher), like the engines themselves — a contract
+/// checked the same way: mutators and Freeze() REQUIRE writer_role().
+/// Freeze() hands an independent copy to background readers.
 class GraphStore {
  public:
   GraphStore() = default;
 
+  /// The single-writer capability; see the class comment.
+  ThreadRole& writer_role() const GDIM_RETURN_CAPABILITY(writer_role_) {
+    return writer_role_;
+  }
+
   /// Registers a live graph under id. Ids must be strictly ascending over
   /// the store's lifetime (InvalidArgument otherwise) — callers feed the
   /// engine-assigned external ids, which already are.
-  Status Put(int id, Graph graph);
+  Status Put(int id, Graph graph) GDIM_REQUIRES(writer_role_);
 
   /// Marks the graph with this id dead; NotFound if no live entry has it.
   /// Memory is reclaimed by the next Compact(), not here.
-  Status Remove(int id);
+  Status Remove(int id) GDIM_REQUIRES(writer_role_);
 
   /// Prunes dead entries; returns how many were reclaimed.
-  int Compact();
+  int Compact() GDIM_REQUIRES(writer_role_);
 
   /// Live graphs currently in the store.
   int live_count() const { return live_; }
@@ -70,8 +77,9 @@ class GraphStore {
 
   /// Copies the live set out for a background reader. Graphs are small
   /// (the corpus this system serves is many small graphs, not one big
-  /// one), so the pause is O(live graphs) with a tiny constant.
-  FrozenGraphSet Freeze() const;
+  /// one), so the pause is O(live graphs) with a tiny constant. The copy
+  /// must be ordered against writers, hence REQUIRES.
+  FrozenGraphSet Freeze() const GDIM_REQUIRES(writer_role_);
 
  private:
   struct Entry {
@@ -86,6 +94,8 @@ class GraphStore {
   std::vector<Entry> entries_;  ///< ascending id
   int live_ = 0;
   int last_id_ = -1;  ///< largest id ever Put; enforces ascending ids
+  /// See writer_role(). mutable: acquiring a role is not a state change.
+  mutable ThreadRole writer_role_;
 };
 
 }  // namespace gdim

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "common/sync.h"
 #include "graph/graph.h"
 #include "store/graph_store.h"
 
@@ -20,6 +21,7 @@ Graph LabelGraph(std::vector<LabelId> labels) {
 
 TEST(GraphStoreTest, PutFindRemoveLifecycle) {
   GraphStore store;
+  ScopedRole writer(&store.writer_role());
   ASSERT_TRUE(store.Put(0, LabelGraph({0})).ok());
   ASSERT_TRUE(store.Put(3, LabelGraph({3})).ok());
   ASSERT_TRUE(store.Put(7, LabelGraph({7})).ok());
@@ -43,6 +45,7 @@ TEST(GraphStoreTest, PutFindRemoveLifecycle) {
 
 TEST(GraphStoreTest, IdsMustAscendAcrossTheLifetime) {
   GraphStore store;
+  ScopedRole writer(&store.writer_role());
   ASSERT_TRUE(store.Put(5, LabelGraph({0})).ok());
   EXPECT_EQ(store.Put(5, LabelGraph({1})).code(),
             StatusCode::kInvalidArgument);
@@ -59,6 +62,7 @@ TEST(GraphStoreTest, IdsMustAscendAcrossTheLifetime) {
 
 TEST(GraphStoreTest, CompactPrunesDeadEntriesAndReportsReclaimed) {
   GraphStore store;
+  ScopedRole writer(&store.writer_role());
   for (int id = 0; id < 6; ++id) {
     ASSERT_TRUE(store.Put(id, LabelGraph({static_cast<LabelId>(id)})).ok());
   }
@@ -74,6 +78,7 @@ TEST(GraphStoreTest, CompactPrunesDeadEntriesAndReportsReclaimed) {
 
 TEST(GraphStoreTest, FreezeCapturesTheLiveSetInIdOrder) {
   GraphStore store;
+  ScopedRole writer(&store.writer_role());
   for (int id = 0; id < 5; ++id) {
     ASSERT_TRUE(store.Put(id, LabelGraph({static_cast<LabelId>(id)})).ok());
   }
@@ -93,6 +98,7 @@ TEST(GraphStoreTest, FreezeCapturesTheLiveSetInIdOrder) {
   EXPECT_EQ(frozen.graphs[0], LabelGraph({0}));
 
   GraphStore empty;
+  ScopedRole empty_writer(&empty.writer_role());
   EXPECT_TRUE(empty.Freeze().empty());
 }
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "common/sync.h"
 #include "core/index.h"
 #include "core/index_io.h"
 #include "core/topk.h"
@@ -254,6 +255,8 @@ TEST(IndexIoTest, V2PersistsCustomIdsAndRejectsBadOnes) {
   // after them.
   auto engine = QueryEngine::FromIndex(std::move(back).value());
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  // This test body is the engine's single writer.
+  ScopedRole writer(&engine->writer_role());
   EXPECT_EQ(engine->alive_ids(), index.ids);
   ASSERT_TRUE(engine->Remove(7).ok());
   auto inserted = engine->InsertMapped(std::vector<uint8_t>(9, 1));
@@ -268,6 +271,7 @@ TEST(IndexIoTest, V2PersistsCustomIdsAndRejectsBadOnes) {
   auto reloaded = QueryEngine::FromIndex(
       std::move(ReadIndexFile(snap)).value());
   ASSERT_TRUE(reloaded.ok());
+  ScopedRole reloaded_writer(&reloaded->writer_role());
   auto after_reload = reloaded->InsertMapped(std::vector<uint8_t>(9, 0));
   ASSERT_TRUE(after_reload.ok());
   EXPECT_EQ(*after_reload, 42);  // not a resurrected 41
@@ -298,6 +302,8 @@ TEST(IndexIoTest, MutatedEngineSnapshotReloadsEquivalently) {
   const PersistedIndex index = RandomIndex(30, 6, &rng);
   auto engine = QueryEngine::FromIndex(index);
   ASSERT_TRUE(engine.ok());
+  // This test body is the engine's single writer.
+  ScopedRole writer(&engine->writer_role());
 
   // Churn: remove a few base rows, insert fresh fingerprints, compact,
   // then keep a tombstone and a delta row live at snapshot time.
@@ -331,6 +337,7 @@ TEST(IndexIoTest, MutatedEngineSnapshotReloadsEquivalently) {
     }
     auto reloaded = QueryEngine::FromIndex(std::move(back).value());
     ASSERT_TRUE(reloaded.ok());
+    ScopedRole reloaded_writer(&reloaded->writer_role());
     EXPECT_EQ(reloaded->num_graphs(), engine->num_graphs());
     Graph probe;  // vertex labels 0..2 = features 0..2
     probe.AddVertex(0);
@@ -438,6 +445,9 @@ TEST(IndexIoTest, OpenServesIdenticallyThroughThePackedPath) {
   ASSERT_TRUE(packed_engine.ok()) << packed_engine.status().ToString();
   auto byte_engine = QueryEngine::FromIndex(index);
   ASSERT_TRUE(byte_engine.ok());
+  // This test body is both engines' single writer.
+  ScopedRole packed_writer(&packed_engine->writer_role());
+  ScopedRole byte_writer(&byte_engine->writer_role());
   EXPECT_EQ(packed_engine->num_graphs(), 25);
   for (const auto& probe_bits : RandomBitRows(6, 70, 0.35, &rng)) {
     EXPECT_EQ(packed_engine->QueryMapped(probe_bits, {.k = 8}),

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/sync.h"
 #include "core/index_io.h"
 #include "core/kernels/scan_kernel.h"
 #include "graph/graph.h"
@@ -418,8 +419,13 @@ class ReindexNetServerTest : public ::testing::Test {
     }());
     ASSERT_TRUE(engine.ok());
     engine_.emplace(std::move(engine).value());
-    for (int i = 0; i < 16; ++i) {
-      ASSERT_TRUE(store_.Put(i, corpus_[static_cast<size_t>(i)]).ok());
+    {
+      // The executor doesn't exist yet, so SetUp is the store's writer
+      // while it seeds the corpus.
+      ScopedRole store_writer(&store_.writer_role());
+      for (int i = 0; i < 16; ++i) {
+        ASSERT_TRUE(store_.Put(i, corpus_[static_cast<size_t>(i)]).ok());
+      }
     }
     BatchExecutorOptions executor_opts;
     executor_opts.cache_bytes = 1 << 20;

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/sync.h"
 #include "datasets/chemgen.h"
 #include "graph/graph.h"
 #include "reindex/dimension_refresher.h"
@@ -64,6 +65,7 @@ RefreshOptions FastRefresh(const std::string& selector, int p,
 /// A store over db with positional ids 0..n-1 (the serve-net load shape).
 GraphStore StoreOf(const GraphDatabase& db) {
   GraphStore store;
+  ScopedRole writer(&store.writer_role());
   for (size_t i = 0; i < db.size(); ++i) {
     EXPECT_TRUE(store.Put(static_cast<int>(i), db[i]).ok());
   }
@@ -76,6 +78,7 @@ GraphStore StoreOf(const GraphDatabase& db) {
 PersistedIndex InitialIndex(const GraphDatabase& db,
                             const RefreshOptions& options) {
   GraphStore store = StoreOf(db);
+  ScopedRole writer(&store.writer_role());
   Result<RefreshedGeneration> generation =
       BuildGeneration(store.Freeze(), options);
   EXPECT_TRUE(generation.ok()) << generation.status().ToString();
@@ -91,6 +94,7 @@ PersistedIndex InitialIndex(const GraphDatabase& db,
 TEST(BuildGenerationTest, DeterministicInFrozenSetAndSeed) {
   const GraphDatabase db = GenerateChemDatabase(SmallChem(18, 11));
   GraphStore store = StoreOf(db);
+  ScopedRole writer(&store.writer_role());
   const RefreshOptions options = FastRefresh("DSPMap", 8, 5);
   Result<RefreshedGeneration> a = BuildGeneration(store.Freeze(), options);
   Result<RefreshedGeneration> b = BuildGeneration(store.Freeze(), options);
@@ -112,6 +116,7 @@ TEST(BuildGenerationTest, FingerprintsAgreeWithTheMapper) {
   // reconcile path depends on.
   const GraphDatabase db = GenerateChemDatabase(SmallChem(16, 3));
   GraphStore store = StoreOf(db);
+  ScopedRole writer(&store.writer_role());
   Result<RefreshedGeneration> generation =
       BuildGeneration(store.Freeze(), FastRefresh("DSPMap", 6, 9));
   ASSERT_TRUE(generation.ok()) << generation.status().ToString();
@@ -124,6 +129,7 @@ TEST(BuildGenerationTest, FingerprintsAgreeWithTheMapper) {
 TEST(BuildGenerationTest, RejectsDegenerateInputs) {
   const GraphDatabase db = GenerateChemDatabase(SmallChem(8, 1));
   GraphStore store = StoreOf(db);
+  ScopedRole writer(&store.writer_role());
   EXPECT_EQ(
       BuildGeneration(FrozenGraphSet{}, FastRefresh("DSPMap", 4, 1)).status()
           .code(),
@@ -149,6 +155,7 @@ TEST(GenerationSwapTest, QueryEngineAdoptKeepsEpochStrictlyMonotonic) {
   const PersistedIndex index = InitialIndex(db, FastRefresh("Sample", 6, 2));
   auto engine = QueryEngine::FromIndex(index);
   ASSERT_TRUE(engine.ok());
+  ScopedRole writer(&engine->writer_role());
   ASSERT_TRUE(engine->Remove(0).ok());
   ASSERT_TRUE(engine->Remove(1).ok());
   const uint64_t before = engine->epoch();
@@ -178,6 +185,7 @@ TEST(GenerationSwapTest, ShardedSwapBumpsEpochAndGeneration) {
   opts.num_shards = 3;
   auto engine = ShardedEngine::FromIndex(index, opts);
   ASSERT_TRUE(engine.ok());
+  ScopedRole writer(&engine->writer_role());
   ASSERT_TRUE(engine->Remove(2).ok());
   const uint64_t before = engine->epoch();
   EXPECT_EQ(engine->generation(), 0u);
@@ -293,6 +301,9 @@ TEST(ReindexDifferentialTest, SwapMatchesOfflineRebuild) {
 
         // The offline rebuild: same live set, same pipeline, same seed.
         RefreshOptions offline_opts = FastRefresh("DSPMap", 8, 13);
+        // The executor is idle (every request above has drained), so this
+        // thread may act as the store's writer for the capture.
+        ScopedRole store_writer(&store.writer_role());
         Result<RefreshedGeneration> offline =
             BuildGeneration(store.Freeze(), offline_opts);
         ASSERT_TRUE(offline.ok()) << offline.status().ToString();

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/sync.h"
 #include "core/kernels/scan_kernel.h"
 #include "core/objective.h"
 #include "core/packed_bits.h"
@@ -261,6 +262,8 @@ TEST(ScanKernelTest, TiledBatchMatchesSingleQueriesAcrossMutations) {
   Result<QueryEngine> built = QueryEngine::FromIndex(index, options);
   ASSERT_TRUE(built.ok()) << built.status().ToString();
   QueryEngine engine = std::move(built).value();
+  // This test body is the engine's single writer.
+  ScopedRole writer(&engine.writer_role());
   for (const auto& row : RandomBitRows(9, p, 0.4, &rng)) {
     ASSERT_TRUE(engine.InsertMapped(row).ok());  // delta segment
   }

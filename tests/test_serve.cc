@@ -9,6 +9,7 @@
 
 #include "common/histogram.h"
 #include "common/random.h"
+#include "common/sync.h"
 #include "core/index.h"
 #include "core/index_io.h"
 #include "core/objective.h"
@@ -379,6 +380,8 @@ TEST_F(QueryEngineTest, MutationSequenceMatchesFreshEngineAcrossThreads) {
       opts.containment_prefilter = prefilter;
       auto engine = QueryEngine::FromIndex(*index_, opts);
       ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+      // This test body is the engine's single writer.
+      ScopedRole writer(&engine->writer_role());
 
       ShadowDb shadow;
       for (const auto& bits : index_->db_bits) shadow.Insert(bits);
@@ -536,6 +539,7 @@ TEST(QueryEngineEmptyTest, EmptyDatabaseValidatesAndServes) {
   for (const Ranking& r : batch) EXPECT_TRUE(r.empty());
 
   // The empty engine is a valid insert target.
+  ScopedRole writer(&engine->writer_role());
   auto id = engine->Insert(LabelGraph({0, 1}));
   ASSERT_TRUE(id.ok());
   EXPECT_EQ(*id, 0);
@@ -567,6 +571,7 @@ TEST(QueryEngineEmptyTest, ZeroFeatureDimension) {
 TEST(QueryEngineMutationTest, EpochBumpsOnMutationsOnly) {
   auto engine = QueryEngine::FromIndex(LabelSetIndex());
   ASSERT_TRUE(engine.ok());
+  ScopedRole writer(&engine->writer_role());
   EXPECT_EQ(engine->epoch(), 0u);
 
   // Queries never bump.
@@ -594,6 +599,7 @@ TEST(QueryEngineMutationTest, EpochBumpsOnMutationsOnly) {
 TEST(QueryEngineMutationTest, FreezeCapturesStateImmuneToLaterMutations) {
   auto engine = QueryEngine::FromIndex(LabelSetIndex());
   ASSERT_TRUE(engine.ok());
+  ScopedRole writer(&engine->writer_role());
   ASSERT_TRUE(engine->Insert(LabelGraph({1, 2})).ok());  // delta row
   ASSERT_TRUE(engine->Remove(0).ok());
   const std::vector<int> ids_at_freeze = engine->alive_ids();
@@ -616,6 +622,7 @@ TEST(QueryEngineMutationTest, FreezeCapturesStateImmuneToLaterMutations) {
 TEST(QueryEngineMutationTest, TombstonesNeverSurfaceWhenKExceedsLiveCount) {
   auto engine = QueryEngine::FromIndex(LabelSetIndex());
   ASSERT_TRUE(engine.ok());
+  ScopedRole writer(&engine->writer_role());
   ASSERT_TRUE(engine->Remove(0).ok());
   ASSERT_TRUE(engine->Remove(4).ok());
   // k far beyond the live count: removed rows must not pad the ranking.

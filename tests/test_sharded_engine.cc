@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/sync.h"
 #include "core/index.h"
 #include "core/index_io.h"
 #include "core/mapper.h"
@@ -117,6 +118,9 @@ TEST_F(ShardedEngineTest, InterleavedChurnStaysIdenticalToSingleEngine) {
       auto sharded = ShardedEngine::FromIndex(
           *index_, Sharded(4, threads, prefilter));
       ASSERT_TRUE(sharded.ok());
+      // This test body is both engines' single writer.
+      ScopedRole single_writer(&single->writer_role());
+      ScopedRole sharded_writer(&sharded->writer_role());
 
       // Identical mutation script against both engines: the sharded id
       // sequence must mirror the single engine's exactly.
@@ -157,6 +161,7 @@ TEST_F(ShardedEngineTest, InterleavedChurnStaysIdenticalToSingleEngine) {
 TEST_F(ShardedEngineTest, SnapshotReloadsUnderAnyShardCount) {
   auto sharded = ShardedEngine::FromIndex(*index_, Sharded(4));
   ASSERT_TRUE(sharded.ok());
+  ScopedRole writer(&sharded->writer_role());
   for (int id : {0, 7, 13}) ASSERT_TRUE(sharded->Remove(id).ok());
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(sharded->Insert((*queries_)[static_cast<size_t>(i)]).ok());
@@ -177,6 +182,7 @@ TEST_F(ShardedEngineTest, SnapshotReloadsUnderAnyShardCount) {
   for (int shards : {2, 7}) {
     auto reloaded = ShardedEngine::Open(path, Sharded(shards));
     ASSERT_TRUE(reloaded.ok());
+    ScopedRole reloaded_writer(&reloaded->writer_role());
     EXPECT_EQ(reloaded->alive_ids(), expected_ids);
     EXPECT_EQ(reloaded->QueryBatch(*queries_, {.k = 6}), expected)
         << "shards=" << shards;
@@ -277,6 +283,8 @@ TEST(ShardedEngineTieTest, ShardsEmptiedByRemovalsStillMerge) {
   auto engine = ShardedEngine::FromIndex(index, Sharded(4));
   ASSERT_TRUE(single.ok());
   ASSERT_TRUE(engine.ok());
+  ScopedRole single_writer(&single->writer_role());
+  ScopedRole engine_writer(&engine->writer_role());
   // Remove every id ≡ 1 and ≡ 2 (mod 4): shards 1 and 2 end up empty.
   for (int id = 0; id < 12; ++id) {
     if (id % 4 == 1 || id % 4 == 2) {
@@ -309,6 +317,7 @@ TEST(ShardedEngineTieTest, EpochSumsShardMutationsAndFreezeIsStable) {
   const PersistedIndex index = TieHeavyIndex(12);
   auto engine = ShardedEngine::FromIndex(index, Sharded(4));
   ASSERT_TRUE(engine.ok());
+  ScopedRole writer(&engine->writer_role());
   EXPECT_EQ(engine->epoch(), 0u);
   const std::vector<uint8_t> probe = {1, 0, 1, 0, 0, 0};
   engine->QueryMapped(probe, {.k = 5});
@@ -361,6 +370,7 @@ TEST(ShardedEngineTieTest, ToPersistedIndexRoundTripsThroughSingleEngine) {
   const PersistedIndex index = TieHeavyIndex(12);
   auto engine = ShardedEngine::FromIndex(index, Sharded(3));
   ASSERT_TRUE(engine.ok());
+  ScopedRole writer(&engine->writer_role());
   ASSERT_TRUE(engine->Remove(4).ok());
   const std::vector<uint8_t> row = {1, 1, 1, 0, 0, 0};
   ASSERT_TRUE(engine->InsertMapped(row).ok());

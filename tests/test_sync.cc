@@ -1,0 +1,192 @@
+// Runtime tests for the annotated synchronization layer (common/sync.h).
+// The layer's main value is static — clang's -Wthread-safety turns the
+// annotations into compile errors — but the wrappers still have runtime
+// semantics worth pinning down, and running this binary under TSan checks
+// that Mutex/MutexLock/CondVar establish the happens-before edges their
+// std counterparts do.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/sync.h"
+
+namespace gdim {
+namespace {
+
+TEST(SyncTest, MutexLockSerializesCriticalSections) {
+  Mutex mu;
+  int counter = 0;  // written only under mu
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 1000;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mu, &counter] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(SyncTest, MutexLockReleasesAtEndOfScope) {
+  Mutex mu;
+  {
+    MutexLock lock(&mu);
+    EXPECT_FALSE(mu.TryLock());  // held by the scoped lock
+  }
+  EXPECT_TRUE(mu.TryLock());  // released when the scope closed
+  mu.Unlock();
+}
+
+TEST(SyncTest, TryLockContendsCorrectly) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  std::thread other([&mu] { EXPECT_FALSE(mu.TryLock()); });
+  other.join();
+  mu.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(SyncTest, CondVarWaitObservesPredicateWrittenUnderLock) {
+  // The canonical project wait shape: an explicit while loop over guarded
+  // state (not a predicate lambda — the analysis checks lambdas as separate
+  // functions, so the loop form is what all call sites use).
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int payload = 0;
+  std::thread producer([&] {
+    MutexLock lock(&mu);
+    payload = 42;
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    // Wait() reacquired the mutex: the guarded payload is safe to read and
+    // must carry the producer's write.
+    EXPECT_EQ(payload, 42);
+  }
+  producer.join();
+}
+
+TEST(SyncTest, CondVarNotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int awake = 0;
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(&mu);
+      while (!go) cv.Wait(&mu);
+      ++awake;
+    });
+  }
+  {
+    MutexLock lock(&mu);
+    go = true;
+    cv.NotifyAll();
+  }
+  for (std::thread& th : waiters) th.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(awake, kWaiters);
+}
+
+TEST(SyncTest, CondVarWaitReleasesMutexWhileBlocked) {
+  // If Wait() failed to release the mutex, the main thread could never
+  // acquire it to flip the predicate and this test would deadlock (caught
+  // by the ctest timeout rather than an assertion).
+  Mutex mu;
+  CondVar cv;
+  bool done = false;
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    while (!done) cv.Wait(&mu);
+  });
+  for (;;) {
+    MutexLock lock(&mu);
+    // Reaching here at all proves the waiter is not holding mu across its
+    // block; flip the predicate once we know the lock is obtainable.
+    done = true;
+    cv.NotifyOne();
+    break;
+  }
+  waiter.join();
+}
+
+// A small self-locking fixture in the project idiom: public entry points
+// EXCLUDE the mutex, guarded state lives behind it. Exercises the same
+// boundary shape BatchExecutor/ResultCache/NetServer use.
+class Turnstile {
+ public:
+  void Pass() GDIM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    ++count_;
+    cv_.NotifyAll();
+  }
+
+  void WaitForAtLeast(int n) GDIM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (count_ < n) cv_.Wait(&mu_);
+  }
+
+  int count() const GDIM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return count_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  CondVar cv_;
+  int count_ GDIM_GUARDED_BY(mu_) = 0;
+};
+
+TEST(SyncTest, ExcludesBoundaryComposesAcrossThreads) {
+  Turnstile turnstile;
+  constexpr int kThreads = 6;
+  constexpr int kPasses = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&turnstile] {
+      for (int i = 0; i < kPasses; ++i) turnstile.Pass();
+    });
+  }
+  turnstile.WaitForAtLeast(kThreads * kPasses);
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(turnstile.count(), kThreads * kPasses);
+}
+
+TEST(SyncTest, ThreadRoleIsAZeroCostCapability) {
+  // Roles are purely static: acquiring, asserting, and releasing are no-ops
+  // that must be safe to nest and to copy through (role-carrying engines
+  // keep value semantics).
+  ThreadRole role;
+  role.Acquire();
+  role.Assert();  // held: acquired on the line above
+  role.Release();
+  ThreadRole copy = role;  // capability identity is the naming expression
+  {
+    ScopedRole held(&copy);
+    copy.Assert();  // held: by the scoped role above
+  }
+  {
+    ScopedRole again(&copy);  // reacquirable after scoped release
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace gdim

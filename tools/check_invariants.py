@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: cheap greps for contracts a compiler can't see.
+
+Run from anywhere: `python3 tools/check_invariants.py`. Exits non-zero
+with one line per violation. Checks:
+
+  1. Raw synchronization primitives (std::mutex, std::condition_variable,
+     std::lock_guard, std::unique_lock, std::scoped_lock and their
+     headers) are banned outside src/common/sync.{h,cc}. Unannotated
+     locking is invisible to clang's thread-safety analysis, which would
+     quietly rot the checked contracts back into prose.
+  2. rand() / argless srand() are banned everywhere: the repo's benches
+     and tests are seeded-deterministic through common/random.h (Rng).
+  3. The wire verbs parsed by src/server/wire.cc and the verb table in
+     docs/protocol.md must agree exactly, and every STATS key the server
+     emits (src/server/net_server.cc) must be documented in protocol.md.
+  4. Every NOLINT marker and every GDIM_NO_THREAD_SAFETY_ANALYSIS /
+     GDIM_ASSERT_CAPABILITY use site must carry an inline justification
+     (same line or the line above) — suppressions without a recorded
+     reason are just deleted evidence.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+CODE_DIRS = ("src", "bench", "tools", "tests", "examples")
+SYNC_FILES = {"src/common/sync.h", "src/common/sync.cc"}
+
+errors = []
+
+
+def report(path, lineno, message):
+    errors.append(f"{path}:{lineno}: {message}")
+
+
+def code_files():
+    for d in CODE_DIRS:
+        base = ROOT / d
+        if not base.is_dir():
+            continue
+        for ext in ("*.cc", "*.h", "*.cpp", "*.hpp"):
+            yield from sorted(base.rglob(ext))
+
+
+def strip_line_comment(line):
+    """Drop // comments so banned names in prose don't trip the linter."""
+    pos = line.find("//")
+    return line if pos < 0 else line[:pos]
+
+
+# ---------------------------------------------------------------- check 1 --
+RAW_SYNC = re.compile(
+    r"std::(mutex|condition_variable(_any)?|lock_guard|unique_lock"
+    r"|scoped_lock|shared_mutex|shared_lock)\b"
+    r"|#\s*include\s*<(mutex|condition_variable|shared_mutex)>"
+)
+
+# ---------------------------------------------------------------- check 2 --
+# Bare rand()/srand() calls; std::rand too. Word boundary keeps Rng methods
+# and identifiers like `operand(` out.
+RAW_RAND = re.compile(r"(?<![\w.])(?:std::)?s?rand\s*\(")
+
+# ---------------------------------------------------------------- check 4 --
+NOLINT = re.compile(r"NOLINT(NEXTLINE|BEGIN|END)?\b")
+TSA_ESCAPE = re.compile(
+    r"GDIM_NO_THREAD_SAFETY_ANALYSIS\b|\.\s*Assert\s*\(\s*\)"
+)
+
+
+def has_justification(lines, idx):
+    """A justification is comment prose on the marker line or the 2 above."""
+    for back in range(0, 3):
+        if idx - back < 0:
+            break
+        line = lines[idx - back]
+        m = (re.search(r"//+\s*(.*)", line)
+             or re.search(r"/\*\s*(.*?)\s*\*/", line))
+        if m:
+            prose = NOLINT.sub("", m.group(1))
+            prose = re.sub(r"\([-a-z0-9*,._ ]*\)", "", prose)  # check list
+            if len(prose.strip()) >= 8:
+                return True
+    return False
+
+
+def lint_file(path):
+    rel = path.relative_to(ROOT).as_posix()
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+    in_sync = rel in SYNC_FILES
+    for i, raw in enumerate(lines):
+        line = strip_line_comment(raw)
+        if not in_sync and RAW_SYNC.search(line):
+            report(rel, i + 1,
+                   "raw std synchronization primitive; use the annotated "
+                   "wrappers in common/sync.h")
+        if RAW_RAND.search(line):
+            report(rel, i + 1,
+                   "rand()/srand() is banned; use common/random.h (Rng) "
+                   "so runs stay seeded-deterministic")
+        if NOLINT.search(raw) and not has_justification(lines, i):
+            report(rel, i + 1,
+                   "NOLINT without an inline justification comment")
+        if (not in_sync and TSA_ESCAPE.search(line)
+                and not has_justification(lines, i)):
+            report(rel, i + 1,
+                   "thread-safety-analysis escape hatch "
+                   "(GDIM_NO_THREAD_SAFETY_ANALYSIS / role Assert()) "
+                   "without an inline justification comment")
+
+
+# ---------------------------------------------------------------- check 3 --
+def check_wire_docs():
+    wire = ROOT / "src" / "server" / "wire.cc"
+    server = ROOT / "src" / "server" / "net_server.cc"
+    doc = ROOT / "docs" / "protocol.md"
+    for p in (wire, server, doc):
+        if not p.is_file():
+            report(p.relative_to(ROOT).as_posix(), 1, "file missing")
+            return
+    wire_text = wire.read_text(encoding="utf-8")
+    doc_text = doc.read_text(encoding="utf-8")
+
+    code_verbs = set(re.findall(r'verb == "([A-Z]+)"', wire_text))
+    doc_verbs = set(re.findall(r"^\|\s*`([A-Z]+)\b", doc_text, re.M))
+    for verb in sorted(code_verbs - doc_verbs):
+        report("docs/protocol.md", 1,
+               f"wire verb {verb} is parsed by src/server/wire.cc but "
+               "missing from the request table")
+    for verb in sorted(doc_verbs - code_verbs):
+        report("src/server/wire.cc", 1,
+               f"documented verb {verb} is not parsed (docs/protocol.md "
+               "request table)")
+
+    # Every key in the STATS response format string must be documented.
+    server_text = server.read_text(encoding="utf-8")
+    stats_fmt = re.search(r'"OK graphs=.*?"\s*,', server_text, re.S)
+    if not stats_fmt:
+        report("src/server/net_server.cc", 1,
+               "could not locate the STATS response format string")
+        return
+    emitted = set(re.findall(r"(\w+)=%", stats_fmt.group(0)))
+    documented = set(re.findall(r"`(\w+)`", doc_text))
+    for key in sorted(emitted - documented):
+        report("docs/protocol.md", 1,
+               f"STATS key `{key}` is emitted by net_server.cc but "
+               "undocumented")
+
+
+def main():
+    for path in code_files():
+        lint_file(path)
+    check_wire_docs()
+    if errors:
+        print(f"check_invariants: {len(errors)} violation(s)",
+              file=sys.stderr)
+        for e in errors:
+            print(e, file=sys.stderr)
+        return 1
+    print("check_invariants: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@
 
 #include "common/flags.h"
 #include "common/parallel.h"
+#include "common/sync.h"
 #include "common/timer.h"
 #include "core/index.h"
 #include "core/index_io.h"
@@ -460,6 +461,9 @@ int RunServeNet(const Flags& flags) {
       return Fail(matches);
     }
     store.emplace();
+    // The executor doesn't exist yet, so this thread is the store's writer
+    // while it seeds the live graphs.
+    ScopedRole store_writer(&store->writer_role());
     const std::vector<int> ids = engine->alive_ids();
     for (size_t i = 0; i < ids.size(); ++i) {
       Status put = store->Put(ids[i], std::move((*db)[i]));
@@ -543,6 +547,8 @@ int RunUpdate(const Flags& flags) {
   if (!format.ok()) return Fail(format.status());
   Result<QueryEngine> engine = QueryEngine::Open(index_path);
   if (!engine.ok()) return Fail(engine.status());
+  // This single-threaded command is the engine's writer.
+  ScopedRole writer(&engine->writer_role());
 
   // Removes first, then inserts, so a freshly inserted graph can never be
   // swept up by the same command's --remove list.

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# first-party translation unit in the compilation database. Requires a
+# configured build directory with CMAKE_EXPORT_COMPILE_COMMANDS=ON (the
+# root CMakeLists sets it unconditionally):
+#
+#   cmake -B build -S .
+#   tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# Exits non-zero on any finding (WarningsAsErrors: '*'), which is the CI
+# gate. NOLINT suppressions must carry an inline justification —
+# tools/check_invariants.py enforces that separately.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+if [[ "${1:-}" == "--" ]]; then shift; fi
+
+db="$build_dir/compile_commands.json"
+if [[ ! -f "$db" ]]; then
+  echo "error: $db not found; configure first: cmake -B $build_dir -S $repo_root" >&2
+  exit 2
+fi
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "error: $tidy not found (set CLANG_TIDY to your binary)" >&2
+  exit 2
+fi
+
+# First-party TUs only: sources under src/, bench/, tools/, and tests/.
+# Fetched third-party code (e.g. a FetchContent googletest) also lands in
+# the database and is not ours to lint.
+mapfile -t files < <(python3 - "$db" "$repo_root" <<'EOF'
+import json, sys
+db, root = sys.argv[1], sys.argv[2]
+keep = tuple(f"{root}/{d}/" for d in ("src", "bench", "tools", "tests"))
+seen = set()
+for entry in json.load(open(db)):
+    f = entry["file"]
+    if f.startswith(keep) and f not in seen:
+        seen.add(f)
+        print(f)
+EOF
+)
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "error: no first-party files in $db" >&2
+  exit 2
+fi
+
+echo "clang-tidy over ${#files[@]} translation units ($("$tidy" --version | head -1))"
+jobs="$(nproc 2>/dev/null || echo 4)"
+status=0
+# xargs fans the files out; clang-tidy is single-threaded per TU.
+printf '%s\0' "${files[@]}" |
+  xargs -0 -n 1 -P "$jobs" "$tidy" -p "$build_dir" --quiet "$@" || status=$?
+
+if [[ $status -ne 0 ]]; then
+  echo "clang-tidy: findings above must be fixed (or NOLINT'ed with an inline justification)" >&2
+fi
+exit $status
