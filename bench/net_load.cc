@@ -9,6 +9,7 @@
 //                  [--k=10 --connections=4 --requests=400 --allow-reject]
 //                  [--repeat-frac=0.0 --zipf-s=1.0 --seed=1]
 //                  [--mutate-frac=0.0 --snapshot-path=FILE --reindex]
+//                  [--mode=auto|full|approx --nprobe=N|all]
 //                  [--json-out=FILE]
 //
 // --repeat-frac turns on the repeated-query mode that exercises the
@@ -33,6 +34,13 @@
 // REINDEX: the run fails unless the dimension refresh completes OK while
 // the workers churn — the smoke-level proof that a reindex neither stalls
 // nor corrupts live traffic.
+//
+// --mode injects `MODE=<value>` into every pre-encoded QUERY line (and
+// --nprobe, approx-only, injects `NPROBE=<n|all>`), so the load shape can
+// exercise the approximate serving path end to end over the wire. The run
+// prints the server's approx counter deltas (queries / candidates scanned /
+// rows pruned) next to the latency numbers — the CI net smoke greps them to
+// prove MODE=approx requests actually took the pruned path.
 //
 // An ERR ResourceExhausted response is backpressure, not a protocol error;
 // it fails the run only without --allow-reject (a correctly provisioned
@@ -219,15 +227,26 @@ int Main(int argc, char** argv) {
   const std::string snapshot_path = flags.GetString("snapshot-path", "");
   const bool reindex = flags.GetBool("reindex", false);
   const std::string json_out = flags.GetString("json-out", "");
+  const std::string mode = flags.GetString("mode", "");
+  const std::string nprobe = flags.GetString("nprobe", "");
+  const bool mode_valid =
+      mode.empty() || mode == "auto" || mode == "full" || mode == "approx";
+  // NPROBE is approx-only on the wire; reject the flag combination here
+  // instead of shipping 400 requests the server will all reject.
+  const bool nprobe_valid =
+      nprobe.empty() ||
+      (mode == "approx" &&
+       (nprobe == "all" || std::strtol(nprobe.c_str(), nullptr, 10) >= 1));
   if (port <= 0 || port > 65535 || queries_path.empty() || k < 0 ||
       connections < 1 || requests < 1 || repeat_frac < 0.0 ||
       repeat_frac > 1.0 || mutate_frac < 0.0 || mutate_frac > 1.0 ||
-      zipf_s < 0.0) {
+      zipf_s < 0.0 || !mode_valid || !nprobe_valid) {
     std::fprintf(stderr,
                  "usage: bench_net_load --port=P --queries=FILE "
                  "[--host=127.0.0.1 --k=10 --connections=4 --requests=400 "
                  "--repeat-frac=0.0 --mutate-frac=0.0 --zipf-s=1.0 --seed=1 "
                  "--snapshot-path=FILE --reindex --allow-reject "
+                 "--mode=auto|full|approx --nprobe=N|all (approx only) "
                  "--json-out=FILE]\n");
     return 2;
   }
@@ -240,12 +259,16 @@ int Main(int argc, char** argv) {
     return 1;
   }
   // Pre-encode every request line once; workers then only do socket I/O.
+  // --mode / --nprobe become KEY=VALUE tokens between the k and the graph.
+  std::string query_opts;
+  if (!mode.empty()) query_opts += " MODE=" + mode;
+  if (!nprobe.empty()) query_opts += " NPROBE=" + nprobe;
   std::vector<std::string> request_lines;
   std::vector<std::string> insert_lines;
   request_lines.reserve(queries->size());
   insert_lines.reserve(queries->size());
   for (const Graph& q : *queries) {
-    request_lines.push_back("QUERY " + std::to_string(k) + " " +
+    request_lines.push_back("QUERY " + std::to_string(k) + query_opts + " " +
                             EncodeGraphInline(q) + "\n");
     insert_lines.push_back("INSERT " + EncodeGraphInline(q) + "\n");
   }
@@ -352,6 +375,22 @@ int Main(int argc, char** argv) {
                   100.0 * static_cast<double>(hits) /
                       static_cast<double>(hits + misses));
     }
+  }
+  // Approx serving counter deltas: the CI net smoke greps this line to
+  // prove MODE=approx traffic actually took the pruned path (queries
+  // counted, rows pruned) rather than silently falling back to full scans.
+  if (mode == "approx" && !stats_before.empty() && !stats_after.empty() &&
+      StatsField(stats_after, "approx_queries") >= 0) {
+    std::printf(
+        "# approx: queries=%lld candidates_scanned=%lld rows_pruned=%lld "
+        "ivf_buckets=%lld\n",
+        StatsField(stats_after, "approx_queries") -
+            StatsField(stats_before, "approx_queries"),
+        StatsField(stats_after, "approx_candidates_scanned") -
+            StatsField(stats_before, "approx_candidates_scanned"),
+        StatsField(stats_after, "approx_rows_pruned") -
+            StatsField(stats_before, "approx_rows_pruned"),
+        StatsField(stats_after, "ivf_buckets"));
   }
   if (!snapshot_path.empty()) {
     const bool snapshot_ok = snapshot_response == "OK snapshot";

@@ -104,6 +104,10 @@ Result<QueryEngine> QueryEngine::FromPacked(PackedIndex index,
       }
     }
   }
+  // The IVF candidate-pruning index is rebuilt with every engine — which is
+  // exactly what gives a generation swap fresh clusters over the refreshed
+  // fingerprints (zero stale buckets by construction).
+  engine.ivf_ = IvfIndex::Build(*engine.base_, options.ivf_buckets);
   engine.mapper_ = FeatureMapper(std::move(index.features));
   return engine;
 }
@@ -159,6 +163,8 @@ Result<int> QueryEngine::InsertMappedWithId(
   tombstones_.push_back(0);
   row_ids_.push_back(id);
   ++alive_;
+  ivf_.AddRow(delta_.row(row - base_->num_rows()), delta_.words_per_row(),
+              row);
   if (options_.containment_prefilter) {
     for (size_t r = 0; r < fingerprint.size(); ++r) {
       // Rows only grow, so appending keeps each list sorted.
@@ -216,6 +222,10 @@ void QueryEngine::Compact() {
   tombstones_.assign(static_cast<size_t>(alive_), 0);
   num_tombstones_ = 0;
   ++epoch_;
+  // Prune the IVF postings: tombstoned rows drop out (old_to_new == -1),
+  // the survivors renumber monotonically. Centroids are kept — only a
+  // generation swap re-clusters.
+  ivf_.Renumber(old_to_new);
   if (options_.containment_prefilter) {
     // The lists already hold exactly the live rows; renumber in place (the
     // old→new map is monotone, so each list stays sorted).
@@ -412,13 +422,26 @@ Ranking QueryEngine::QueryMapped(const std::vector<uint8_t>& fingerprint,
                   static_cast<int>(candidates.size()) < alive_;
   }
 
+  // Approximate stage 2 (MODE=approx): the IVF probe collects the live
+  // members of the nprobe nearest centroid buckets, and stage 3 then
+  // exact-scores exactly those rows through the same machinery as the
+  // prefiltered path. The answer differs from kFull only by rows the probe
+  // pruned — at NPROBE=all nothing is pruned, the pool is precisely the
+  // live rows, and the ranking is bit-identical to a full scan.
+  const bool approx = options.scan_mode == ScanMode::kApprox;
+  if (approx) {
+    const int nprobe =
+        options.nprobe > 0 ? options.nprobe : ivf_.default_nprobe();
+    candidates = ivf_.Probe(packed_query, nprobe, tombstones_);
+  }
+
   // Stage 3: popcount distance scan (narrowed or full) + deterministic rank.
   // Rankings are computed over physical rows, then mapped to external ids;
   // row order is ascending-id, so the score-then-id tie-break is preserved.
   Ranking top;
   int scanned;
   std::vector<double> scores;
-  if (prefiltered) {
+  if (prefiltered || approx) {
     ScoreRows(packed_query, candidates, &scores);
     top = TopKCandidates(candidates, scores, k);
     scanned = static_cast<int>(candidates.size());
@@ -443,6 +466,8 @@ Ranking QueryEngine::QueryMapped(const std::vector<uint8_t>& fingerprint,
     stats->features_on = features_on;
     stats->scanned = scanned;
     stats->prefiltered = prefiltered;
+    stats->approx = approx;
+    stats->rows_pruned = approx ? alive_ - scanned : 0;
   }
   return top;
 }
@@ -458,10 +483,18 @@ void FillServeBatchReport(double wall_ms,
   latencies.reserve(stats.size());
   report->scanned_rows = 0;
   report->prefiltered_queries = 0;
+  report->approx_queries = 0;
+  report->approx_candidates_scanned = 0;
+  report->approx_rows_pruned = 0;
   for (const ServeQueryStats& s : stats) {
     latencies.push_back(s.latency_ms);
     report->scanned_rows += s.scanned;
     report->prefiltered_queries += s.prefiltered ? 1 : 0;
+    if (s.approx) {
+      ++report->approx_queries;
+      report->approx_candidates_scanned += s.scanned;
+      report->approx_rows_pruned += s.rows_pruned;
+    }
   }
   report->latency_ms = SummarizeLatencies(std::move(latencies));
 }
@@ -546,10 +579,12 @@ std::vector<Ranking> QueryEngine::QueryBatch(
   // touch packed words only.
   const std::vector<std::vector<uint8_t>> fingerprints =
       mapper_.MapAll(queries, options_.threads);
-  if (options.scan_mode == ScanMode::kAuto &&
-      options_.containment_prefilter) {
-    // The stage-2 decision is per query, so the batch cannot share row
-    // passes; keep the per-query path.
+  if (options.scan_mode == ScanMode::kApprox ||
+      (options.scan_mode == ScanMode::kAuto &&
+       options_.containment_prefilter)) {
+    // The stage-2 decision (prefilter intersection or IVF probe) yields a
+    // per-query candidate pool, so the batch cannot share row passes; keep
+    // the per-query path.
     ParallelFor(
         0, n,
         [&](int i) {

@@ -15,6 +15,7 @@
 #include "core/packed_bits.h"
 #include "core/topk.h"
 #include "graph/graph.h"
+#include "index/ivf_index.h"
 #include "serve/query_options.h"
 
 namespace gdim {
@@ -35,6 +36,12 @@ struct ServeOptions {
   /// filter does not actually narrow anything: no candidate survives, fewer
   /// than k candidates survive, or every live graph survives.
   bool containment_prefilter = false;
+
+  /// Bucket count of the IVF candidate-pruning index behind ScanMode::
+  /// kApprox; 0 picks ceil(sqrt(rows)) per engine (per shard). The index is
+  /// always built — construction cost is one clustering pass over the base
+  /// segment — so MODE=approx works out of the box on any engine.
+  int ivf_buckets = 0;
 };
 
 /// Per-query observability counters from one hot-path execution.
@@ -45,6 +52,10 @@ struct ServeQueryStats {
                            ///< scores every physical row, so removed-but-not-
                            ///< compacted rows count until Compact()
   bool prefiltered = false;  ///< stage 2 narrowed the scan (no fallback)
+  bool approx = false;     ///< served from the IVF candidate path (kApprox)
+  /// kApprox only: live rows the probe pruned (alive − scanned); what the
+  /// approximate mode saved relative to a full scan of the live set.
+  int rows_pruned = 0;
 };
 
 /// Aggregate report for one QueryBatch call.
@@ -54,6 +65,11 @@ struct ServeBatchReport {
   LatencySummary latency_ms;     ///< per-query latency distribution
   long long scanned_rows = 0;    ///< total rows scored across the batch
   size_t prefiltered_queries = 0;  ///< queries served from a narrowed scan
+  size_t approx_queries = 0;     ///< queries served from the IVF path
+  /// Candidate rows exact-scored by approx queries (their share of
+  /// scanned_rows) and the live rows their probes pruned away.
+  long long approx_candidates_scanned = 0;
+  long long approx_rows_pruned = 0;
 };
 
 /// Aggregates per-query stats into a batch report (qps, latency
@@ -172,6 +188,12 @@ class QueryEngine {
   int base_rows() const { return base_->num_rows(); }
   int delta_rows() const { return delta_.num_rows(); }
   int tombstoned_rows() const { return num_tombstones_; }
+
+  /// Buckets of the IVF candidate-pruning index (the `ivf_buckets` STATS
+  /// gauge, summed over shards by the sharded engine).
+  int ivf_buckets() const { return ivf_.num_buckets(); }
+  /// The index itself, for tests and invariant checks.
+  const IvfIndex& ivf_index() const { return ivf_; }
 
   /// Inserts a graph: fingerprints it with the engine's dimension (VF2) and
   /// appends the mapped row to the delta segment. Returns the new stable
@@ -337,6 +359,13 @@ class QueryEngine {
   /// supports_[r] = ascending physical rows of live graphs containing
   /// feature r; only populated when options_.containment_prefilter.
   std::vector<std::vector<int>> supports_;
+  /// IVF candidate-pruning index over the packed rows (ScanMode::kApprox).
+  /// Built with the engine (so a generation swap re-clusters over the new
+  /// generation's fingerprints), maintained by Insert (nearest-centroid
+  /// assignment) and Compact (posting renumbering); removals are lazy —
+  /// Probe skips tombstones. Mutated only under writer_role_, like every
+  /// other member.
+  IvfIndex ivf_;
   /// See writer_role(). mutable: acquiring a role is not a state change.
   mutable ThreadRole writer_role_;
 };

@@ -147,6 +147,9 @@ BatchExecutorStats BatchExecutor::Stats() const {
   stats.batches = batches_;
   stats.mutations = mutations_;
   stats.queued = in_flight_;
+  stats.approx_queries = approx_queries_;
+  stats.approx_candidates_scanned = approx_candidates_scanned_;
+  stats.approx_rows_pruned = approx_rows_pruned_;
   stats.snapshots_in_progress = snapshots_in_progress_;
   stats.snapshots_completed = snapshots_completed_;
   stats.reindexes_in_progress = reindex_in_flight_ ? 1 : 0;
@@ -344,6 +347,7 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
         gauges.physical_rows = engine_->physical_rows();
         gauges.tombstones = engine_->tombstoned_rows();
         gauges.generation = engine_->generation();
+        gauges.ivf_buckets = engine_->ivf_buckets();
         fulfill.push_back([&r, gauges] { r.gauges.set_value(gauges); });
         break;
       }
@@ -376,10 +380,14 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
   for (size_t i = 0; i < batch->size(); ++i) {
     if (cache_ != nullptr) {
       const QueryOptions& options = (*batch)[i].query_options;
+      const bool approx = options.scan_mode == ScanMode::kApprox;
       const uint8_t mode_tag = static_cast<uint8_t>(
-          prefilter_tag |
-          (options.scan_mode == ScanMode::kFull ? 2 : 0));
-      keys[i] = ResultCache::MakeKey(fingerprints[i], options.k, mode_tag);
+          prefilter_tag | (options.scan_mode == ScanMode::kFull ? 2 : 0) |
+          (approx ? 4 : 0));
+      // nprobe is part of the key only for approx queries: different probe
+      // depths legitimately rank differently, while exact modes ignore it.
+      keys[i] = ResultCache::MakeKey(fingerprints[i], options.k, mode_tag,
+                                     approx ? options.nprobe : 0);
       if (std::optional<Ranking> hit = cache_->Lookup(keys[i], epoch)) {
         results[i] = std::move(*hit);
         continue;
@@ -404,7 +412,20 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
     for (size_t j = begin; j < end; ++j) {
       span.push_back(std::move(fingerprints[misses[j]]));
     }
-    std::vector<Ranking> scanned = engine_->QueryMappedBatch(span, options);
+    ServeBatchReport span_report;
+    std::vector<Ranking> scanned =
+        engine_->QueryMappedBatch(span, options, &span_report);
+    if (span_report.approx_queries > 0) {
+      // Publish the approx scan-work counters as this span lands. Execute
+      // EXCLUDES mu_, so take it briefly — same shape as kAdoptGeneration's
+      // in-Execute accounting.
+      MutexLock lock(&mu_);
+      approx_queries_ += span_report.approx_queries;
+      approx_candidates_scanned_ +=
+          static_cast<uint64_t>(span_report.approx_candidates_scanned);
+      approx_rows_pruned_ +=
+          static_cast<uint64_t>(span_report.approx_rows_pruned);
+    }
     for (size_t j = begin; j < end; ++j) {
       const size_t i = misses[j];
       results[i] = std::move(scanned[j - begin]);

@@ -86,6 +86,9 @@ struct EngineGauges {
   int tombstones = 0;  ///< removed-but-uncompacted rows across all shards
   /// Dimension generation: 0 at load, +1 per adopted reindex.
   uint64_t generation = 0;
+  /// IVF candidate-pruning buckets across all shards (MODE=approx probes
+  /// these); rebuilt by every generation swap.
+  int ivf_buckets = 0;
 };
 
 /// Counters snapshot for observability (the STATS wire verb).
@@ -103,6 +106,13 @@ struct BatchExecutorStats {
   /// swap), else 0; at most one runs at a time.
   uint64_t reindexes_in_progress = 0;
   uint64_t reindexes_completed = 0;  ///< generations successfully swapped in
+  /// MODE=approx counters, accumulated from the per-span batch reports the
+  /// engine fills (exactly like a shard sums per-query stats). Cache hits
+  /// for approx queries do not re-count: the counters measure scan work
+  /// actually done, matching how `batches` counts executed scans.
+  uint64_t approx_queries = 0;  ///< approx queries that reached a scan
+  uint64_t approx_candidates_scanned = 0;  ///< rows the probes admitted
+  uint64_t approx_rows_pruned = 0;  ///< live rows the probes skipped
   /// Result-cache counters (all zero when the cache is disabled); see
   /// ResultCacheStats for field semantics.
   ResultCacheStats cache;
@@ -322,6 +332,10 @@ class BatchExecutor {
   uint64_t completed_ GDIM_GUARDED_BY(mu_) = 0;
   uint64_t batches_ GDIM_GUARDED_BY(mu_) = 0;
   uint64_t mutations_ GDIM_GUARDED_BY(mu_) = 0;
+  /// MODE=approx scan-work counters; see BatchExecutorStats.
+  uint64_t approx_queries_ GDIM_GUARDED_BY(mu_) = 0;
+  uint64_t approx_candidates_scanned_ GDIM_GUARDED_BY(mu_) = 0;
+  uint64_t approx_rows_pruned_ GDIM_GUARDED_BY(mu_) = 0;
   /// Ring buffer of recent request latencies (submit → completion).
   std::vector<double> latency_window_ GDIM_GUARDED_BY(mu_);
   size_t latency_next_ GDIM_GUARDED_BY(mu_) = 0;

@@ -164,7 +164,7 @@ std::string NetServer::HandleLine(const std::string& line, bool* quit) {
       Result<EngineGauges> gauges = executor_->Gauges();
       if (!gauges.ok()) return FormatErrorResponse(gauges.status());
       const BatchExecutorStats stats = executor_->Stats();
-      char out[1024];
+      char out[1536];
       std::snprintf(
           out, sizeof(out),
           "OK graphs=%d shards=%d features=%d physical_rows=%d "
@@ -174,7 +174,9 @@ std::string NetServer::HandleLine(const std::string& line, bool* quit) {
           "cache_misses=%llu cache_evictions=%llu cache_entries=%zu "
           "cache_bytes=%zu snapshots_in_progress=%llu "
           "snapshots_completed=%llu dimension_generation=%llu "
-          "reindex_in_progress=%llu reindex_completed=%llu kernel=%s",
+          "reindex_in_progress=%llu reindex_completed=%llu "
+          "approx_queries=%llu approx_candidates_scanned=%llu "
+          "approx_rows_pruned=%llu ivf_buckets=%d kernel=%s",
           gauges->graphs, gauges->shards, gauges->features,
           gauges->physical_rows, gauges->tombstones,
           static_cast<unsigned long long>(stats.accepted),
@@ -193,7 +195,10 @@ std::string NetServer::HandleLine(const std::string& line, bool* quit) {
           static_cast<unsigned long long>(gauges->generation),
           static_cast<unsigned long long>(stats.reindexes_in_progress),
           static_cast<unsigned long long>(stats.reindexes_completed),
-          ActiveScanKernel().name());
+          static_cast<unsigned long long>(stats.approx_queries),
+          static_cast<unsigned long long>(stats.approx_candidates_scanned),
+          static_cast<unsigned long long>(stats.approx_rows_pruned),
+          gauges->ivf_buckets, ActiveScanKernel().name());
       return out;
     }
     case WireVerb::kPing:

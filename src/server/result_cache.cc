@@ -24,13 +24,14 @@ size_t EntryBytes(const std::string& key, const Ranking& ranking) {
 ResultCache::ResultCache(size_t max_bytes) : max_bytes_(max_bytes) {}
 
 std::string ResultCache::MakeKey(const std::vector<uint8_t>& fingerprint,
-                                 int k, uint8_t scan_mode) {
+                                 int k, uint8_t scan_mode, int nprobe) {
   const std::vector<uint64_t> words = PackedBitMatrix::PackBits(fingerprint);
   const uint32_t width = static_cast<uint32_t>(fingerprint.size());
   const int32_t k32 = k;
+  const int32_t nprobe32 = nprobe;
   std::string key;
   key.resize(words.size() * sizeof(uint64_t) + sizeof(width) + sizeof(k32) +
-             1);
+             1 + sizeof(nprobe32));
   char* out = key.data();
   std::memcpy(out, words.data(), words.size() * sizeof(uint64_t));
   out += words.size() * sizeof(uint64_t);
@@ -41,6 +42,8 @@ std::string ResultCache::MakeKey(const std::vector<uint8_t>& fingerprint,
   std::memcpy(out, &k32, sizeof(k32));
   out += sizeof(k32);
   *out = static_cast<char>(scan_mode);
+  ++out;
+  std::memcpy(out, &nprobe32, sizeof(nprobe32));
   return key;
 }
 

@@ -58,11 +58,13 @@ class ResultCache {
 
   /// Builds the lookup key for a query: the fingerprint packed into 64-bit
   /// words (8x smaller than the byte form and exactly what the scan kernels
-  /// hash on) plus k, the scan-mode tag, and the width. The epoch is NOT
-  /// part of the key — it is checked against the stored entry, so a stale
-  /// entry is found (and purged) rather than leaked until LRU pressure.
+  /// hash on) plus k, the scan-mode tag, the width, and nprobe (0 for exact
+  /// modes; approximate answers at different probe depths differ, so they
+  /// must never share an entry). The epoch is NOT part of the key — it is
+  /// checked against the stored entry, so a stale entry is found (and
+  /// purged) rather than leaked until LRU pressure.
   static std::string MakeKey(const std::vector<uint8_t>& fingerprint, int k,
-                             uint8_t scan_mode);
+                             uint8_t scan_mode, int nprobe = 0);
 
   /// The cached ranking for key at exactly this epoch, or nullopt. A hit
   /// refreshes the entry's LRU position; finding an entry from an older

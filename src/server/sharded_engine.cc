@@ -167,6 +167,12 @@ int ShardedEngine::tombstoned_rows() const {
   return tombstones;
 }
 
+int ShardedEngine::ivf_buckets() const {
+  int buckets = 0;
+  for (const QueryEngine& shard : shards_) buckets += shard.ivf_buckets();
+  return buckets;
+}
+
 const QueryEngine& ShardedEngine::shard(int s) const {
   GDIM_CHECK(s >= 0 && s < num_shards());
   return shards_[static_cast<size_t>(s)];
@@ -348,6 +354,14 @@ Ranking ShardedEngine::ScatterGather(const std::vector<uint8_t>& fingerprint,
 
   std::vector<Ranking> partials(static_cast<size_t>(n_shards));
   std::vector<ServeQueryStats> shard_stats(static_cast<size_t>(n_shards));
+  // kApprox travels to every shard as-is: each shard probes its own IVF
+  // index with the same nprobe, so the gather merges per-shard approximate
+  // top-k lists. At kNprobeAll every shard's candidate set is its full live
+  // set and the merge is bit-identical to the forced-full path.
+  const bool approx = options.scan_mode == ScanMode::kApprox;
+  const QueryOptions forced =
+      approx ? options
+             : QueryOptions{.k = options.k, .scan_mode = ScanMode::kFull};
   ParallelScatter(
       n_shards,
       [&](int s) {
@@ -357,10 +371,8 @@ Ranking ShardedEngine::ScatterGather(const std::vector<uint8_t>& fingerprint,
                 ? shards_[i].QueryMappedCandidates(fingerprint, options,
                                                    candidates[i],
                                                    &shard_stats[i])
-                : shards_[i].QueryMapped(
-                      fingerprint,
-                      {.k = options.k, .scan_mode = ScanMode::kFull},
-                      &shard_stats[i]);
+                : shards_[i].QueryMapped(fingerprint, forced,
+                                         &shard_stats[i]);
       },
       scatter_threads);
   Ranking merged = MergeTopK(partials, k);
@@ -368,10 +380,13 @@ Ranking ShardedEngine::ScatterGather(const std::vector<uint8_t>& fingerprint,
     stats->latency_ms = timer.Millis();
     stats->features_on = features_on;
     stats->scanned = 0;
+    stats->rows_pruned = 0;
     for (int s = 0; s < n_shards; ++s) {
       stats->scanned += shard_stats[static_cast<size_t>(s)].scanned;
+      stats->rows_pruned += shard_stats[static_cast<size_t>(s)].rows_pruned;
     }
     stats->prefiltered = narrowed;
+    stats->approx = approx;
   }
   return merged;
 }
@@ -396,11 +411,14 @@ void ShardedEngine::ScanMappedBatch(
     const QueryOptions& options, std::vector<Ranking>* results,
     std::vector<ServeQueryStats>* stats) const {
   const int n = static_cast<int>(fingerprints.size());
-  if (options_.serve.containment_prefilter &&
-      options.scan_mode == ScanMode::kAuto) {
+  if (options.scan_mode == ScanMode::kApprox ||
+      (options_.serve.containment_prefilter &&
+       options.scan_mode == ScanMode::kAuto)) {
     // The stage-2 narrowed-vs-full decision is global and per query, so
     // queries cannot share row passes: one pool over queries, each
-    // scattering over shards serially (no nested pools).
+    // scattering over shards serially (no nested pools). kApprox takes the
+    // same per-query path — the tiled path below forces full scans, which
+    // would silently ignore the probe.
     ParallelFor(
         0, n,
         [&](int i) {

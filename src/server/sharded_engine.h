@@ -98,6 +98,10 @@ class ShardedEngine {
   int physical_rows() const;
   /// Rows removed but not yet reclaimed by Compact(), across all shards.
   int tombstoned_rows() const;
+  /// IVF candidate-pruning buckets across all shards (the `ivf_buckets`
+  /// STATS gauge). Every shard rebuilds its index on construction, so a
+  /// generation swap re-clusters over the new generation's fingerprints.
+  int ivf_buckets() const;
   /// The next external id this engine would assign (the global sequence).
   int next_id() const { return next_id_; }
   /// Shard observability (tests, STATS reporting).

@@ -103,9 +103,23 @@ Result<WireRequest> ParseWireRequest(const std::string& line) {
           request.options.scan_mode = ScanMode::kAuto;
         } else if (value == "full") {
           request.options.scan_mode = ScanMode::kFull;
+        } else if (value == "approx") {
+          request.options.scan_mode = ScanMode::kApprox;
         } else {
           return Status::InvalidArgument("bad QUERY MODE '" + value +
-                                         "' (want auto|full)");
+                                         "' (want auto|full|approx)");
+        }
+      } else if (key == "NPROBE") {
+        if (value == "all") {
+          request.options.nprobe = kNprobeAll;
+        } else {
+          Result<int> nprobe = ParseNonNegInt(value, "QUERY NPROBE");
+          if (!nprobe.ok()) return nprobe.status();
+          if (*nprobe < 1) {
+            return Status::InvalidArgument(
+                "QUERY NPROBE must be >= 1 (or 'all')");
+          }
+          request.options.nprobe = *nprobe;
         }
       } else {
         return Status::InvalidArgument("unknown QUERY option '" + key + "'");
@@ -115,6 +129,13 @@ Result<WireRequest> ParseWireRequest(const std::string& line) {
                                        "options");
       }
       pos = token_end + 1;
+    }
+    // NPROBE tunes the approximate probe; on an exact mode it would be
+    // silently ignored — reject so a client cannot believe it narrowed an
+    // exact scan.
+    if (request.options.nprobe != 0 &&
+        request.options.scan_mode != ScanMode::kApprox) {
+      return Status::InvalidArgument("QUERY NPROBE requires MODE=approx");
     }
     Result<Graph> graph = DecodeGraphInline(rest.substr(pos));
     if (!graph.ok()) return graph.status();

@@ -32,8 +32,11 @@ namespace gdim {
 ///
 /// QUERY accepts optional KEY=VALUE option tokens between <k> and the
 /// graph (a gSpan token never contains '=', so the first '='-free token
-/// starts the graph). Known keys: MODE=auto|full (QueryOptions::scan_mode).
-/// An unknown key or a bad value is a typed ERR InvalidArgument.
+/// starts the graph). Known keys: MODE=auto|full|approx
+/// (QueryOptions::scan_mode) and NPROBE=<n>|all (QueryOptions::nprobe;
+/// how many IVF buckets a MODE=approx query probes per shard — rejected
+/// without MODE=approx). An unknown key or a bad value is a typed ERR
+/// InvalidArgument.
 
 /// Request verbs.
 enum class WireVerb {

@@ -1,0 +1,185 @@
+// Unit tests of the IVF candidate-pruning index (src/index/ivf_index.h):
+// deterministic builds, posting coverage, probe semantics (clamping,
+// tombstone skipping, NPROBE=all == everything), and the incremental
+// maintenance hooks (AddRow on fresh and empty indexes, Renumber through a
+// compaction map). The serving-level guarantees — bit-identity to full
+// scans, recall, generation swaps — live in test_approx_query.cc.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "core/packed_bits.h"
+#include "index/ivf_index.h"
+#include "serve/query_options.h"
+
+namespace gdim {
+namespace {
+
+/// Seeded random 0/1 rows, `p` bits wide.
+std::vector<std::vector<uint8_t>> RandomRows(int n, int p, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<uint8_t>> rows(static_cast<size_t>(n));
+  for (auto& row : rows) {
+    row.resize(static_cast<size_t>(p));
+    for (auto& bit : row) bit = rng.UniformU64(2) != 0 ? 1 : 0;
+  }
+  return rows;
+}
+
+/// All posted rows of every bucket, merged.
+std::vector<int> AllPosted(const IvfIndex& index) {
+  std::vector<int> posted;
+  for (int b = 0; b < index.num_buckets(); ++b) {
+    posted.insert(posted.end(), index.posting(b).begin(),
+                  index.posting(b).end());
+  }
+  std::sort(posted.begin(), posted.end());
+  return posted;
+}
+
+TEST(IvfIndexTest, BuildPartitionsEveryRowExactlyOnce) {
+  const auto bits = RandomRows(100, 48, /*seed=*/1);
+  const PackedBitMatrix rows = PackedBitMatrix::FromRows(bits, 48);
+  const IvfIndex index = IvfIndex::Build(rows, /*bucket_override=*/0);
+  EXPECT_EQ(index.num_buckets(), 10);  // ceil(sqrt(100))
+  std::vector<int> expected(100);
+  for (int i = 0; i < 100; ++i) expected[static_cast<size_t>(i)] = i;
+  EXPECT_EQ(AllPosted(index), expected);
+  for (int b = 0; b < index.num_buckets(); ++b) {
+    EXPECT_TRUE(std::is_sorted(index.posting(b).begin(),
+                               index.posting(b).end()));
+  }
+}
+
+TEST(IvfIndexTest, BuildIsDeterministic) {
+  const auto bits = RandomRows(80, 33, /*seed=*/2);
+  const PackedBitMatrix rows = PackedBitMatrix::FromRows(bits, 33);
+  const IvfIndex a = IvfIndex::Build(rows, 0);
+  const IvfIndex b = IvfIndex::Build(rows, 0);
+  ASSERT_EQ(a.num_buckets(), b.num_buckets());
+  for (int bucket = 0; bucket < a.num_buckets(); ++bucket) {
+    EXPECT_EQ(a.posting(bucket), b.posting(bucket));
+  }
+}
+
+TEST(IvfIndexTest, BucketOverrideClampsToRowCount) {
+  const auto bits = RandomRows(5, 16, /*seed=*/3);
+  const PackedBitMatrix rows = PackedBitMatrix::FromRows(bits, 16);
+  EXPECT_EQ(IvfIndex::Build(rows, 3).num_buckets(), 3);
+  EXPECT_EQ(IvfIndex::Build(rows, 100).num_buckets(), 5);
+  EXPECT_EQ(IvfIndex::Build(PackedBitMatrix::WithWidth(16), 0).num_buckets(),
+            0);
+}
+
+TEST(IvfIndexTest, ProbeAllBucketsReturnsEveryLiveRow) {
+  const auto bits = RandomRows(60, 40, /*seed=*/4);
+  const PackedBitMatrix rows = PackedBitMatrix::FromRows(bits, 40);
+  const IvfIndex index = IvfIndex::Build(rows, 0);
+  std::vector<uint8_t> tombstones(60, 0);
+  tombstones[7] = 1;
+  tombstones[41] = 1;
+  const std::vector<uint64_t> query = rows.PackQuery(bits[0]);
+  const std::vector<int> all = index.Probe(query, kNprobeAll, tombstones);
+  std::vector<int> expected;
+  for (int i = 0; i < 60; ++i) {
+    if (tombstones[static_cast<size_t>(i)] == 0) expected.push_back(i);
+  }
+  EXPECT_EQ(all, expected);
+}
+
+TEST(IvfIndexTest, ProbeClampsAndNarrowsMonotonically) {
+  const auto bits = RandomRows(120, 64, /*seed=*/5);
+  const PackedBitMatrix rows = PackedBitMatrix::FromRows(bits, 64);
+  const IvfIndex index = IvfIndex::Build(rows, 8);
+  const std::vector<uint8_t> tombstones(120, 0);
+  const std::vector<uint64_t> query = rows.PackQuery(bits[3]);
+  // A wider probe's pool contains every narrower probe's pool, and probing
+  // past num_buckets is the same as probing all of them.
+  std::vector<int> previous;
+  for (int nprobe = 1; nprobe <= 8; ++nprobe) {
+    const std::vector<int> pool = index.Probe(query, nprobe, tombstones);
+    EXPECT_TRUE(std::includes(pool.begin(), pool.end(), previous.begin(),
+                              previous.end()));
+    previous = pool;
+  }
+  EXPECT_EQ(index.Probe(query, 1000, tombstones), previous);
+  EXPECT_EQ(previous.size(), 120u);
+}
+
+TEST(IvfIndexTest, AddRowKeepsPostingsSortedAndCovered) {
+  const auto bits = RandomRows(50, 32, /*seed=*/6);
+  const PackedBitMatrix rows = PackedBitMatrix::FromRows(bits, 32);
+  IvfIndex index = IvfIndex::Build(rows, 0);
+  PackedBitMatrix grown = rows;
+  const auto extra = RandomRows(20, 32, /*seed=*/7);
+  for (const auto& row : extra) {
+    const int id = grown.AppendRow(row);
+    index.AddRow(grown.row(id), grown.words_per_row(), id);
+  }
+  std::vector<int> expected(70);
+  for (int i = 0; i < 70; ++i) expected[static_cast<size_t>(i)] = i;
+  EXPECT_EQ(AllPosted(index), expected);
+  for (int b = 0; b < index.num_buckets(); ++b) {
+    EXPECT_TRUE(std::is_sorted(index.posting(b).begin(),
+                               index.posting(b).end()));
+  }
+}
+
+TEST(IvfIndexTest, AddRowSeedsAnIndexBuiltOverZeroRows) {
+  // An engine constructed over an empty database still Builds its index
+  // (zero buckets, width pinned); the first insert seeds one bucket.
+  IvfIndex index = IvfIndex::Build(PackedBitMatrix::WithWidth(24), 0);
+  EXPECT_EQ(index.num_buckets(), 0);
+  PackedBitMatrix rows = PackedBitMatrix::WithWidth(24);
+  const auto bits = RandomRows(3, 24, /*seed=*/8);
+  for (const auto& row : bits) {
+    const int id = rows.AppendRow(row);
+    index.AddRow(rows.row(id), rows.words_per_row(), id);
+  }
+  EXPECT_EQ(index.num_buckets(), 1);
+  EXPECT_EQ(AllPosted(index), (std::vector<int>{0, 1, 2}));
+  const std::vector<uint8_t> tombstones(3, 0);
+  EXPECT_EQ(index.Probe(rows.PackQuery(bits[1]), 1, tombstones),
+            (std::vector<int>{0, 1, 2}));
+}
+
+TEST(IvfIndexTest, RenumberDropsTombstonesAndRemaps) {
+  const auto bits = RandomRows(40, 32, /*seed=*/9);
+  const PackedBitMatrix rows = PackedBitMatrix::FromRows(bits, 32);
+  IvfIndex index = IvfIndex::Build(rows, 0);
+  // Compact-style monotone map: drop every row divisible by 3.
+  std::vector<int> old_to_new(40, -1);
+  int next = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (i % 3 != 0) old_to_new[static_cast<size_t>(i)] = next++;
+  }
+  index.Renumber(old_to_new);
+  std::vector<int> expected(static_cast<size_t>(next));
+  for (int i = 0; i < next; ++i) expected[static_cast<size_t>(i)] = i;
+  EXPECT_EQ(AllPosted(index), expected);
+}
+
+TEST(IvfIndexTest, PostingsRespectBucketAssignmentUnderProbeOrder) {
+  // Probing exactly one bucket returns a subset of rows that the same
+  // query's wider probes keep — the single nearest bucket is stable.
+  const auto bits = RandomRows(90, 56, /*seed=*/10);
+  const PackedBitMatrix rows = PackedBitMatrix::FromRows(bits, 56);
+  const IvfIndex index = IvfIndex::Build(rows, 0);
+  const std::vector<uint8_t> tombstones(90, 0);
+  std::set<int> probed_rows;
+  for (int q = 0; q < 10; ++q) {
+    const std::vector<uint64_t> query = rows.PackQuery(bits[q]);
+    const std::vector<int> one = index.Probe(query, 1, tombstones);
+    EXPECT_FALSE(one.empty());
+    probed_rows.insert(one.begin(), one.end());
+  }
+  EXPECT_LE(probed_rows.size(), 90u);
+}
+
+}  // namespace
+}  // namespace gdim

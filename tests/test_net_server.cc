@@ -283,7 +283,8 @@ TEST_F(NetServerTest, MalformedLinesAnswerErrAndKeepTheConnection) {
   EXPECT_EQ(client.Rpc("QUERY 3 FROB=1 t # 0;v 0 1"),
             "ERR InvalidArgument unknown QUERY option 'FROB'");
   EXPECT_EQ(client.Rpc("QUERY 3 MODE=banana t # 0;v 0 1"),
-            "ERR InvalidArgument bad QUERY MODE 'banana' (want auto|full)");
+            "ERR InvalidArgument bad QUERY MODE 'banana' "
+            "(want auto|full|approx)");
   // The connection survived all of it.
   EXPECT_EQ(client.Rpc("PING"), "OK pong");
 }
@@ -299,6 +300,17 @@ TEST_F(NetServerTest, QueryModeOptionTravelsOverTheWire) {
   EXPECT_EQ(client.Rpc("QUERY 5 " + spec), expected);
   EXPECT_EQ(client.Rpc("QUERY 5 MODE=full " + spec), expected);
   EXPECT_EQ(client.Rpc("QUERY 5 MODE=auto " + spec), expected);
+  // MODE=approx NPROBE=all probes every IVF bucket, which is bit-identical
+  // to the full scan — the wire-level correctness anchor.
+  EXPECT_EQ(client.Rpc("QUERY 5 MODE=approx NPROBE=all " + spec), expected);
+  const std::string stats = client.Rpc("STATS");
+  EXPECT_GE(StatsField(stats, "approx_queries"), 1) << stats;
+  EXPECT_GT(StatsField(stats, "ivf_buckets"), 0) << stats;
+  // NPROBE is meaningless outside MODE=approx and a bad value is typed.
+  EXPECT_EQ(client.Rpc("QUERY 5 NPROBE=2 " + spec),
+            "ERR InvalidArgument QUERY NPROBE requires MODE=approx");
+  EXPECT_EQ(client.Rpc("QUERY 5 MODE=approx NPROBE=0 " + spec),
+            "ERR InvalidArgument QUERY NPROBE must be >= 1 (or 'all')");
 }
 
 TEST_F(NetServerTest, ConcurrentConnectionsGetExactAnswers) {

@@ -12,8 +12,11 @@ with one line per violation. Checks:
   2. rand() / argless srand() are banned everywhere: the repo's benches
      and tests are seeded-deterministic through common/random.h (Rng).
   3. The wire verbs parsed by src/server/wire.cc and the verb table in
-     docs/protocol.md must agree exactly, and every STATS key the server
-     emits (src/server/net_server.cc) must be documented in protocol.md.
+     docs/protocol.md must agree exactly; every STATS key the server
+     emits (src/server/net_server.cc) must be documented in protocol.md;
+     and the QUERY option keys (MODE=..., NPROBE=..., any future
+     KEY=VALUE) parsed by wire.cc and documented in protocol.md must
+     agree exactly in both directions.
   4. Every NOLINT marker and every GDIM_NO_THREAD_SAFETY_ANALYSIS /
      GDIM_ASSERT_CAPABILITY use site must carry an inline justification
      (same line or the line above) — suppressions without a recorded
@@ -147,6 +150,21 @@ def check_wire_docs():
         report("docs/protocol.md", 1,
                f"STATS key `{key}` is emitted by net_server.cc but "
                "undocumented")
+
+    # QUERY option keys: wire.cc's parser branches (key == "MODE" etc.)
+    # and protocol.md's `KEY=` spellings must agree in both directions.
+    # `KEY` itself is the docs' generic placeholder (`KEY=VALUE`), not an
+    # option.
+    code_keys = set(re.findall(r'key == "([A-Z]+)"', wire_text))
+    doc_keys = set(re.findall(r"`([A-Z]+)=", doc_text)) - {"KEY"}
+    for key in sorted(code_keys - doc_keys):
+        report("docs/protocol.md", 1,
+               f"QUERY option {key} is parsed by src/server/wire.cc but "
+               "undocumented (spell it as `" + key + "=...`)")
+    for key in sorted(doc_keys - code_keys):
+        report("src/server/wire.cc", 1,
+               f"documented QUERY option {key} is not parsed "
+               "(docs/protocol.md)")
 
 
 def main():

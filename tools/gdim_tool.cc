@@ -66,13 +66,14 @@ int Usage() {
       "--minsup=0.05 --maxedges=7 --seed=S --format=v1|v2]\n"
       "  query    --index=FILE --db=FILE --queries=FILE [--k=10]\n"
       "  serve    --index=FILE --queries=FILE [--k=10 --threads=N "
-      "--shards=N --prefilter --quiet]\n"
+      "--shards=N --prefilter --ivf-buckets=N --quiet]\n"
       "  serve-net --index=FILE [--host=127.0.0.1 --port=0 --shards=1 "
       "--queue=256 --batch=64 --threads=N --max-conns=256 --cache-mb=64 "
-      "--prefilter --db=GRAPHS --reindex-every=N --reindex-selector=DSPMap "
-      "--reindex-p=0 --reindex-minsup=0.05 --reindex-maxedges=7]\n"
+      "--prefilter --ivf-buckets=N --db=GRAPHS --reindex-every=N "
+      "--reindex-selector=DSPMap --reindex-p=0 --reindex-minsup=0.05 "
+      "--reindex-maxedges=7]\n"
       "  bench-query --index=FILE --queries=FILE [--k=10 --threads=N "
-      "--shards=N --prefilter --repeat=5]\n"
+      "--shards=N --prefilter --ivf-buckets=N --repeat=5]\n"
       "  update   --index=FILE --out=FILE [--insert=GRAPHS --remove=I,J,... "
       "--compact --format=v1|v2]\n"
       "  convert  --in=FILE --out=FILE [--format=v1|v2]\n"
@@ -254,6 +255,10 @@ Result<ShardedOptions> ShardedOptionsFromFlags(const Flags& flags) {
   opts.num_shards = *shards;
   opts.serve.threads = *threads;
   opts.serve.containment_prefilter = flags.GetBool("prefilter", false);
+  // 0 keeps the per-shard default of ceil(sqrt(rows)) IVF buckets.
+  Result<int> ivf = ValidatedRange(flags, "ivf-buckets", 0, 0, 1 << 20);
+  if (!ivf.ok()) return ivf.status();
+  opts.serve.ivf_buckets = *ivf;
   return opts;
 }
 
