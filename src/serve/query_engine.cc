@@ -104,10 +104,74 @@ Result<QueryEngine> QueryEngine::FromPacked(PackedIndex index,
       }
     }
   }
-  // The IVF candidate-pruning index is rebuilt with every engine — which is
-  // exactly what gives a generation swap fresh clusters over the refreshed
-  // fingerprints (zero stale buckets by construction).
-  engine.ivf_ = IvfIndex::Build(*engine.base_, options.ivf_buckets);
+  if (index.ivf.has_value()) {
+    // Adopt the persisted IVF layout instead of re-clustering: reload skips
+    // the O(n·sqrt(n)) Build. Snapshot postings are in external-id space
+    // and may span a different shard partition than this engine's, so keep
+    // exactly the buckets holding ids this engine owns, mapped to local
+    // physical rows. Relative bucket order is preserved, so at an unchanged
+    // shard count the probe's (distance, bucket id) ranking reproduces the
+    // snapshotted engine's exactly.
+    const PersistedIvf& persisted = *index.ivf;
+    if (persisted.num_bits != p) {
+      return Status::InvalidArgument("IVF width does not match the index");
+    }
+    const size_t wpc = engine.base_->words_per_row();
+    std::vector<uint64_t> centroid_words;
+    std::vector<std::vector<int>> postings;
+    std::vector<uint8_t> seen(static_cast<size_t>(n), 0);
+    int covered = 0;
+    for (const PersistedIvfBucket& bucket : persisted.buckets) {
+      if (bucket.centroid_words.size() != wpc) {
+        return Status::InvalidArgument(
+            "IVF centroid stride does not match width");
+      }
+      std::vector<int> rows;
+      for (const int id : bucket.ids) {
+        const auto it = std::lower_bound(engine.row_ids_.begin(),
+                                         engine.row_ids_.end(), id);
+        if (it == engine.row_ids_.end() || *it != id) {
+          continue;  // another shard's row under this partition
+        }
+        const int row = static_cast<int>(it - engine.row_ids_.begin());
+        if (seen[static_cast<size_t>(row)] != 0) {
+          return Status::InvalidArgument("duplicate IVF posting id");
+        }
+        seen[static_cast<size_t>(row)] = 1;
+        ++covered;
+        // Bucket ids ascend and the id→row map is monotone, so each
+        // adopted posting list stays sorted, as Probe requires.
+        rows.push_back(row);
+      }
+      if (rows.empty()) continue;  // no rows of this engine's partition
+      centroid_words.insert(centroid_words.end(),
+                            bucket.centroid_words.begin(),
+                            bucket.centroid_words.end());
+      postings.push_back(std::move(rows));
+    }
+    // Strict coverage: every owned row reachable by some probe, or
+    // NPROBE=all would silently diverge from MODE=full after a restart.
+    if (covered != n) {
+      return Status::InvalidArgument(
+          "IVF postings do not cover this engine's rows");
+    }
+    // Count first: the by-value parameter's move-construction below is
+    // unsequenced with the other argument's postings.size() read.
+    const int num_buckets = static_cast<int>(postings.size());
+    engine.ivf_ = IvfIndex::FromParts(
+        PackedBitMatrix::FromWords(num_buckets, p, std::move(centroid_words)),
+        std::move(postings));
+  } else {
+    // No persisted layout: the IVF index is rebuilt with the engine — which
+    // is exactly what gives a generation swap fresh clusters over the
+    // refreshed fingerprints (zero stale buckets by construction).
+    engine.ivf_ = IvfIndex::Build(*engine.base_, options.ivf_buckets);
+  }
+  if (index.meta.has_value()) {
+    // Resume the persisted mutation epoch so epoch-keyed consumers (the
+    // result cache) never mistake a pre-restart answer for a fresh one.
+    engine.epoch_ = index.meta->epoch;
+  }
   engine.mapper_ = FeatureMapper(std::move(index.features));
   return engine;
 }
@@ -298,7 +362,34 @@ FrozenEngineState QueryEngine::Freeze() const {
   frozen.delta = delta_;
   frozen.tombstones = tombstones_;
   frozen.row_ids = row_ids_;
+  frozen.ivf = ivf_;
   return frozen;
+}
+
+PersistedIvf PersistIvf(const IvfIndex& ivf,
+                        const std::vector<uint8_t>& tombstones,
+                        const std::vector<int>& row_ids) {
+  PersistedIvf persisted;
+  persisted.num_bits = ivf.centroids().num_bits();
+  const size_t wpc = ivf.centroids().words_per_row();
+  for (int b = 0; b < ivf.num_buckets(); ++b) {
+    PersistedIvfBucket bucket;
+    for (const int row : ivf.posting(b)) {
+      // Persist live rows only, lifted to external ids: the snapshot has no
+      // notion of this engine's physical row space, and tombstoned postings
+      // would violate the reader's live-coverage invariant.
+      if (tombstones[static_cast<size_t>(row)] == 0) {
+        bucket.ids.push_back(row_ids[static_cast<size_t>(row)]);
+      }
+    }
+    // The reader rejects empty buckets, and a bucket emptied by tombstones
+    // carries no information worth restoring.
+    if (bucket.ids.empty()) continue;
+    const uint64_t* words = ivf.centroids().row(b);
+    bucket.centroid_words.assign(words, words + wpc);
+    persisted.buckets.push_back(std::move(bucket));
+  }
+  return persisted;
 }
 
 Status QueryEngine::Snapshot(const std::string& path,
@@ -312,6 +403,24 @@ Status QueryEngine::Snapshot(const std::string& path,
         static_cast<uint64_t>(base_->words_per_row()),
         [&](uint64_t i) { return live[i].second; }, alive_ids(), next_id_,
         path);
+  }
+  if (format == IndexFormat::kV3Sectioned) {
+    // The single-engine v3 snapshot carries DIMS + META + IVFX. The engine
+    // tracks no reindex generation of its own (that is ShardedEngine state),
+    // so META records generation 0 alongside the mutation epoch.
+    const std::vector<std::pair<int, const uint64_t*>> live = LiveRowWords();
+    const PersistedIvf ivf = PersistIvf(ivf_, tombstones_, row_ids_);
+    PersistedMeta meta;
+    meta.generation = 0;
+    meta.epoch = epoch_;
+    V3Sections sections;
+    sections.meta = &meta;
+    sections.ivf = &ivf;
+    return WriteIndexFileV3Words(
+        mapper_.features(), static_cast<uint64_t>(live.size()),
+        static_cast<uint64_t>(base_->words_per_row()),
+        [&](uint64_t i) { return live[i].second; }, alive_ids(), next_id_,
+        sections, path);
   }
   return WriteIndexFile(ToPersistedIndex(), path, format);
 }

@@ -91,6 +91,10 @@ struct FrozenEngineState {
   PackedBitMatrix delta;                        ///< copied (small)
   std::vector<uint8_t> tombstones;              ///< copied; base + delta rows
   std::vector<int> row_ids;                     ///< copied; base + delta rows
+  /// Copied IVF layout (centroids + postings, O(n) ints) so a background
+  /// v3 snapshot can persist the IVFX section without touching the live
+  /// index.
+  IvfIndex ivf;
 
   /// Live rows in ascending-id order as (id, packed word pointer) pairs;
   /// pointers address into this capture's own segments and stay valid for
@@ -98,6 +102,15 @@ struct FrozenEngineState {
   /// mutation invalidates).
   std::vector<std::pair<int, const uint64_t*>> LiveRowWords() const;
 };
+
+/// The live (non-tombstoned) postings of `ivf` lifted into external-id
+/// space — the v3 IVFX payload of one engine. Buckets left empty by
+/// tombstones are dropped (the reader rejects empty buckets), so the result
+/// partitions exactly the live ids. tombstones/row_ids are indexed by
+/// physical row, like the engine's own members.
+PersistedIvf PersistIvf(const IvfIndex& ivf,
+                        const std::vector<uint8_t>& tombstones,
+                        const std::vector<int>& row_ids);
 
 /// The online query-serving engine: loads a built index (feature dimension +
 /// mapped database vectors), converts the vectors into the packed word
@@ -137,8 +150,12 @@ class QueryEngine {
 
   /// Builds from an index already in the packed scan layout: the matrix is
   /// adopted as the sealed base segment with no unpack/repack round trip.
-  /// The startup path for v2 snapshots (ReadIndexFilePacked), where loading
-  /// a database is a block read into this exact layout.
+  /// The startup path for v2/v3 snapshots (ReadIndexFilePacked), where
+  /// loading a database is a block read into this exact layout. When the
+  /// index carries a persisted IVF section its buckets are adopted instead
+  /// of re-clustered — postings arrive in external-id space, so the engine
+  /// keeps exactly the buckets holding ids it owns (any shard partition of
+  /// a snapshot works) after validating they cover its rows exactly once.
   static Result<QueryEngine> FromPacked(PackedIndex index,
                                         ServeOptions options = {});
 
@@ -251,7 +268,10 @@ class QueryEngine {
   /// Writes the live state to path; v2 binary by default, streaming the
   /// packed words straight from the segments (no byte materialization) and
   /// persisting external ids, so a reloaded engine keeps serving the same
-  /// ids. v1 text cannot carry ids and renumbers rows positionally.
+  /// ids. v1 text cannot carry ids and renumbers rows positionally. v3
+  /// additionally persists the IVF layout and the epoch (a reload adopts
+  /// both; generation is a sharded-owner concept and is written as 0 here —
+  /// ShardedEngine::WriteSnapshot is the serving snapshot path).
   Status Snapshot(const std::string& path,
                   IndexFormat format = IndexFormat::kV2Binary) const;
 

@@ -332,6 +332,13 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
         // resolves only once the file is durable.
         auto frozen =
             std::make_shared<FrozenShardedState>(engine_->Freeze());
+        if (store_ != nullptr) {
+          // The snapshot carries the live graph set (v3 STOR section) so a
+          // restart can serve REINDEX without the source database. The
+          // store shares the engine's single writer; see kInsert.
+          store_->writer_role().Assert();
+          frozen->store = store_->Freeze();
+        }
         fulfill.push_back([this, &r, frozen] {
           StartAsyncSnapshot(std::move(*frozen), std::move(r.path),
                              std::move(r.status));
@@ -369,6 +376,23 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
   // query batches, so it is exact for every query in this run, and a hit at
   // this epoch replays a result the engine produced at this exact state.
   const uint64_t epoch = engine_->epoch();
+  // Normalize saturated probe depths: once nprobe reaches the largest
+  // shard's bucket count, every shard probes all of its buckets and the
+  // answer is exactly NPROBE=all's. Rewriting the option (before keys are
+  // computed) makes NPROBE=<huge> and NPROBE=all share one cache entry and
+  // one scan span instead of answering identically under distinct keys.
+  // Epoch-safe: any change to a bucket count is a mutation, which bumps the
+  // epoch and invalidates every cached entry anyway.
+  const int nprobe_all_threshold = engine_->max_shard_ivf_buckets();
+  if (nprobe_all_threshold > 0) {
+    for (Request& r : *batch) {
+      QueryOptions& options = r.query_options;
+      if (options.scan_mode == ScanMode::kApprox && options.nprobe > 0 &&
+          options.nprobe >= nprobe_all_threshold) {
+        options.nprobe = kNprobeAll;
+      }
+    }
+  }
   // Results depend on every per-query knob, so the cache key carries the
   // scan mode alongside the engine-level prefilter flag in its tag byte.
   const uint8_t prefilter_tag =

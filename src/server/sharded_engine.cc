@@ -129,10 +129,25 @@ Result<ShardedEngine> ShardedEngine::FromPacked(PackedIndex index,
     // The global counter exceeds every id, so it is a valid per-shard
     // counter too; it keeps reload-then-insert from re-issuing any id.
     shard.next_id = next_id;
+    // A persisted v3 IVF layout is handed to every shard; each keeps
+    // exactly the buckets holding ids of its partition (the postings are
+    // external-id, so this works at any shard count).
+    shard.ivf = index.ivf;
     Result<QueryEngine> built =
         QueryEngine::FromPacked(std::move(shard), options.serve);
     if (!built.ok()) return built.status();
     engine.shards_.push_back(std::move(built).value());
+  }
+  if (index.meta.has_value()) {
+    // Restore the persisted generation and raise the epoch sum to at least
+    // its pre-snapshot value. Fresh shards each start at epoch 0, so
+    // raising shard 0 alone sets the sum — which shard is immaterial, the
+    // sum is the contract (see SwapGeneration).
+    engine.generation_ = index.meta->generation;
+    // Engine under construction: its shards are reachable only by this
+    // thread, so the single-writer contract trivially holds here.
+    engine.shards_[0].writer_role().Assert();
+    engine.shards_[0].RaiseEpochToAtLeast(index.meta->epoch);
   }
   engine.mapper_ = FeatureMapper(std::move(index.features));
   return engine;
@@ -170,6 +185,14 @@ int ShardedEngine::tombstoned_rows() const {
 int ShardedEngine::ivf_buckets() const {
   int buckets = 0;
   for (const QueryEngine& shard : shards_) buckets += shard.ivf_buckets();
+  return buckets;
+}
+
+int ShardedEngine::max_shard_ivf_buckets() const {
+  int buckets = 0;
+  for (const QueryEngine& shard : shards_) {
+    buckets = std::max(buckets, shard.ivf_buckets());
+  }
   return buckets;
 }
 
@@ -277,12 +300,32 @@ PersistedIndex ShardedEngine::ToPersistedIndex() const {
 
 Status ShardedEngine::Snapshot(const std::string& path,
                                IndexFormat format) const {
-  if (format != IndexFormat::kV2Binary) {
-    return WriteIndexFile(ToPersistedIndex(), path, format);
+  if (format == IndexFormat::kV3Sectioned) {
+    // The synchronous v3 path is the asynchronous one run inline, so both
+    // are one code path: freeze (cheap), then stream the capture.
+    return WriteSnapshot(Freeze(), path);
   }
-  // The synchronous v2 path is the asynchronous one run inline, so both are
-  // one code path: freeze (cheap), then stream the capture.
-  return WriteSnapshot(Freeze(), path);
+  if (format == IndexFormat::kV2Binary) {
+    // Compatibility escape hatch: the merged live rows in global id order,
+    // word-level, without the v3 sections.
+    const FrozenShardedState frozen = Freeze();
+    std::vector<std::pair<int, const uint64_t*>> live;
+    for (const FrozenEngineState& shard : frozen.shards) {
+      const auto shard_live = shard.LiveRowWords();
+      live.insert(live.end(), shard_live.begin(), shard_live.end());
+    }
+    std::sort(live.begin(), live.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<int> ids;
+    ids.reserve(live.size());
+    for (const auto& row : live) ids.push_back(row.first);
+    return WriteIndexFileV2Words(
+        frozen.features, static_cast<uint64_t>(live.size()),
+        static_cast<uint64_t>(frozen.words_per_row),
+        [&](uint64_t i) { return live[i].second; }, ids, frozen.next_id,
+        path);
+  }
+  return WriteIndexFile(ToPersistedIndex(), path, format);
 }
 
 FrozenShardedState ShardedEngine::Freeze() const {
@@ -297,6 +340,7 @@ FrozenShardedState ShardedEngine::Freeze() const {
   frozen.next_id = next_id_;
   frozen.words_per_row = shards_.empty() ? 0 : shards_[0].words_per_row();
   frozen.epoch = epoch();
+  frozen.generation = generation_;
   return frozen;
 }
 
@@ -315,10 +359,41 @@ Status ShardedEngine::WriteSnapshot(const FrozenShardedState& frozen,
   std::vector<int> ids;
   ids.reserve(live.size());
   for (const auto& row : live) ids.push_back(row.first);
-  return WriteIndexFileV2Words(
+
+  PersistedMeta meta;
+  meta.generation = frozen.generation;
+  meta.epoch = frozen.epoch;
+
+  // The IVFX section concatenates every shard's live buckets in shard
+  // order, postings lifted to external ids. Restore at any shard count
+  // re-partitions by keeping the buckets owning each shard's ids; at an
+  // unchanged count the relative bucket order (and so the probe tiebreak)
+  // is reproduced exactly.
+  PersistedIvf ivf;
+  ivf.num_bits = frozen.features.empty()
+                     ? 0
+                     : static_cast<int>(frozen.features.size());
+  for (const FrozenEngineState& shard : frozen.shards) {
+    PersistedIvf part = PersistIvf(shard.ivf, shard.tombstones,
+                                   shard.row_ids);
+    ivf.num_bits = part.num_bits;
+    for (PersistedIvfBucket& bucket : part.buckets) {
+      ivf.buckets.push_back(std::move(bucket));
+    }
+  }
+
+  V3Sections sections;
+  sections.meta = &meta;
+  sections.ivf = &ivf;
+  if (frozen.store.has_value()) {
+    sections.store_ids = &frozen.store->ids;
+    sections.store_graphs = &frozen.store->graphs;
+  }
+  return WriteIndexFileV3Words(
       frozen.features, static_cast<uint64_t>(live.size()),
       static_cast<uint64_t>(frozen.words_per_row),
-      [&](uint64_t i) { return live[i].second; }, ids, frozen.next_id, path);
+      [&](uint64_t i) { return live[i].second; }, ids, frozen.next_id,
+      sections, path);
 }
 
 Ranking ShardedEngine::ScatterGather(const std::vector<uint8_t>& fingerprint,

@@ -2,6 +2,7 @@
 #define GDIM_SERVER_SHARDED_ENGINE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "core/topk.h"
 #include "graph/graph.h"
 #include "serve/query_engine.h"
+#include "store/graph_store.h"
 
 namespace gdim {
 
@@ -39,6 +41,14 @@ struct FrozenShardedState {
   int next_id = 0;
   size_t words_per_row = 0;
   uint64_t epoch = 0;  ///< the engine's mutation epoch at freeze time
+  /// Dimension generation at freeze time; restored by a v3 reload so a
+  /// restarted server reports the same `dimension_generation` gauge.
+  uint64_t generation = 0;
+  /// The live graph set behind the engine, when the snapshotting layer has
+  /// one (the executor attaches its GraphStore's Freeze()). Persisted as the
+  /// v3 STOR section so a restart can resume REINDEX without the source
+  /// database. Absent (e.g. engine-only Snapshot), the section is omitted.
+  std::optional<FrozenGraphSet> store;
 };
 
 /// A horizontally partitioned QueryEngine: the database is hash-partitioned
@@ -76,7 +86,14 @@ class ShardedEngine {
                                          ShardedOptions options = {});
 
   /// FromIndex over an index already in the packed scan layout: shard rows
-  /// are split with word-level copies, never through byte vectors.
+  /// are split with word-level copies, never through byte vectors. v3
+  /// sections are adopted when present: every shard projects the persisted
+  /// IVF layout onto its own partition (skipping the rebuild), and META
+  /// restores the dimension generation and raises the mutation epoch to at
+  /// least its pre-snapshot value, so epoch-keyed consumers (the result
+  /// cache) can never confuse pre- and post-restart answers. A persisted
+  /// graph store (STOR) is not engine state — the serving tool extracts it
+  /// before calling this.
   static Result<ShardedEngine> FromPacked(PackedIndex index,
                                           ShardedOptions options = {});
 
@@ -99,9 +116,14 @@ class ShardedEngine {
   /// Rows removed but not yet reclaimed by Compact(), across all shards.
   int tombstoned_rows() const;
   /// IVF candidate-pruning buckets across all shards (the `ivf_buckets`
-  /// STATS gauge). Every shard rebuilds its index on construction, so a
-  /// generation swap re-clusters over the new generation's fingerprints.
+  /// STATS gauge). Every shard rebuilds its index on construction (or
+  /// adopts a persisted v3 layout), so a generation swap re-clusters over
+  /// the new generation's fingerprints.
   int ivf_buckets() const;
+  /// The largest single shard's IVF bucket count: any NPROBE at or above it
+  /// makes every shard probe all of its buckets, i.e. behaves exactly like
+  /// NPROBE=all. The executor normalizes cache keys on this threshold.
+  int max_shard_ivf_buckets() const;
   /// The next external id this engine would assign (the global sequence).
   int next_id() const { return next_id_; }
   /// Shard observability (tests, STATS reporting).
@@ -165,12 +187,17 @@ class ShardedEngine {
   PersistedIndex ToPersistedIndex() const;
 
   /// Writes the merged live state to one index file, shard-count
-  /// independent. v2 streams each shard's packed rows in global id order
+  /// independent. v2/v3 stream each shard's packed rows in global id order
   /// (word-level, no byte materialization); a reload with any shard count
-  /// keeps serving the same ids. Synchronous Freeze+write, so it carries
-  /// Freeze's ordering contract.
+  /// keeps serving the same ids. The v3 default additionally persists the
+  /// dimension generation, mutation epoch, and every shard's IVF layout
+  /// (external-id postings), so a reload resumes serving without the
+  /// O(n·sqrt(n)) IVF rebuild. Synchronous Freeze+write, so it carries
+  /// Freeze's ordering contract. The engine has no graph store, so the STOR
+  /// section is never written here — the executor's snapshot path is the
+  /// one that attaches it.
   Status Snapshot(const std::string& path,
-                  IndexFormat format = IndexFormat::kV2Binary) const
+                  IndexFormat format = IndexFormat::kV3Sectioned) const
       GDIM_REQUIRES(writer_role_);
 
   /// Captures all shards for asynchronous snapshotting: sealed bases are
@@ -180,11 +207,14 @@ class ShardedEngine {
   /// answers for exactly this epoch's live set forever.
   FrozenShardedState Freeze() const GDIM_REQUIRES(writer_role_);
 
-  /// Streams a frozen capture to one v2 index file, shard-count
+  /// Streams a frozen capture to one v3 index file, shard-count
   /// independent, word-level (no byte materialization) — safe on any
   /// thread, concurrent with live mutations, because the capture owns or
-  /// shares everything it reads. Snapshot(path, kV2Binary) is
-  /// WriteSnapshot(Freeze(), path).
+  /// shares everything it reads. The file carries DIMS (the merged live
+  /// rows in global id order), META (generation + epoch), the shards' live
+  /// IVF postings lifted to external ids (IVFX, in shard order), and —
+  /// when the capture has one — the frozen graph store (STOR).
+  /// Snapshot(path, kV3Sectioned) is WriteSnapshot(Freeze(), path).
   static Status WriteSnapshot(const FrozenShardedState& frozen,
                               const std::string& path);
 

@@ -338,5 +338,112 @@ TEST(ApproxQueryTest, ExecutorPublishesApproxCountersAndKeysCacheOnNprobe) {
   EXPECT_EQ(*full, *all_answer);
 }
 
+TEST(ApproxQueryTest, ChurnedCountersCountOnlyLiveRows) {
+  // IVF maintenance is lazy: removals leave tombstoned postings in their
+  // buckets until the next Compact. Those ghosts must be invisible in the
+  // published STATS — approx_candidates_scanned counts live rows actually
+  // scored and approx_rows_pruned is live minus scanned, so per approx
+  // query the two sum to the LIVE count, never the (inflated) physical
+  // row count.
+  const Corpus corpus = ClusteredCorpus(/*seed=*/23);
+  auto engine =
+      ShardedEngine::FromIndex(IndexFor(corpus.rows), Sharded(2, 2));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  BatchExecutorOptions opts;
+  opts.cache_bytes = 1 << 20;
+  BatchExecutor executor(&engine.value(), opts);
+
+  // Heavy churn, no compact: a third of the corpus tombstoned, a batch of
+  // fresh rows appended to the deltas.
+  Rng rng(24);
+  for (int id = 0; id < kRows; id += 3) {
+    ASSERT_TRUE(executor.Remove(id).ok());
+  }
+  for (int i = 0; i < 30; ++i) {
+    const auto& proto = corpus.prototypes[static_cast<size_t>(i % kClusters)];
+    ASSERT_TRUE(
+        executor.Insert(GraphForBits(Perturb(proto, /*denominator=*/10,
+                                             &rng)))
+            .ok());
+  }
+  auto gauges = executor.Gauges();
+  ASSERT_TRUE(gauges.ok());
+  const uint64_t live = static_cast<uint64_t>(gauges->graphs);
+  ASSERT_GT(gauges->tombstones, 0);  // the ghosts the counters must ignore
+  const uint64_t physical = static_cast<uint64_t>(gauges->physical_rows);
+  ASSERT_GT(physical, live);
+
+  // A narrow probe: whatever it scans plus whatever it prunes must be
+  // exactly the live set.
+  const Graph q1 = GraphForBits(
+      Perturb(corpus.prototypes[1], /*denominator=*/10, &rng));
+  ASSERT_TRUE(executor
+                  .Query(q1, {.k = kTopK, .scan_mode = ScanMode::kApprox,
+                              .nprobe = 1})
+                  .ok());
+  const BatchExecutorStats narrow = executor.Stats();
+  EXPECT_EQ(narrow.approx_candidates_scanned + narrow.approx_rows_pruned,
+            live);
+  EXPECT_GT(narrow.approx_rows_pruned, 0u);
+
+  // NPROBE=all prunes nothing: it scans the live rows — all of them and
+  // only them. A tombstone-inflated counter would report `physical` here.
+  const Graph q2 = GraphForBits(
+      Perturb(corpus.prototypes[2], /*denominator=*/10, &rng));
+  ASSERT_TRUE(executor
+                  .Query(q2, {.k = kTopK, .scan_mode = ScanMode::kApprox,
+                              .nprobe = kNprobeAll})
+                  .ok());
+  const BatchExecutorStats all = executor.Stats();
+  EXPECT_EQ(all.approx_candidates_scanned - narrow.approx_candidates_scanned,
+            live);
+  EXPECT_EQ(all.approx_rows_pruned, narrow.approx_rows_pruned);
+}
+
+TEST(ApproxQueryTest, SaturatedNprobeSharesTheNprobeAllCacheEntry) {
+  // NPROBE=n with n >= every shard's bucket count probes everything, so it
+  // answers bit-identically to NPROBE=all — and must therefore share its
+  // cache entry. The executor normalizes saturated depths to kNprobeAll
+  // before keying; without that, the same answer would be computed and
+  // stored once per distinct spelling of "all of it".
+  const Corpus corpus = ClusteredCorpus(/*seed=*/29);
+  auto engine =
+      ShardedEngine::FromIndex(IndexFor(corpus.rows), Sharded(2, 2));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const int saturation = engine->max_shard_ivf_buckets();
+  ASSERT_GT(saturation, 0);
+  BatchExecutorOptions opts;
+  opts.cache_bytes = 1 << 20;
+  BatchExecutor executor(&engine.value(), opts);
+  Rng rng(30);
+  const Graph query = GraphForBits(
+      Perturb(corpus.prototypes[3], /*denominator=*/10, &rng));
+
+  // Cold fill under one spelling, then every saturated spelling hits it.
+  auto all_answer = executor.Query(
+      query, {.k = kTopK, .scan_mode = ScanMode::kApprox,
+              .nprobe = saturation + 7});
+  ASSERT_TRUE(all_answer.ok());
+  for (int nprobe : {saturation, saturation + 1, kNprobeAll}) {
+    auto repeat = executor.Query(
+        query,
+        {.k = kTopK, .scan_mode = ScanMode::kApprox, .nprobe = nprobe});
+    ASSERT_TRUE(repeat.ok());
+    EXPECT_EQ(*repeat, *all_answer) << "nprobe=" << nprobe;
+  }
+  const BatchExecutorStats stats = executor.Stats();
+  EXPECT_EQ(stats.cache.hits, 3u);
+  EXPECT_EQ(stats.approx_queries, 1u);  // one computation, three replays
+
+  // One below saturation is a genuinely different probe set: its own miss,
+  // its own entry.
+  auto narrower = executor.Query(
+      query, {.k = kTopK, .scan_mode = ScanMode::kApprox,
+              .nprobe = saturation - 1});
+  ASSERT_TRUE(narrower.ok());
+  EXPECT_EQ(executor.Stats().cache.hits, 3u);
+  EXPECT_EQ(executor.Stats().approx_queries, 2u);
+}
+
 }  // namespace
 }  // namespace gdim

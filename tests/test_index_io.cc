@@ -5,12 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/sync.h"
 #include "core/index.h"
 #include "core/index_io.h"
 #include "core/topk.h"
 #include "datasets/chemgen.h"
+#include "graph/graph_io.h"
 #include "serve/query_engine.h"
 
 namespace gdim {
@@ -131,18 +133,19 @@ PersistedIndex RandomIndex(int n, int p, Rng* rng) {
   return index;
 }
 
-TEST(IndexIoTest, V1AndV2RoundTripAcrossShapes) {
+TEST(IndexIoTest, AllFormatsRoundTripAcrossShapes) {
   Rng rng(17);
   // Widths straddle word boundaries; n = 0 exercises empty databases.
   for (int p : {0, 1, 63, 64, 65, 130}) {
     for (int n : {0, 1, 17}) {
       const PersistedIndex index = RandomIndex(n, p, &rng);
       for (IndexFormat format :
-           {IndexFormat::kV1Text, IndexFormat::kV2Binary}) {
+           {IndexFormat::kV1Text, IndexFormat::kV2Binary,
+            IndexFormat::kV3Sectioned}) {
         const std::string path = ::testing::TempDir() + "/gdim_rt_" +
                                  std::to_string(p) + "_" + std::to_string(n) +
-                                 (format == IndexFormat::kV2Binary ? ".idx2"
-                                                                   : ".idx");
+                                 (format == IndexFormat::kV1Text ? ".idx"
+                                                                 : ".idx2");
         ASSERT_TRUE(WriteIndexFile(index, path, format).ok());
         Result<PersistedIndex> back = ReadIndexFile(path);
         ASSERT_TRUE(back.ok())
@@ -236,7 +239,9 @@ TEST(IndexIoTest, ParseIndexFormatNames) {
   EXPECT_EQ(*ParseIndexFormat("v1"), IndexFormat::kV1Text);
   ASSERT_TRUE(ParseIndexFormat("v2").ok());
   EXPECT_EQ(*ParseIndexFormat("v2"), IndexFormat::kV2Binary);
-  EXPECT_EQ(ParseIndexFormat("v3").status().code(),
+  ASSERT_TRUE(ParseIndexFormat("v3").ok());
+  EXPECT_EQ(*ParseIndexFormat("v3"), IndexFormat::kV3Sectioned);
+  EXPECT_EQ(ParseIndexFormat("v4").status().code(),
             StatusCode::kInvalidArgument);
 }
 
@@ -317,19 +322,20 @@ TEST(IndexIoTest, MutatedEngineSnapshotReloadsEquivalently) {
     ASSERT_TRUE(engine->InsertMapped(bits).ok());
   }
 
-  for (IndexFormat format : {IndexFormat::kV1Text, IndexFormat::kV2Binary}) {
+  for (IndexFormat format : {IndexFormat::kV1Text, IndexFormat::kV2Binary,
+                             IndexFormat::kV3Sectioned}) {
     const std::string path =
         ::testing::TempDir() +
-        (format == IndexFormat::kV2Binary ? "/gdim_snap.idx2"
-                                          : "/gdim_snap.idx");
+        (format == IndexFormat::kV1Text ? "/gdim_snap.idx"
+                                        : "/gdim_snap.idx2");
     ASSERT_TRUE(engine->Snapshot(path, format).ok());
     Result<PersistedIndex> back = ReadIndexFile(path);
     ASSERT_TRUE(back.ok()) << back.status().ToString();
-    // The snapshot is exactly the live database in id order; v2 also
-    // carries the external ids, v1 renumbers positionally.
+    // The snapshot is exactly the live database in id order; v2/v3 also
+    // carry the external ids, v1 renumbers positionally.
     EXPECT_EQ(back->db_bits, engine->ToPersistedIndex().db_bits);
     const std::vector<int> live_ids = engine->alive_ids();
-    const bool keeps_ids = format == IndexFormat::kV2Binary;
+    const bool keeps_ids = format != IndexFormat::kV1Text;
     if (keeps_ids) {
       EXPECT_EQ(back->ids, live_ids);
     } else {
@@ -364,7 +370,7 @@ TEST(IndexIoTest, MutatedEngineSnapshotReloadsEquivalently) {
   }
 }
 
-TEST(IndexIoTest, PackedReaderMatchesByteReaderForBothFormats) {
+TEST(IndexIoTest, PackedReaderMatchesByteReaderForAllFormats) {
   Rng rng(41);
   for (int p : {0, 1, 63, 64, 65, 130}) {
     for (int n : {0, 1, 17}) {
@@ -376,10 +382,11 @@ TEST(IndexIoTest, PackedReaderMatchesByteReaderForBothFormats) {
         }
       }
       for (IndexFormat format :
-           {IndexFormat::kV1Text, IndexFormat::kV2Binary}) {
+           {IndexFormat::kV1Text, IndexFormat::kV2Binary,
+            IndexFormat::kV3Sectioned}) {
         const std::string path = ::testing::TempDir() + "/gdim_packed_rt" +
-                                 (format == IndexFormat::kV2Binary ? ".idx2"
-                                                                   : ".idx");
+                                 (format == IndexFormat::kV1Text ? ".idx"
+                                                                 : ".idx2");
         ASSERT_TRUE(WriteIndexFile(index, path, format).ok());
         Result<PackedIndex> packed = ReadIndexFilePacked(path);
         ASSERT_TRUE(packed.ok())
@@ -461,6 +468,280 @@ TEST(IndexIoTest, OpenServesIdenticallyThroughThePackedPath) {
   EXPECT_EQ(*a, 25);
   packed_engine->Compact();
   EXPECT_EQ(packed_engine->num_graphs(), 25);
+}
+
+// ------------------------------------------------------------------ v3 --
+
+std::string U64(uint64_t v) {
+  return std::string(reinterpret_cast<const char*>(&v), 8);
+}
+
+/// One framed v3 section: 4-byte tag + u64 length + payload.
+std::string Section(const char* tag, const std::string& payload) {
+  return std::string(tag, 4) + U64(payload.size()) + payload;
+}
+
+/// A 4-row, 9-bit index with sparse external ids — the shared corpus for
+/// the v3 section tests (wpc = 1 keeps handcrafted IVFX payloads short).
+PersistedIndex V3Corpus() {
+  Rng rng(53);
+  PersistedIndex index = RandomIndex(4, 9, &rng);
+  index.ids = {3, 7, 9, 40};
+  return index;
+}
+
+/// The corpus written as a DIMS-only v3 file, returned as raw bytes; the
+/// fuzz tests splice hostile sections onto it.
+std::string V3BaseBytes() {
+  const std::string path = ::testing::TempDir() + "/gdim_v3_base.idx2";
+  GDIM_CHECK(
+      WriteIndexFile(V3Corpus(), path, IndexFormat::kV3Sectioned).ok());
+  return Slurp(path);
+}
+
+/// A valid IVFX payload for V3Corpus: two buckets covering {3,7} and
+/// {9,40}.
+std::string GoodIvfxPayload() {
+  return U64(2) + U64(9) + U64(1) +              // buckets, num_bits, wpc
+         U64(0x21) + U64(2) + U64(3) + U64(7) +  // centroid, count, ids
+         U64(0x42) + U64(2) + U64(9) + U64(40);
+}
+
+/// A valid STOR payload for V3Corpus: one single-vertex graph per row.
+std::string GoodStorPayload() {
+  GraphDatabase graphs;
+  for (int i = 0; i < 4; ++i) {
+    Graph g;
+    g.AddVertex(static_cast<LabelId>(i));
+    graphs.push_back(g);
+  }
+  std::ostringstream text;
+  WriteGraphStream(graphs, text);
+  const std::string str = text.str();
+  return U64(4) + U64(3) + U64(7) + U64(9) + U64(40) + U64(str.size()) + str;
+}
+
+StatusCode ReadCode(const std::string& path, const std::string& bytes) {
+  Spit(path, bytes);
+  return ReadIndexFilePacked(path).status().code();
+}
+
+TEST(IndexIoTest, V3RoundTripCarriesSections) {
+  const PersistedIndex index = V3Corpus();
+  const PackedBitMatrix packed = PackedBitMatrix::FromRows(index.db_bits, 9);
+
+  PersistedMeta meta;
+  meta.generation = 5;
+  meta.epoch = 77;
+  PersistedIvf ivf;
+  ivf.num_bits = 9;
+  ivf.buckets.push_back({{0x21}, {3, 7}});
+  ivf.buckets.push_back({{0x42}, {9, 40}});
+  GraphDatabase store_graphs;
+  for (int i = 0; i < 4; ++i) {
+    Graph g;
+    g.AddVertex(static_cast<LabelId>(i));
+    store_graphs.push_back(g);
+  }
+  V3Sections sections;
+  sections.meta = &meta;
+  sections.store_ids = &index.ids;
+  sections.store_graphs = &store_graphs;
+  sections.ivf = &ivf;
+
+  const std::string path = ::testing::TempDir() + "/gdim_v3_full.idx2";
+  ASSERT_TRUE(WriteIndexFileV3Words(
+                  index.features, 4, 1,
+                  [&](uint64_t i) { return packed.row(static_cast<int>(i)); },
+                  index.ids, -1, sections, path)
+                  .ok());
+
+  Result<PackedIndex> back = ReadIndexFilePacked(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->ids, index.ids);
+  EXPECT_EQ(back->next_id, 41);
+  ASSERT_TRUE(back->meta.has_value());
+  EXPECT_EQ(back->meta->generation, 5u);
+  EXPECT_EQ(back->meta->epoch, 77u);
+  ASSERT_TRUE(back->store.has_value());
+  EXPECT_EQ(back->store->ids, index.ids);
+  ASSERT_EQ(back->store->graphs.size(), 4u);
+  EXPECT_EQ(back->store->graphs[2], store_graphs[2]);
+  ASSERT_TRUE(back->ivf.has_value());
+  EXPECT_EQ(back->ivf->num_bits, 9);
+  ASSERT_EQ(back->ivf->buckets.size(), 2u);
+  EXPECT_EQ(back->ivf->buckets[0].centroid_words, std::vector<uint64_t>{0x21});
+  EXPECT_EQ(back->ivf->buckets[0].ids, (std::vector<int>{3, 7}));
+  EXPECT_EQ(back->ivf->buckets[1].ids, (std::vector<int>{9, 40}));
+
+  // An engine opened from the file adopts the persisted epoch, and the
+  // byte-view reader still accepts the file (sections validated, dropped).
+  auto engine = QueryEngine::Open(path);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine->epoch(), 77u);
+  EXPECT_EQ(engine->ivf_buckets(), 2);
+  ASSERT_TRUE(ReadIndexFile(path).ok());
+}
+
+TEST(IndexIoTest, V3WriterMirrorsReaderValidation) {
+  const PersistedIndex index = V3Corpus();
+  const PackedBitMatrix packed = PackedBitMatrix::FromRows(index.db_bits, 9);
+  const auto row_words = [&](uint64_t i) {
+    return packed.row(static_cast<int>(i));
+  };
+  const std::string path = ::testing::TempDir() + "/gdim_v3_bad_write.idx2";
+  const auto write = [&](const V3Sections& sections) {
+    return WriteIndexFileV3Words(index.features, 4, 1, row_words, index.ids,
+                                 -1, sections, path);
+  };
+
+  // Store ids and graphs must come as a pair.
+  V3Sections lone_ids;
+  lone_ids.store_ids = &index.ids;
+  EXPECT_EQ(write(lone_ids).code(), StatusCode::kInvalidArgument);
+
+  // Store row count must match the index.
+  GraphDatabase three_graphs(3);
+  std::vector<int> three_ids = {3, 7, 9};
+  V3Sections short_store;
+  short_store.store_ids = &three_ids;
+  short_store.store_graphs = &three_graphs;
+  EXPECT_EQ(write(short_store).code(), StatusCode::kInvalidArgument);
+
+  // IVF postings must cover every id exactly once, with matching width.
+  PersistedIvf ivf;
+  ivf.num_bits = 9;
+  ivf.buckets.push_back({{0x21}, {3, 7}});
+  V3Sections uncovered;
+  uncovered.ivf = &ivf;
+  EXPECT_EQ(write(uncovered).code(), StatusCode::kInvalidArgument);
+
+  ivf.buckets.push_back({{0x42}, {9, 40, 41}});  // 41 is not a row
+  EXPECT_EQ(write(uncovered).code(), StatusCode::kInvalidArgument);
+
+  ivf.buckets[1] = {{0x42}, {9, 40}};
+  ivf.num_bits = 8;
+  EXPECT_EQ(write(uncovered).code(), StatusCode::kInvalidArgument);
+
+  ivf.num_bits = 9;
+  ivf.buckets.push_back({{0x13}, {}});  // empty bucket
+  EXPECT_EQ(write(uncovered).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IndexIoTest, V3RejectsHostileSectionFraming) {
+  const std::string base = V3BaseBytes();
+  const std::string header = base.substr(0, 16);  // magic + version + tag
+  const std::string path = ::testing::TempDir() + "/gdim_v3_framing.idx2";
+
+  // A header with no sections at all: DIMS is required.
+  EXPECT_EQ(ReadCode(path, header), StatusCode::kParseError);
+
+  // Stray bytes too short for a section header.
+  EXPECT_EQ(ReadCode(path, base + "ME"), StatusCode::kParseError);
+  EXPECT_EQ(ReadCode(path, base + std::string("META") + U64(16).substr(0, 3)),
+            StatusCode::kParseError);
+
+  // A section claiming more payload than the file holds.
+  EXPECT_EQ(ReadCode(path, base + std::string("META") + U64(1000)),
+            StatusCode::kParseError);
+
+  // Unknown tags are rejected, not skipped: a snapshot section the reader
+  // does not understand means state it would silently fail to restore.
+  EXPECT_EQ(ReadCode(path, base + Section("ZZZZ", "")),
+            StatusCode::kParseError);
+  EXPECT_EQ(ReadCode(path, base + Section("DIM\x01", "")),
+            StatusCode::kParseError);
+
+  // Duplicate sections: a second DIMS (spliced verbatim) and a second META.
+  const std::string dims_section = base.substr(16);
+  EXPECT_EQ(ReadCode(path, base + dims_section), StatusCode::kParseError);
+  const std::string meta_section = Section("META", U64(1) + U64(2));
+  EXPECT_EQ(ReadCode(path, base + meta_section + meta_section),
+            StatusCode::kParseError);
+
+  // Sections before DIMS have nothing to validate against.
+  EXPECT_EQ(ReadCode(path, header + meta_section + dims_section),
+            StatusCode::kParseError);
+
+  // Truncation anywhere inside a section payload is typed, never a crash.
+  const std::string full = base + meta_section;
+  for (size_t cut : {base.size() + 5, base.size() + 14, size_t{20},
+                     base.size() / 2}) {
+    EXPECT_EQ(ReadCode(path, full.substr(0, cut)), StatusCode::kParseError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(IndexIoTest, V3RejectsHostileSectionPayloads) {
+  const std::string base = V3BaseBytes();
+  const std::string path = ::testing::TempDir() + "/gdim_v3_payload.idx2";
+
+  // META must be exactly two u64s.
+  EXPECT_EQ(ReadCode(path, base + Section("META", U64(1))),
+            StatusCode::kParseError);
+  EXPECT_EQ(ReadCode(path, base + Section("META", U64(1) + U64(2) + U64(3))),
+            StatusCode::kParseError);
+
+  // STOR: row count and ids must reproduce the DIMS ids exactly.
+  const std::string stor = GoodStorPayload();
+  ASSERT_EQ(ReadCode(path, base + Section("STOR", stor)), StatusCode::kOk);
+  std::string short_count = stor;
+  short_count[0] = 3;  // count 4 -> 3
+  EXPECT_EQ(ReadCode(path, base + Section("STOR", short_count)),
+            StatusCode::kParseError);
+  std::string wrong_id = stor;
+  wrong_id[8] = 4;  // first store id 3 -> 4
+  EXPECT_EQ(ReadCode(path, base + Section("STOR", wrong_id)),
+            StatusCode::kParseError);
+  // Text length must be exactly the rest of the section.
+  EXPECT_EQ(ReadCode(path, base + Section("STOR", stor + "x")),
+            StatusCode::kParseError);
+
+  // IVFX: the good payload loads; every single-field corruption is typed.
+  const std::string ivfx = GoodIvfxPayload();
+  ASSERT_EQ(ReadCode(path, base + Section("IVFX", ivfx)), StatusCode::kOk);
+
+  const auto patched = [&](size_t offset, char value) {
+    std::string bytes = ivfx;
+    bytes[offset] = value;
+    return base + Section("IVFX", bytes);
+  };
+  EXPECT_EQ(ReadCode(path, patched(8, 8)),    // num_bits 9 -> 8
+            StatusCode::kParseError);
+  EXPECT_EQ(ReadCode(path, patched(16, 2)),   // wpc 1 -> 2
+            StatusCode::kParseError);
+  EXPECT_EQ(ReadCode(path, patched(32, 0)),   // bucket 0 posting count -> 0
+            StatusCode::kParseError);
+  EXPECT_EQ(ReadCode(path, patched(40, 5)),   // posting id 3 -> 5 (not live)
+            StatusCode::kParseError);
+  EXPECT_EQ(ReadCode(path, patched(48, 9)),   // id 7 -> 9: duplicated by
+            StatusCode::kParseError);          // bucket 1's first posting
+  EXPECT_EQ(ReadCode(path, patched(48, 3)),   // ids 3,3: not ascending
+            StatusCode::kParseError);
+  EXPECT_EQ(ReadCode(path, patched(0, 1)),    // bucket count 2 -> 1 leaves
+            StatusCode::kParseError);          // bucket 1 as trailing bytes
+  // Coverage shortfall: a single well-formed bucket, so {9, 40} would be
+  // unreachable by any probe.
+  const std::string half = U64(1) + U64(9) + U64(1) +
+                           U64(0x21) + U64(2) + U64(3) + U64(7);
+  EXPECT_EQ(ReadCode(path, base + Section("IVFX", half)),
+            StatusCode::kParseError);
+  // A bucket count far beyond what the section could hold.
+  EXPECT_EQ(ReadCode(path, patched(0, 0x7F)), StatusCode::kParseError);
+}
+
+TEST(IndexIoTest, V2FilesLoadWithoutSections) {
+  // The pre-v3 degraded path: a v2 snapshot still loads, with no META (the
+  // generation/epoch restart at zero), no STOR, and no IVFX.
+  const PersistedIndex index = V3Corpus();
+  const std::string path = ::testing::TempDir() + "/gdim_v2_compat.idx2";
+  ASSERT_TRUE(WriteIndexFile(index, path, IndexFormat::kV2Binary).ok());
+  Result<PackedIndex> packed = ReadIndexFilePacked(path);
+  ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+  EXPECT_FALSE(packed->meta.has_value());
+  EXPECT_FALSE(packed->store.has_value());
+  EXPECT_FALSE(packed->ivf.has_value());
+  EXPECT_EQ(packed->ids, index.ids);
 }
 
 TEST(IndexIoTest, EndToEndServeFromDisk) {

@@ -21,6 +21,11 @@ with one line per violation. Checks:
      GDIM_ASSERT_CAPABILITY use site must carry an inline justification
      (same line or the line above) — suppressions without a recorded
      reason are just deleted evidence.
+  5. The v3 snapshot section tags defined in src/core/index_io.cc
+     (kSectionXxxx constants) and the tag table in protocol.md's
+     "Snapshot format" section must agree exactly in both directions —
+     an undocumented section is invisible to operators, a documented but
+     unparsed one is fiction.
 """
 
 import re
@@ -127,7 +132,11 @@ def check_wire_docs():
     doc_text = doc.read_text(encoding="utf-8")
 
     code_verbs = set(re.findall(r'verb == "([A-Z]+)"', wire_text))
-    doc_verbs = set(re.findall(r"^\|\s*`([A-Z]+)\b", doc_text, re.M))
+    # Scope the verb scan to the request table: the snapshot-format section
+    # documents section tags in the same `| `TAG` |` table shape.
+    requests = re.search(r"^## Requests$(.*?)^## ", doc_text, re.M | re.S)
+    requests_text = requests.group(1) if requests else doc_text
+    doc_verbs = set(re.findall(r"^\|\s*`([A-Z]+)\b", requests_text, re.M))
     for verb in sorted(code_verbs - doc_verbs):
         report("docs/protocol.md", 1,
                f"wire verb {verb} is parsed by src/server/wire.cc but "
@@ -167,10 +176,49 @@ def check_wire_docs():
                "(docs/protocol.md)")
 
 
+# ---------------------------------------------------------------- check 5 --
+def check_snapshot_section_tags():
+    index_io = ROOT / "src" / "core" / "index_io.cc"
+    doc = ROOT / "docs" / "protocol.md"
+    for p in (index_io, doc):
+        if not p.is_file():
+            report(p.relative_to(ROOT).as_posix(), 1, "file missing")
+            return
+    code_text = index_io.read_text(encoding="utf-8")
+    doc_text = doc.read_text(encoding="utf-8")
+
+    code_tags = set(
+        re.findall(r'constexpr char kSection\w+\[5\] = "(\w{4})";',
+                   code_text))
+    if not code_tags:
+        report("src/core/index_io.cc", 1,
+               "no kSectionXxxx tag constants found (the greppable "
+               '`constexpr char kSectionXxxx[5] = "XXXX";` shape is a '
+               "linter contract)")
+        return
+    section = re.search(r"^## Snapshot format.*?$(.*?)^## ", doc_text,
+                        re.M | re.S)
+    if not section:
+        report("docs/protocol.md", 1,
+               'no "## Snapshot format" section to hold the v3 tag table')
+        return
+    doc_tags = set(
+        re.findall(r"^\|\s*`([A-Z0-9]{4})`\s*\|", section.group(1), re.M))
+    for tag in sorted(code_tags - doc_tags):
+        report("docs/protocol.md", 1,
+               f"v3 section tag {tag} is defined in src/core/index_io.cc "
+               "but missing from the snapshot-format tag table")
+    for tag in sorted(doc_tags - code_tags):
+        report("src/core/index_io.cc", 1,
+               f"documented v3 section tag {tag} has no kSection constant "
+               "(docs/protocol.md snapshot-format table)")
+
+
 def main():
     for path in code_files():
         lint_file(path)
     check_wire_docs()
+    check_snapshot_section_tags()
     if errors:
         print(f"check_invariants: {len(errors)} violation(s)",
               file=sys.stderr)

@@ -15,8 +15,10 @@
 //   gdim_tool stats    --db=db.gdb
 //
 // All subcommands read/write the gSpan text format (`t # id / v / e` lines)
-// and the gdim-index formats (v1 text / v2 binary, see core/index_io.h;
-// readers auto-detect the version).
+// and the gdim-index formats (v1 text / v2 binary / v3 sectioned, see
+// core/index_io.h; readers auto-detect the version). serve-net restarted
+// from a v3 snapshot alone resumes the graph store, dimension generation,
+// epoch, and IVF layout — no --db needed.
 
 #include <algorithm>
 #include <cctype>
@@ -63,7 +65,7 @@ int Usage() {
       "[--queries=M --queries-out=FILE --seed=S]\n"
       "  mine     --db=FILE --out=FILE [--minsup=0.05 --maxedges=7]\n"
       "  build    --db=FILE --out=FILE [--selector=DSPM --p=100 "
-      "--minsup=0.05 --maxedges=7 --seed=S --format=v1|v2]\n"
+      "--minsup=0.05 --maxedges=7 --seed=S --format=v1|v2|v3]\n"
       "  query    --index=FILE --db=FILE --queries=FILE [--k=10]\n"
       "  serve    --index=FILE --queries=FILE [--k=10 --threads=N "
       "--shards=N --prefilter --ivf-buckets=N --quiet]\n"
@@ -75,8 +77,8 @@ int Usage() {
       "  bench-query --index=FILE --queries=FILE [--k=10 --threads=N "
       "--shards=N --prefilter --ivf-buckets=N --repeat=5]\n"
       "  update   --index=FILE --out=FILE [--insert=GRAPHS --remove=I,J,... "
-      "--compact --format=v1|v2]\n"
-      "  convert  --in=FILE --out=FILE [--format=v1|v2]\n"
+      "--compact --format=v1|v2|v3]\n"
+      "  convert  --in=FILE --out=FILE [--format=v1|v2|v3]\n"
       "  stats    --db=FILE\n");
   return 2;
 }
@@ -417,17 +419,14 @@ int RunServeNet(const Flags& flags) {
   // to cold queries, so the cache is on by default).
   Result<int> cache_mb = ValidatedRange(flags, "cache-mb", 64, 0, 65536);
   if (!cache_mb.ok()) return Fail(cache_mb.status());
-  // Reindex subsystem: --db supplies the live graphs (the index only holds
-  // fingerprints, which cannot be re-selected from); --reindex-every=N
-  // auto-triggers a refresh after N mutations.
+  // Reindex subsystem: the live graphs come from --db or from a v3
+  // snapshot's STOR section (the index's fingerprints alone cannot be
+  // re-selected from); --reindex-every=N auto-triggers a refresh after N
+  // mutations.
   const std::string db_path = flags.GetString("db", "");
   Result<int> reindex_every =
       ValidatedRange(flags, "reindex-every", 0, 0, 1 << 30);
   if (!reindex_every.ok()) return Fail(reindex_every.status());
-  if (*reindex_every > 0 && db_path.empty()) {
-    return Fail(Status::InvalidArgument(
-        "--reindex-every needs --db (the live graphs to re-select from)"));
-  }
   Result<int> reindex_p = ValidatedRange(flags, "reindex-p", 0, 0, 1 << 20);
   if (!reindex_p.ok()) return Fail(reindex_p.status());
   // Refresh mining knobs are validated at the tool boundary like every
@@ -444,13 +443,44 @@ int RunServeNet(const Flags& flags) {
   if (!reindex_maxedges.ok()) return Fail(reindex_maxedges.status());
 
   WallTimer load_timer;
-  Result<ShardedEngine> engine = ShardedEngine::Open(index_path, *engine_opts);
+  // Read the file once in packed form so v3 sections can be split between
+  // their consumers: the graph store (STOR) belongs to the tool, everything
+  // else (DIMS/META/IVFX) to the engine.
+  Result<PackedIndex> packed = ReadIndexFilePacked(index_path);
+  if (!packed.ok()) return Fail(packed.status());
+  const bool has_meta = packed->meta.has_value();
+  std::optional<PersistedStore> snapshot_store = std::move(packed->store);
+  packed->store.reset();
+  Result<ShardedEngine> engine =
+      ShardedEngine::FromPacked(std::move(*packed), *engine_opts);
   if (!engine.ok()) return Fail(engine.status());
 
+  if (*reindex_every > 0 && db_path.empty() && !snapshot_store.has_value()) {
+    return Fail(Status::InvalidArgument(
+        "--reindex-every needs the live graphs to re-select from: pass "
+        "--db, or restart from a v3 snapshot (its store section carries "
+        "them)"));
+  }
+  if (!has_meta && (*reindex_every > 0 || !db_path.empty())) {
+    // A v2 snapshot taken after a REINDEX has no META section: the swapped
+    // generations are silently forgotten and this process reports
+    // dimension_generation=0 — clients comparing the gauge across the
+    // restart would read that as "no reindex ever happened".
+    std::fprintf(
+        stderr,
+        "WARN: %s has no generation/epoch metadata (pre-v3 snapshot); "
+        "dimension_generation restarts at 0 and any pre-restart REINDEX "
+        "history is lost. Take the next SNAPSHOT from this server to "
+        "upgrade to the v3 format.\n",
+        index_path.c_str());
+  }
+
   // The live-graph store: one entry per engine row, keyed by the engine's
-  // external ids. The db file must list the graphs in the index's row
-  // (ascending id) order — true for any `build` output and for v2
-  // snapshots' merged live sets written next to a matching graph dump.
+  // external ids. --db must list the graphs in the index's row (ascending
+  // id) order — true for any `build` output and for v2/v3 snapshots'
+  // merged live sets written next to a matching graph dump. A v3
+  // snapshot's own store section already satisfies that by construction;
+  // an explicit --db takes precedence over it.
   std::optional<GraphStore> store;
   if (!db_path.empty()) {
     Result<GraphDatabase> db = ReadGraphFile(db_path);
@@ -472,6 +502,19 @@ int RunServeNet(const Flags& flags) {
     const std::vector<int> ids = engine->alive_ids();
     for (size_t i = 0; i < ids.size(); ++i) {
       Status put = store->Put(ids[i], std::move((*db)[i]));
+      if (!put.ok()) return Fail(put);
+    }
+  } else if (snapshot_store.has_value()) {
+    // Resume the store from the snapshot's own STOR section: the reader
+    // already validated its ids against the index row ids, so the store is
+    // in lockstep with the engine by construction — no --db, no VF2
+    // cross-check needed.
+    store.emplace();
+    // The executor doesn't exist yet; this thread seeds the live graphs.
+    ScopedRole store_writer(&store->writer_role());
+    for (size_t i = 0; i < snapshot_store->ids.size(); ++i) {
+      Status put = store->Put(snapshot_store->ids[i],
+                              std::move(snapshot_store->graphs[i]));
       if (!put.ok()) return Fail(put);
     }
   }
@@ -619,7 +662,9 @@ int RunConvert(const Flags& flags) {
   if (!s.ok()) return Fail(s);
   std::printf("converted %s -> %s (%s, %zu graphs x %zu dims) in %.2fs\n",
               in.c_str(), out.c_str(),
-              *format == IndexFormat::kV2Binary ? "v2 binary" : "v1 text",
+              *format == IndexFormat::kV3Sectioned ? "v3 sectioned"
+              : *format == IndexFormat::kV2Binary  ? "v2 binary"
+                                                   : "v1 text",
               index->db_bits.size(), index->features.size(),
               timer.Seconds());
   return 0;
