@@ -10,7 +10,15 @@
 //                  [--repeat-frac=0.0 --zipf-s=1.0 --seed=1]
 //                  [--mutate-frac=0.0 --snapshot-path=FILE --reindex]
 //                  [--mode=auto|full|approx --nprobe=N|all]
-//                  [--json-out=FILE]
+//                  [--trace --json-out=FILE]
+//
+// The run scrapes the server's METRICS exposition before and after and
+// prints the per-stage latency deltas (count/p50/p99 of admission wait,
+// MapAll, cache probe, scan, gather, ...) next to the client-side
+// percentiles; --json-out embeds them as "server_stages". --trace sends
+// every QUERY with TRACE=1 so the per-query breakdown path is exercised
+// under full load (each response then carries a TRACE line the workers
+// parse and discard).
 //
 // --repeat-frac turns on the repeated-query mode that exercises the
 // server's result cache: each request is, with that probability, drawn
@@ -51,9 +59,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/flags.h"
@@ -80,6 +92,97 @@ std::string OneShotRpc(const std::string& host, int port,
   return **response;
 }
 
+/// One METRICS scrape on a fresh connection: the multi-line Prometheus
+/// exposition up to (excluding) its '# EOF' terminator. Empty on failure,
+/// including a scrape truncated before the terminator.
+std::string ScrapeMetrics(const std::string& host, int port) {
+  Result<ScopedFd> conn = ConnectTcp(host, port);
+  if (!conn.ok()) return "";
+  if (!SendAll(conn->get(), "METRICS\n").ok()) return "";
+  LineReader reader(conn->get());
+  std::string text;
+  for (;;) {
+    Result<std::optional<std::string>> line = reader.ReadLine();
+    if (!line.ok() || !line->has_value()) return "";
+    if (**line == "# EOF") return text;
+    text += **line;
+    text += '\n';
+  }
+}
+
+/// A histogram family parsed out of exposition text, with all label series
+/// (the per-kernel scan histograms) merged into one distribution.
+struct ScrapedHistogram {
+  std::vector<double> bounds;    ///< finite upper bounds, ascending
+  std::vector<uint64_t> counts;  ///< per-bucket, bounds.size()+1 (overflow)
+  double sum = 0.0;
+};
+
+/// Parses one histogram family by name from Prometheus exposition text.
+/// Cumulative bucket lines are de-cumulated per label series and summed
+/// across series. nullopt when the family is absent or malformed.
+std::optional<ScrapedHistogram> ParseScrapedHistogram(
+    const std::string& text, const std::string& name) {
+  const std::string bucket_prefix = name + "_bucket{";
+  const std::string sum_prefix = name + "_sum";
+  ScrapedHistogram out;
+  // Per-series (le, cumulative) pairs in exposition (ascending le) order;
+  // the key is the label body with the trailing le pair stripped.
+  std::map<std::string, std::vector<std::pair<double, uint64_t>>> series;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(bucket_prefix, 0) == 0) {
+      const size_t le = line.find("le=\"");
+      const size_t close = line.find('}');
+      if (le == std::string::npos || close == std::string::npos) continue;
+      const size_t le_end = line.find('"', le + 4);
+      const std::string le_str = line.substr(le + 4, le_end - (le + 4));
+      const std::string key =
+          line.substr(bucket_prefix.size(), le - bucket_prefix.size());
+      const double bound = le_str == "+Inf"
+                               ? std::numeric_limits<double>::infinity()
+                               : std::strtod(le_str.c_str(), nullptr);
+      series[key].emplace_back(
+          bound, std::strtoull(line.c_str() + close + 2, nullptr, 10));
+    } else if (line.rfind(sum_prefix, 0) == 0) {
+      out.sum += std::strtod(line.c_str() + line.rfind(' ') + 1, nullptr);
+    }
+  }
+  if (series.empty()) return std::nullopt;
+  for (const auto& [key, cums] : series) {
+    if (out.bounds.empty()) {
+      for (size_t i = 0; i + 1 < cums.size(); ++i) {
+        out.bounds.push_back(cums[i].first);
+      }
+      out.counts.assign(cums.size(), 0);
+    }
+    if (cums.size() != out.counts.size()) return std::nullopt;
+    uint64_t prev = 0;
+    for (size_t i = 0; i < cums.size(); ++i) {
+      if (cums[i].second < prev) return std::nullopt;  // non-monotone
+      out.counts[i] += cums[i].second - prev;
+      prev = cums[i].second;
+    }
+  }
+  return out;
+}
+
+/// Every `gdim_stage_*_usec` histogram family declared in the exposition,
+/// in its (sorted) emission order.
+std::vector<std::string> StageHistogramNames(const std::string& text) {
+  std::vector<std::string> names;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("# TYPE gdim_stage_", 0) == 0 &&
+        line.size() > 17 &&
+        line.compare(line.size() - 10, 10, " histogram") == 0) {
+      names.push_back(line.substr(7, line.size() - 17));
+    }
+  }
+  return names;
+}
 
 struct WorkerResult {
   std::vector<double> latencies_ms;
@@ -125,7 +228,7 @@ void RunWorker(const std::string& host, int port,
                const std::vector<std::string>& request_lines,
                const std::vector<std::string>& insert_lines,
                std::atomic<long long>* next_request, long long total_requests,
-               double repeat_frac, double mutate_frac,
+               double repeat_frac, double mutate_frac, bool trace,
                const ZipfSampler* zipf, uint64_t seed, WorkerResult* result) {
   auto fail = [result](const std::string& message) {
     ++result->errors;
@@ -178,6 +281,20 @@ void RunWorker(const std::string& host, int port,
       fail("server closed the connection mid-run");
       return;
     }
+    // A traced query answers two lines: 'TRACE ...' then the OK line. A
+    // failed traced query answers only its ERR line, so the extra read is
+    // conditional on actually seeing the TRACE prefix.
+    if (trace && !mutate && (*response)->rfind("TRACE ", 0) == 0) {
+      if (StatsField(**response, "total") < 0) {
+        fail("malformed trace line '" + **response + "'");
+        return;
+      }
+      response = reader.ReadLine();
+      if (!response.ok() || !response->has_value()) {
+        fail("traced query lost its result line");
+        return;
+      }
+    }
     if (mutate) {
       // INSERT answers "OK <id>", REMOVE answers "OK removed <id>"; both
       // reject with a typed ERR line under backpressure.
@@ -227,6 +344,7 @@ int Main(int argc, char** argv) {
   const std::string snapshot_path = flags.GetString("snapshot-path", "");
   const bool reindex = flags.GetBool("reindex", false);
   const std::string json_out = flags.GetString("json-out", "");
+  const bool trace = flags.GetBool("trace", false);
   const std::string mode = flags.GetString("mode", "");
   const std::string nprobe = flags.GetString("nprobe", "");
   const bool mode_valid =
@@ -247,7 +365,7 @@ int Main(int argc, char** argv) {
                  "--repeat-frac=0.0 --mutate-frac=0.0 --zipf-s=1.0 --seed=1 "
                  "--snapshot-path=FILE --reindex --allow-reject "
                  "--mode=auto|full|approx --nprobe=N|all (approx only) "
-                 "--json-out=FILE]\n");
+                 "--trace --json-out=FILE]\n");
     return 2;
   }
   Result<GraphDatabase> queries = ReadGraphFile(queries_path);
@@ -263,6 +381,7 @@ int Main(int argc, char** argv) {
   std::string query_opts;
   if (!mode.empty()) query_opts += " MODE=" + mode;
   if (!nprobe.empty()) query_opts += " NPROBE=" + nprobe;
+  if (trace) query_opts += " TRACE=1";
   std::vector<std::string> request_lines;
   std::vector<std::string> insert_lines;
   request_lines.reserve(queries->size());
@@ -275,6 +394,7 @@ int Main(int argc, char** argv) {
 
   const ZipfSampler zipf(request_lines.size(), zipf_s);
   const std::string stats_before = OneShotRpc(host, port, "STATS");
+  const std::string metrics_before = ScrapeMetrics(host, port);
 
   std::atomic<long long> next_request{0};
   std::atomic<int> workers_alive{connections};
@@ -285,7 +405,7 @@ int Main(int argc, char** argv) {
   for (int c = 0; c < connections; ++c) {
     workers.emplace_back([&, c] {
       RunWorker(host, port, request_lines, insert_lines, &next_request,
-                requests, repeat_frac, mutate_frac, &zipf,
+                requests, repeat_frac, mutate_frac, trace, &zipf,
                 seed * 1000003 + static_cast<uint64_t>(c),
                 &results[static_cast<size_t>(c)]);
       --workers_alive;
@@ -338,6 +458,7 @@ int Main(int argc, char** argv) {
   if (snapshotter.joinable()) snapshotter.join();
   if (reindexer.joinable()) reindexer.join();
   const std::string stats_after = OneShotRpc(host, port, "STATS");
+  const std::string metrics_after = ScrapeMetrics(host, port);
 
   long long ok = 0, mutations = 0, rejected = 0, errors = 0;
   std::vector<double> latencies;
@@ -392,6 +513,46 @@ int Main(int argc, char** argv) {
             StatsField(stats_before, "approx_rows_pruned"),
         StatsField(stats_after, "ivf_buckets"));
   }
+  // Server-side per-stage latency deltas: where THIS run's server time went,
+  // from the METRICS scrape before/after. Printed next to the client-side
+  // percentiles and embedded in --json-out as "server_stages" so the CI
+  // trend file records where server time goes across PRs.
+  std::string stage_json;
+  if (!metrics_before.empty() && !metrics_after.empty()) {
+    for (const std::string& name : StageHistogramNames(metrics_after)) {
+      std::optional<ScrapedHistogram> after =
+          ParseScrapedHistogram(metrics_after, name);
+      if (!after.has_value()) continue;
+      std::vector<uint64_t> counts = after->counts;
+      double sum = after->sum;
+      // A stage family absent from the pre-run scrape deltas from zero
+      // (families appear lazily with their first sample).
+      if (std::optional<ScrapedHistogram> before =
+              ParseScrapedHistogram(metrics_before, name);
+          before.has_value() && before->counts.size() == counts.size()) {
+        for (size_t i = 0; i < counts.size(); ++i) {
+          counts[i] -= before->counts[i];
+        }
+        sum -= before->sum;
+      }
+      BucketHistogram delta(after->bounds, std::move(counts), sum);
+      if (delta.count() == 0) continue;
+      // gdim_stage_<stage>_usec -> <stage>
+      const std::string stage = name.substr(11, name.size() - 16);
+      std::printf("# stage %s: count=%llu p50=%.0fus p99=%.0fus\n",
+                  stage.c_str(),
+                  static_cast<unsigned long long>(delta.count()),
+                  delta.Quantile(0.5), delta.Quantile(0.99));
+      char entry[192];
+      std::snprintf(entry, sizeof(entry),
+                    "%s    \"%s\": {\"count\": %llu, \"p50_usec\": %.1f, "
+                    "\"p99_usec\": %.1f}",
+                    stage_json.empty() ? "" : ",\n", stage.c_str(),
+                    static_cast<unsigned long long>(delta.count()),
+                    delta.Quantile(0.5), delta.Quantile(0.99));
+      stage_json += entry;
+    }
+  }
   if (!snapshot_path.empty()) {
     const bool snapshot_ok = snapshot_response == "OK snapshot";
     std::printf("# snapshot: %s in %.1fms under load (response '%s')\n",
@@ -431,10 +592,13 @@ int Main(int argc, char** argv) {
                  "  \"connections\": %d, \"requests\": %lld, \"k\": %d,\n"
                  "  \"kernel\": \"%s\",\n  \"qps\": %.1f,\n"
                  "  \"p50_ms\": %.4f, \"p99_ms\": %.4f,\n"
-                 "  \"ok\": %lld, \"rejected\": %lld, \"errors\": %lld\n}\n",
+                 "  \"ok\": %lld, \"rejected\": %lld, \"errors\": %lld,\n"
+                 "  \"server_stages\": {%s%s%s}\n}\n",
                  connections, requests, k, kernel.c_str(),
                  seconds > 0 ? static_cast<double>(ok) / seconds : 0.0,
-                 summary.p50, summary.p99, ok, rejected, errors);
+                 summary.p50, summary.p99, ok, rejected, errors,
+                 stage_json.empty() ? "" : "\n", stage_json.c_str(),
+                 stage_json.empty() ? "" : "\n  ");
     std::fclose(f);
     std::printf("# wrote %s\n", json_out.c_str());
   }

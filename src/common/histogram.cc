@@ -34,6 +34,70 @@ LatencySummary SummarizeLatencies(std::vector<double> samples) {
   return s;
 }
 
+BucketHistogram::BucketHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {}
+
+BucketHistogram::BucketHistogram(std::vector<double> upper_bounds,
+                                 std::vector<uint64_t> counts, double sum)
+    : bounds_(std::move(upper_bounds)),
+      counts_(std::move(counts)),
+      sum_(sum) {
+  counts_.resize(bounds_.size() + 1, 0);
+  for (uint64_t c : counts_) count_ += c;
+}
+
+void BucketHistogram::Record(double value) {
+  size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  ++counts_[i];
+  ++count_;
+  sum_ += value;
+}
+
+void BucketHistogram::Merge(const BucketHistogram& other) {
+  // Mismatched layouts would silently mis-bin; the registry only merges
+  // histograms it created with one shared bounds vector.
+  if (other.bounds_ != bounds_) return;
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double BucketHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) >= rank && counts_[i] > 0) {
+      if (i >= bounds_.size()) {
+        // Overflow bucket has no finite upper edge; report the largest
+        // finite bound rather than inventing a value.
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      }
+      const double lower = (i == 0) ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const uint64_t below = cumulative - counts_[i];
+      const double frac =
+          (rank - static_cast<double>(below)) / static_cast<double>(counts_[i]);
+      return lower + (upper - lower) * std::min(std::max(frac, 0.0), 1.0);
+    }
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<uint64_t> BucketHistogram::CumulativeCounts() const {
+  std::vector<uint64_t> cumulative(counts_.size(), 0);
+  uint64_t running = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    cumulative[i] = running;
+  }
+  return cumulative;
+}
+
 std::string FormatLatencySummaryMs(const LatencySummary& summary) {
   char buf[160];
   std::snprintf(buf, sizeof(buf),

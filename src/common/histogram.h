@@ -2,6 +2,7 @@
 #define GDIM_COMMON_HISTOGRAM_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,58 @@ LatencySummary SummarizeLatencies(std::vector<double> samples);
 /// "n=... mean=... p50=... p95=... p99=... max=..." with millisecond units,
 /// for CLI/bench output.
 std::string FormatLatencySummaryMs(const LatencySummary& summary);
+
+/// Fixed-bucket histogram over non-negative samples: a plain value type with
+/// no locking (the metric registry wraps it in atomic cells; benches and the
+/// METRICS scraper use it directly). Buckets are defined by strictly
+/// increasing finite upper bounds plus an implicit +Inf overflow bucket, the
+/// Prometheus cumulative-histogram shape.
+class BucketHistogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit BucketHistogram(std::vector<double> upper_bounds);
+
+  /// Reconstructs a histogram from pre-binned parts: per-bucket
+  /// (non-cumulative) counts including the trailing +Inf cell, plus the
+  /// running sum. Used by the registry's lock-free snapshots and by the
+  /// METRICS scrapers, which parse cumulative bucket lines back into this
+  /// shape for quantile math. `counts` must have upper_bounds.size() + 1
+  /// entries.
+  BucketHistogram(std::vector<double> upper_bounds,
+                  std::vector<uint64_t> counts, double sum);
+
+  /// Adds one sample to the bucket whose range contains it (first bucket
+  /// with upper bound >= value, else the overflow bucket).
+  void Record(double value);
+
+  /// Adds another histogram's counts and sum into this one. Both histograms
+  /// must have identical bucket bounds; the registry uses this to fold
+  /// per-shard scan histograms into the process-wide one.
+  void Merge(const BucketHistogram& other);
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation within the
+  /// containing bucket. Returns 0 when empty; samples landing in the
+  /// overflow bucket are attributed to the largest finite bound.
+  double Quantile(double q) const;
+
+  /// Per-bucket (non-cumulative) counts; size is upper_bounds().size() + 1,
+  /// the last entry being the +Inf overflow bucket.
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+  /// Running cumulative counts, one per bucket including +Inf; the last
+  /// entry equals count().
+  std::vector<uint64_t> CumulativeCounts() const;
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
 
 }  // namespace gdim
 

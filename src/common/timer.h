@@ -22,6 +22,9 @@ class WallTimer {
   /// Milliseconds elapsed.
   double Millis() const { return Seconds() * 1e3; }
 
+  /// Microseconds elapsed, the unit of the per-stage serving histograms.
+  double Micros() const { return Seconds() * 1e6; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

@@ -1,0 +1,25 @@
+#ifndef GDIM_OBS_QUERY_TRACE_H_
+#define GDIM_OBS_QUERY_TRACE_H_
+
+namespace gdim {
+
+/// Per-query stage breakdown, filled by the batch executor for `TRACE=1`
+/// queries and for the slow-query log. All values are wall-clock
+/// microseconds of non-overlapping dispatcher segments of the query's life,
+/// so queue + map + cache + scan <= total <= the client-observed latency
+/// (total excludes only the promise handoff back to the submitter). map and
+/// cache are shared passes over the whole coalesced run the query rode —
+/// the query waited for them, same convention as tile latency; scan is the
+/// query's scan span's wall time, 0 on a cache hit.
+struct QueryTrace {
+  double queue_usec = 0.0;  ///< admission-queue wait (submit → dispatch)
+  double map_usec = 0.0;    ///< the run's shared stage-1 MapAll pass
+  double cache_usec = 0.0;  ///< the run's shared result-cache probe
+  double scan_usec = 0.0;   ///< this query's scan span (0 = cache hit)
+  double total_usec = 0.0;  ///< submit → answer ready
+  bool cache_hit = false;   ///< answered from the result cache
+};
+
+}  // namespace gdim
+
+#endif  // GDIM_OBS_QUERY_TRACE_H_

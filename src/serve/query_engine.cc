@@ -538,10 +538,13 @@ Ranking QueryEngine::QueryMapped(const std::vector<uint8_t>& fingerprint,
   // pruned — at NPROBE=all nothing is pruned, the pool is precisely the
   // live rows, and the ranking is bit-identical to a full scan.
   const bool approx = options.scan_mode == ScanMode::kApprox;
+  double ivf_probe_usec = 0.0;
   if (approx) {
     const int nprobe =
         options.nprobe > 0 ? options.nprobe : ivf_.default_nprobe();
+    WallTimer probe_timer;
     candidates = ivf_.Probe(packed_query, nprobe, tombstones_);
+    ivf_probe_usec = probe_timer.Micros();
   }
 
   // Stage 3: popcount distance scan (narrowed or full) + deterministic rank.
@@ -577,6 +580,7 @@ Ranking QueryEngine::QueryMapped(const std::vector<uint8_t>& fingerprint,
     stats->prefiltered = prefiltered;
     stats->approx = approx;
     stats->rows_pruned = approx ? alive_ - scanned : 0;
+    stats->ivf_probe_usec = ivf_probe_usec;
   }
   return top;
 }
@@ -595,6 +599,9 @@ void FillServeBatchReport(double wall_ms,
   report->approx_queries = 0;
   report->approx_candidates_scanned = 0;
   report->approx_rows_pruned = 0;
+  report->stage_scan_usec.clear();
+  report->stage_ivf_probe_usec.clear();
+  report->stage_gather_usec.clear();
   for (const ServeQueryStats& s : stats) {
     latencies.push_back(s.latency_ms);
     report->scanned_rows += s.scanned;
@@ -603,6 +610,15 @@ void FillServeBatchReport(double wall_ms,
       ++report->approx_queries;
       report->approx_candidates_scanned += s.scanned;
       report->approx_rows_pruned += s.rows_pruned;
+    }
+    report->stage_scan_usec.insert(report->stage_scan_usec.end(),
+                                   s.shard_scan_usec.begin(),
+                                   s.shard_scan_usec.end());
+    if (s.ivf_probe_usec > 0.0) {
+      report->stage_ivf_probe_usec.push_back(s.ivf_probe_usec);
+    }
+    if (s.gather_usec > 0.0) {
+      report->stage_gather_usec.push_back(s.gather_usec);
     }
   }
   report->latency_ms = SummarizeLatencies(std::move(latencies));

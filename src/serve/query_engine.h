@@ -56,6 +56,16 @@ struct ServeQueryStats {
   /// kApprox only: live rows the probe pruned (alive − scanned); what the
   /// approximate mode saved relative to a full scan of the live set.
   int rows_pruned = 0;
+  /// Stage timings for the observability layer, microseconds; 0 when the
+  /// stage did not run. On a sharded engine ivf_probe_usec sums the shard
+  /// probes (like `scanned`) and gather_usec times the k-way merge.
+  double ivf_probe_usec = 0.0;
+  double gather_usec = 0.0;
+  /// One sample per per-shard scan pass this query rode (the shard's wall
+  /// time for its stage 2–3 work). Filled only by the sharded engine — a
+  /// tiled scan attributes its per-shard passes to the tile's first query,
+  /// so the sample count matches the passes actually run.
+  std::vector<double> shard_scan_usec;
 };
 
 /// Aggregate report for one QueryBatch call.
@@ -70,6 +80,12 @@ struct ServeBatchReport {
   /// scanned_rows) and the live rows their probes pruned away.
   long long approx_candidates_scanned = 0;
   long long approx_rows_pruned = 0;
+  /// Per-stage samples (microseconds) for the metric registry: every
+  /// per-shard scan pass, every IVF probe that ran, and every gather merge.
+  /// The executor folds these into the process-wide stage histograms.
+  std::vector<double> stage_scan_usec;
+  std::vector<double> stage_ivf_probe_usec;
+  std::vector<double> stage_gather_usec;
 };
 
 /// Aggregates per-query stats into a batch report (qps, latency

@@ -1,14 +1,34 @@
 #include "server/batch_executor.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
 #include <iterator>
 #include <memory>
 #include <system_error>
 #include <utility>
 
 #include "common/logging.h"
+#include "core/kernels/scan_kernel.h"
 
 namespace gdim {
+
+namespace {
+
+const char* ScanModeName(ScanMode mode) {
+  switch (mode) {
+    case ScanMode::kAuto:
+      return "auto";
+    case ScanMode::kFull:
+      return "full";
+    case ScanMode::kApprox:
+      return "approx";
+  }
+  return "?";
+}
+
+}  // namespace
 
 BatchExecutor::BatchExecutor(ShardedEngine* engine,
                              BatchExecutorOptions options)
@@ -27,6 +47,78 @@ BatchExecutor::BatchExecutor(ShardedEngine* engine,
   if (options_.cache_bytes > 0) {
     cache_ = std::make_unique<ResultCache>(options_.cache_bytes);
   }
+  // Resolve every metric cell before the dispatcher (or any client) can
+  // record: the hot paths then touch only lock-free atomics.
+  c_accepted_ = registry_.GetCounter(
+      "gdim_requests_accepted_total",
+      "Requests admitted past the admission queue bound");
+  c_rejected_ = registry_.GetCounter(
+      "gdim_requests_rejected_total",
+      "Submits refused with ResourceExhausted (queue full or stopping)");
+  c_completed_ = registry_.GetCounter("gdim_requests_completed_total",
+                                      "Requests finished, any outcome");
+  c_batches_ = registry_.GetCounter("gdim_query_batches_total",
+                                    "Coalesced query batches executed");
+  c_mutations_ = registry_.GetCounter(
+      "gdim_mutations_total", "Insert/Remove/Compact/Snapshot ops executed");
+  c_approx_queries_ = registry_.GetCounter(
+      "gdim_approx_queries_total", "MODE=approx queries that reached a scan");
+  c_approx_candidates_scanned_ =
+      registry_.GetCounter("gdim_approx_candidates_scanned_total",
+                           "Rows the IVF probes admitted to exact scoring");
+  c_approx_rows_pruned_ = registry_.GetCounter(
+      "gdim_approx_rows_pruned_total", "Live rows the IVF probes skipped");
+  c_snapshots_completed_ = registry_.GetCounter(
+      "gdim_snapshots_completed_total",
+      "Background snapshot writes finished");
+  c_reindexes_completed_ = registry_.GetCounter(
+      "gdim_reindexes_completed_total",
+      "Dimension generations successfully swapped in");
+  c_slow_queries_ = registry_.GetCounter(
+      "gdim_slow_queries_total",
+      "Queries at or over the --slow-query-usec threshold");
+  g_queue_depth_ = registry_.GetGauge(
+      "gdim_queue_depth", "Admitted-but-unfinished requests right now");
+  g_queue_high_watermark_ = registry_.GetGauge(
+      "gdim_queue_high_watermark",
+      "Largest admission-queue depth ever observed");
+  g_uptime_seconds_ = registry_.GetGauge(
+      "gdim_uptime_seconds", "Seconds since the executor started");
+  g_start_epoch_ = registry_.GetGauge(
+      "gdim_start_epoch_seconds",
+      "Executor start time as a Unix epoch, seconds");
+  const std::string kernel_label =
+      std::string("kernel=\"") + ActiveScanKernel().name() + "\"";
+  h_admission_wait_ = registry_.GetStageHistogram(
+      kStageAdmissionWait, "Admission-queue wait, submit to dispatch (usec)");
+  h_cache_probe_ = registry_.GetStageHistogram(
+      kStageCacheProbe,
+      "Result-cache key computation + lookup per coalesced run (usec)");
+  h_map_all_ = registry_.GetStageHistogram(
+      kStageMapAll,
+      "Stage-1 VF2 mapping of one coalesced query run (usec)");
+  h_scan_exact_ = registry_.GetStageHistogram(
+      kStageScanExact, "Per-shard exact scan pass (usec)", kernel_label);
+  h_scan_approx_ = registry_.GetStageHistogram(
+      kStageScanApprox, "Per-shard MODE=approx scan pass (usec)",
+      kernel_label);
+  h_ivf_probe_ = registry_.GetStageHistogram(
+      kStageIvfProbe, "IVF bucket probe per approx query (usec)");
+  h_gather_merge_ = registry_.GetStageHistogram(
+      kStageGatherMerge, "K-way merge of per-shard top-k lists (usec)");
+  h_mutation_apply_ = registry_.GetStageHistogram(
+      kStageMutationApply, "One Insert/Remove/Compact applied (usec)");
+  h_snapshot_freeze_ = registry_.GetStageHistogram(
+      kStageSnapshotFreeze, "SNAPSHOT dispatcher-side freeze pause (usec)");
+  h_snapshot_write_ = registry_.GetStageHistogram(
+      kStageSnapshotWrite, "SNAPSHOT background file write (usec)");
+  h_reindex_build_ = registry_.GetStageHistogram(
+      kStageReindexBuild, "REINDEX background selection, freeze "
+                          "handoff to finished generation (usec)");
+  h_reindex_swap_ = registry_.GetStageHistogram(
+      kStageReindexSwap, "REINDEX reconcile + generation swap (usec)");
+  start_epoch_ = static_cast<long long>(std::time(nullptr));
+  g_start_epoch_->Set(start_epoch_);
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -47,17 +139,18 @@ BatchExecutor::~BatchExecutor() {
 Status BatchExecutor::Admit(Request r) {
   MutexLock lock(&mu_);
   if (stop_) {
-    ++rejected_;
+    c_rejected_->Increment();
     return Status::Internal("executor is shutting down");
   }
   if (in_flight_ >= static_cast<size_t>(options_.queue_capacity)) {
-    ++rejected_;
+    c_rejected_->Increment();
     return Status::ResourceExhausted(
         "admission queue full (" +
         std::to_string(options_.queue_capacity) + " in flight)");
   }
-  ++accepted_;
+  c_accepted_->Increment();
   ++in_flight_;
+  if (in_flight_ > queue_high_watermark_) queue_high_watermark_ = in_flight_;
   queue_.push_back(std::move(r));
   // Notify while still holding mu_: once this submitter releases the lock
   // it may never run again, and the executor may be destroyed the moment
@@ -70,10 +163,16 @@ Status BatchExecutor::Admit(Request r) {
 
 Result<Ranking> BatchExecutor::Query(Graph query,
                                      const QueryOptions& options) {
+  return Query(std::move(query), options, nullptr);
+}
+
+Result<Ranking> BatchExecutor::Query(Graph query, const QueryOptions& options,
+                                     QueryTrace* trace) {
   Request r;
   r.kind = Request::Kind::kQuery;
   r.graph = std::move(query);
   r.query_options = options;
+  r.trace = trace;
   std::future<Result<Ranking>> done = r.ranking.get_future();
   Status admitted = Admit(std::move(r));
   if (!admitted.ok()) return admitted;
@@ -141,19 +240,25 @@ Result<EngineGauges> BatchExecutor::Gauges() {
 BatchExecutorStats BatchExecutor::Stats() const {
   MutexLock lock(&mu_);
   BatchExecutorStats stats;
-  stats.accepted = accepted_;
-  stats.rejected = rejected_;
-  stats.completed = completed_;
-  stats.batches = batches_;
-  stats.mutations = mutations_;
+  // The cells are atomics, but every writer updates them while holding mu_
+  // (see the member comment), so this snapshot under mu_ is as mutually
+  // consistent as the old plain-field one.
+  stats.accepted = c_accepted_->value();
+  stats.rejected = c_rejected_->value();
+  stats.completed = c_completed_->value();
+  stats.batches = c_batches_->value();
+  stats.mutations = c_mutations_->value();
   stats.queued = in_flight_;
-  stats.approx_queries = approx_queries_;
-  stats.approx_candidates_scanned = approx_candidates_scanned_;
-  stats.approx_rows_pruned = approx_rows_pruned_;
+  stats.queue_high_watermark = queue_high_watermark_;
+  stats.uptime_seconds = uptime_.Seconds();
+  stats.start_epoch = start_epoch_;
+  stats.approx_queries = c_approx_queries_->value();
+  stats.approx_candidates_scanned = c_approx_candidates_scanned_->value();
+  stats.approx_rows_pruned = c_approx_rows_pruned_->value();
   stats.snapshots_in_progress = snapshots_in_progress_;
-  stats.snapshots_completed = snapshots_completed_;
+  stats.snapshots_completed = c_snapshots_completed_->value();
   stats.reindexes_in_progress = reindex_in_flight_ ? 1 : 0;
-  stats.reindexes_completed = reindexes_completed_;
+  stats.reindexes_completed = c_reindexes_completed_->value();
   if (cache_ != nullptr) stats.cache = cache_->Stats();
   std::vector<double> window(
       latency_window_.begin(),
@@ -162,6 +267,18 @@ BatchExecutorStats BatchExecutor::Stats() const {
                           static_cast<std::ptrdiff_t>(latency_next_));
   stats.latency_ms = SummarizeLatencies(std::move(window));
   return stats;
+}
+
+std::string BatchExecutor::MetricsText() {
+  {
+    MutexLock lock(&mu_);
+    g_queue_depth_->Set(static_cast<int64_t>(in_flight_));
+    g_queue_high_watermark_->Set(
+        static_cast<int64_t>(queue_high_watermark_));
+  }
+  g_uptime_seconds_->Set(
+      static_cast<int64_t>(std::llround(uptime_.Seconds())));
+  return registry_.ExpositionText();
 }
 
 void BatchExecutor::Pause() {
@@ -225,18 +342,18 @@ void BatchExecutor::DispatcherLoop() {
           latency_next_ = (latency_next_ + 1) % latency_window_.size();
           if (latency_next_ == 0) latency_full_ = true;
         }
-        completed_ += batch.size();
+        c_completed_->Increment(batch.size());
       }
       in_flight_ -= batch.size();
       if (batch.front().kind == Request::Kind::kQuery) {
-        ++batches_;
+        c_batches_->Increment();
       } else if (batch.front().kind != Request::Kind::kGauges &&
                  batch.front().kind != Request::Kind::kReindex &&
                  batch.front().kind != Request::Kind::kAdoptGeneration) {
         // Reindex traffic has its own gauges (reindex_in_progress /
         // reindex_completed); counting it as a mutation would skew the
         // auto-trigger arithmetic clients do from STATS deltas.
-        ++mutations_;
+        c_mutations_->Increment();
       }
     }
     for (const std::function<void()>& f : fulfill) f();
@@ -251,10 +368,20 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
   // into *batch stay valid until then).
   std::vector<std::function<void()>> fulfill;
   fulfill.reserve(batch->size());
+  // Stamp every request's admission wait at dispatch. The internal adopt
+  // step skips the histogram like it skips accepted/completed — it is
+  // bookkeeping, not a client request.
+  for (Request& r : *batch) {
+    r.queue_wait_usec = r.queued_at.Micros();
+    if (r.kind != Request::Kind::kAdoptGeneration) {
+      h_admission_wait_->Record(r.queue_wait_usec);
+    }
+  }
   if (batch->front().kind != Request::Kind::kQuery) {
     Request& r = batch->front();
     switch (r.kind) {
       case Request::Kind::kInsert: {
+        WallTimer apply_timer;
         Result<int> id = engine_->Insert(r.graph);
         if (id.ok() && store_ != nullptr) {
           // Keep the store in lockstep with the engine: same id, same
@@ -267,6 +394,7 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
           Status put = store_->Put(*id, std::move(r.graph));
           GDIM_CHECK(put.ok()) << put.ToString();
         }
+        h_mutation_apply_->Record(apply_timer.Micros());
         if (id.ok()) {
           ++mutations_since_reindex_;
           MaybeAutoReindex();
@@ -276,6 +404,7 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
         break;
       }
       case Request::Kind::kRemove: {
+        WallTimer apply_timer;
         Status status = engine_->Remove(r.id);
         if (status.ok() && store_ != nullptr) {
           // The store shares the engine's single writer; see kInsert.
@@ -283,6 +412,7 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
           Status removed = store_->Remove(r.id);
           GDIM_CHECK(removed.ok()) << removed.ToString();
         }
+        h_mutation_apply_->Record(apply_timer.Micros());
         if (status.ok()) {
           ++mutations_since_reindex_;
           MaybeAutoReindex();
@@ -292,6 +422,7 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
         break;
       }
       case Request::Kind::kCompact: {
+        WallTimer apply_timer;
         const int reclaimed = engine_->tombstoned_rows();
         engine_->Compact();
         if (store_ != nullptr) {
@@ -299,6 +430,7 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
           store_->writer_role().Assert();
           store_->Compact();
         }
+        h_mutation_apply_->Record(apply_timer.Micros());
         fulfill.push_back(
             [&r, reclaimed] { r.compacted.set_value(reclaimed); });
         break;
@@ -312,11 +444,13 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
         break;
       }
       case Request::Kind::kAdoptGeneration: {
+        WallTimer swap_timer;
         Result<ReindexReport> outcome = InstallGeneration(r.built.get());
+        h_reindex_swap_->Record(swap_timer.Micros());
         {
           MutexLock lock(&mu_);
           reindex_in_flight_ = false;
-          if (outcome.ok()) ++reindexes_completed_;
+          if (outcome.ok()) c_reindexes_completed_->Increment();
         }
         fulfill.push_back([&r, outcome = std::move(outcome)] {
           r.reindexed.set_value(outcome);
@@ -330,6 +464,7 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
         // handoff happens after the dispatcher publishes this request's
         // completion counters; the submitter's promise travels with it and
         // resolves only once the file is durable.
+        WallTimer freeze_timer;
         auto frozen =
             std::make_shared<FrozenShardedState>(engine_->Freeze());
         if (store_ != nullptr) {
@@ -339,6 +474,7 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
           store_->writer_role().Assert();
           frozen->store = store_->Freeze();
         }
+        h_snapshot_freeze_->Record(freeze_timer.Micros());
         fulfill.push_back([this, &r, frozen] {
           StartAsyncSnapshot(std::move(*frozen), std::move(r.path),
                              std::move(r.status));
@@ -369,8 +505,11 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
   GraphDatabase queries;
   queries.reserve(batch->size());
   for (Request& r : *batch) queries.push_back(std::move(r.graph));
+  WallTimer map_timer;
   std::vector<std::vector<uint8_t>> fingerprints =
       engine_->mapper().MapAll(queries, engine_->options().serve.threads);
+  const double map_usec = map_timer.Micros();
+  h_map_all_->Record(map_usec);
 
   // The epoch is sampled here, on the dispatcher: mutations are FIFO with
   // query batches, so it is exact for every query in this run, and a hit at
@@ -401,6 +540,8 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
   std::vector<std::string> keys(batch->size());
   std::vector<size_t> misses;
   misses.reserve(batch->size());
+  std::vector<uint8_t> was_hit(batch->size(), 0);
+  WallTimer cache_timer;
   for (size_t i = 0; i < batch->size(); ++i) {
     if (cache_ != nullptr) {
       const QueryOptions& options = (*batch)[i].query_options;
@@ -414,15 +555,19 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
                                      approx ? options.nprobe : 0);
       if (std::optional<Ranking> hit = cache_->Lookup(keys[i], epoch)) {
         results[i] = std::move(*hit);
+        was_hit[i] = 1;
         continue;
       }
     }
     misses.push_back(i);
   }
+  const double cache_usec = cache_ != nullptr ? cache_timer.Micros() : 0.0;
+  if (cache_ != nullptr) h_cache_probe_->Record(cache_usec);
 
   // Scatter the misses. Requests may carry different options, so scans go
   // per equal-options span of the miss list; one closed-loop workload
   // almost always lands in a single span.
+  std::vector<double> span_usec(batch->size(), 0.0);
   size_t begin = 0;
   while (begin < misses.size()) {
     const QueryOptions options = (*batch)[misses[begin]].query_options;
@@ -437,29 +582,82 @@ std::vector<std::function<void()>> BatchExecutor::Execute(
       span.push_back(std::move(fingerprints[misses[j]]));
     }
     ServeBatchReport span_report;
+    WallTimer span_timer;
     std::vector<Ranking> scanned =
         engine_->QueryMappedBatch(span, options, &span_report);
+    const double scan_usec = span_timer.Micros();
+    // Fold the engine's per-stage samples into the registry. The per-shard
+    // scan passes arrive pre-binnable, so one Merge replaces a cell
+    // round-trip per sample; the scan family is split exact/approx by the
+    // span's mode (an approx span's passes are probe-narrowed scans).
+    {
+      BucketHistogram shard_scans(StageLatencyBucketBoundsUsec());
+      for (double v : span_report.stage_scan_usec) shard_scans.Record(v);
+      (options.scan_mode == ScanMode::kApprox ? h_scan_approx_
+                                              : h_scan_exact_)
+          ->Merge(shard_scans);
+    }
+    for (double v : span_report.stage_ivf_probe_usec) h_ivf_probe_->Record(v);
+    for (double v : span_report.stage_gather_usec) h_gather_merge_->Record(v);
     if (span_report.approx_queries > 0) {
       // Publish the approx scan-work counters as this span lands. Execute
       // EXCLUDES mu_, so take it briefly — same shape as kAdoptGeneration's
       // in-Execute accounting.
       MutexLock lock(&mu_);
-      approx_queries_ += span_report.approx_queries;
-      approx_candidates_scanned_ +=
-          static_cast<uint64_t>(span_report.approx_candidates_scanned);
-      approx_rows_pruned_ +=
-          static_cast<uint64_t>(span_report.approx_rows_pruned);
+      c_approx_queries_->Increment(span_report.approx_queries);
+      c_approx_candidates_scanned_->Increment(
+          static_cast<uint64_t>(span_report.approx_candidates_scanned));
+      c_approx_rows_pruned_->Increment(
+          static_cast<uint64_t>(span_report.approx_rows_pruned));
     }
     for (size_t j = begin; j < end; ++j) {
       const size_t i = misses[j];
+      span_usec[i] = scan_usec;
       results[i] = std::move(scanned[j - begin]);
       if (cache_ != nullptr) cache_->Insert(keys[i], epoch, results[i]);
     }
     begin = end;
   }
 
+  const bool slow_log = options_.slow_query_usec > 0;
   for (size_t i = 0; i < batch->size(); ++i) {
     Request& r = (*batch)[i];
+    if (r.trace != nullptr || slow_log) {
+      // Non-overlapping dispatcher segments of this query's life: their sum
+      // is <= total, and total (taken here, before the promise resolves) is
+      // <= whatever latency the client measures around its submit.
+      const double total_usec = r.queued_at.Micros();
+      const bool hit = was_hit[i] != 0;
+      if (r.trace != nullptr) {
+        r.trace->queue_usec = r.queue_wait_usec;
+        r.trace->map_usec = map_usec;
+        r.trace->cache_usec = cache_usec;
+        r.trace->scan_usec = span_usec[i];
+        r.trace->total_usec = total_usec;
+        r.trace->cache_hit = hit;
+      }
+      if (slow_log &&
+          total_usec >= static_cast<double>(options_.slow_query_usec)) {
+        c_slow_queries_->Increment();
+        char line[256];
+        std::snprintf(
+            line, sizeof(line),
+            "slow-query total_usec=%lld queue=%lld map=%lld cache=%lld "
+            "scan=%lld k=%d mode=%s cache_hit=%d",
+            static_cast<long long>(std::llround(total_usec)),
+            static_cast<long long>(std::llround(r.queue_wait_usec)),
+            static_cast<long long>(std::llround(map_usec)),
+            static_cast<long long>(std::llround(cache_usec)),
+            static_cast<long long>(std::llround(span_usec[i])),
+            r.query_options.k, ScanModeName(r.query_options.scan_mode),
+            hit ? 1 : 0);
+        if (options_.slow_query_sink) {
+          options_.slow_query_sink(line);
+        } else {
+          std::fprintf(stderr, "%s\n", line);
+        }
+      }
+    }
     fulfill.push_back([&r, result = std::move(results[i])]() mutable {
       r.ranking.set_value(std::move(result));
     });
@@ -471,9 +669,12 @@ void BatchExecutor::AdmitInternal(Request r) {
   {
     MutexLock lock(&mu_);
     if (!stop_) {
-      // in_flight_ must balance the dispatcher's decrement, but accepted_
+      // in_flight_ must balance the dispatcher's decrement, but accepted
       // stays client-only — the adopt step is bookkeeping, not a request.
       ++in_flight_;
+      if (in_flight_ > queue_high_watermark_) {
+        queue_high_watermark_ = in_flight_;
+      }
       queue_.push_back(std::move(r));
       cv_.NotifyOne();  // under mu_, same lifetime reasoning as Admit
       return;
@@ -524,7 +725,12 @@ void BatchExecutor::StartReindex(int p,
       std::make_shared<std::promise<Result<ReindexReport>>>(std::move(done));
   Status started = refresher_.Start(
       std::move(frozen), std::move(refresh),
-      [this, promise](Result<RefreshedGeneration> built) {
+      [this, promise, build_timer = WallTimer()](
+          Result<RefreshedGeneration> built) {
+        // Freeze handoff → finished generation, measured on the refresher
+        // thread; the histogram cells are lock-free, so recording off the
+        // dispatcher is safe.
+        h_reindex_build_->Record(build_timer.Micros());
         Request adopt;
         adopt.kind = Request::Kind::kAdoptGeneration;
         adopt.built =
@@ -615,11 +821,13 @@ void BatchExecutor::StartAsyncSnapshot(FrozenShardedState frozen,
   try {
     std::thread([this, frozen = std::move(frozen), path = std::move(path),
                  promise]() mutable {
+      WallTimer write_timer;
       Status status = ShardedEngine::WriteSnapshot(frozen, path);
+      h_snapshot_write_->Record(write_timer.Micros());
       {
         MutexLock lock(&mu_);
         --snapshots_in_progress_;
-        ++snapshots_completed_;
+        c_snapshots_completed_->Increment();
         snapshot_cv_.NotifyAll();
       }
       promise->set_value(std::move(status));

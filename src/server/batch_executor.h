@@ -17,6 +17,8 @@
 #include "core/index_io.h"
 #include "core/topk.h"
 #include "graph/graph.h"
+#include "obs/metric_registry.h"
+#include "obs/query_trace.h"
 #include "reindex/dimension_refresher.h"
 #include "server/result_cache.h"
 #include "server/sharded_engine.h"
@@ -61,6 +63,18 @@ struct BatchExecutorOptions {
   /// Insert/Remove mutations since the last refresh began. 0 = never.
   /// Requires `store`.
   int reindex_every = 0;
+
+  /// Slow-query log: log a per-stage breakdown (the QueryTrace fields) for
+  /// every query whose end-to-end time reaches this many microseconds.
+  /// 0 disables — the default; tracing costs nothing when off beyond the
+  /// timestamps the executor already takes.
+  uint64_t slow_query_usec = 0;
+
+  /// Receives one line per slow query (no trailing newline); null logs to
+  /// stderr. Injected by tests to assert the log fires exactly once per
+  /// slow query. Called on the dispatcher thread, outside the executor
+  /// lock — keep it cheap.
+  std::function<void(const std::string&)> slow_query_sink;
 };
 
 /// What a completed REINDEX reports back (the wire layer prints it).
@@ -116,6 +130,12 @@ struct BatchExecutorStats {
   /// Result-cache counters (all zero when the cache is disabled); see
   /// ResultCacheStats for field semantics.
   ResultCacheStats cache;
+  /// Process-health gauges: executor uptime, its start time as a Unix
+  /// epoch (seconds), and the admission queue's high watermark (the
+  /// largest in_flight ever observed — `queued` is the current depth).
+  double uptime_seconds = 0.0;
+  long long start_epoch = 0;
+  size_t queue_high_watermark = 0;
   /// Distribution over the latency window (submit → completion, ms). A
   /// snapshot request's latency covers admission through freeze + handoff —
   /// the background write is excluded by design (it no longer occupies the
@@ -170,6 +190,15 @@ class BatchExecutor {
   /// equal options coalesce into shared multi-query scans.
   Result<Ranking> Query(Graph query, const QueryOptions& options);
 
+  /// Query with a per-stage trace: `*trace` is filled before the result is
+  /// released (the promise handoff orders the writes), covering admission
+  /// wait, the shared map/cache passes, the scan span, and the end-to-end
+  /// total. `trace` must outlive the call. Tracing changes nothing about
+  /// coalescing or caching — the traced query shares scans and cache
+  /// entries with untraced ones.
+  Result<Ranking> Query(Graph query, const QueryOptions& options,
+                        QueryTrace* trace);
+
   /// Inserts a graph; returns its stable external id.
   Result<int> Insert(Graph graph);
 
@@ -222,6 +251,16 @@ class BatchExecutor {
   /// subject to the same admission bound as every other request.
   Result<EngineGauges> Gauges();
 
+  /// The metric registry behind METRICS: per-stage latency histograms plus
+  /// the request counters, all written at the same program points the old
+  /// mu_-guarded counters were. Safe from any thread.
+  MetricRegistry& metrics() { return registry_; }
+
+  /// Refreshes the process gauges (queue depth / high watermark / uptime)
+  /// and renders the Prometheus text exposition — the METRICS verb's body.
+  /// No terminator line; the wire layer appends `# EOF`.
+  std::string MetricsText() GDIM_EXCLUDES(mu_);
+
   /// Test/drain hook: Pause() makes the dispatcher hold admitted requests
   /// unexecuted (admission and rejection still work — this is how the
   /// backpressure path is exercised deterministically); Resume() lets it
@@ -255,7 +294,13 @@ class BatchExecutor {
     std::string path;   // kSnapshot
     /// kAdoptGeneration: the background refresh's output.
     std::shared_ptr<Result<RefreshedGeneration>> built;
+    /// kQuery with TRACE=1: filled by Execute before the promise resolves
+    /// (the future's happens-before publishes it); must outlive the call.
+    QueryTrace* trace = nullptr;
     WallTimer queued_at;
+    /// Admission wait, stamped when the dispatcher pops the request; kept
+    /// so the trace/slow-log segments and the histogram agree exactly.
+    double queue_wait_usec = 0.0;
     std::promise<Result<Ranking>> ranking;      // kQuery
     std::promise<Result<int>> inserted;         // kInsert
     std::promise<Status> status;                // kRemove, kSnapshot
@@ -320,36 +365,68 @@ class BatchExecutor {
   /// Stats() readers).
   std::unique_ptr<ResultCache> cache_;
 
+  /// The registry owns every counter and per-stage histogram; the raw
+  /// pointers below are its cells, resolved once at construction (stable
+  /// for the registry's lifetime). The cells are lock-free atomics, but the
+  /// executor still writes the request counters at the same program points
+  /// the old mu_-guarded fields were written — inside mu_ critical sections
+  /// — so a Stats() snapshot under mu_ remains mutually consistent
+  /// (accepted == completed + in-flight, etc.). Declared before
+  /// dispatcher_ so the cells exist before any thread records into them.
+  MetricRegistry registry_;
+  MetricCounter* c_accepted_;
+  MetricCounter* c_rejected_;
+  MetricCounter* c_completed_;
+  MetricCounter* c_batches_;
+  MetricCounter* c_mutations_;
+  MetricCounter* c_approx_queries_;
+  MetricCounter* c_approx_candidates_scanned_;
+  MetricCounter* c_approx_rows_pruned_;
+  MetricCounter* c_snapshots_completed_;
+  MetricCounter* c_reindexes_completed_;
+  MetricCounter* c_slow_queries_;
+  MetricGauge* g_queue_depth_;
+  MetricGauge* g_queue_high_watermark_;
+  MetricGauge* g_uptime_seconds_;
+  MetricGauge* g_start_epoch_;
+  LatencyHistogram* h_admission_wait_;
+  LatencyHistogram* h_cache_probe_;
+  LatencyHistogram* h_map_all_;
+  LatencyHistogram* h_scan_exact_;
+  LatencyHistogram* h_scan_approx_;
+  LatencyHistogram* h_ivf_probe_;
+  LatencyHistogram* h_gather_merge_;
+  LatencyHistogram* h_mutation_apply_;
+  LatencyHistogram* h_snapshot_freeze_;
+  LatencyHistogram* h_snapshot_write_;
+  LatencyHistogram* h_reindex_build_;
+  LatencyHistogram* h_reindex_swap_;
+  /// Uptime stopwatch + the Unix time it started, for the STATS gauges.
+  WallTimer uptime_;
+  long long start_epoch_ = 0;
+
   mutable Mutex mu_;
   CondVar cv_;
   std::deque<Request> queue_ GDIM_GUARDED_BY(mu_);
   /// Admitted and not yet completed.
   size_t in_flight_ GDIM_GUARDED_BY(mu_) = 0;
+  /// Largest in_flight_ ever observed (admission queue high watermark).
+  size_t queue_high_watermark_ GDIM_GUARDED_BY(mu_) = 0;
   bool stop_ GDIM_GUARDED_BY(mu_) = false;
   bool paused_ GDIM_GUARDED_BY(mu_) = false;
-  uint64_t accepted_ GDIM_GUARDED_BY(mu_) = 0;
-  uint64_t rejected_ GDIM_GUARDED_BY(mu_) = 0;
-  uint64_t completed_ GDIM_GUARDED_BY(mu_) = 0;
-  uint64_t batches_ GDIM_GUARDED_BY(mu_) = 0;
-  uint64_t mutations_ GDIM_GUARDED_BY(mu_) = 0;
-  /// MODE=approx scan-work counters; see BatchExecutorStats.
-  uint64_t approx_queries_ GDIM_GUARDED_BY(mu_) = 0;
-  uint64_t approx_candidates_scanned_ GDIM_GUARDED_BY(mu_) = 0;
-  uint64_t approx_rows_pruned_ GDIM_GUARDED_BY(mu_) = 0;
   /// Ring buffer of recent request latencies (submit → completion).
   std::vector<double> latency_window_ GDIM_GUARDED_BY(mu_);
   size_t latency_next_ GDIM_GUARDED_BY(mu_) = 0;
   bool latency_full_ GDIM_GUARDED_BY(mu_) = false;
   /// Background snapshot accounting. The writer threads are detached; the
-  /// destructor waits on snapshot_cv_ until none remain.
+  /// destructor waits on snapshot_cv_ until none remain. The completion
+  /// counter lives in the registry (c_snapshots_completed_).
   uint64_t snapshots_in_progress_ GDIM_GUARDED_BY(mu_) = 0;
-  uint64_t snapshots_completed_ GDIM_GUARDED_BY(mu_) = 0;
   CondVar snapshot_cv_;
 
   /// Reindex accounting (Stats() reads it; the dispatcher and the
-  /// refresh-done callback write it).
+  /// refresh-done callback write it). Completions count in the registry.
   bool reindex_in_flight_ GDIM_GUARDED_BY(mu_) = false;
-  uint64_t reindexes_completed_ GDIM_GUARDED_BY(mu_) = 0;
   /// Successful Insert/Remove count since the last refresh started; feeds
   /// the auto-trigger. Dispatcher-only — every function touching it
   /// REQUIRES the engine's writer role, which only the dispatcher holds.

@@ -129,6 +129,13 @@ std::string NetServer::HandleLine(const std::string& line, bool* quit) {
   WireRequest& request = *parsed;
   switch (request.verb) {
     case WireVerb::kQuery: {
+      if (request.trace) {
+        QueryTrace trace;
+        Result<Ranking> ranking = executor_->Query(std::move(request.graph),
+                                                   request.options, &trace);
+        if (!ranking.ok()) return FormatErrorResponse(ranking.status());
+        return FormatTraceLine(trace) + "\n" + FormatRankingResponse(*ranking);
+      }
       Result<Ranking> ranking =
           executor_->Query(std::move(request.graph), request.options);
       if (!ranking.ok()) return FormatErrorResponse(ranking.status());
@@ -164,19 +171,21 @@ std::string NetServer::HandleLine(const std::string& line, bool* quit) {
       Result<EngineGauges> gauges = executor_->Gauges();
       if (!gauges.ok()) return FormatErrorResponse(gauges.status());
       const BatchExecutorStats stats = executor_->Stats();
-      char out[1536];
+      char out[2048];
       std::snprintf(
           out, sizeof(out),
           "OK graphs=%d shards=%d features=%d physical_rows=%d "
           "tombstones=%d accepted=%llu rejected=%llu "
           "completed=%llu batches=%llu mutations=%llu queued=%zu "
+          "queue_depth=%zu queue_high_watermark=%zu "
           "p50_ms=%.3f p99_ms=%.3f epoch=%llu cache_hits=%llu "
           "cache_misses=%llu cache_evictions=%llu cache_entries=%zu "
           "cache_bytes=%zu snapshots_in_progress=%llu "
           "snapshots_completed=%llu dimension_generation=%llu "
           "reindex_in_progress=%llu reindex_completed=%llu "
           "approx_queries=%llu approx_candidates_scanned=%llu "
-          "approx_rows_pruned=%llu ivf_buckets=%d kernel=%s",
+          "approx_rows_pruned=%llu ivf_buckets=%d kernel=%s "
+          "uptime_seconds=%lld start_epoch=%lld",
           gauges->graphs, gauges->shards, gauges->features,
           gauges->physical_rows, gauges->tombstones,
           static_cast<unsigned long long>(stats.accepted),
@@ -184,6 +193,7 @@ std::string NetServer::HandleLine(const std::string& line, bool* quit) {
           static_cast<unsigned long long>(stats.completed),
           static_cast<unsigned long long>(stats.batches),
           static_cast<unsigned long long>(stats.mutations), stats.queued,
+          stats.queued, stats.queue_high_watermark,
           stats.latency_ms.p50, stats.latency_ms.p99,
           static_cast<unsigned long long>(gauges->epoch),
           static_cast<unsigned long long>(stats.cache.hits),
@@ -198,9 +208,15 @@ std::string NetServer::HandleLine(const std::string& line, bool* quit) {
           static_cast<unsigned long long>(stats.approx_queries),
           static_cast<unsigned long long>(stats.approx_candidates_scanned),
           static_cast<unsigned long long>(stats.approx_rows_pruned),
-          gauges->ivf_buckets, ActiveScanKernel().name());
+          gauges->ivf_buckets, ActiveScanKernel().name(),
+          static_cast<long long>(stats.uptime_seconds),
+          stats.start_epoch);
       return out;
     }
+    case WireVerb::kMetrics:
+      // Multi-line Prometheus exposition; the terminating '# EOF' line lets
+      // a line-oriented client know where the scrape ends.
+      return executor_->MetricsText() + "# EOF";
     case WireVerb::kPing:
       return "OK pong";
     case WireVerb::kQuit:

@@ -450,18 +450,30 @@ Ranking ShardedEngine::ScatterGather(const std::vector<uint8_t>& fingerprint,
                                          &shard_stats[i]);
       },
       scatter_threads);
+  WallTimer gather_timer;
   Ranking merged = MergeTopK(partials, k);
+  const double gather_usec = gather_timer.Micros();
   if (stats != nullptr) {
     stats->latency_ms = timer.Millis();
     stats->features_on = features_on;
     stats->scanned = 0;
     stats->rows_pruned = 0;
+    stats->ivf_probe_usec = 0.0;
+    // Per-shard stage samples, collected in this serial tail (after the
+    // scatter join) so no shard writes a shared slot concurrently.
+    stats->shard_scan_usec.clear();
+    stats->shard_scan_usec.reserve(static_cast<size_t>(n_shards));
     for (int s = 0; s < n_shards; ++s) {
       stats->scanned += shard_stats[static_cast<size_t>(s)].scanned;
       stats->rows_pruned += shard_stats[static_cast<size_t>(s)].rows_pruned;
+      stats->ivf_probe_usec +=
+          shard_stats[static_cast<size_t>(s)].ivf_probe_usec;
+      stats->shard_scan_usec.push_back(
+          shard_stats[static_cast<size_t>(s)].latency_ms * 1e3);
     }
     stats->prefiltered = narrowed;
     stats->approx = approx;
+    stats->gather_usec = gather_usec;
   }
   return merged;
 }
@@ -535,8 +547,11 @@ void ShardedEngine::ScanMappedBatch(
             per_shard.push_back(
                 std::move(partials[s][static_cast<size_t>(q)]));
           }
+          WallTimer gather_timer;
           (*results)[static_cast<size_t>(begin + q)] =
               MergeTopK(per_shard, options.k);
+          (*stats)[static_cast<size_t>(begin + q)].gather_usec =
+              gather_timer.Micros();
         }
         const double tile_ms = tile_timer.Millis();
         for (int q = 0; q < count; ++q) {
@@ -548,6 +563,17 @@ void ShardedEngine::ScanMappedBatch(
             s.scanned += shard_stats[sh][static_cast<size_t>(q)].scanned;
           }
           s.prefiltered = false;
+        }
+        // One scan sample per per-shard tile pass, attributed to the tile's
+        // first query (QueryMappedTile reports the pass's wall time in every
+        // query's latency slot) — each ParallelFor iteration owns its tile's
+        // stats slots, so no cross-thread writes.
+        ServeQueryStats& first = (*stats)[static_cast<size_t>(begin)];
+        first.shard_scan_usec.clear();
+        first.shard_scan_usec.reserve(shards_.size());
+        for (size_t sh = 0; sh < shards_.size(); ++sh) {
+          first.shard_scan_usec.push_back(shard_stats[sh][0].latency_ms *
+                                          1e3);
         }
       },
       options_.serve.threads);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -121,6 +122,15 @@ Result<WireRequest> ParseWireRequest(const std::string& line) {
           }
           request.options.nprobe = *nprobe;
         }
+      } else if (key == "TRACE") {
+        if (value == "1") {
+          request.trace = true;
+        } else if (value == "0") {
+          request.trace = false;
+        } else {
+          return Status::InvalidArgument("bad QUERY TRACE '" + value +
+                                         "' (want 0|1)");
+        }
       } else {
         return Status::InvalidArgument("unknown QUERY option '" + key + "'");
       }
@@ -189,13 +199,15 @@ Result<WireRequest> ParseWireRequest(const std::string& line) {
     request.path = rest;
     return request;
   }
-  if (verb == "STATS" || verb == "PING" || verb == "QUIT") {
+  if (verb == "STATS" || verb == "METRICS" || verb == "PING" ||
+      verb == "QUIT") {
     if (!rest.empty()) {
       return Status::InvalidArgument(verb + " takes no arguments");
     }
-    request.verb = verb == "STATS"  ? WireVerb::kStats
-                   : verb == "PING" ? WireVerb::kPing
-                                    : WireVerb::kQuit;
+    request.verb = verb == "STATS"     ? WireVerb::kStats
+                   : verb == "METRICS" ? WireVerb::kMetrics
+                   : verb == "PING"    ? WireVerb::kPing
+                                       : WireVerb::kQuit;
     return request;
   }
   return Status::InvalidArgument("unknown verb '" + verb + "'");
@@ -208,6 +220,17 @@ std::string FormatRankingResponse(const Ranking& ranking) {
     std::snprintf(pair, sizeof(pair), " %d:%.6f", r.id, r.score);
     out += pair;
   }
+  return out;
+}
+
+std::string FormatTraceLine(const QueryTrace& trace) {
+  char out[192];
+  std::snprintf(out, sizeof(out),
+                "TRACE queue=%lld map=%lld cache=%lld scan=%lld total=%lld "
+                "cache_hit=%d",
+                std::llround(trace.queue_usec), std::llround(trace.map_usec),
+                std::llround(trace.cache_usec), std::llround(trace.scan_usec),
+                std::llround(trace.total_usec), trace.cache_hit ? 1 : 0);
   return out;
 }
 

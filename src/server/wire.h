@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "core/topk.h"
 #include "graph/graph.h"
+#include "obs/query_trace.h"
 #include "serve/query_options.h"
 
 namespace gdim {
@@ -22,6 +23,8 @@ namespace gdim {
 ///   REINDEX [p]           ->  OK reindexed generation=<g> features=<p>
 ///   SNAPSHOT <path>       ->  OK snapshot <path>
 ///   STATS                 ->  OK key=value ...
+///   METRICS               ->  Prometheus text exposition, many lines,
+///                             terminated by a '# EOF' line
 ///   PING                  ->  OK pong
 ///   QUIT                  ->  (server closes the connection)
 ///   any failure           ->  ERR <StatusCodeName> <message>
@@ -33,10 +36,11 @@ namespace gdim {
 /// QUERY accepts optional KEY=VALUE option tokens between <k> and the
 /// graph (a gSpan token never contains '=', so the first '='-free token
 /// starts the graph). Known keys: MODE=auto|full|approx
-/// (QueryOptions::scan_mode) and NPROBE=<n>|all (QueryOptions::nprobe;
+/// (QueryOptions::scan_mode), NPROBE=<n>|all (QueryOptions::nprobe;
 /// how many IVF buckets a MODE=approx query probes per shard — rejected
-/// without MODE=approx). An unknown key or a bad value is a typed ERR
-/// InvalidArgument.
+/// without MODE=approx), and TRACE=0|1 (1 prepends a 'TRACE key=value ...'
+/// per-stage breakdown line to the OK response). An unknown key or a bad
+/// value is a typed ERR InvalidArgument.
 
 /// Request verbs.
 enum class WireVerb {
@@ -47,6 +51,7 @@ enum class WireVerb {
   kReindex,
   kSnapshot,
   kStats,
+  kMetrics,
   kPing,
   kQuit,
 };
@@ -55,6 +60,10 @@ enum class WireVerb {
 struct WireRequest {
   WireVerb verb = WireVerb::kPing;
   QueryOptions options;  ///< kQuery: k + option tokens, engine-ready
+  /// kQuery TRACE=1: the client asked for the per-stage breakdown line.
+  /// Deliberately NOT part of QueryOptions — tracing must not fragment
+  /// query coalescing or the result-cache key space.
+  bool trace = false;
   int id = 0;        ///< kRemove
   int p = 0;         ///< kReindex dimension count; 0 = keep the current one
   std::string path;  ///< kSnapshot
@@ -77,6 +86,12 @@ std::string FormatRankingResponse(const Ranking& ranking);
 
 /// "ERR <CodeName> <message>" with the message flattened to one line.
 std::string FormatErrorResponse(const Status& status);
+
+/// "TRACE queue=<usec> map=<usec> cache=<usec> scan=<usec> total=<usec>
+/// cache_hit=0|1" — the per-stage breakdown line a TRACE=1 query receives
+/// before its OK line. Values are integer microseconds, parseable with
+/// StatsField().
+std::string FormatTraceLine(const QueryTrace& trace);
 
 /// Client side: parses a QUERY response line into the ranking, or the
 /// transported Status for an ERR line (code name mapped back to the enum).

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace gdim {
+namespace {
+
+TEST(BucketHistogramTest, EmptyIsAllZero) {
+  BucketHistogram h({1.0, 10.0, 100.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);  // 3 finite bounds + overflow
+  for (uint64_t c : h.bucket_counts()) EXPECT_EQ(c, 0u);
+}
+
+TEST(BucketHistogramTest, RecordPicksFirstBucketWithBoundAtLeastValue) {
+  BucketHistogram h({1.0, 10.0, 100.0});
+  h.Record(0.5);    // <= 1
+  h.Record(1.0);    // exactly on a bound stays in that bucket (le semantics)
+  h.Record(7.0);    // <= 10
+  h.Record(100.0);  // exactly on the last finite bound
+  h.Record(5000.0);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 7.0 + 100.0 + 5000.0);
+  const std::vector<uint64_t>& counts = h.bucket_counts();
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  const std::vector<uint64_t> cumulative = h.CumulativeCounts();
+  EXPECT_EQ(cumulative.back(), h.count());
+  for (size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_GE(cumulative[i], cumulative[i - 1]);
+  }
+}
+
+TEST(BucketHistogramTest, SingleSampleQuantiles) {
+  BucketHistogram h({1.0, 10.0, 100.0});
+  h.Record(7.0);
+  // Every quantile of a one-sample histogram lands in the sample's bucket
+  // (1, 10]; interpolation cannot do better than the bucket's range.
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.Quantile(q), 1.0) << "q=" << q;
+    EXPECT_LE(h.Quantile(q), 10.0) << "q=" << q;
+  }
+}
+
+TEST(BucketHistogramTest, ExactBoundaryQuantiles) {
+  BucketHistogram h({10.0, 20.0, 30.0});
+  // 10 samples in (0,10], 10 in (10,20]: the median sits exactly on the
+  // bucket boundary and the extremes pin to the bucket edges.
+  for (int i = 0; i < 10; ++i) h.Record(5.0);
+  for (int i = 0; i < 10; ++i) h.Record(15.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 20.0);
+  // q=0.25 is halfway through the first bucket (0,10].
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 5.0);
+}
+
+TEST(BucketHistogramTest, OverflowQuantileReportsLargestFiniteBound) {
+  BucketHistogram h({1.0, 10.0});
+  h.Record(99999.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 10.0);
+}
+
+TEST(BucketHistogramTest, MergeAddsCountsAndSum) {
+  BucketHistogram a({1.0, 10.0, 100.0});
+  BucketHistogram b({1.0, 10.0, 100.0});
+  a.Record(0.5);
+  a.Record(50.0);
+  b.Record(5.0);
+  b.Record(500.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.5 + 50.0 + 5.0 + 500.0);
+  EXPECT_EQ(a.bucket_counts()[0], 1u);
+  EXPECT_EQ(a.bucket_counts()[1], 1u);
+  EXPECT_EQ(a.bucket_counts()[2], 1u);
+  EXPECT_EQ(a.bucket_counts()[3], 1u);
+  // b is untouched.
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(BucketHistogramTest, MergeWithMismatchedBoundsIsDropped) {
+  BucketHistogram a({1.0, 10.0});
+  BucketHistogram other({2.0, 20.0});
+  other.Record(1.5);
+  a.Merge(other);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
+TEST(BucketHistogramTest, FromPartsRoundTrips) {
+  BucketHistogram h({1.0, 10.0, 100.0});
+  h.Record(0.5);
+  h.Record(42.0);
+  h.Record(1e6);
+  BucketHistogram rebuilt(h.upper_bounds(), h.bucket_counts(), h.sum());
+  EXPECT_EQ(rebuilt.count(), h.count());
+  EXPECT_DOUBLE_EQ(rebuilt.sum(), h.sum());
+  EXPECT_EQ(rebuilt.bucket_counts(), h.bucket_counts());
+  EXPECT_DOUBLE_EQ(rebuilt.Quantile(0.5), h.Quantile(0.5));
+}
+
+}  // namespace
+}  // namespace gdim

@@ -17,6 +17,7 @@
 
 #include "common/random.h"
 #include "common/sync.h"
+#include "common/timer.h"
 #include "core/index_io.h"
 #include "core/kernels/scan_kernel.h"
 #include "graph/graph.h"
@@ -193,6 +194,32 @@ class Client {
     Result<std::optional<std::string>> response = reader_->ReadLine();
     if (!response.ok() || !response->has_value()) return "";
     return **response;
+  }
+
+  /// Sends one request line and reads exactly n response lines (a TRACE=1
+  /// query answers two). Truncated on EOF/error.
+  std::vector<std::string> RpcMulti(const std::string& line, int n) {
+    std::vector<std::string> lines;
+    if (!SendAll(fd_.get(), line + "\n").ok()) return lines;
+    for (int i = 0; i < n; ++i) {
+      Result<std::optional<std::string>> response = reader_->ReadLine();
+      if (!response.ok() || !response->has_value()) return lines;
+      lines.push_back(**response);
+    }
+    return lines;
+  }
+
+  /// Sends METRICS and returns every exposition line up to (excluding) the
+  /// '# EOF' terminator. Empty on a truncated scrape.
+  std::vector<std::string> ScrapeMetrics() {
+    std::vector<std::string> lines;
+    if (!SendAll(fd_.get(), "METRICS\n").ok()) return lines;
+    for (;;) {
+      Result<std::optional<std::string>> response = reader_->ReadLine();
+      if (!response.ok() || !response->has_value()) return {};
+      if (**response == "# EOF") return lines;
+      lines.push_back(**response);
+    }
   }
 
   /// True once the server has closed this connection.
@@ -615,6 +642,206 @@ TEST_F(NetServerTest, SnapshotOverTheWireDoesNotBlockOtherConnections) {
   ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
   EXPECT_EQ(reloaded->num_graphs(), 20);
   ::unlink(fifo.c_str());
+}
+
+// ----------------------------------------------------- observability ------
+
+TEST_F(NetServerTest, MetricsExpositionOverTheWire) {
+  Client client(server_->port());
+  const std::string probe = EncodeGraphInline(LabelGraph({0, 2, 4}));
+  EXPECT_EQ(client.Rpc("QUERY 5 " + probe).rfind("OK ", 0), 0u);
+  EXPECT_EQ(client.Rpc("QUERY 5 " + probe).rfind("OK ", 0), 0u);  // cache hit
+  EXPECT_EQ(client.Rpc("INSERT " + probe), "OK 20");
+
+  const std::vector<std::string> lines = client.ScrapeMetrics();
+  ASSERT_FALSE(lines.empty());
+  std::string text;
+  for (const std::string& l : lines) text += l + "\n";
+
+  // Counters replaced the old under-mu_ tallies and agree with STATS.
+  EXPECT_NE(text.find("# TYPE gdim_requests_accepted_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("gdim_requests_accepted_total 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gdim_mutations_total 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE gdim_queue_depth gauge"), std::string::npos);
+  // Per-stage histograms exist and carry this run's samples.
+  EXPECT_NE(text.find("# TYPE gdim_stage_admission_wait_usec histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE gdim_stage_map_all_usec histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("gdim_stage_map_all_usec_count 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gdim_stage_mutation_apply_usec_count 1"),
+            std::string::npos)
+      << text;
+  // The scan histogram is labeled with the kernel that ran it.
+  EXPECT_NE(
+      text.find("gdim_stage_scan_exact_usec_bucket{kernel=\"" +
+                std::string(ActiveScanKernel().name()) + "\",le=\"1\"}"),
+      std::string::npos)
+      << text;
+
+  // Families come out in stable sorted order, and within each histogram the
+  // cumulative buckets are monotone with count == the +Inf bucket.
+  std::string previous_family;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.rfind("# HELP ", 0) != 0) continue;
+    const std::string family = line.substr(7, line.find(' ', 7) - 7);
+    EXPECT_LT(previous_family, family) << "unsorted at " << family;
+    previous_family = family;
+  }
+  long long cumulative = -1;
+  long long inf_bucket = -1;
+  for (const std::string& line : lines) {
+    if (line.rfind("gdim_stage_map_all_usec_bucket", 0) == 0) {
+      const long long v =
+          std::strtoll(line.c_str() + line.rfind(' ') + 1, nullptr, 10);
+      EXPECT_GE(v, cumulative) << line;
+      cumulative = v;
+      if (line.find("le=\"+Inf\"") != std::string::npos) inf_bucket = v;
+    }
+    if (line.rfind("gdim_stage_map_all_usec_count", 0) == 0) {
+      EXPECT_EQ(std::strtoll(line.c_str() + line.rfind(' ') + 1, nullptr, 10),
+                inf_bucket)
+          << line;
+    }
+  }
+  EXPECT_EQ(inf_bucket, 2);
+
+  // STATS stays frozen and consistent with the registry view (the STATS
+  // call itself admits one gauges request, hence 4).
+  const std::string stats = client.Rpc("STATS");
+  EXPECT_EQ(StatsField(stats, "accepted"), 4) << stats;
+  EXPECT_GE(StatsField(stats, "uptime_seconds"), 0) << stats;
+  EXPECT_GT(StatsField(stats, "start_epoch"), 0) << stats;
+  EXPECT_EQ(StatsField(stats, "queue_depth"), 0) << stats;
+  EXPECT_GE(StatsField(stats, "queue_high_watermark"), 1) << stats;
+}
+
+TEST_F(NetServerTest, TraceOptionReturnsAStageBreakdownLine) {
+  Client client(server_->port());
+  const Graph probe = LabelGraph({0, 2, 4});
+  const std::string spec = EncodeGraphInline(probe);
+  const std::string expected =
+      FormatRankingResponse(shadow_->Query(probe, {.k = 5}));
+
+  WallTimer client_timer;
+  const std::vector<std::string> traced =
+      client.RpcMulti("QUERY 5 TRACE=1 " + spec, 2);
+  const double client_usec = client_timer.Micros();
+  ASSERT_EQ(traced.size(), 2u);
+  EXPECT_EQ(traced[0].rfind("TRACE ", 0), 0u) << traced[0];
+  EXPECT_EQ(traced[1], expected);
+  const long long queue = StatsField(traced[0], "queue");
+  const long long map = StatsField(traced[0], "map");
+  const long long cache = StatsField(traced[0], "cache");
+  const long long scan = StatsField(traced[0], "scan");
+  const long long total = StatsField(traced[0], "total");
+  EXPECT_GE(queue, 0);
+  EXPECT_GE(map, 0);
+  EXPECT_GE(cache, 0);
+  EXPECT_GE(scan, 0);
+  // Stages are non-overlapping segments of the query's life: their sum
+  // cannot exceed the total (slack covers the four roundings), and the
+  // total cannot exceed the latency the client measured around the RPC.
+  EXPECT_LE(queue + map + cache + scan, total + 4) << traced[0];
+  EXPECT_LE(static_cast<double>(total), client_usec) << traced[0];
+  EXPECT_EQ(StatsField(traced[0], "cache_hit"), 0) << traced[0];
+
+  // The same query again: a cache hit, scan=0, flagged as a hit.
+  const std::vector<std::string> hit =
+      client.RpcMulti("QUERY 5 TRACE=1 " + spec, 2);
+  ASSERT_EQ(hit.size(), 2u);
+  EXPECT_EQ(hit[1], expected);
+  EXPECT_EQ(StatsField(hit[0], "cache_hit"), 1) << hit[0];
+  EXPECT_EQ(StatsField(hit[0], "scan"), 0) << hit[0];
+
+  // TRACE=0 and an untraced query answer exactly one line, bit-identical.
+  EXPECT_EQ(client.Rpc("QUERY 5 TRACE=0 " + spec), expected);
+  EXPECT_EQ(client.Rpc("QUERY 5 " + spec), expected);
+  // The connection is still in sync after all the multi-line traffic.
+  EXPECT_EQ(client.Rpc("PING"), "OK pong");
+}
+
+TEST_F(NetServerTest, MalformedTraceValueIsATypedError) {
+  Client client(server_->port());
+  const std::string spec = EncodeGraphInline(LabelGraph({0, 2}));
+  EXPECT_EQ(client.Rpc("QUERY 5 TRACE=2 " + spec),
+            "ERR InvalidArgument bad QUERY TRACE '2' (want 0|1)");
+  EXPECT_EQ(client.Rpc("QUERY 5 TRACE= " + spec),
+            "ERR InvalidArgument bad QUERY TRACE '' (want 0|1)");
+  EXPECT_EQ(client.Rpc("QUERY 5 TRACE=yes " + spec),
+            "ERR InvalidArgument bad QUERY TRACE 'yes' (want 0|1)");
+  // The connection survived; a well-formed traced query still works.
+  EXPECT_EQ(client.RpcMulti("QUERY 5 TRACE=1 " + spec, 2).size(), 2u);
+}
+
+/// Fixture with the slow-query log armed at 1us — every query is an
+/// outlier — and a sink capturing the log lines instead of stderr.
+class SlowQueryLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto engine = ShardedEngine::FromIndex(LabelIndex(20), ShardedOptions{});
+    ASSERT_TRUE(engine.ok());
+    engine_.emplace(std::move(engine).value());
+    BatchExecutorOptions executor_opts;
+    executor_opts.cache_bytes = 1 << 20;
+    executor_opts.slow_query_usec = 1;
+    executor_opts.slow_query_sink = [this](const std::string& line) {
+      MutexLock lock(&mu_);
+      log_lines_.push_back(line);
+    };
+    executor_.emplace(&*engine_, executor_opts);
+    server_.emplace(&*executor_);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  std::vector<std::string> LogLines() {
+    MutexLock lock(&mu_);
+    return log_lines_;
+  }
+
+  Mutex mu_;
+  std::vector<std::string> log_lines_ GDIM_GUARDED_BY(mu_);
+  std::optional<ShardedEngine> engine_;
+  std::optional<BatchExecutor> executor_;
+  std::optional<NetServer> server_;
+};
+
+TEST_F(SlowQueryLogTest, FiresExactlyOncePerSlowQuery) {
+  Client client(server_->port());
+  const std::string a = EncodeGraphInline(LabelGraph({0, 2, 4}));
+  const std::string b = EncodeGraphInline(LabelGraph({1, 3}));
+  // Three queries over the 1us threshold — including a cache-hit repeat,
+  // which is still a (fast) query and still gets its own log line. The sink
+  // fires on the dispatcher before the response promise resolves, so by the
+  // time each RPC returns its line is visible.
+  EXPECT_EQ(client.Rpc("QUERY 5 " + a).rfind("OK ", 0), 0u);
+  EXPECT_EQ(client.Rpc("QUERY 5 " + b).rfind("OK ", 0), 0u);
+  EXPECT_EQ(client.Rpc("QUERY 5 " + a).rfind("OK ", 0), 0u);  // cache hit
+  // A mutation is not a query: no slow-query line no matter how slow.
+  EXPECT_EQ(client.Rpc("INSERT " + a), "OK 20");
+
+  const std::vector<std::string> lines = LogLines();
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.rfind("slow-query total_usec=", 0), 0u) << line;
+    EXPECT_GE(StatsField(line, "queue"), 0) << line;
+    EXPECT_GE(StatsField(line, "scan"), 0) << line;
+    EXPECT_NE(line.find(" k=5 "), std::string::npos) << line;
+  }
+  EXPECT_EQ(StatsField(lines[0], "cache_hit"), 0) << lines[0];
+  EXPECT_EQ(StatsField(lines[2], "cache_hit"), 1) << lines[2];
+
+  // The counter agrees with the sink.
+  std::string metrics;
+  for (const std::string& l : client.ScrapeMetrics()) metrics += l + "\n";
+  EXPECT_NE(metrics.find("gdim_slow_queries_total 3"), std::string::npos)
+      << metrics;
 }
 
 TEST_F(NetServerTest, StopSeversLiveConnections) {

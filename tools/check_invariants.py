@@ -26,6 +26,11 @@ with one line per violation. Checks:
      "Snapshot format" section must agree exactly in both directions —
      an undocumented section is invisible to operators, a documented but
      unparsed one is fiction.
+  6. The pipeline stage names defined in src/obs/ (kStageXxxx constants,
+     each the <stage> of a `gdim_stage_<stage>_usec` histogram) and the
+     stage table in protocol.md's "Query tracing" section must agree
+     exactly in both directions — dashboards are built from the docs, and
+     a renamed stage silently orphans every panel watching it.
 """
 
 import re
@@ -214,11 +219,49 @@ def check_snapshot_section_tags():
                "(docs/protocol.md snapshot-format table)")
 
 
+# ---------------------------------------------------------------- check 6 --
+def check_stage_names():
+    obs_dir = ROOT / "src" / "obs"
+    doc = ROOT / "docs" / "protocol.md"
+    if not obs_dir.is_dir() or not doc.is_file():
+        report("src/obs", 1, "src/obs/ or docs/protocol.md missing")
+        return
+    code_stages = set()
+    for path in sorted(obs_dir.rglob("*.h")) + sorted(obs_dir.rglob("*.cc")):
+        code_stages |= set(
+            re.findall(r'constexpr char kStage\w+\[\] = "(\w+)";',
+                       path.read_text(encoding="utf-8")))
+    if not code_stages:
+        report("src/obs", 1,
+               "no kStageXxxx constants found (the greppable "
+               '`constexpr char kStageXxxx[] = "xxx";` shape is a '
+               "linter contract)")
+        return
+    doc_text = doc.read_text(encoding="utf-8")
+    section = re.search(r"^## Query tracing.*?$(.*?)^## ", doc_text,
+                        re.M | re.S)
+    if not section:
+        report("docs/protocol.md", 1,
+               'no "## Query tracing" section to hold the stage table')
+        return
+    doc_stages = set(
+        re.findall(r"^\|\s*`([a-z_]+)`\s*\|", section.group(1), re.M))
+    for stage in sorted(code_stages - doc_stages):
+        report("docs/protocol.md", 1,
+               f"pipeline stage {stage} is defined in src/obs/ but missing "
+               "from the query-tracing stage table")
+    for stage in sorted(doc_stages - code_stages):
+        report("src/obs", 1,
+               f"documented pipeline stage {stage} has no kStage constant "
+               "(docs/protocol.md query-tracing stage table)")
+
+
 def main():
     for path in code_files():
         lint_file(path)
     check_wire_docs()
     check_snapshot_section_tags()
+    check_stage_names()
     if errors:
         print(f"check_invariants: {len(errors)} violation(s)",
               file=sys.stderr)

@@ -73,7 +73,7 @@ int Usage() {
       "--queue=256 --batch=64 --threads=N --max-conns=256 --cache-mb=64 "
       "--prefilter --ivf-buckets=N --db=GRAPHS --reindex-every=N "
       "--reindex-selector=DSPMap --reindex-p=0 --reindex-minsup=0.05 "
-      "--reindex-maxedges=7]\n"
+      "--reindex-maxedges=7 --slow-query-usec=0]\n"
       "  bench-query --index=FILE --queries=FILE [--k=10 --threads=N "
       "--shards=N --prefilter --ivf-buckets=N --repeat=5]\n"
       "  update   --index=FILE --out=FILE [--insert=GRAPHS --remove=I,J,... "
@@ -441,6 +441,11 @@ int RunServeNet(const Flags& flags) {
   Result<int> reindex_maxedges =
       ValidatedRange(flags, "reindex-maxedges", 7, 1, 64);
   if (!reindex_maxedges.ok()) return Fail(reindex_maxedges.status());
+  // Queries slower than this (dispatcher wall clock) are logged to stderr;
+  // 0 (the default) disables the slow-query log entirely.
+  Result<int> slow_query_usec =
+      ValidatedRange(flags, "slow-query-usec", 0, 0, 1 << 30);
+  if (!slow_query_usec.ok()) return Fail(slow_query_usec.status());
 
   WallTimer load_timer;
   // Read the file once in packed form so v3 sections can be split between
@@ -532,6 +537,7 @@ int RunServeNet(const Flags& flags) {
   executor_opts.refresh.mining.max_edges = *reindex_maxedges;
   executor_opts.refresh.seed =
       static_cast<uint64_t>(flags.GetInt("seed", 1));
+  executor_opts.slow_query_usec = static_cast<uint64_t>(*slow_query_usec);
   BatchExecutor executor(&*engine, executor_opts);
 
   NetServerOptions server_opts;
@@ -539,6 +545,12 @@ int RunServeNet(const Flags& flags) {
   server_opts.port = *port;
   server_opts.max_connections = *max_conns;
   NetServer server(&executor, server_opts);
+  // Snapshot the engine counters before Start(): once the server accepts
+  // connections the dispatcher may mutate the engine concurrently with
+  // this thread, and these getters are dispatcher-owned state.
+  const int listening_graphs = engine->num_graphs();
+  const int listening_features = engine->num_features();
+  const int listening_shards = engine->num_shards();
   Status started = server.Start();
   if (!started.ok()) return Fail(started);
 
@@ -548,8 +560,8 @@ int RunServeNet(const Flags& flags) {
       "listening on %s port=%d (%d graphs x %d dims, shards=%d, queue=%d, "
       "batch=%d, max-conns=%d, cache-mb=%d, reindex=%s every=%d, "
       "loaded in %.2fs)\n",
-      server_opts.host.c_str(), server.port(), engine->num_graphs(),
-      engine->num_features(), engine->num_shards(), *queue, *batch,
+      server_opts.host.c_str(), server.port(), listening_graphs,
+      listening_features, listening_shards, *queue, *batch,
       *max_conns, *cache_mb, store.has_value() ? "on" : "off",
       *reindex_every, load_timer.Seconds());
   std::fflush(stdout);

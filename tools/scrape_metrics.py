@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Scrape a live server's METRICS verb and assert histogram sanity.
+
+Stdlib-only; used by the CI net smoke to check the exposition mid-churn:
+
+    python3 tools/scrape_metrics.py --port=7411 \
+        --require-stage=map_all --require-stage=mutation_apply
+
+Connects, sends `METRICS`, reads until the `# EOF` terminator, then
+exits non-zero if any of these hold:
+
+  - no `gdim_stage_<stage>_usec` histogram family carries samples,
+  - any histogram series' cumulative buckets are non-monotone,
+  - any histogram series' `+Inf` cumulative bucket != its `_count`,
+  - a `--require-stage=<stage>` family is missing or empty.
+
+On success prints one `stage <name>: count=<n>` line per non-empty
+stage family, so the CI log records where server time went.
+"""
+
+import argparse
+import re
+import socket
+import sys
+
+BUCKET = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)_bucket\{(?P<labels>[^}]*)\} '
+    r'(?P<value>\d+)$')
+COUNT = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)_count(?:\{(?P<labels>[^}]*)\})? '
+    r'(?P<value>\d+)$')
+LE = re.compile(r'(?:^|,)le="([^"]+)"')
+
+
+def scrape(host, port, timeout):
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(b"METRICS\n")
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if b"# EOF\n" in b"".join(chunks[-2:]):
+                break
+    text = b"".join(chunks).decode("utf-8", errors="replace")
+    if "# EOF" not in text:
+        raise RuntimeError("METRICS response truncated (no # EOF terminator)")
+    return text
+
+
+def series_key(name, labels):
+    """One key per histogram series: family name + labels minus `le`."""
+    return (name, LE.sub("", labels or "").strip(","))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--timeout", type=float, default=10.0)
+    parser.add_argument(
+        "--require-stage", action="append", default=[], metavar="STAGE",
+        help="a gdim_stage_<STAGE>_usec family that must be non-empty "
+             "(repeatable)")
+    args = parser.parse_args()
+
+    try:
+        text = scrape(args.host, args.port, args.timeout)
+    except (OSError, RuntimeError) as err:
+        print(f"scrape_metrics: {err}", file=sys.stderr)
+        return 1
+
+    # series -> ordered (le, cumulative) pairs, and series -> _count value.
+    buckets = {}
+    counts = {}
+    for line in text.splitlines():
+        m = BUCKET.match(line)
+        if m:
+            le = LE.search(m.group("labels"))
+            if le:
+                buckets.setdefault(
+                    series_key(m.group("name"), m.group("labels")),
+                    []).append((le.group(1), int(m.group("value"))))
+            continue
+        m = COUNT.match(line)
+        if m:
+            counts[series_key(m.group("name"), m.group("labels"))] = int(
+                m.group("value"))
+
+    errors = []
+    stage_totals = {}
+    for (name, labels), pairs in sorted(buckets.items()):
+        series = f'{name}{{{labels}}}' if labels else name
+        prev = -1
+        for le, cumulative in pairs:
+            if cumulative < prev:
+                errors.append(f"{series}: cumulative buckets are "
+                              f'non-monotone at le="{le}"')
+                break
+            prev = cumulative
+        if not pairs or pairs[-1][0] != "+Inf":
+            errors.append(f'{series}: missing the le="+Inf" bucket')
+            continue
+        inf = pairs[-1][1]
+        count = counts.get((name, labels))
+        if count is None:
+            errors.append(f"{series}: no matching _count sample")
+        elif count != inf:
+            errors.append(f"{series}: _count {count} != +Inf cumulative {inf}")
+        stage = re.fullmatch(r"gdim_stage_(\w+)_usec", name)
+        if stage:
+            stage_totals[stage.group(1)] = (
+                stage_totals.get(stage.group(1), 0) + inf)
+
+    if not any(stage_totals.values()):
+        errors.append("no gdim_stage_*_usec histogram carries any samples")
+    for stage in args.require_stage:
+        if stage_totals.get(stage, 0) == 0:
+            errors.append(
+                f"required stage histogram gdim_stage_{stage}_usec is "
+                "missing or empty")
+
+    for stage, total in sorted(stage_totals.items()):
+        if total:
+            print(f"stage {stage}: count={total}")
+    if errors:
+        print(f"scrape_metrics: {len(errors)} violation(s)", file=sys.stderr)
+        for err in errors:
+            print(err, file=sys.stderr)
+        return 1
+    print("scrape_metrics: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
